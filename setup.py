@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+the project can also be installed in environments where the PEP 660
+editable-install hooks are unavailable (e.g. offline machines without the
+``wheel`` package), via the legacy ``pip install -e . --no-use-pep517`` path.
+"""
+
+from setuptools import setup
+
+setup()

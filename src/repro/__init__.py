@@ -1,0 +1,138 @@
+"""MP-Kit: efficient model checking of fault-tolerant distributed protocols.
+
+A from-scratch Python reproduction of *"Efficient Model Checking of
+Fault-Tolerant Distributed Protocols"* (Bokor, Kinder, Serafini, Suri —
+DSN 2011).  The library provides:
+
+* :mod:`repro.mp` — the MP modelling layer: message-passing protocols with
+  guarded single-message and quorum transitions;
+* :mod:`repro.checker` — an explicit-state model checker (stateful and
+  stateless search, invariants, counterexamples);
+* :mod:`repro.por` — partial-order reduction: a stubborn-set static POR with
+  a pre-computed dependence relation (the MP-LPOR analogue) and a stateless
+  dynamic POR baseline;
+* :mod:`repro.refine` — transition refinement: quorum-split, reply-split and
+  combined-split;
+* :mod:`repro.protocols` — Paxos, regular storage and Echo Multicast models
+  in quorum and single-message variants, with fault-injected versions;
+* :mod:`repro.analysis` — blow-up formulas, reduction metrics and table
+  rendering for the benchmark harness.
+
+Quickstart::
+
+    from repro import (
+        ModelChecker, Strategy,
+        PaxosConfig, build_paxos_quorum, consensus_invariant,
+    )
+
+    protocol = build_paxos_quorum(PaxosConfig(proposers=1, acceptors=3, learners=1))
+    result = ModelChecker(protocol, consensus_invariant()).run(Strategy.SPOR)
+    print(result.summary())
+"""
+
+from .checker import (
+    CheckResult,
+    CheckerOptions,
+    Counterexample,
+    Invariant,
+    ModelChecker,
+    SearchConfig,
+    SearchStatistics,
+    Strategy,
+    check_protocol,
+)
+from .mp import (
+    ActionContext,
+    Execution,
+    GlobalState,
+    LporAnnotation,
+    Message,
+    Network,
+    Protocol,
+    ProtocolBuilder,
+    QuorumSpec,
+    SendSpec,
+    TransitionSpec,
+    exact_quorum,
+    majority_of,
+    single_message,
+)
+from .por import DependenceRelation, DporSearch, StubbornSetProvider
+from .protocols import (
+    MulticastConfig,
+    PaxosConfig,
+    StorageConfig,
+    agreement_invariant,
+    build_faulty_paxos_quorum,
+    build_faulty_paxos_single,
+    build_multicast_quorum,
+    build_multicast_single,
+    build_paxos_quorum,
+    build_paxos_single,
+    build_storage_quorum,
+    build_storage_single,
+    consensus_invariant,
+    default_catalog,
+    regularity_invariant,
+    wrong_regularity_invariant,
+)
+from .refine import (
+    combined_split,
+    compare_state_graphs,
+    is_transition_refinement,
+    quorum_split,
+    reply_split,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActionContext",
+    "CheckResult",
+    "CheckerOptions",
+    "Counterexample",
+    "DependenceRelation",
+    "DporSearch",
+    "Execution",
+    "GlobalState",
+    "Invariant",
+    "LporAnnotation",
+    "Message",
+    "ModelChecker",
+    "MulticastConfig",
+    "Network",
+    "PaxosConfig",
+    "Protocol",
+    "ProtocolBuilder",
+    "QuorumSpec",
+    "SearchConfig",
+    "SearchStatistics",
+    "SendSpec",
+    "StorageConfig",
+    "StubbornSetProvider",
+    "Strategy",
+    "TransitionSpec",
+    "agreement_invariant",
+    "build_faulty_paxos_quorum",
+    "build_faulty_paxos_single",
+    "build_multicast_quorum",
+    "build_multicast_single",
+    "build_paxos_quorum",
+    "build_paxos_single",
+    "build_storage_quorum",
+    "build_storage_single",
+    "check_protocol",
+    "combined_split",
+    "compare_state_graphs",
+    "consensus_invariant",
+    "default_catalog",
+    "exact_quorum",
+    "is_transition_refinement",
+    "majority_of",
+    "quorum_split",
+    "regularity_invariant",
+    "reply_split",
+    "single_message",
+    "wrong_regularity_invariant",
+    "__version__",
+]

@@ -1,0 +1,83 @@
+"""Reduction metrics: the percentages quoted in the paper's abstract and text.
+
+The paper reports savings such as "up to 92% memory and 85% time reduction";
+memory is proxied by the number of stored states (the dominant memory cost
+of stateful explicit-state model checking).  These helpers compute the same
+percentages from two :class:`~repro.checker.result.CheckResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..checker.result import CheckResult
+
+
+def reduction_percentage(baseline: float, improved: float) -> float:
+    """Percentage saved by ``improved`` relative to ``baseline``.
+
+    Positive values mean the improved run was cheaper; negative values mean
+    it was more expensive.  A zero baseline yields 0.0 by convention.
+    """
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+@dataclass(frozen=True)
+class ResultComparison:
+    """Memory (state count) and time savings of one run over another.
+
+    Attributes:
+        baseline_label: Name of the baseline strategy/model.
+        improved_label: Name of the improved strategy/model.
+        state_reduction_percent: States saved, as a percentage.
+        time_reduction_percent: Wall-clock time saved, as a percentage.
+        baseline_states: State count of the baseline run.
+        improved_states: State count of the improved run.
+        baseline_seconds: Duration of the baseline run.
+        improved_seconds: Duration of the improved run.
+    """
+
+    baseline_label: str
+    improved_label: str
+    state_reduction_percent: float
+    time_reduction_percent: float
+    baseline_states: int
+    improved_states: int
+    baseline_seconds: float
+    improved_seconds: float
+
+    def summary(self) -> str:
+        """One-line rendering, e.g. for benchmark output."""
+        return (
+            f"{self.improved_label} vs {self.baseline_label}: "
+            f"{self.state_reduction_percent:.0f}% fewer states "
+            f"({self.baseline_states} -> {self.improved_states}), "
+            f"{self.time_reduction_percent:.0f}% less time "
+            f"({self.baseline_seconds:.2f}s -> {self.improved_seconds:.2f}s)"
+        )
+
+
+def compare_results(
+    baseline: CheckResult,
+    improved: CheckResult,
+    baseline_label: Optional[str] = None,
+    improved_label: Optional[str] = None,
+) -> ResultComparison:
+    """Compare two check results as the paper's tables do (states and time)."""
+    return ResultComparison(
+        baseline_label=baseline_label or baseline.strategy,
+        improved_label=improved_label or improved.strategy,
+        state_reduction_percent=reduction_percentage(
+            baseline.statistics.states_visited, improved.statistics.states_visited
+        ),
+        time_reduction_percent=reduction_percentage(
+            baseline.statistics.elapsed_seconds, improved.statistics.elapsed_seconds
+        ),
+        baseline_states=baseline.statistics.states_visited,
+        improved_states=improved.statistics.states_visited,
+        baseline_seconds=baseline.statistics.elapsed_seconds,
+        improved_seconds=improved.statistics.elapsed_seconds,
+    )

@@ -1,0 +1,122 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark modules collect rows shaped like the paper's Tables I and II
+(protocol, property, result, then states/time per search strategy) and use
+these helpers to print them.  Keeping the rendering here keeps the
+benchmarks declarative and makes the tables reusable from the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..checker.result import CheckResult
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper does (e.g. ``3m4s``, ``9h37m``)."""
+    if seconds < 1:
+        return f"{seconds * 1000:.0f}ms"
+    total = int(round(seconds))
+    hours, remainder = divmod(total, 3600)
+    minutes, secs = divmod(remainder, 60)
+    if hours:
+        return f"{hours}h{minutes}m"
+    if minutes:
+        return f"{minutes}m{secs}s"
+    return f"{secs}s"
+
+
+def format_count(value: int) -> str:
+    """Render a state count with thousands separators, as in the paper."""
+    return f"{value:,}"
+
+
+@dataclass
+class TableRow:
+    """One row of an evaluation table.
+
+    Attributes:
+        protocol: Row label, e.g. ``"Paxos (2,2,1)"``.
+        property_name: The property checked.
+        outcome: ``"Verified"`` or ``"CE"``.
+        cells: Mapping from column name to a ``(states, seconds)`` pair.
+    """
+
+    protocol: str
+    property_name: str
+    outcome: str
+    cells: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+
+    def add_result(self, column: str, result: CheckResult) -> None:
+        """Record a check result under a column of the table."""
+        self.cells[column] = (
+            result.statistics.states_visited,
+            result.statistics.elapsed_seconds,
+        )
+
+
+@dataclass
+class EvaluationTable:
+    """A paper-style table: rows of protocol settings, columns of strategies."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[TableRow] = field(default_factory=list)
+
+    def add_row(self, row: TableRow) -> None:
+        self.rows.append(row)
+
+    def new_row(self, protocol: str, property_name: str, outcome: str) -> TableRow:
+        """Create, register and return a fresh row."""
+        row = TableRow(protocol=protocol, property_name=property_name, outcome=outcome)
+        self.rows.append(row)
+        return row
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        headers = ["Protocol", "Property", "Result"]
+        for column in self.columns:
+            headers.append(f"{column} states")
+            headers.append(f"{column} time")
+
+        body: List[List[str]] = []
+        for row in self.rows:
+            line = [row.protocol, row.property_name, row.outcome]
+            for column in self.columns:
+                cell = row.cells.get(column)
+                if cell is None:
+                    line.extend(["-", "-"])
+                else:
+                    states, seconds = cell
+                    line.extend([format_count(states), format_duration(seconds)])
+            body.append(line)
+
+        widths = [len(header) for header in headers]
+        for line in body:
+            for index, cell in enumerate(line):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, separator, render_line(headers), separator]
+        lines.extend(render_line(line) for line in body)
+        lines.append(separator)
+        return "\n".join(lines)
+
+    def best_column_per_row(self) -> Dict[str, Optional[str]]:
+        """For each row, the column with the fewest states (the bold entries
+        of the paper's tables)."""
+        best: Dict[str, Optional[str]] = {}
+        for row in self.rows:
+            if not row.cells:
+                best[row.protocol] = None
+                continue
+            best[row.protocol] = min(row.cells, key=lambda column: row.cells[column][0])
+        return best

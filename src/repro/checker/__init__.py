@@ -1,0 +1,54 @@
+"""Explicit-state model checking engine.
+
+This package is the substrate the paper builds on (the JPF/Basset analogue):
+state-space search (stateful and stateless), visited-state stores, invariant
+properties, counterexamples and run statistics, plus the
+:class:`ModelChecker` facade that selects between unreduced search, static
+POR and dynamic POR.
+"""
+
+from .checker import CheckerOptions, ModelChecker, Strategy, check_protocol
+from .counterexample import Counterexample, Step
+from .property import Invariant, always_true, conjunction, local_state_invariant
+from .result import CheckResult, SearchStatistics
+from .search import (
+    ReductionContext,
+    Reducer,
+    SearchConfig,
+    SearchOutcome,
+    bfs_search,
+    dfs_search,
+)
+from .statestore import (
+    FingerprintStore,
+    FullStateStore,
+    NullStateStore,
+    StateStore,
+    make_state_store,
+)
+
+__all__ = [
+    "CheckResult",
+    "CheckerOptions",
+    "Counterexample",
+    "FingerprintStore",
+    "FullStateStore",
+    "Invariant",
+    "ModelChecker",
+    "NullStateStore",
+    "ReductionContext",
+    "Reducer",
+    "SearchConfig",
+    "SearchOutcome",
+    "SearchStatistics",
+    "StateStore",
+    "Step",
+    "Strategy",
+    "always_true",
+    "bfs_search",
+    "check_protocol",
+    "conjunction",
+    "dfs_search",
+    "local_state_invariant",
+    "make_state_store",
+]

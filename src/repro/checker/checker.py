@@ -1,0 +1,136 @@
+"""The model checker facade.
+
+:class:`ModelChecker` ties together a protocol, a property and a search
+strategy, mirroring how MP-Basset is invoked with the ``+fw.spor`` /
+``+fw.dpor`` flags (Appendix I):
+
+* ``Strategy.UNREDUCED`` — plain exhaustive search;
+* ``Strategy.SPOR`` — static POR with the pre-computed dependence relation
+  (the LPOR analogue);
+* ``Strategy.SPOR_NET`` — static POR with necessary-enabling-transition
+  handling of disabled transitions (the LPOR-NET analogue);
+* ``Strategy.DPOR`` — stateless dynamic POR (Flanagan–Godefroid style), the
+  configuration Basset uses for single-message models in Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..mp.protocol import Protocol
+from .property import Invariant
+from .result import CheckResult
+from .search import SearchConfig, SearchOutcome, dfs_search
+
+
+class Strategy(enum.Enum):
+    """Available search strategies."""
+
+    UNREDUCED = "unreduced"
+    SPOR = "spor"
+    SPOR_NET = "spor-net"
+    DPOR = "dpor"
+
+
+@dataclass
+class CheckerOptions:
+    """Options orthogonal to the strategy choice.
+
+    Attributes:
+        search: Low-level search configuration (bounds, statefulness).
+        seed_heuristic: Name of the seed-transition heuristic for SPOR
+            (``"opposite-transaction"``, ``"transaction"``, ``"first"``,
+            ``"fewest-dependents"``).
+    """
+
+    search: SearchConfig = None  # type: ignore[assignment]
+    seed_heuristic: str = "opposite-transaction"
+
+    def __post_init__(self) -> None:
+        if self.search is None:
+            self.search = SearchConfig()
+
+
+class ModelChecker:
+    """Checks an invariant of an MP protocol under a chosen strategy."""
+
+    def __init__(self, protocol: Protocol, invariant: Invariant,
+                 options: Optional[CheckerOptions] = None) -> None:
+        self.protocol = protocol
+        self.invariant = invariant
+        self.options = options or CheckerOptions()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, strategy: Strategy = Strategy.UNREDUCED) -> CheckResult:
+        """Run the search under ``strategy`` and return the verdict."""
+        if strategy is Strategy.DPOR:
+            return self._run_dpor()
+        if strategy in (Strategy.SPOR, Strategy.SPOR_NET):
+            return self._run_spor(use_net=strategy is Strategy.SPOR_NET)
+        return self._run_unreduced()
+
+    def check(self, strategy: Strategy = Strategy.UNREDUCED) -> bool:
+        """Convenience wrapper returning only the boolean verdict."""
+        return self.run(strategy).verified
+
+    # ------------------------------------------------------------------ #
+    # Strategy implementations
+    # ------------------------------------------------------------------ #
+    def _result(self, outcome: SearchOutcome, strategy: Strategy,
+                stateful: bool) -> CheckResult:
+        return CheckResult(
+            protocol_name=self.protocol.name,
+            property_name=self.invariant.name,
+            strategy=strategy.value,
+            verified=outcome.verified,
+            complete=outcome.complete,
+            counterexample=outcome.counterexample,
+            statistics=outcome.statistics,
+            stateful=stateful,
+        )
+
+    def _run_unreduced(self) -> CheckResult:
+        outcome = dfs_search(self.protocol, self.invariant, self.options.search)
+        return self._result(outcome, Strategy.UNREDUCED, self.options.search.stateful)
+
+    def _run_spor(self, use_net: bool) -> CheckResult:
+        # Imported lazily to keep the layering acyclic (por depends on mp only).
+        from ..por.dependence import DependenceRelation
+        from ..por.seed import make_seed_heuristic
+        from ..por.stubborn import StubbornSetProvider
+
+        dependence = DependenceRelation.precompute(self.protocol)
+        heuristic = make_seed_heuristic(self.options.seed_heuristic)
+        provider = StubbornSetProvider(
+            protocol=self.protocol,
+            dependence=dependence,
+            seed_heuristic=heuristic,
+            use_net=use_net,
+        )
+        outcome = dfs_search(
+            self.protocol, self.invariant, self.options.search, reducer=provider.reduce
+        )
+        strategy = Strategy.SPOR_NET if use_net else Strategy.SPOR
+        return self._result(outcome, strategy, self.options.search.stateful)
+
+    def _run_dpor(self) -> CheckResult:
+        from ..por.dpor import DporSearch
+
+        search_config = replace(self.options.search, stateful=False)
+        dpor = DporSearch(self.protocol, config=search_config)
+        outcome = dpor.run(self.invariant)
+        return self._result(outcome, Strategy.DPOR, stateful=False)
+
+
+def check_protocol(
+    protocol: Protocol,
+    invariant: Invariant,
+    strategy: Strategy = Strategy.UNREDUCED,
+    options: Optional[CheckerOptions] = None,
+) -> CheckResult:
+    """One-shot helper: build a :class:`ModelChecker` and run it."""
+    return ModelChecker(protocol, invariant, options).run(strategy)

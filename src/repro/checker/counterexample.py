@@ -1,0 +1,77 @@
+"""Counterexamples: violating paths through the state graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..mp.state import GlobalState
+from ..mp.transition import Execution
+
+
+@dataclass(frozen=True)
+class Step:
+    """One step of a counterexample: an execution and the state it reaches."""
+
+    execution: Execution
+    state: GlobalState
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A path from the initial state to a property-violating state.
+
+    Attributes:
+        initial_state: The initial state of the protocol.
+        steps: The executed transitions with the states they lead to; the
+            final state of the last step violates the property.
+        property_name: Name of the violated property.
+    """
+
+    initial_state: GlobalState
+    steps: Tuple[Step, ...]
+    property_name: str
+
+    @property
+    def length(self) -> int:
+        """Number of transitions on the violating path."""
+        return len(self.steps)
+
+    @property
+    def violating_state(self) -> GlobalState:
+        """The final, property-violating state."""
+        if not self.steps:
+            return self.initial_state
+        return self.steps[-1].state
+
+    def executions(self) -> Tuple[Execution, ...]:
+        """The executed transitions along the path, in order."""
+        return tuple(step.execution for step in self.steps)
+
+    def transition_names(self) -> Tuple[str, ...]:
+        """The names of the executed transitions along the path, in order."""
+        return tuple(step.execution.transition.name for step in self.steps)
+
+    def format(self, include_states: bool = False) -> str:
+        """Render the counterexample for human consumption.
+
+        Args:
+            include_states: If True, print every intermediate state; by
+                default only the executions and the final state are shown.
+        """
+        lines = [f"counterexample for property '{self.property_name}' "
+                 f"({self.length} steps):"]
+        if include_states:
+            lines.append(self.initial_state.describe())
+        for index, step in enumerate(self.steps, start=1):
+            lines.append(f"  {index:3d}. {step.execution.describe()}")
+            if include_states:
+                lines.append(_indent(step.state.describe(), 6))
+        if not include_states:
+            lines.append("violating " + self.violating_state.describe())
+        return "\n".join(lines)
+
+
+def _indent(text: str, amount: int) -> str:
+    prefix = " " * amount
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,95 @@
+"""Properties checked by the model checker.
+
+The paper's evaluation checks invariants (state-local predicates that must
+hold in every reachable state); MP-Basset expresses them as Java assertions
+inside transitions.  We instead express an invariant as a predicate over the
+global state, which is both simpler and strictly more general: the predicate
+may inspect every process's local state and the in-flight messages.
+
+Partial-order reduction preserves an invariant only if the transitions that
+can change its truth value are flagged ``visible`` in their
+:class:`~repro.mp.transition.LporAnnotation` (Appendix I, property
+preservation of the SPOR algorithm); the bundled protocol models do so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Tuple
+
+from ..mp.protocol import Protocol
+from ..mp.state import GlobalState
+
+#: Predicate signature for invariants.
+PredicateFn = Callable[[GlobalState, Protocol], bool]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A state-local predicate that must hold in every reachable state.
+
+    Attributes:
+        name: Human-readable property name (e.g. ``"consensus"``).
+        predicate: Returns True when the state satisfies the property.
+        description: Optional longer explanation, used in reports.
+    """
+
+    name: str
+    predicate: PredicateFn
+    description: str = ""
+
+    def holds_in(self, state: GlobalState, protocol: Protocol) -> bool:
+        """Evaluate the invariant in one state."""
+        return bool(self.predicate(state, protocol))
+
+    def negated(self, name: str = "") -> "Invariant":
+        """Return the negated invariant (useful for reachability queries)."""
+        return Invariant(
+            name=name or f"not({self.name})",
+            predicate=lambda state, protocol: not self.predicate(state, protocol),
+            description=f"negation of: {self.description or self.name}",
+        )
+
+
+def conjunction(name: str, invariants: Iterable[Invariant]) -> Invariant:
+    """Return the conjunction of several invariants as a single invariant."""
+    parts: Tuple[Invariant, ...] = tuple(invariants)
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        return all(part.holds_in(state, protocol) for part in parts)
+
+    return Invariant(
+        name=name,
+        predicate=predicate,
+        description="conjunction of: " + ", ".join(part.name for part in parts),
+    )
+
+
+def always_true(name: str = "true") -> Invariant:
+    """An invariant that holds everywhere; useful for pure state-space measurement."""
+    return Invariant(name=name, predicate=lambda _state, _protocol: True,
+                     description="trivially true")
+
+
+def local_state_invariant(
+    name: str,
+    ptype: str,
+    predicate: Callable[[object], bool],
+    description: str = "",
+) -> Invariant:
+    """Build an invariant that must hold of every process of a given type.
+
+    Args:
+        name: Property name.
+        ptype: Process type whose local states are inspected.
+        predicate: Predicate over a single local state.
+        description: Optional explanation.
+    """
+
+    def check(state: GlobalState, protocol: Protocol) -> bool:
+        for process in protocol.processes_of_type(ptype):
+            if not predicate(state.local(process.pid)):
+                return False
+        return True
+
+    return Invariant(name=name, predicate=check, description=description)

@@ -1,0 +1,97 @@
+"""Results and statistics of a model checking run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .counterexample import Counterexample
+
+
+@dataclass
+class SearchStatistics:
+    """Counters collected during state-space exploration.
+
+    Attributes:
+        states_visited: Number of distinct states stored (stateful search)
+            or states expanded (stateless search).
+        transitions_executed: Number of executed transitions (edges
+            traversed, counting re-traversals).
+        revisits: Number of times an already-visited state was reached
+            again (stateful search only).
+        max_depth: Deepest point of the search stack reached.
+        elapsed_seconds: Wall-clock duration of the search.
+        enabled_set_computations: Number of enabled-execution computations;
+            a proxy for the quorum-enumeration overhead of Section IV-A.
+        reduced_expansions: Number of states where the reduction explored a
+            strict subset of the enabled executions.
+        full_expansions: Number of states expanded without reduction.
+    """
+
+    states_visited: int = 0
+    transitions_executed: int = 0
+    revisits: int = 0
+    max_depth: int = 0
+    elapsed_seconds: float = 0.0
+    enabled_set_computations: int = 0
+    reduced_expansions: int = 0
+    full_expansions: int = 0
+
+    def merge(self, other: "SearchStatistics") -> "SearchStatistics":
+        """Return the component-wise sum of two statistics objects."""
+        return SearchStatistics(
+            states_visited=self.states_visited + other.states_visited,
+            transitions_executed=self.transitions_executed + other.transitions_executed,
+            revisits=self.revisits + other.revisits,
+            max_depth=max(self.max_depth, other.max_depth),
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            enabled_set_computations=(
+                self.enabled_set_computations + other.enabled_set_computations
+            ),
+            reduced_expansions=self.reduced_expansions + other.reduced_expansions,
+            full_expansions=self.full_expansions + other.full_expansions,
+        )
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one model checking run.
+
+    Attributes:
+        protocol_name: Name of the checked protocol instance.
+        property_name: Name of the checked property.
+        strategy: Name of the search strategy (unreduced / SPOR / DPOR ...).
+        verified: True if no violation was found within the explored space.
+        complete: True if the whole (possibly reduced) state space was
+            explored; False when the search hit a bound or was stopped at
+            the first violation.
+        counterexample: A violating path, if one was found.
+        statistics: Exploration counters.
+        stateful: Whether visited states were stored.
+    """
+
+    protocol_name: str
+    property_name: str
+    strategy: str
+    verified: bool
+    complete: bool
+    counterexample: Optional[Counterexample] = None
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    stateful: bool = True
+
+    @property
+    def found_counterexample(self) -> bool:
+        """True if a property violation was found."""
+        return self.counterexample is not None
+
+    def outcome_label(self) -> str:
+        """Short label matching the paper's tables: ``Verified`` or ``CE``."""
+        return "CE" if self.found_counterexample else "Verified"
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            f"{self.protocol_name} | {self.property_name} | {self.strategy}: "
+            f"{self.outcome_label()} — {self.statistics.states_visited} states, "
+            f"{self.statistics.elapsed_seconds:.2f}s"
+        )

@@ -1,0 +1,345 @@
+"""State-space search engines.
+
+The depth-first search below supports the four configurations used in the
+paper's evaluation:
+
+* stateful unreduced search (the regular-storage baseline of Table I),
+* stateful search with a static partial-order reduction (SPOR, both tables),
+* stateless search (the mode required by dynamic POR; the DPOR-specific
+  exploration lives in :mod:`repro.por.dpor` and reuses the primitives here),
+* bounded variants of all of the above for debugging.
+
+A *reducer* is a callable that picks the subset of enabled executions to
+explore in a state (the stubborn set).  The search hands it a
+:class:`ReductionContext` exposing the successor function and the current
+DFS stack so the reducer can apply the cycle (stack) proviso.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..mp.protocol import Protocol
+from ..mp.semantics import apply_execution, enabled_executions
+from ..mp.state import GlobalState
+from ..mp.transition import Execution
+from .counterexample import Counterexample, Step
+from .property import Invariant
+from .result import SearchStatistics
+from .statestore import StateStore, make_state_store
+
+
+@dataclass
+class SearchConfig:
+    """Tunable knobs of the search.
+
+    Attributes:
+        stateful: Keep a visited-state store (stateful search); if False the
+            search is stateless and only avoids cycles on the current path.
+        state_store: ``"full"`` (exact) or ``"fingerprint"`` (hash-only).
+        max_depth: Truncate paths longer than this many transitions.
+        max_states: Abort once this many distinct states were stored.
+        max_seconds: Abort after this wall-clock budget.
+        stop_at_first_violation: Stop as soon as one counterexample is found
+            (the paper's debugging experiments do exactly this).
+        check_deadlocks: Treat states without enabled transitions in the
+            *unreduced* transition set as violations.  Off by default since
+            all bundled protocols terminate legitimately.
+    """
+
+    stateful: bool = True
+    state_store: str = "full"
+    max_depth: Optional[int] = None
+    max_states: Optional[int] = None
+    max_seconds: Optional[float] = None
+    stop_at_first_violation: bool = True
+    check_deadlocks: bool = False
+
+
+@dataclass
+class ReductionContext:
+    """Information a reducer may use when choosing the explored subset.
+
+    Attributes:
+        state: The state being expanded.
+        enabled: All enabled executions in ``state``.
+        protocol: The protocol under verification.
+        successor: Function computing the successor of an execution; results
+            are memoised by the search so calling it is cheap.
+        on_stack: True for states currently on the DFS stack; used for the
+            cycle (stack) proviso.
+    """
+
+    state: GlobalState
+    enabled: Tuple[Execution, ...]
+    protocol: Protocol
+    successor: Callable[[Execution], GlobalState]
+    on_stack: Callable[[GlobalState], bool]
+
+
+#: A reducer maps a reduction context to the subset of executions to explore.
+Reducer = Callable[[ReductionContext], Tuple[Execution, ...]]
+
+
+@dataclass
+class SearchOutcome:
+    """Raw outcome of a search, converted to a CheckResult by the facade."""
+
+    verified: bool
+    complete: bool
+    counterexample: Optional[Counterexample]
+    statistics: SearchStatistics
+    deadlock_states: int = 0
+
+
+@dataclass
+class _Frame:
+    """One entry of the explicit DFS stack."""
+
+    state: GlobalState
+    pending: Tuple[Execution, ...]
+    next_index: int = 0
+    via: Optional[Execution] = None
+    successors: dict = field(default_factory=dict)
+
+
+def _memoised_successor(frame: _Frame) -> Callable[[Execution], GlobalState]:
+    def compute(execution: Execution) -> GlobalState:
+        cached = frame.successors.get(execution)
+        if cached is None:
+            cached = apply_execution(frame.state, execution)
+            frame.successors[execution] = cached
+        return cached
+
+    return compute
+
+
+def _path_from_stack(stack: List[_Frame], final: Optional[Tuple[Execution, GlobalState]],
+                     property_name: str) -> Counterexample:
+    """Rebuild the violating path from the DFS stack (plus the final step)."""
+    initial = stack[0].state
+    steps = []
+    for frame in stack[1:]:
+        steps.append(Step(execution=frame.via, state=frame.state))
+    if final is not None:
+        execution, state = final
+        steps.append(Step(execution=execution, state=state))
+    return Counterexample(initial_state=initial, steps=tuple(steps),
+                          property_name=property_name)
+
+
+def dfs_search(
+    protocol: Protocol,
+    invariant: Invariant,
+    config: Optional[SearchConfig] = None,
+    reducer: Optional[Reducer] = None,
+) -> SearchOutcome:
+    """Explore the state space depth-first and check an invariant.
+
+    Args:
+        protocol: The protocol instance to explore.
+        invariant: The invariant to check in every reachable state.
+        config: Search configuration; defaults to exhaustive stateful search.
+        reducer: Optional partial-order reducer; ``None`` explores every
+            enabled execution (unreduced search).
+
+    Returns:
+        A :class:`SearchOutcome` with verdict, counterexample and statistics.
+    """
+    config = config or SearchConfig()
+    statistics = SearchStatistics()
+    start_time = time.perf_counter()
+
+    store: StateStore = make_state_store(config.state_store if config.stateful else "none")
+    initial = protocol.initial_state()
+    store.add(initial)
+    statistics.states_visited = 1
+
+    counterexample: Optional[Counterexample] = None
+    verified = True
+    complete = True
+    deadlock_states = 0
+
+    if not invariant.holds_in(initial, protocol):
+        counterexample = Counterexample(initial_state=initial, steps=(),
+                                        property_name=invariant.name)
+        verified = False
+        if config.stop_at_first_violation:
+            statistics.elapsed_seconds = time.perf_counter() - start_time
+            return SearchOutcome(False, False, counterexample, statistics)
+
+    on_stack_states = {initial}
+
+    def expand(frame_state: GlobalState, frame: _Frame) -> Tuple[Execution, ...]:
+        """Compute the (possibly reduced) executions to explore from a state."""
+        enabled = enabled_executions(frame_state, protocol)
+        statistics.enabled_set_computations += 1
+        if config.check_deadlocks and not enabled:
+            nonlocal deadlock_states
+            deadlock_states += 1
+        if reducer is None or len(enabled) <= 1:
+            statistics.full_expansions += 1
+            return enabled
+        context = ReductionContext(
+            state=frame_state,
+            enabled=enabled,
+            protocol=protocol,
+            successor=_memoised_successor(frame),
+            on_stack=lambda state: state in on_stack_states,
+        )
+        reduced = reducer(context)
+        if len(reduced) < len(enabled):
+            statistics.reduced_expansions += 1
+        else:
+            statistics.full_expansions += 1
+        return reduced
+
+    root = _Frame(state=initial, pending=())
+    root.pending = expand(initial, root)
+    stack: List[_Frame] = [root]
+
+    while stack:
+        if config.max_seconds is not None:
+            if time.perf_counter() - start_time > config.max_seconds:
+                complete = False
+                break
+        frame = stack[-1]
+        if frame.next_index >= len(frame.pending):
+            stack.pop()
+            on_stack_states.discard(frame.state)
+            continue
+        execution = frame.pending[frame.next_index]
+        frame.next_index += 1
+
+        successor = frame.successors.get(execution)
+        if successor is None:
+            successor = apply_execution(frame.state, execution)
+        statistics.transitions_executed += 1
+
+        if config.stateful:
+            if not store.add(successor):
+                statistics.revisits += 1
+                continue
+            statistics.states_visited = len(store)
+        else:
+            if successor in on_stack_states:
+                statistics.revisits += 1
+                continue
+            statistics.states_visited += 1
+
+        if not invariant.holds_in(successor, protocol):
+            verified = False
+            counterexample = _path_from_stack(stack, (execution, successor), invariant.name)
+            if config.stop_at_first_violation:
+                complete = False
+                break
+
+        if config.max_states is not None and statistics.states_visited >= config.max_states:
+            complete = False
+            break
+        if config.max_depth is not None and len(stack) > config.max_depth:
+            complete = False
+            continue
+
+        child = _Frame(state=successor, pending=(), via=execution)
+        child.pending = expand(successor, child)
+        stack.append(child)
+        on_stack_states.add(successor)
+        statistics.max_depth = max(statistics.max_depth, len(stack) - 1)
+
+    statistics.elapsed_seconds = time.perf_counter() - start_time
+    return SearchOutcome(
+        verified=verified,
+        complete=complete and verified if config.stop_at_first_violation else complete,
+        counterexample=counterexample,
+        statistics=statistics,
+        deadlock_states=deadlock_states,
+    )
+
+
+def bfs_search(
+    protocol: Protocol,
+    invariant: Invariant,
+    config: Optional[SearchConfig] = None,
+) -> SearchOutcome:
+    """Breadth-first stateful search; finds shortest counterexamples.
+
+    Partial-order reduction is not supported here (the cycle proviso relies
+    on a DFS stack); the breadth-first engine exists for debugging, where a
+    shortest violating path is often easier to read.
+    """
+    config = config or SearchConfig()
+    statistics = SearchStatistics()
+    start_time = time.perf_counter()
+
+    initial = protocol.initial_state()
+    store = make_state_store(config.state_store)
+    store.add(initial)
+    statistics.states_visited = 1
+
+    parents = {initial: None}
+    counterexample: Optional[Counterexample] = None
+    verified = True
+    complete = True
+
+    def rebuild(state: GlobalState) -> Counterexample:
+        steps = []
+        cursor = state
+        while parents[cursor] is not None:
+            predecessor, execution = parents[cursor]
+            steps.append(Step(execution=execution, state=cursor))
+            cursor = predecessor
+        steps.reverse()
+        return Counterexample(initial_state=initial, steps=tuple(steps),
+                              property_name=invariant.name)
+
+    if not invariant.holds_in(initial, protocol):
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        return SearchOutcome(False, False, rebuild(initial), statistics)
+
+    frontier = [initial]
+    depth = 0
+    while frontier:
+        if config.max_seconds is not None:
+            if time.perf_counter() - start_time > config.max_seconds:
+                complete = False
+                break
+        if config.max_depth is not None and depth >= config.max_depth:
+            complete = False
+            break
+        next_frontier = []
+        for state in frontier:
+            enabled = enabled_executions(state, protocol)
+            statistics.enabled_set_computations += 1
+            statistics.full_expansions += 1
+            for execution in enabled:
+                successor = apply_execution(state, execution)
+                statistics.transitions_executed += 1
+                if not store.add(successor):
+                    statistics.revisits += 1
+                    continue
+                statistics.states_visited = len(store)
+                parents[successor] = (state, execution)
+                if not invariant.holds_in(successor, protocol):
+                    verified = False
+                    counterexample = rebuild(successor)
+                    if config.stop_at_first_violation:
+                        statistics.elapsed_seconds = time.perf_counter() - start_time
+                        return SearchOutcome(False, False, counterexample, statistics)
+                if config.max_states is not None and statistics.states_visited >= config.max_states:
+                    complete = False
+                    next_frontier = []
+                    break
+                next_frontier.append(successor)
+            else:
+                continue
+            break
+        frontier = next_frontier
+        depth += 1
+        statistics.max_depth = max(statistics.max_depth, depth)
+
+    statistics.elapsed_seconds = time.perf_counter() - start_time
+    return SearchOutcome(verified=verified, complete=complete,
+                         counterexample=counterexample, statistics=statistics)

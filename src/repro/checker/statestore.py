@@ -1,0 +1,96 @@
+"""Visited-state stores for stateful search.
+
+Two implementations are provided:
+
+* :class:`FullStateStore` keeps the states themselves and is exact;
+* :class:`FingerprintStore` keeps only 64-bit hashes, trading a small
+  (documented) collision risk for far lower memory usage — the standard
+  bit-state/fingerprint trade-off of explicit-state model checkers.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..mp.state import GlobalState
+
+
+class StateStore:
+    """Interface of a visited-state store."""
+
+    def add(self, state: GlobalState) -> bool:
+        """Record ``state``; return True if it was not seen before."""
+        raise NotImplementedError
+
+    def __contains__(self, state: GlobalState) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FullStateStore(StateStore):
+    """Exact store keeping every visited state."""
+
+    def __init__(self) -> None:
+        self._states: Set[GlobalState] = set()
+
+    def add(self, state: GlobalState) -> bool:
+        before = len(self._states)
+        self._states.add(state)
+        return len(self._states) != before
+
+    def __contains__(self, state: GlobalState) -> bool:
+        return state in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+
+class FingerprintStore(StateStore):
+    """Memory-light store keeping only state hashes.
+
+    A hash collision makes the search believe an unvisited state was already
+    seen, so verification results obtained with this store are best-effort.
+    The bundled benchmarks use :class:`FullStateStore`; this class exists for
+    exploring larger instances where memory is the binding constraint.
+    """
+
+    def __init__(self) -> None:
+        self._fingerprints: Set[int] = set()
+
+    def add(self, state: GlobalState) -> bool:
+        fingerprint = hash(state)
+        before = len(self._fingerprints)
+        self._fingerprints.add(fingerprint)
+        return len(self._fingerprints) != before
+
+    def __contains__(self, state: GlobalState) -> bool:
+        return hash(state) in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+
+class NullStateStore(StateStore):
+    """Store used by stateless search: never remembers anything."""
+
+    def add(self, state: GlobalState) -> bool:
+        return True
+
+    def __contains__(self, state: GlobalState) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+
+def make_state_store(kind: str) -> StateStore:
+    """Factory: ``"full"``, ``"fingerprint"`` or ``"none"``."""
+    if kind == "full":
+        return FullStateStore()
+    if kind == "fingerprint":
+        return FingerprintStore()
+    if kind == "none":
+        return NullStateStore()
+    raise ValueError(f"unknown state store kind: {kind!r}")

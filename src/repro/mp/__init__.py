@@ -1,0 +1,75 @@
+"""The MP modelling layer: the message-passing computation model of the paper.
+
+This package is the Python analogue of MP-Basset's input language MP
+(Section II of the paper): messages and unordered channels, immutable global
+states, guarded single-message and quorum transitions, protocol definitions
+with driver-injected trigger messages, and the operational semantics used by
+every search strategy.
+"""
+
+from .builder import ProtocolBuilder
+from .channel import Network
+from .errors import (
+    MPError,
+    MessageError,
+    ProtocolDefinitionError,
+    QuorumSpecificationError,
+    TransitionExecutionError,
+)
+from .message import DRIVER, Message, driver_message
+from .process import LocalState, ProcessDecl
+from .protocol import Protocol
+from .semantics import (
+    apply_execution,
+    enabled_executions,
+    enabled_executions_for,
+    is_enabled,
+    state_graph_edges,
+    successors,
+)
+from .state import GlobalState
+from .transition import (
+    ActionContext,
+    Execution,
+    LporAnnotation,
+    QuorumKind,
+    QuorumSpec,
+    SendSpec,
+    TransitionSpec,
+    exact_quorum,
+    majority_of,
+    single_message,
+)
+
+__all__ = [
+    "ActionContext",
+    "DRIVER",
+    "Execution",
+    "GlobalState",
+    "LocalState",
+    "LporAnnotation",
+    "MPError",
+    "Message",
+    "MessageError",
+    "Network",
+    "ProcessDecl",
+    "Protocol",
+    "ProtocolBuilder",
+    "ProtocolDefinitionError",
+    "QuorumKind",
+    "QuorumSpec",
+    "QuorumSpecificationError",
+    "SendSpec",
+    "TransitionExecutionError",
+    "TransitionSpec",
+    "apply_execution",
+    "driver_message",
+    "enabled_executions",
+    "enabled_executions_for",
+    "exact_quorum",
+    "is_enabled",
+    "majority_of",
+    "single_message",
+    "state_graph_edges",
+    "successors",
+]

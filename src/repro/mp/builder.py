@@ -1,0 +1,146 @@
+"""Declarative builder for MP protocols.
+
+The builder keeps protocol modules readable: processes and transitions are
+added one by one, driver messages are registered with :meth:`trigger`, and
+:meth:`build` performs the consistency checks of :class:`Protocol`.
+
+Example::
+
+    builder = ProtocolBuilder("ping-pong")
+    builder.add_process("ping", "pinger", PingState())
+    builder.add_process("pong", "ponger", PongState())
+    builder.add_transition(
+        name="PING",
+        process_id="pong",
+        message_type="PING",
+        action=reply_with_pong,
+        annotation=LporAnnotation(sends=(SendSpec("PONG", to_senders_only=True),),
+                                  is_reply=True),
+    )
+    builder.trigger("START", "ping")
+    protocol = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from .errors import ProtocolDefinitionError
+from .message import DRIVER, Message, driver_message
+from .process import ProcessDecl
+from .protocol import Protocol
+from .transition import (
+    ActionFn,
+    GuardFn,
+    LporAnnotation,
+    QuorumSpec,
+    TransitionSpec,
+    single_message,
+)
+
+
+class ProtocolBuilder:
+    """Incremental construction of a :class:`Protocol`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._processes: List[ProcessDecl] = []
+        self._transitions: List[TransitionSpec] = []
+        self._driver_messages: List[Message] = []
+        self._metadata: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Processes
+    # ------------------------------------------------------------------ #
+    def add_process(self, pid: str, ptype: str, initial_state: Any) -> "ProtocolBuilder":
+        """Declare a process instance."""
+        if any(process.pid == pid for process in self._processes):
+            raise ProtocolDefinitionError(f"process {pid} already declared")
+        self._processes.append(ProcessDecl(pid=pid, ptype=ptype, initial_state=initial_state))
+        return self
+
+    def process_ids(self, ptype: Optional[str] = None) -> tuple:
+        """Return the ids of declared processes, optionally filtered by type."""
+        return tuple(
+            process.pid
+            for process in self._processes
+            if ptype is None or process.ptype == ptype
+        )
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def add_transition(
+        self,
+        name: str,
+        process_id: str,
+        message_type: str,
+        action: ActionFn,
+        guard: Optional[GuardFn] = None,
+        quorum: Optional[QuorumSpec] = None,
+        quorum_peers: Optional[FrozenSet[str]] = None,
+        annotation: Optional[LporAnnotation] = None,
+        refined_from: Optional[str] = None,
+    ) -> "ProtocolBuilder":
+        """Declare a transition of ``process_id`` consuming ``message_type``."""
+        if any(transition.name == name for transition in self._transitions):
+            raise ProtocolDefinitionError(f"transition {name} already declared")
+        spec = TransitionSpec(
+            name=name,
+            process_id=process_id,
+            message_type=message_type,
+            quorum=quorum if quorum is not None else single_message(),
+            guard=guard if guard is not None else (lambda _local, _messages: True),
+            action=action,
+            quorum_peers=quorum_peers,
+            annotation=annotation if annotation is not None else LporAnnotation(),
+            refined_from=refined_from,
+        )
+        self._transitions.append(spec)
+        return self
+
+    def add_spec(self, spec: TransitionSpec) -> "ProtocolBuilder":
+        """Add an already-built transition specification."""
+        if any(transition.name == spec.name for transition in self._transitions):
+            raise ProtocolDefinitionError(f"transition {spec.name} already declared")
+        self._transitions.append(spec)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Driver
+    # ------------------------------------------------------------------ #
+    def trigger(self, mtype: str, recipient: str, **fields: Any) -> "ProtocolBuilder":
+        """Register a driver ("fake") message injected into the initial state.
+
+        The message type conventionally matches the name of the spontaneous
+        transition it triggers, exactly as in MP-Basset drivers.
+        """
+        self._driver_messages.append(driver_message(mtype, recipient, **fields))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Metadata and assembly
+    # ------------------------------------------------------------------ #
+    def set_metadata(self, **entries: object) -> "ProtocolBuilder":
+        """Attach free-form metadata describing the protocol setting."""
+        self._metadata.update(entries)
+        return self
+
+    def build(self) -> Protocol:
+        """Validate and return the protocol."""
+        known = {process.pid for process in self._processes} | {DRIVER}
+        for transition in self._transitions:
+            senders = transition.effective_senders()
+            if senders is not None:
+                unknown = set(senders) - known
+                if unknown:
+                    raise ProtocolDefinitionError(
+                        f"transition {transition.name}: unknown possible senders {sorted(unknown)}"
+                    )
+        return Protocol(
+            name=self.name,
+            processes=tuple(self._processes),
+            transitions=tuple(self._transitions),
+            driver_messages=tuple(self._driver_messages),
+            metadata=dict(self._metadata),
+        )

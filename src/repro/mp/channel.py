@@ -1,0 +1,185 @@
+"""Unordered channels modelled as immutable multisets of messages.
+
+The paper's computation model (Section II-A) defines a directed channel
+``c_{i,j}`` per ordered pair of processes as an unordered set of messages.
+Because a process may send the same message twice (e.g. retransmissions in a
+single-message encoding), we generalise sets to multisets.
+
+Rather than keeping one container per channel, the whole network is stored
+as a single multiset of in-flight messages; a message records its own
+``(sender, recipient)`` endpoints, so per-channel views are recoverable and
+the global state stays compact and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from .message import Message
+
+#: Canonical multiset representation: a sorted tuple of ``(message, count)``.
+MultisetItems = Tuple[Tuple[Message, int], ...]
+
+
+class Network:
+    """An immutable multiset of in-flight messages.
+
+    All mutating operations return a new :class:`Network`; instances are
+    hashable and therefore suitable as a component of a global state.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[Tuple[Message, int]] = ()) -> None:
+        counts: Dict[Message, int] = {}
+        for message, count in items:
+            if count <= 0:
+                continue
+            counts[message] = counts.get(message, 0) + count
+        canonical = tuple(
+            sorted(counts.items(), key=lambda item: item[0].sort_key())
+        )
+        self._items: MultisetItems = canonical
+        self._hash = hash(canonical)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "Network":
+        """Return an empty network."""
+        return cls(())
+
+    @classmethod
+    def of(cls, messages: Iterable[Message]) -> "Network":
+        """Build a network from an iterable of messages (each with count 1)."""
+        return cls((message, 1) for message in messages)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def items(self) -> MultisetItems:
+        """Canonical ``(message, count)`` pairs in deterministic order."""
+        return self._items
+
+    def count(self, message: Message) -> int:
+        """Return the multiplicity of ``message`` in the network."""
+        for candidate, count in self._items:
+            if candidate == message:
+                return count
+        return 0
+
+    def __len__(self) -> int:
+        """Return the total number of in-flight messages (with multiplicity)."""
+        return sum(count for _, count in self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Message]:
+        """Iterate over messages, repeating each according to its count."""
+        for message, count in self._items:
+            for _ in range(count):
+                yield message
+
+    def distinct(self) -> Iterator[Message]:
+        """Iterate over distinct messages (ignoring multiplicity)."""
+        for message, _ in self._items:
+            yield message
+
+    def pending_for(
+        self,
+        recipient: str,
+        mtype: Optional[str] = None,
+        sender: Optional[str] = None,
+    ) -> Tuple[Message, ...]:
+        """Return the distinct pending messages addressed to ``recipient``.
+
+        Args:
+            recipient: The receiving process identifier.
+            mtype: If given, restrict to messages of this type.
+            sender: If given, restrict to messages from this sender.
+        """
+        result = []
+        for message, _ in self._items:
+            if message.recipient != recipient:
+                continue
+            if mtype is not None and message.mtype != mtype:
+                continue
+            if sender is not None and message.sender != sender:
+                continue
+            result.append(message)
+        return tuple(result)
+
+    def channel(self, sender: str, recipient: str) -> Tuple[Message, ...]:
+        """Return the distinct contents of the directed channel ``(sender, recipient)``."""
+        return tuple(
+            message
+            for message, _ in self._items
+            if message.sender == sender and message.recipient == recipient
+        )
+
+    def senders_to(self, recipient: str, mtype: Optional[str] = None) -> Tuple[str, ...]:
+        """Return the sorted set of processes with a pending message to ``recipient``."""
+        senders = {
+            message.sender
+            for message, _ in self._items
+            if message.recipient == recipient and (mtype is None or message.mtype == mtype)
+        }
+        return tuple(sorted(senders))
+
+    # ------------------------------------------------------------------ #
+    # Functional updates
+    # ------------------------------------------------------------------ #
+    def add_all(self, messages: Iterable[Message]) -> "Network":
+        """Return a new network with ``messages`` added (each once)."""
+        additions = list(messages)
+        if not additions:
+            return self
+        items = list(self._items)
+        for message in additions:
+            items.append((message, 1))
+        return Network(items)
+
+    def remove_all(self, messages: Iterable[Message]) -> "Network":
+        """Return a new network with one occurrence of each message removed.
+
+        Raises:
+            KeyError: If a message is not present in the network.
+        """
+        removals: Dict[Message, int] = {}
+        for message in messages:
+            removals[message] = removals.get(message, 0) + 1
+        if not removals:
+            return self
+        items = []
+        for message, count in self._items:
+            to_remove = removals.pop(message, 0)
+            if to_remove > count:
+                raise KeyError(f"cannot remove {to_remove} copies of {message.describe()}")
+            remaining = count - to_remove
+            if remaining:
+                items.append((message, remaining))
+        if removals:
+            missing = next(iter(removals))
+            raise KeyError(f"message not in network: {missing.describe()}")
+        return Network(items)
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Network):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{message.describe()}x{count}" if count > 1 else message.describe()
+            for message, count in self._items
+        )
+        return f"Network[{inner}]"

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the MP modelling layer.
+
+All errors raised by :mod:`repro.mp` derive from :class:`MPError` so callers
+can catch modelling problems separately from checker or reduction errors.
+"""
+
+from __future__ import annotations
+
+
+class MPError(Exception):
+    """Base class for all errors raised by the MP modelling layer."""
+
+
+class ProtocolDefinitionError(MPError):
+    """A protocol definition is malformed.
+
+    Raised while building a :class:`repro.mp.protocol.Protocol`, for example
+    when two processes share an identifier, a transition references an
+    unknown process, or a quorum specification is inconsistent.
+    """
+
+
+class TransitionExecutionError(MPError):
+    """A transition action misbehaved during execution.
+
+    Raised when an action returns an invalid local state, attempts to send a
+    message on behalf of another process, or otherwise violates the
+    message-passing computation model.
+    """
+
+
+class MessageError(MPError):
+    """A message is malformed (unhashable payload, unknown recipient, ...)."""
+
+
+class QuorumSpecificationError(MPError):
+    """A quorum specification is invalid (non-positive size, bad kind, ...)."""

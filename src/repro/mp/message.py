@@ -1,0 +1,124 @@
+"""Messages of the message-passing computation model.
+
+A message travels on a directed channel from its sender to its recipient.
+Channels are unordered (Section II-A of the paper), so a message does not
+carry a sequence number; it is fully described by its type, endpoints and
+payload.  Messages are immutable and hashable so that they can be stored in
+multiset channels and in hashable global states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from .errors import MessageError
+
+#: Payload representation: a sorted tuple of ``(field name, value)`` pairs.
+PayloadItems = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_value(value: Any) -> Any:
+    """Return a hashable, canonical form of a payload value.
+
+    Lists and sets are converted to tuples / frozensets, dictionaries to
+    sorted tuples of pairs.  Anything else must already be hashable.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze_value(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze_value(val)) for key, val in value.items()))
+    try:
+        hash(value)
+    except TypeError as exc:
+        raise MessageError(f"payload value {value!r} is not hashable") from exc
+    return value
+
+
+def freeze_payload(fields: Mapping[str, Any]) -> PayloadItems:
+    """Convert a mapping of payload fields into the canonical tuple form."""
+    return tuple(sorted((name, _freeze_value(value)) for name, value in fields.items()))
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message of the MP model.
+
+    Attributes:
+        mtype: The message type.  Transitions are named after the message
+            type they consume, following the MP-Basset convention.
+        sender: Identifier of the sending process (or ``"driver"`` for the
+            fake messages used to trigger spontaneous transitions).
+        recipient: Identifier of the receiving process.
+        payload: Canonical, sorted tuple of ``(field, value)`` pairs.
+    """
+
+    mtype: str
+    sender: str
+    recipient: str
+    payload: PayloadItems = ()
+
+    @classmethod
+    def make(cls, mtype: str, sender: str, recipient: str, **fields: Any) -> "Message":
+        """Build a message from keyword payload fields.
+
+        Example:
+            >>> Message.make("READ", "proposer1", "acceptor1", proposal_no=1)
+            ... # doctest: +ELLIPSIS
+            Message(mtype='READ', sender='proposer1', recipient='acceptor1', ...)
+        """
+        return cls(mtype=mtype, sender=sender, recipient=recipient, payload=freeze_payload(fields))
+
+    def get(self, field: str, default: Any = None) -> Any:
+        """Return a payload field, or ``default`` if the field is absent."""
+        for name, value in self.payload:
+            if name == field:
+                return value
+        return default
+
+    def __getitem__(self, field: str) -> Any:
+        """Return a payload field, raising :class:`KeyError` if absent."""
+        for name, value in self.payload:
+            if name == field:
+                return value
+        raise KeyError(field)
+
+    def __contains__(self, field: str) -> bool:
+        return any(name == field for name, _ in self.payload)
+
+    def fields(self) -> dict:
+        """Return the payload as a plain dictionary (a copy)."""
+        return {name: value for name, value in self.payload}
+
+    def channel(self) -> Tuple[str, str]:
+        """Return the directed channel ``(sender, recipient)`` of the message."""
+        return (self.sender, self.recipient)
+
+    def describe(self) -> str:
+        """Return a compact human-readable rendering of the message."""
+        inner = ", ".join(f"{name}={value!r}" for name, value in self.payload)
+        return f"{self.mtype}({inner}) {self.sender}->{self.recipient}"
+
+    def sort_key(self) -> Tuple[str, str, str, str]:
+        """Return a total ordering key for deterministic iteration.
+
+        Payload values may have heterogeneous types, so the payload is
+        compared through its ``repr``; this keeps exploration order
+        deterministic without imposing comparability on payload values.
+        """
+        return (self.mtype, self.sender, self.recipient, repr(self.payload))
+
+
+#: Identifier used as the sender of driver-generated ("fake") messages.
+DRIVER = "driver"
+
+
+def driver_message(mtype: str, recipient: str, **fields: Any) -> Message:
+    """Build a driver message used to trigger a spontaneous transition.
+
+    MP-Basset drivers send "fake" messages named after the transition they
+    trigger (Appendix I of the paper); this helper mirrors that convention.
+    """
+    return Message.make(mtype, DRIVER, recipient, **fields)

@@ -1,0 +1,67 @@
+"""Process declarations and local-state helpers.
+
+A process is declared by an identifier, a type (the "process class" of
+MP-Basset, e.g. ``proposer`` / ``acceptor`` / ``learner`` for Paxos) and an
+initial local state.  Local states must be immutable and hashable; protocol
+models typically use frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Any
+
+from .errors import ProtocolDefinitionError
+
+
+@dataclass(frozen=True)
+class ProcessDecl:
+    """Declaration of one process instance of the protocol.
+
+    Attributes:
+        pid: Unique process identifier (e.g. ``"acceptor2"``).
+        ptype: Process type / class name (e.g. ``"acceptor"``); used by
+            protocol settings, reporting and the refinement strategies to
+            group processes by role.
+        initial_state: The initial local state; must be hashable.
+    """
+
+    pid: str
+    ptype: str
+    initial_state: Any
+
+    def __post_init__(self) -> None:
+        if not self.pid:
+            raise ProtocolDefinitionError("process id must be non-empty")
+        if not self.ptype:
+            raise ProtocolDefinitionError(f"process {self.pid}: type must be non-empty")
+        try:
+            hash(self.initial_state)
+        except TypeError as exc:
+            raise ProtocolDefinitionError(
+                f"process {self.pid}: initial local state must be hashable"
+            ) from exc
+
+
+class LocalState:
+    """Convenience base class for frozen-dataclass local states.
+
+    Protocol models are free to use plain frozen dataclasses; inheriting
+    from this class additionally provides :meth:`update`, a thin wrapper
+    around :func:`dataclasses.replace` that reads naturally in transition
+    actions::
+
+        return local.update(phase="written", value=chosen)
+    """
+
+    def update(self, **changes: Any):
+        """Return a copy of the local state with ``changes`` applied."""
+        if not is_dataclass(self):
+            raise TypeError("LocalState.update requires a dataclass subclass")
+        return replace(self, **changes)
+
+    def field_names(self):
+        """Return the names of the dataclass fields, in declaration order."""
+        if not is_dataclass(self):
+            raise TypeError("LocalState.field_names requires a dataclass subclass")
+        return tuple(f.name for f in fields(self))

@@ -1,0 +1,204 @@
+"""Operational semantics of MP protocols.
+
+This module implements the two primitives every search strategy builds on:
+
+* :func:`enabled_executions` — compute all pairs ``(t, X)`` such that
+  transition ``t`` is enabled in the given state for message set ``X``
+  (MP-Basset's "enabled set of messages" computation, Section IV-A);
+* :func:`apply_execution` — compute the successor state ``s'`` of
+  ``s --t(X)--> s'``.
+
+Enabled-set computation is the price paid for quorum transitions: for an
+exact quorum of size ``q`` the candidate message sets are the size-``q``
+sender combinations of the pending messages.  The enumeration below prunes
+by transition (message type, effective sender set, quorum peers) before
+forming combinations, which keeps the cost manageable in practice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .channel import Network
+from .errors import TransitionExecutionError
+from .message import Message
+from .protocol import Protocol
+from .state import GlobalState
+from .transition import ActionContext, Execution, QuorumKind, TransitionSpec
+
+
+def _candidate_messages(state: GlobalState, transition: TransitionSpec) -> Tuple[Message, ...]:
+    """Pending messages this transition could consume, in deterministic order."""
+    pending = state.network.pending_for(transition.process_id, mtype=transition.message_type)
+    senders = transition.effective_senders()
+    if senders is not None:
+        pending = tuple(message for message in pending if message.sender in senders)
+    return tuple(sorted(pending, key=Message.sort_key))
+
+
+def _single_message_executions(
+    state: GlobalState, transition: TransitionSpec, candidates: Tuple[Message, ...]
+) -> List[Execution]:
+    local = state.local(transition.process_id)
+    executions = []
+    for message in candidates:
+        messages = (message,)
+        if transition.guard(local, messages):
+            executions.append(Execution(transition, messages))
+    return executions
+
+
+def _exact_quorum_executions(
+    state: GlobalState, transition: TransitionSpec, candidates: Tuple[Message, ...]
+) -> List[Execution]:
+    local = state.local(transition.process_id)
+    size = transition.quorum.size
+    executions: List[Execution] = []
+
+    if transition.quorum.distinct_senders:
+        by_sender: Dict[str, List[Message]] = {}
+        for message in candidates:
+            by_sender.setdefault(message.sender, []).append(message)
+        available = sorted(by_sender)
+        if len(available) < size:
+            return executions
+        if transition.quorum_peers is not None:
+            required = sorted(transition.quorum_peers)
+            if any(sender not in by_sender for sender in required):
+                return executions
+            sender_combos: Iterable[Tuple[str, ...]] = [tuple(required)]
+        else:
+            sender_combos = itertools.combinations(available, size)
+        for combo in sender_combos:
+            choices_per_sender = [by_sender[sender] for sender in combo]
+            for choice in itertools.product(*choices_per_sender):
+                messages = tuple(sorted(choice, key=Message.sort_key))
+                if transition.guard(local, messages):
+                    executions.append(Execution(transition, messages))
+    else:
+        seen = set()
+        for combo in itertools.combinations(range(len(candidates)), size):
+            messages = tuple(sorted((candidates[i] for i in combo), key=Message.sort_key))
+            if messages in seen:
+                continue
+            seen.add(messages)
+            if transition.guard(local, messages):
+                executions.append(Execution(transition, messages))
+    return executions
+
+
+def enabled_executions_for(
+    state: GlobalState, transition: TransitionSpec
+) -> Tuple[Execution, ...]:
+    """Return all enabled executions of a single transition in ``state``."""
+    candidates = _candidate_messages(state, transition)
+    if not candidates:
+        return ()
+    if transition.quorum.kind is QuorumKind.SINGLE:
+        executions = _single_message_executions(state, transition, candidates)
+    else:
+        if len(candidates) < transition.quorum.size:
+            return ()
+        executions = _exact_quorum_executions(state, transition, candidates)
+    return tuple(executions)
+
+
+def enabled_executions(
+    state: GlobalState,
+    protocol: Protocol,
+    transitions: Optional[Iterable[TransitionSpec]] = None,
+) -> Tuple[Execution, ...]:
+    """Return all enabled executions in ``state``.
+
+    Args:
+        state: The global state to inspect.
+        protocol: The protocol (supplies the transition set by default).
+        transitions: Optional subset of transitions to restrict to; used by
+            the partial-order reduction to expand stubborn sets lazily.
+    """
+    specs = protocol.transitions if transitions is None else tuple(transitions)
+    result: List[Execution] = []
+    for transition in specs:
+        result.extend(enabled_executions_for(state, transition))
+    return tuple(result)
+
+
+def is_enabled(state: GlobalState, transition: TransitionSpec) -> bool:
+    """True if ``transition`` has at least one enabled execution in ``state``."""
+    return bool(enabled_executions_for(state, transition))
+
+
+def apply_execution(state: GlobalState, execution: Execution) -> GlobalState:
+    """Compute the successor state of ``state`` under ``execution``.
+
+    The consumed messages are removed from the network, the executing
+    process's local state is replaced by the action's return value, and the
+    action's queued sends are added to the network (Section II-A, items
+    (1)-(3) of the transition relation definition).
+    """
+    transition = execution.transition
+    pid = transition.process_id
+    local = state.local(pid)
+    context = ActionContext(
+        process_id=pid,
+        spec_view=state.locals_dict(),
+        spec_reads=transition.annotation.spec_reads,
+    )
+    new_local = transition.action(local, execution.messages, context)
+    if new_local is None:
+        new_local = local
+    try:
+        hash(new_local)
+    except TypeError as exc:
+        raise TransitionExecutionError(
+            f"transition {transition.name} produced an unhashable local state"
+        ) from exc
+    network = state.network.remove_all(execution.messages).add_all(context.outbox)
+    return state.with_updates(pid, new_local, network)
+
+
+def successors(
+    state: GlobalState, protocol: Protocol
+) -> Tuple[Tuple[Execution, GlobalState], ...]:
+    """Return all ``(execution, successor state)`` pairs from ``state``."""
+    return tuple(
+        (execution, apply_execution(state, execution))
+        for execution in enabled_executions(state, protocol)
+    )
+
+
+def state_graph_edges(
+    protocol: Protocol,
+    max_states: Optional[int] = None,
+) -> Tuple[frozenset, frozenset]:
+    """Enumerate the full state graph of a protocol.
+
+    Returns a pair ``(states, edges)`` where ``edges`` is a frozenset of
+    ``(state, successor state)`` pairs — the relation Δ of the Kripke
+    structure.  Used by the refinement validator (Theorem 2) and by tests;
+    not intended for large instances.
+
+    Args:
+        protocol: The protocol to explore.
+        max_states: Safety bound; exploration raises if exceeded.
+
+    Raises:
+        RuntimeError: If ``max_states`` is exceeded.
+    """
+    initial = protocol.initial_state()
+    visited = {initial}
+    edges = set()
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        for _, successor in successors(state, protocol):
+            edges.add((state, successor))
+            if successor not in visited:
+                visited.add(successor)
+                if max_states is not None and len(visited) > max_states:
+                    raise RuntimeError(
+                        f"state graph exceeds max_states={max_states} for {protocol.name}"
+                    )
+                frontier.append(successor)
+    return frozenset(visited), frozenset(edges)

@@ -1,0 +1,128 @@
+"""Global states of a message-passing protocol.
+
+A global state (Section II-A) is a vector of the local state of every
+process plus the contents of every channel.  Global states are immutable and
+hashable, which makes stateful search, fingerprinting and the transition
+refinement equivalence checks straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Tuple
+
+from .channel import Network
+from .errors import MPError
+
+
+class GlobalState:
+    """Immutable snapshot of all local states and the in-flight messages.
+
+    Attributes:
+        locals: Tuple of ``(process id, local state)`` pairs, in the fixed
+            process order of the protocol.
+        network: The multiset of in-flight messages.
+    """
+
+    __slots__ = ("_locals", "_network", "_index", "_hash")
+
+    def __init__(self, locals_: Iterable[Tuple[str, Any]], network: Network) -> None:
+        pairs = tuple(locals_)
+        index: Dict[str, int] = {}
+        for position, (pid, _) in enumerate(pairs):
+            if pid in index:
+                raise MPError(f"duplicate process id in global state: {pid}")
+            index[pid] = position
+        self._locals = pairs
+        self._network = network
+        self._index = index
+        self._hash = hash((pairs, network))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def locals(self) -> Tuple[Tuple[str, Any], ...]:
+        """All ``(process id, local state)`` pairs in protocol order."""
+        return self._locals
+
+    @property
+    def network(self) -> Network:
+        """The multiset of in-flight messages."""
+        return self._network
+
+    @property
+    def process_ids(self) -> Tuple[str, ...]:
+        """Process identifiers in protocol order."""
+        return tuple(pid for pid, _ in self._locals)
+
+    def local(self, pid: str) -> Any:
+        """Return the local state of process ``pid``.
+
+        Raises:
+            KeyError: If the process is unknown.
+        """
+        try:
+            position = self._index[pid]
+        except KeyError:
+            raise KeyError(f"unknown process: {pid}") from None
+        return self._locals[position][1]
+
+    def locals_dict(self) -> Dict[str, Any]:
+        """Return a fresh ``{process id: local state}`` dictionary."""
+        return dict(self._locals)
+
+    # ------------------------------------------------------------------ #
+    # Functional updates
+    # ------------------------------------------------------------------ #
+    def with_local(self, pid: str, local_state: Any) -> "GlobalState":
+        """Return a copy of the state with the local state of ``pid`` replaced."""
+        if pid not in self._index:
+            raise KeyError(f"unknown process: {pid}")
+        position = self._index[pid]
+        if self._locals[position][1] == local_state:
+            return self
+        updated = list(self._locals)
+        updated[position] = (pid, local_state)
+        return GlobalState(updated, self._network)
+
+    def with_network(self, network: Network) -> "GlobalState":
+        """Return a copy of the state with the network replaced."""
+        return GlobalState(self._locals, network)
+
+    def with_updates(self, pid: str, local_state: Any, network: Network) -> "GlobalState":
+        """Return a copy with both a new local state for ``pid`` and a new network."""
+        if pid not in self._index:
+            raise KeyError(f"unknown process: {pid}")
+        position = self._index[pid]
+        updated = list(self._locals)
+        updated[position] = (pid, local_state)
+        return GlobalState(updated, network)
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GlobalState):
+            return NotImplemented
+        return self._locals == other._locals and self._network == other._network
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{pid}={local!r}" for pid, local in self._locals)
+        return f"GlobalState({parts}; {self._network!r})"
+
+    def describe(self) -> str:
+        """Return a multi-line human-readable rendering, used in counterexamples."""
+        lines = ["state:"]
+        for pid, local in self._locals:
+            lines.append(f"  {pid}: {local!r}")
+        if self._network:
+            lines.append("  in flight:")
+            for message, count in self._network.items:
+                suffix = f" x{count}" if count > 1 else ""
+                lines.append(f"    {message.describe()}{suffix}")
+        else:
+            lines.append("  in flight: (none)")
+        return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Partial-order reduction algorithms.
+
+Static reduction (stubborn sets over a pre-computed, state-unconditional
+dependence relation — the MP-LPOR analogue), the seed-transition heuristics
+it is parameterised by, and a stateless dynamic POR used as the baseline of
+Table I.
+"""
+
+from .dependence import DependenceRelation, are_dependent, can_enable
+from .dpor import DporSearch
+from .seed import (
+    SeedHeuristic,
+    first_enabled_seed,
+    make_fewest_dependents_seed,
+    make_seed_heuristic,
+    opposite_transaction_seed,
+    transaction_seed,
+)
+from .stubborn import StubbornSetProvider
+
+__all__ = [
+    "DependenceRelation",
+    "DporSearch",
+    "SeedHeuristic",
+    "StubbornSetProvider",
+    "are_dependent",
+    "can_enable",
+    "first_enabled_seed",
+    "make_fewest_dependents_seed",
+    "make_seed_heuristic",
+    "opposite_transaction_seed",
+    "transaction_seed",
+]

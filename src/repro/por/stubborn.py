@@ -1,0 +1,187 @@
+"""Static partial-order reduction via stubborn sets (the LPOR analogue).
+
+The provider below computes, for every expanded state, a *stubborn set* of
+transitions whose enabled executions are the only ones explored.  Following
+MP-LPOR (Section IV), the dependence information is pre-computed and
+state-unconditional; the per-state work is a closure over table lookups plus
+a cheap inspection of the pending messages.
+
+Construction (weak stubborn-set closure, specialised to message passing):
+
+1. Seed the set with one enabled transition chosen by the seed heuristic.
+2. For every *enabled* transition in the set, add every transition that
+   *interferes* with it — transitions of the same process and spec-read
+   conflicts.  In the message-passing computation model transitions of
+   different processes otherwise commute and cannot disable each other, so
+   nothing else is needed for enabled members, and every enabled member is a
+   valid key transition (its enabledness cannot be destroyed from outside).
+3. For every *disabled* transition in the set, add a **necessary enabling
+   set**: a set of transitions such that the disabled transition cannot
+   become enabled before one of them fires.
+
+   * With the NET optimisation (``use_net=True``, the LPOR-NET analogue) the
+     set is computed per state: if the transition still lacks messages from
+     some senders, only the enabler transitions of the *missing* senders are
+     added.  This is exactly where transition refinement pays off — a
+     quorum-split transition restricts the missing senders to its quorum
+     peers, and a reply-split transition names the single peer that can feed
+     it (Sections III-C and III-D).
+   * Without NET the handling is coarse: all statically possible enablers
+     (ignoring refinement restrictions) plus the interfering transitions are
+     added, mirroring the paper's remark that LPOR and LPOR-NET coincide
+     when no quorum information is available.
+   * If the transition is disabled even though enough messages are pending
+     (its guard rejects them), the per-state reasoning does not apply and
+     the coarse handling is used for that transition.
+4. Apply the visibility condition and the cycle (stack) proviso; if either
+   fails, fall back to full expansion for this state, which keeps invariant
+   checking sound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..checker.search import ReductionContext
+from ..mp.protocol import Protocol
+from ..mp.state import GlobalState
+from ..mp.transition import Execution, TransitionSpec
+from .dependence import DependenceRelation
+from .seed import SeedHeuristic, opposite_transaction_seed
+
+
+class StubbornSetProvider:
+    """Computes stubborn sets for the DFS of :mod:`repro.checker.search`."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        dependence: Optional[DependenceRelation] = None,
+        seed_heuristic: Optional[SeedHeuristic] = None,
+        use_net: bool = True,
+    ) -> None:
+        self.protocol = protocol
+        self.dependence = dependence or DependenceRelation.precompute(protocol)
+        self.seed_heuristic = seed_heuristic or opposite_transaction_seed
+        self.use_net = use_net
+        self._specs = {transition.name: transition for transition in protocol.transitions}
+        self._visible = {
+            transition.name: transition.annotation.visible
+            for transition in protocol.transitions
+        }
+        self._all_names = frozenset(self._specs)
+        #: How many times the provider returned a strict subset / fell back.
+        self.reduced_states = 0
+        self.fallback_states = 0
+
+    # ------------------------------------------------------------------ #
+    # Necessary enabling sets
+    # ------------------------------------------------------------------ #
+    def _coarse_disabled_additions(self, name: str) -> Tuple[str, ...]:
+        """Conservative handling of a disabled member (the non-NET path)."""
+        return (
+            self.dependence.interferes_with(name)
+            + self.dependence.coarse_enablers_of(name)
+        )
+
+    def _necessary_enabling_set(self, state: GlobalState, spec: TransitionSpec) -> Tuple[str, ...]:
+        """Per-state necessary enabling set of a disabled transition.
+
+        If the transition still lacks messages from some candidate senders,
+        any path enabling it must first deliver a message from one of the
+        missing senders, so the enabler transitions of those senders form a
+        valid necessary enabling set.  Otherwise (enough messages are
+        pending but the guard rejects them, or the sender set is unknown)
+        the coarse handling is used.
+        """
+        if not self.use_net:
+            return self._coarse_disabled_additions(spec.name)
+
+        pending = state.network.pending_for(spec.process_id, mtype=spec.message_type)
+        allowed = spec.effective_senders()
+        if allowed is not None:
+            pending = tuple(message for message in pending if message.sender in allowed)
+        pending_senders = frozenset(message.sender for message in pending)
+
+        if len(pending_senders) >= spec.quorum.size:
+            # Enough distinct senders are already pending; the transition is
+            # disabled for guard/content reasons the static tables cannot
+            # explain, so fall back to the conservative handling.
+            return self._coarse_disabled_additions(spec.name)
+
+        if allowed is not None:
+            missing = sorted(allowed - pending_senders)
+            return self.dependence.enablers_from(spec.name, missing)
+        # Sender set unknown: any process might provide the missing message.
+        return self.dependence.necessary_enablers_of(spec.name)
+
+    # ------------------------------------------------------------------ #
+    # Closure
+    # ------------------------------------------------------------------ #
+    def _closure(self, state: GlobalState, seed_name: str, enabled_names: frozenset) -> frozenset:
+        """Compute the stubborn set (as transition names) from a seed."""
+        closure = {seed_name}
+        queue = deque([seed_name])
+        while queue:
+            name = queue.popleft()
+            if name in enabled_names:
+                additions: Tuple[str, ...] = self.dependence.interferes_with(name)
+            else:
+                additions = self._necessary_enabling_set(state, self._specs[name])
+            for addition in additions:
+                if addition not in closure:
+                    closure.add(addition)
+                    queue.append(addition)
+            if len(closure) == len(self._all_names):
+                break
+        return frozenset(closure)
+
+    def stubborn_names(self, state: GlobalState, seed_name: str,
+                       enabled_names: frozenset) -> frozenset:
+        """Public wrapper around the closure, useful for tests and inspection."""
+        return self._closure(state, seed_name, enabled_names)
+
+    # ------------------------------------------------------------------ #
+    # Reducer interface
+    # ------------------------------------------------------------------ #
+    def reduce(self, context: ReductionContext) -> Tuple[Execution, ...]:
+        """Return the executions to explore from ``context.state``."""
+        enabled = context.enabled
+        if len(enabled) <= 1:
+            return enabled
+
+        by_name: Dict[str, List[Execution]] = {}
+        for execution in enabled:
+            by_name.setdefault(execution.transition.name, []).append(execution)
+        enabled_names = frozenset(by_name)
+        if len(enabled_names) == 1:
+            # A single (possibly non-deterministic) transition: no reduction.
+            return enabled
+
+        seed = self.seed_heuristic(enabled)
+        closure = self._closure(context.state, seed.transition.name, enabled_names)
+
+        chosen_names = sorted(name for name in closure if name in by_name)
+        if len(chosen_names) == len(enabled_names):
+            self.fallback_states += 1
+            return enabled
+
+        reduced: List[Execution] = []
+        for name in chosen_names:
+            reduced.extend(by_name[name])
+
+        # Visibility condition (ample-set condition C2): a strictly reduced
+        # set must not contain property-visible transitions.
+        if any(self._visible.get(name, False) for name in chosen_names):
+            self.fallback_states += 1
+            return enabled
+
+        # Cycle (stack) proviso (condition C3): at least one explored
+        # execution must leave the current DFS stack.
+        if all(context.on_stack(context.successor(execution)) for execution in reduced):
+            self.fallback_states += 1
+            return enabled
+
+        self.reduced_states += 1
+        return tuple(reduced)

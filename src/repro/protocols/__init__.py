@@ -1,0 +1,56 @@
+"""Fault-tolerant protocol models used in the paper's evaluation.
+
+Three protocols, each in a quorum-transition and a single-message variant:
+Paxos consensus, a single-writer regular storage protocol, and Echo
+Multicast with explicit Byzantine attack behaviours, plus a catalog that
+wires instances and properties together for the benchmarks.
+"""
+
+from .catalog import (
+    CatalogEntry,
+    default_catalog,
+    entry_by_key,
+    multicast_entry,
+    paxos_entry,
+    storage_entry,
+)
+from .multicast import MulticastConfig, agreement_invariant, build_multicast_quorum, build_multicast_single
+from .paxos import (
+    PaxosConfig,
+    build_faulty_paxos_quorum,
+    build_faulty_paxos_single,
+    build_paxos_quorum,
+    build_paxos_single,
+    consensus_invariant,
+)
+from .storage import (
+    StorageConfig,
+    build_storage_quorum,
+    build_storage_single,
+    regularity_invariant,
+    wrong_regularity_invariant,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "MulticastConfig",
+    "PaxosConfig",
+    "StorageConfig",
+    "agreement_invariant",
+    "build_faulty_paxos_quorum",
+    "build_faulty_paxos_single",
+    "build_multicast_quorum",
+    "build_multicast_single",
+    "build_paxos_quorum",
+    "build_paxos_single",
+    "build_storage_quorum",
+    "build_storage_single",
+    "consensus_invariant",
+    "default_catalog",
+    "entry_by_key",
+    "multicast_entry",
+    "paxos_entry",
+    "regularity_invariant",
+    "storage_entry",
+    "wrong_regularity_invariant",
+]

@@ -1,0 +1,167 @@
+"""A small catalog of ready-made protocol instances and their properties.
+
+The benchmark harness and the examples need to iterate over "rows" similar
+to the paper's tables: a protocol instance, the property to check, and the
+expected outcome.  The catalog centralises that wiring so the table
+generators stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..checker.property import Invariant
+from ..mp.protocol import Protocol
+from .multicast import MulticastConfig, agreement_invariant, build_multicast_quorum, build_multicast_single
+from .paxos import (
+    PaxosConfig,
+    build_faulty_paxos_quorum,
+    build_faulty_paxos_single,
+    build_paxos_quorum,
+    build_paxos_single,
+    consensus_invariant,
+)
+from .storage import (
+    StorageConfig,
+    build_storage_quorum,
+    build_storage_single,
+    regularity_invariant,
+    wrong_regularity_invariant,
+)
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One protocol/property workload of the evaluation.
+
+    Attributes:
+        key: Short unique identifier (used by benchmarks and the CLI-style
+            examples).
+        description: The paper-style row label, e.g. ``"Paxos (2,3,1)"``.
+        quorum_model: Factory for the quorum-transition model.
+        single_model: Factory for the single-message ("no quorum") model.
+        invariant: The property to check.
+        expect_violation: True if the paper reports a counterexample for
+            this row (the debugging experiments).
+    """
+
+    key: str
+    description: str
+    quorum_model: Callable[[], Protocol]
+    single_model: Callable[[], Protocol]
+    invariant: Invariant
+    expect_violation: bool
+
+
+def paxos_entry(
+    proposers: int, acceptors: int, learners: int, faulty: bool = False
+) -> CatalogEntry:
+    """Catalog entry for a Paxos setting (optionally the faulty variant)."""
+    config = PaxosConfig(proposers=proposers, acceptors=acceptors, learners=learners)
+    label = "Faulty Paxos" if faulty else "Paxos"
+    quorum_builder = build_faulty_paxos_quorum if faulty else build_paxos_quorum
+    single_builder = build_faulty_paxos_single if faulty else build_paxos_single
+    return CatalogEntry(
+        key=f"{'faulty-' if faulty else ''}paxos-{proposers}-{acceptors}-{learners}",
+        description=f"{label} {config.setting_label}",
+        quorum_model=lambda: quorum_builder(config),
+        single_model=lambda: single_builder(config),
+        invariant=consensus_invariant(),
+        expect_violation=faulty,
+    )
+
+
+def storage_entry(
+    base_objects: int, readers: int, wrong_specification: bool = False
+) -> CatalogEntry:
+    """Catalog entry for a regular storage setting.
+
+    With ``wrong_specification`` the deliberately too-strong property of
+    Section V-A ("wrong regularity") is checked instead of regularity.
+    """
+    config = StorageConfig(base_objects=base_objects, readers=readers)
+    invariant = wrong_regularity_invariant() if wrong_specification else regularity_invariant()
+    return CatalogEntry(
+        key=(
+            f"storage-{base_objects}-{readers}"
+            + ("-wrong" if wrong_specification else "")
+        ),
+        description=f"Regular storage {config.setting_label}",
+        quorum_model=lambda: build_storage_quorum(config),
+        single_model=lambda: build_storage_single(config),
+        invariant=invariant,
+        expect_violation=wrong_specification,
+    )
+
+
+def multicast_entry(
+    honest_receivers: int,
+    honest_initiators: int,
+    byzantine_receivers: int,
+    byzantine_initiators: int,
+) -> CatalogEntry:
+    """Catalog entry for an Echo Multicast setting.
+
+    The expected outcome follows the configuration itself: agreement is
+    violated exactly when the Byzantine receivers exceed the assumed
+    threshold (the paper's "wrong agreement" settings).
+    """
+    config = MulticastConfig(
+        honest_receivers=honest_receivers,
+        honest_initiators=honest_initiators,
+        byzantine_receivers=byzantine_receivers,
+        byzantine_initiators=byzantine_initiators,
+    )
+    return CatalogEntry(
+        key=(
+            "multicast-"
+            f"{honest_receivers}-{honest_initiators}-"
+            f"{byzantine_receivers}-{byzantine_initiators}"
+        ),
+        description=f"Echo Multicast {config.setting_label}",
+        quorum_model=lambda: build_multicast_quorum(config),
+        single_model=lambda: build_multicast_single(config),
+        invariant=agreement_invariant(),
+        expect_violation=config.exceeds_threshold and config.byzantine_initiators > 0,
+    )
+
+
+def default_catalog(scale: str = "small") -> Tuple[CatalogEntry, ...]:
+    """The workloads used by the bundled benchmarks.
+
+    Args:
+        scale: ``"small"`` uses settings that explore in seconds on a laptop
+            in pure Python; ``"paper"`` uses the settings of Tables I-II
+            (several of which need many hours even in the original JVM
+            implementation and are therefore only intended for long runs).
+    """
+    if scale == "paper":
+        return (
+            paxos_entry(2, 3, 1),
+            paxos_entry(2, 3, 1, faulty=True),
+            multicast_entry(3, 0, 1, 1),
+            multicast_entry(2, 1, 0, 1),
+            multicast_entry(2, 1, 2, 1),
+            storage_entry(3, 1),
+            storage_entry(3, 2, wrong_specification=True),
+        )
+    if scale == "small":
+        return (
+            paxos_entry(2, 2, 1),
+            paxos_entry(2, 3, 1, faulty=True),
+            multicast_entry(3, 0, 1, 1),
+            multicast_entry(2, 1, 0, 1),
+            multicast_entry(2, 1, 2, 1),
+            storage_entry(3, 1),
+            storage_entry(3, 2, wrong_specification=True),
+        )
+    raise ValueError(f"unknown catalog scale: {scale!r} (expected 'small' or 'paper')")
+
+
+def entry_by_key(key: str, scale: str = "small") -> Optional[CatalogEntry]:
+    """Look up a catalog entry by its key."""
+    for entry in default_catalog(scale):
+        if entry.key == key:
+            return entry
+    return None

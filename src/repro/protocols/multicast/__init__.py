@@ -1,0 +1,32 @@
+"""Echo Multicast models (Section V-A of the paper).
+
+Reiter-style Byzantine-tolerant consistent multicast in quorum-transition
+and single-message variants, with explicit Byzantine initiator / receiver
+attack behaviours and the agreement invariant.  The "wrong agreement"
+experiments use settings whose Byzantine receiver count exceeds the assumed
+threshold (``MulticastConfig.exceeds_threshold``).
+"""
+
+from .config import (
+    ByzantineInitiatorState,
+    ByzantineReceiverState,
+    HonestInitiatorState,
+    HonestReceiverState,
+    MulticastConfig,
+)
+from .properties import agreement_invariant, echo_uniqueness, honest_delivery_integrity
+from .quorum import build_multicast_quorum
+from .single import build_multicast_single
+
+__all__ = [
+    "ByzantineInitiatorState",
+    "ByzantineReceiverState",
+    "HonestInitiatorState",
+    "HonestReceiverState",
+    "MulticastConfig",
+    "agreement_invariant",
+    "build_multicast_quorum",
+    "build_multicast_single",
+    "echo_uniqueness",
+    "honest_delivery_integrity",
+]

@@ -1,0 +1,174 @@
+"""Configuration and local states of the Echo Multicast models.
+
+Echo Multicast (Reiter's consistent multicast from Rampart, reference [26]
+of the paper) lets an initiator multicast a message to a set of receivers
+such that no two honest receivers deliver different messages from the same
+initiator, even if up to ``f`` of the ``n`` receivers (with ``n > 3f``) and
+any number of initiators are Byzantine.  The initiator collects *echoes*
+from an echo quorum of ``ceil((n + f + 1) / 2)`` receivers before committing
+its message; two echo quorums intersect in an honest receiver, which is what
+prevents conflicting commits.
+
+A multicast setting ``(HR, HI, BR, BI)`` gives the number of honest
+receivers, honest initiators, Byzantine receivers and Byzantine initiators
+(Section V-A).  The echo quorum is always computed from the *assumed* fault
+threshold ``f = floor((n - 1) / 3)``; the "wrong agreement" settings exceed
+that threshold with extra Byzantine receivers, which is why agreement then
+fails.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...mp.process import LocalState
+
+
+@dataclass(frozen=True)
+class MulticastConfig:
+    """An Echo Multicast setting ``(HR, HI, BR, BI)``.
+
+    Attributes:
+        honest_receivers: Number of honest receiver processes.
+        honest_initiators: Number of honest initiator processes.
+        byzantine_receivers: Number of Byzantine receiver processes.
+        byzantine_initiators: Number of Byzantine initiator processes.
+    """
+
+    honest_receivers: int = 3
+    honest_initiators: int = 0
+    byzantine_receivers: int = 1
+    byzantine_initiators: int = 1
+
+    def __post_init__(self) -> None:
+        if self.honest_receivers < 1:
+            raise ValueError("a multicast setting needs at least one honest receiver")
+        if self.honest_initiators + self.byzantine_initiators < 1:
+            raise ValueError("a multicast setting needs at least one initiator")
+
+    # ------------------------------------------------------------------ #
+    # Derived parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def receivers_total(self) -> int:
+        """Total number of receivers ``n``."""
+        return self.honest_receivers + self.byzantine_receivers
+
+    @property
+    def assumed_faults(self) -> int:
+        """The fault threshold ``f`` the protocol is configured for.
+
+        Computed as ``floor((n - 1) / 3)``; the wrong-agreement settings
+        deploy more Byzantine receivers than this, violating the protocol's
+        assumption.
+        """
+        return (self.receivers_total - 1) // 3
+
+    @property
+    def echo_quorum(self) -> int:
+        """Echo quorum size ``ceil((n + f + 1) / 2)``."""
+        return math.ceil((self.receivers_total + self.assumed_faults + 1) / 2)
+
+    @property
+    def exceeds_threshold(self) -> bool:
+        """True if the actual Byzantine receivers exceed the assumed threshold."""
+        return self.byzantine_receivers > self.assumed_faults
+
+    @property
+    def setting_label(self) -> str:
+        """The paper's ``(HR,HI,BR,BI)`` notation."""
+        return (
+            f"({self.honest_receivers},{self.honest_initiators},"
+            f"{self.byzantine_receivers},{self.byzantine_initiators})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Process identifiers and multicast payloads
+    # ------------------------------------------------------------------ #
+    def honest_receiver_ids(self) -> Tuple[str, ...]:
+        return tuple(f"receiver{i + 1}" for i in range(self.honest_receivers))
+
+    def byzantine_receiver_ids(self) -> Tuple[str, ...]:
+        return tuple(f"byz_receiver{i + 1}" for i in range(self.byzantine_receivers))
+
+    def receiver_ids(self) -> Tuple[str, ...]:
+        return self.honest_receiver_ids() + self.byzantine_receiver_ids()
+
+    def honest_initiator_ids(self) -> Tuple[str, ...]:
+        return tuple(f"initiator{i + 1}" for i in range(self.honest_initiators))
+
+    def byzantine_initiator_ids(self) -> Tuple[str, ...]:
+        return tuple(f"byz_initiator{i + 1}" for i in range(self.byzantine_initiators))
+
+    def initiator_ids(self) -> Tuple[str, ...]:
+        return self.honest_initiator_ids() + self.byzantine_initiator_ids()
+
+    def honest_value(self, initiator: str) -> str:
+        """The message an honest initiator multicasts."""
+        return f"msg[{initiator}]"
+
+    def equivocation_values(self, initiator: str) -> Tuple[str, str]:
+        """The two conflicting messages a Byzantine initiator tries to commit."""
+        return (f"X[{initiator}]", f"Y[{initiator}]")
+
+    def equivocation_groups(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Split the honest receivers into the two groups a Byzantine initiator targets."""
+        honest = self.honest_receiver_ids()
+        half = (len(honest) + 1) // 2
+        return honest[:half], honest[half:]
+
+
+@dataclass(frozen=True)
+class HonestInitiatorState(LocalState):
+    """Local state of an honest initiator.
+
+    Attributes:
+        value: The message this initiator multicasts.
+        phase: ``"idle"`` / ``"collecting"`` / ``"committed"``.
+        echo_count: Matching echoes counted so far (single-message model).
+    """
+
+    value: str
+    phase: str = "idle"
+    echo_count: int = 0
+
+
+@dataclass(frozen=True)
+class ByzantineInitiatorState(LocalState):
+    """Local state of a Byzantine (equivocating) initiator.
+
+    Attributes:
+        phase: ``"idle"`` before the attack starts, ``"active"`` afterwards.
+        committed: Which of its two conflicting messages it has committed.
+        x_echo_count: Echoes counted for the first message (single model).
+        y_echo_count: Echoes counted for the second message (single model).
+    """
+
+    phase: str = "idle"
+    committed: frozenset = frozenset()
+    x_echo_count: int = 0
+    y_echo_count: int = 0
+
+
+@dataclass(frozen=True)
+class HonestReceiverState(LocalState):
+    """Local state of an honest receiver.
+
+    Attributes:
+        echoed: ``(initiator, value)`` pairs this receiver has echoed; an
+            honest receiver echoes at most once per initiator.
+        delivered: ``(initiator, value)`` pairs this receiver has delivered;
+            at most one per initiator.
+    """
+
+    echoed: frozenset = frozenset()
+    delivered: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class ByzantineReceiverState(LocalState):
+    """Local state of a Byzantine receiver (it needs no bookkeeping)."""
+
+    marker: str = "byzantine"

@@ -1,0 +1,86 @@
+"""Properties of the Echo Multicast models."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ...checker.property import Invariant
+from ...mp.protocol import Protocol
+from ...mp.state import GlobalState
+
+
+def _delivered_by_initiator(state: GlobalState, protocol: Protocol) -> Dict[str, Set[str]]:
+    """Union, over honest receivers, of delivered values grouped by initiator."""
+    delivered: Dict[str, Set[str]] = {}
+    for receiver in protocol.processes_of_type("receiver"):
+        for initiator, value in state.local(receiver.pid).delivered:
+            delivered.setdefault(initiator, set()).add(value)
+    return delivered
+
+
+def agreement_invariant() -> Invariant:
+    """No two honest receivers deliver different messages from the same initiator.
+
+    This is the agreement property of consistent multicast (Section V-A);
+    it holds as long as the number of Byzantine receivers stays within the
+    assumed threshold and fails in the "wrong agreement" settings.
+    """
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        return all(
+            len(values) <= 1
+            for values in _delivered_by_initiator(state, protocol).values()
+        )
+
+    return Invariant(
+        name="agreement",
+        predicate=predicate,
+        description="honest receivers never deliver conflicting messages per initiator",
+    )
+
+
+def honest_delivery_integrity() -> Invariant:
+    """Messages delivered from honest initiators are the ones they multicast.
+
+    A sanity invariant of the model: Byzantine receivers cannot forge a
+    commit on behalf of an honest initiator, so every value delivered from
+    an honest initiator must be that initiator's own message.
+    """
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        honest = {
+            process.pid: state.local(process.pid).value
+            for process in protocol.processes_of_type("initiator")
+        }
+        for initiator, values in _delivered_by_initiator(state, protocol).items():
+            if initiator in honest and values - {honest[initiator]}:
+                return False
+        return True
+
+    return Invariant(
+        name="delivery-integrity",
+        predicate=predicate,
+        description="delivered values from honest initiators equal their multicast message",
+    )
+
+
+def echo_uniqueness() -> Invariant:
+    """Honest receivers echo at most one value per initiator (model sanity check)."""
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        for receiver in protocol.processes_of_type("receiver"):
+            per_initiator: Dict[str, Set[str]] = {}
+            for initiator, value in state.local(receiver.pid).echoed:
+                per_initiator.setdefault(initiator, set()).add(value)
+            if any(len(values) > 1 for values in per_initiator.values()):
+                return False
+        return True
+
+    return Invariant(
+        name="echo-uniqueness",
+        predicate=predicate,
+        description="an honest receiver signs at most one message per initiator",
+    )
+
+
+__all__ = ["agreement_invariant", "echo_uniqueness", "honest_delivery_integrity"]

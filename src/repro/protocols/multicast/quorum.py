@@ -1,0 +1,225 @@
+"""Echo Multicast modelled with quorum transitions.
+
+The echo-collection step of each initiator (honest or Byzantine) is a quorum
+transition over the echo quorum computed in :class:`MulticastConfig`; the
+receiver-side INIT and COMMIT handlers are single-message transitions.
+"""
+
+from __future__ import annotations
+
+from ...mp.builder import ProtocolBuilder
+from ...mp.message import DRIVER
+from ...mp.protocol import Protocol
+from ...mp.transition import ActionContext, LporAnnotation, SendSpec, exact_quorum
+from .byzantine import (
+    byz_start_guard,
+    make_byz_commit_action,
+    make_byz_echo_guard,
+    make_byz_receiver_init_action,
+    make_byz_start_action,
+)
+from .config import (
+    ByzantineInitiatorState,
+    ByzantineReceiverState,
+    HonestInitiatorState,
+    HonestReceiverState,
+    MulticastConfig,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Honest initiator
+# --------------------------------------------------------------------------- #
+def _mcast_guard(local: HonestInitiatorState, _messages) -> bool:
+    return local.phase == "idle"
+
+
+def _mcast_action(receiver_ids):
+    """Honest initiator MCAST: send INIT with its message to every receiver."""
+
+    def action(local: HonestInitiatorState, _messages, ctx: ActionContext):
+        for receiver in receiver_ids:
+            ctx.send(receiver, "INIT", value=local.value)
+        return local.update(phase="collecting")
+
+    return action
+
+
+def _echo_guard(local: HonestInitiatorState, messages) -> bool:
+    """A quorum of echoes counts only if every echo confirms the initiator's message."""
+    if local.phase != "collecting":
+        return False
+    return all(message["value"] == local.value for message in messages)
+
+
+def _echo_action(receiver_ids):
+    """Honest initiator ECHO quorum: commit the message to every receiver."""
+
+    def action(local: HonestInitiatorState, _messages, ctx: ActionContext):
+        for receiver in receiver_ids:
+            ctx.send(receiver, "COMMIT", value=local.value)
+        return local.update(phase="committed")
+
+    return action
+
+
+# --------------------------------------------------------------------------- #
+# Honest receiver
+# --------------------------------------------------------------------------- #
+def _init_action(local: HonestReceiverState, messages, ctx: ActionContext):
+    """Honest receiver INIT: echo the first message seen from each initiator."""
+    (message,) = messages
+    initiator = message.sender
+    if any(existing_initiator == initiator for existing_initiator, _ in local.echoed):
+        return local
+    ctx.send(initiator, "ECHO", value=message["value"])
+    return local.update(echoed=local.echoed | {(initiator, message["value"])})
+
+
+def _commit_action(local: HonestReceiverState, messages, _ctx: ActionContext):
+    """Honest receiver COMMIT: deliver the first committed message per initiator."""
+    (message,) = messages
+    initiator = message.sender
+    if any(existing_initiator == initiator for existing_initiator, _ in local.delivered):
+        return local
+    return local.update(delivered=local.delivered | {(initiator, message["value"])})
+
+
+def build_multicast_quorum(config: MulticastConfig) -> Protocol:
+    """Build the quorum-transition Echo Multicast model for a setting."""
+    builder = ProtocolBuilder(f"echo multicast {config.setting_label} quorum")
+    honest_receivers = config.honest_receiver_ids()
+    byz_receivers = config.byzantine_receiver_ids()
+    receivers = config.receiver_ids()
+    honest_initiators = config.honest_initiator_ids()
+    byz_initiators = config.byzantine_initiator_ids()
+    initiators = config.initiator_ids()
+    receiver_set = frozenset(receivers)
+    initiator_set = frozenset(initiators)
+    quorum = config.echo_quorum
+
+    for pid in honest_initiators:
+        builder.add_process(pid, "initiator", HonestInitiatorState(value=config.honest_value(pid)))
+    for pid in byz_initiators:
+        builder.add_process(pid, "byz_initiator", ByzantineInitiatorState())
+    for pid in honest_receivers:
+        builder.add_process(pid, "receiver", HonestReceiverState())
+    for pid in byz_receivers:
+        builder.add_process(pid, "byz_receiver", ByzantineReceiverState())
+
+    # Honest initiators ------------------------------------------------------
+    for pid in honest_initiators:
+        builder.add_transition(
+            name=f"MCAST@{pid}",
+            process_id=pid,
+            message_type="MCAST",
+            guard=_mcast_guard,
+            action=_mcast_action(receivers),
+            annotation=LporAnnotation(
+                sends=(SendSpec("INIT", recipients=receiver_set),),
+                possible_senders=frozenset({DRIVER}),
+                starts_instance=True,
+                priority=3,
+            ),
+        )
+        builder.add_transition(
+            name=f"ECHO@{pid}",
+            process_id=pid,
+            message_type="ECHO",
+            quorum=exact_quorum(quorum),
+            guard=_echo_guard,
+            action=_echo_action(receivers),
+            annotation=LporAnnotation(
+                sends=(SendSpec("COMMIT", recipients=receiver_set),),
+                possible_senders=receiver_set,
+                priority=1,
+            ),
+        )
+        builder.trigger("MCAST", pid)
+
+    # Byzantine initiators ----------------------------------------------------
+    for pid in byz_initiators:
+        value_x, value_y = config.equivocation_values(pid)
+        builder.add_transition(
+            name=f"B_MCAST@{pid}",
+            process_id=pid,
+            message_type="B_MCAST",
+            guard=byz_start_guard,
+            action=make_byz_start_action(config, pid),
+            annotation=LporAnnotation(
+                sends=(SendSpec("INIT", recipients=receiver_set),),
+                possible_senders=frozenset({DRIVER}),
+                starts_instance=True,
+                priority=3,
+            ),
+        )
+        for label, value in (("X", value_x), ("Y", value_y)):
+            builder.add_transition(
+                name=f"ECHO_{label}@{pid}",
+                process_id=pid,
+                message_type="ECHO",
+                quorum=exact_quorum(quorum),
+                guard=make_byz_echo_guard(value, label),
+                action=make_byz_commit_action(config, value, label),
+                annotation=LporAnnotation(
+                    sends=(SendSpec("COMMIT", recipients=frozenset(honest_receivers)),),
+                    possible_senders=receiver_set,
+                    priority=1,
+                ),
+            )
+        builder.trigger("B_MCAST", pid)
+
+    # Honest receivers ----------------------------------------------------------
+    for pid in honest_receivers:
+        builder.add_transition(
+            name=f"INIT@{pid}",
+            process_id=pid,
+            message_type="INIT",
+            action=_init_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("ECHO", to_senders_only=True),),
+                possible_senders=initiator_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+        builder.add_transition(
+            name=f"COMMIT@{pid}",
+            process_id=pid,
+            message_type="COMMIT",
+            action=_commit_action,
+            annotation=LporAnnotation(
+                possible_senders=initiator_set,
+                visible=True,
+                finishes_instance=True,
+                priority=0,
+            ),
+        )
+
+    # Byzantine receivers ---------------------------------------------------------
+    for pid in byz_receivers:
+        builder.add_transition(
+            name=f"INIT@{pid}",
+            process_id=pid,
+            message_type="INIT",
+            action=make_byz_receiver_init_action(config),
+            annotation=LporAnnotation(
+                sends=(SendSpec("ECHO", to_senders_only=True),),
+                possible_senders=initiator_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+
+    builder.set_metadata(
+        protocol="echo multicast",
+        model="quorum",
+        setting=config.setting_label,
+        echo_quorum=quorum,
+        assumed_faults=config.assumed_faults,
+        exceeds_threshold=config.exceeds_threshold,
+    )
+    return builder.build()
+
+
+__all__ = ["build_multicast_quorum"]

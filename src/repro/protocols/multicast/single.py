@@ -1,0 +1,176 @@
+"""Echo Multicast modelled with single-message transitions only.
+
+The echo-collection quorum transitions of the initiators are replaced by
+per-message counting transitions (Figure 3 pattern); receiver-side handling
+is unchanged, since it is single-message in both models.
+"""
+
+from __future__ import annotations
+
+from ...mp.builder import ProtocolBuilder
+from ...mp.message import DRIVER
+from ...mp.protocol import Protocol
+from ...mp.transition import ActionContext, LporAnnotation, SendSpec
+from .byzantine import (
+    byz_start_guard,
+    make_byz_echo_single_action,
+    make_byz_receiver_init_action,
+    make_byz_start_action,
+)
+from .config import (
+    ByzantineInitiatorState,
+    ByzantineReceiverState,
+    HonestInitiatorState,
+    HonestReceiverState,
+    MulticastConfig,
+)
+from .quorum import _commit_action, _init_action, _mcast_action, _mcast_guard
+
+
+def _echo_single_action(receiver_ids, quorum: int):
+    """Honest initiator ECHO, one echo at a time (Figure 3 pattern)."""
+
+    def action(local: HonestInitiatorState, messages, ctx: ActionContext):
+        if local.phase != "collecting":
+            return local
+        (message,) = messages
+        if message["value"] != local.value:
+            return local
+        count = local.echo_count + 1
+        if count >= quorum:
+            for receiver in receiver_ids:
+                ctx.send(receiver, "COMMIT", value=local.value)
+            return local.update(phase="committed", echo_count=0)
+        return local.update(echo_count=count)
+
+    return action
+
+
+def build_multicast_single(config: MulticastConfig) -> Protocol:
+    """Build the single-message ("no quorum") Echo Multicast model."""
+    builder = ProtocolBuilder(f"echo multicast {config.setting_label} single-message")
+    honest_receivers = config.honest_receiver_ids()
+    byz_receivers = config.byzantine_receiver_ids()
+    receivers = config.receiver_ids()
+    honest_initiators = config.honest_initiator_ids()
+    byz_initiators = config.byzantine_initiator_ids()
+    initiators = config.initiator_ids()
+    receiver_set = frozenset(receivers)
+    initiator_set = frozenset(initiators)
+    quorum = config.echo_quorum
+
+    for pid in honest_initiators:
+        builder.add_process(pid, "initiator", HonestInitiatorState(value=config.honest_value(pid)))
+    for pid in byz_initiators:
+        builder.add_process(pid, "byz_initiator", ByzantineInitiatorState())
+    for pid in honest_receivers:
+        builder.add_process(pid, "receiver", HonestReceiverState())
+    for pid in byz_receivers:
+        builder.add_process(pid, "byz_receiver", ByzantineReceiverState())
+
+    for pid in honest_initiators:
+        builder.add_transition(
+            name=f"MCAST@{pid}",
+            process_id=pid,
+            message_type="MCAST",
+            guard=_mcast_guard,
+            action=_mcast_action(receivers),
+            annotation=LporAnnotation(
+                sends=(SendSpec("INIT", recipients=receiver_set),),
+                possible_senders=frozenset({DRIVER}),
+                starts_instance=True,
+                priority=3,
+            ),
+        )
+        builder.add_transition(
+            name=f"ECHO@{pid}",
+            process_id=pid,
+            message_type="ECHO",
+            action=_echo_single_action(receivers, quorum),
+            annotation=LporAnnotation(
+                sends=(SendSpec("COMMIT", recipients=receiver_set),),
+                possible_senders=receiver_set,
+                priority=1,
+            ),
+        )
+        builder.trigger("MCAST", pid)
+
+    for pid in byz_initiators:
+        builder.add_transition(
+            name=f"B_MCAST@{pid}",
+            process_id=pid,
+            message_type="B_MCAST",
+            guard=byz_start_guard,
+            action=make_byz_start_action(config, pid),
+            annotation=LporAnnotation(
+                sends=(SendSpec("INIT", recipients=receiver_set),),
+                possible_senders=frozenset({DRIVER}),
+                starts_instance=True,
+                priority=3,
+            ),
+        )
+        builder.add_transition(
+            name=f"ECHO@{pid}",
+            process_id=pid,
+            message_type="ECHO",
+            action=make_byz_echo_single_action(config, pid),
+            annotation=LporAnnotation(
+                sends=(SendSpec("COMMIT", recipients=frozenset(honest_receivers)),),
+                possible_senders=receiver_set,
+                priority=1,
+            ),
+        )
+        builder.trigger("B_MCAST", pid)
+
+    for pid in honest_receivers:
+        builder.add_transition(
+            name=f"INIT@{pid}",
+            process_id=pid,
+            message_type="INIT",
+            action=_init_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("ECHO", to_senders_only=True),),
+                possible_senders=initiator_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+        builder.add_transition(
+            name=f"COMMIT@{pid}",
+            process_id=pid,
+            message_type="COMMIT",
+            action=_commit_action,
+            annotation=LporAnnotation(
+                possible_senders=initiator_set,
+                visible=True,
+                finishes_instance=True,
+                priority=0,
+            ),
+        )
+
+    for pid in byz_receivers:
+        builder.add_transition(
+            name=f"INIT@{pid}",
+            process_id=pid,
+            message_type="INIT",
+            action=make_byz_receiver_init_action(config),
+            annotation=LporAnnotation(
+                sends=(SendSpec("ECHO", to_senders_only=True),),
+                possible_senders=initiator_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+
+    builder.set_metadata(
+        protocol="echo multicast",
+        model="single-message",
+        setting=config.setting_label,
+        echo_quorum=quorum,
+        assumed_faults=config.assumed_faults,
+        exceeds_threshold=config.exceeds_threshold,
+    )
+    return builder.build()
+
+
+__all__ = ["build_multicast_single"]

@@ -1,0 +1,26 @@
+"""Paxos consensus models (Section V-A of the paper).
+
+Quorum-transition and single-message ("no quorum") models of single-decree
+Paxos, the fault-injected "Faulty Paxos" variants, and the consensus
+invariant they are checked against.
+"""
+
+from .config import AcceptorState, LearnerState, PaxosConfig, ProposerState
+from .faulty import build_faulty_paxos_quorum, build_faulty_paxos_single
+from .properties import acceptor_consistency, chosen_value_validity, consensus_invariant
+from .quorum import build_paxos_quorum
+from .single import build_paxos_single
+
+__all__ = [
+    "AcceptorState",
+    "LearnerState",
+    "PaxosConfig",
+    "ProposerState",
+    "acceptor_consistency",
+    "build_faulty_paxos_quorum",
+    "build_faulty_paxos_single",
+    "build_paxos_quorum",
+    "build_paxos_single",
+    "chosen_value_validity",
+    "consensus_invariant",
+]

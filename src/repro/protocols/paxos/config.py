@@ -1,0 +1,117 @@
+"""Configuration and local states of the Paxos models.
+
+A Paxos setting ``(P, A, L)`` gives the number of proposers, acceptors and
+learners (Section V-A).  Every proposer proposes a distinct value with a
+distinct proposal number, which keeps the instance finite while still
+exercising the interesting contention between concurrent proposals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ...mp.process import LocalState
+from ...mp.transition import majority_of
+
+
+@dataclass(frozen=True)
+class PaxosConfig:
+    """A Paxos protocol setting.
+
+    Attributes:
+        proposers: Number of proposer processes (each proposes once).
+        acceptors: Number of acceptor processes.
+        learners: Number of learner processes.
+    """
+
+    proposers: int = 2
+    acceptors: int = 3
+    learners: int = 1
+
+    def __post_init__(self) -> None:
+        if self.proposers < 1 or self.acceptors < 1 or self.learners < 1:
+            raise ValueError("a Paxos setting needs at least one process of each type")
+
+    @property
+    def majority(self) -> int:
+        """The acceptor majority threshold used by READ_REPL and ACCEPT."""
+        return majority_of(self.acceptors)
+
+    @property
+    def setting_label(self) -> str:
+        """The paper's ``(P,A,L)`` notation."""
+        return f"({self.proposers},{self.acceptors},{self.learners})"
+
+    def proposer_ids(self) -> Tuple[str, ...]:
+        return tuple(f"proposer{i + 1}" for i in range(self.proposers))
+
+    def acceptor_ids(self) -> Tuple[str, ...]:
+        return tuple(f"acceptor{i + 1}" for i in range(self.acceptors))
+
+    def learner_ids(self) -> Tuple[str, ...]:
+        return tuple(f"learner{i + 1}" for i in range(self.learners))
+
+    def proposal_number(self, proposer_index: int) -> int:
+        """Distinct proposal number of the ``proposer_index``-th proposer."""
+        return proposer_index + 1
+
+    def proposal_value(self, proposer_index: int) -> str:
+        """Distinct value proposed by the ``proposer_index``-th proposer."""
+        return f"value{proposer_index + 1}"
+
+
+@dataclass(frozen=True)
+class ProposerState(LocalState):
+    """Local state of a proposer.
+
+    Attributes:
+        proposal_no: The proposer's (unique) proposal number.
+        value: The value the proposer wants to propose.
+        phase: ``"idle"`` before proposing, ``"reading"`` while collecting
+            READ_REPL messages, ``"written"`` after sending WRITE.
+        repl_count: Number of READ_REPL messages counted so far (used only
+            by the single-message model).
+        repl_highest_no: Highest accepted proposal number seen in counted
+            replies (single-message model only).
+        repl_highest_value: Value associated with ``repl_highest_no``
+            (single-message model only).
+    """
+
+    proposal_no: int
+    value: str
+    phase: str = "idle"
+    repl_count: int = 0
+    repl_highest_no: int = 0
+    repl_highest_value: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AcceptorState(LocalState):
+    """Local state of an acceptor.
+
+    Attributes:
+        promised_no: Highest proposal number promised (0 = none).
+        accepted_no: Highest proposal number accepted (0 = none).
+        accepted_value: Value accepted with ``accepted_no``.
+    """
+
+    promised_no: int = 0
+    accepted_no: int = 0
+    accepted_value: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class LearnerState(LocalState):
+    """Local state of a learner.
+
+    Attributes:
+        learned: Every value the learner has learned so far (a set so that
+            a faulty run learning two different values is observable).
+        accept_counts: Per-proposal tallies of ACCEPT messages, used only by
+            the single-message model: a sorted tuple of
+            ``(proposal_no, count, value)`` triples.
+    """
+
+    learned: frozenset = frozenset()
+    accept_counts: Tuple[Tuple[int, int, str], ...] = ()

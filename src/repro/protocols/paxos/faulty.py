@@ -1,0 +1,28 @@
+"""Faulty Paxos: the fault-injected variant used for the debugging experiments.
+
+"Faulty Paxos" (Section V-A) injects a bug into the learners: they do not
+compare the proposals of the ACCEPT messages they count, so a majority made
+up of accepts for *different* proposals is believed and the learner can
+learn conflicting values — a consensus violation the model checker should
+find quickly (the CE rows of Tables I and II).
+"""
+
+from __future__ import annotations
+
+from ...mp.protocol import Protocol
+from .config import PaxosConfig
+from .quorum import build_paxos_quorum
+from .single import build_paxos_single
+
+
+def build_faulty_paxos_quorum(config: PaxosConfig) -> Protocol:
+    """Quorum-transition model with faulty learners."""
+    return build_paxos_quorum(config, faulty_learners=True)
+
+
+def build_faulty_paxos_single(config: PaxosConfig) -> Protocol:
+    """Single-message model with faulty learners."""
+    return build_paxos_single(config, faulty_learners=True)
+
+
+__all__ = ["build_faulty_paxos_quorum", "build_faulty_paxos_single"]

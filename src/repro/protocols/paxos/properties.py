@@ -1,0 +1,76 @@
+"""Properties of the Paxos models."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ...checker.property import Invariant
+from ...mp.protocol import Protocol
+from ...mp.state import GlobalState
+
+
+def _all_learned_values(state: GlobalState, protocol: Protocol) -> Set[str]:
+    values: Set[str] = set()
+    for learner in protocol.processes_of_type("learner"):
+        values |= set(state.local(learner.pid).learned)
+    return values
+
+
+def consensus_invariant() -> Invariant:
+    """At most one value is ever learned, across all learners and all time.
+
+    This is the safety part of consensus (agreement): because learners
+    accumulate every value they learn, a state in which two different
+    values appear in the union of the learners' ``learned`` sets witnesses
+    a violation.
+    """
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        return len(_all_learned_values(state, protocol)) <= 1
+
+    return Invariant(
+        name="consensus",
+        predicate=predicate,
+        description="no two learners (or the same learner over time) learn different values",
+    )
+
+
+def chosen_value_validity() -> Invariant:
+    """Every learned value was proposed by some proposer (validity)."""
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        proposed = {
+            state.local(proposer.pid).value
+            for proposer in protocol.processes_of_type("proposer")
+        }
+        return _all_learned_values(state, protocol) <= proposed
+
+    return Invariant(
+        name="validity",
+        predicate=predicate,
+        description="learned values were actually proposed",
+    )
+
+
+def acceptor_consistency() -> Invariant:
+    """An acceptor never accepts below its own promise.
+
+    A sanity invariant of the model itself (not a paper experiment): the
+    accepted proposal number never exceeds the promised one.
+    """
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        for acceptor in protocol.processes_of_type("acceptor"):
+            local = state.local(acceptor.pid)
+            if local.accepted_no > local.promised_no:
+                return False
+        return True
+
+    return Invariant(
+        name="acceptor-consistency",
+        predicate=predicate,
+        description="accepted_no <= promised_no at every acceptor",
+    )
+
+
+__all__ = ["acceptor_consistency", "chosen_value_validity", "consensus_invariant"]

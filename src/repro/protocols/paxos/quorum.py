@@ -1,0 +1,233 @@
+"""Paxos modelled with quorum transitions (the paper's Figure 2 style).
+
+The model follows the paper's phase naming: READ / READ_REPL / WRITE /
+ACCEPT correspond to the classic 1a / 1b / 2a / 2b messages.  The two
+quorum transitions are the proposer's READ_REPL handler (a majority of
+acceptor replies) and the learner's ACCEPT handler (a majority of matching
+acceptor accepts).
+"""
+
+from __future__ import annotations
+
+from ...mp.builder import ProtocolBuilder
+from ...mp.message import DRIVER
+from ...mp.protocol import Protocol
+from ...mp.transition import ActionContext, LporAnnotation, SendSpec, exact_quorum
+from .config import AcceptorState, LearnerState, PaxosConfig, ProposerState
+
+
+def _propose_action(acceptor_ids):
+    """Proposer PROPOSE: start phase 1 by sending READ to every acceptor."""
+
+    def action(local: ProposerState, _messages, ctx: ActionContext) -> ProposerState:
+        for acceptor in acceptor_ids:
+            ctx.send(acceptor, "READ", proposal_no=local.proposal_no)
+        return local.update(phase="reading")
+
+    return action
+
+
+def _propose_guard(local: ProposerState, _messages) -> bool:
+    return local.phase == "idle"
+
+
+def _read_repl_guard(local: ProposerState, messages) -> bool:
+    """Enabled for a majority of replies that answer *this* proposal."""
+    if local.phase != "reading":
+        return False
+    return all(message["proposal_no"] == local.proposal_no for message in messages)
+
+
+def _read_repl_action(acceptor_ids):
+    """Proposer READ_REPL: adopt the highest accepted value and send WRITE."""
+
+    def action(local: ProposerState, messages, ctx: ActionContext) -> ProposerState:
+        highest_no = 0
+        highest_value = None
+        for message in messages:
+            accepted_no = message["accepted_no"]
+            if accepted_no > highest_no:
+                highest_no = accepted_no
+                highest_value = message["accepted_value"]
+        chosen = highest_value if highest_no > 0 else local.value
+        for acceptor in acceptor_ids:
+            ctx.send(acceptor, "WRITE", proposal_no=local.proposal_no, value=chosen)
+        return local.update(phase="written")
+
+    return action
+
+
+def _read_action(local: AcceptorState, messages, ctx: ActionContext) -> AcceptorState:
+    """Acceptor READ: promise if the proposal is new, reply with what was accepted."""
+    (message,) = messages
+    proposal_no = message["proposal_no"]
+    if proposal_no <= local.promised_no:
+        return local
+    ctx.send(
+        message.sender,
+        "READ_REPL",
+        proposal_no=proposal_no,
+        accepted_no=local.accepted_no,
+        accepted_value=local.accepted_value,
+    )
+    return local.update(promised_no=proposal_no)
+
+
+def _write_action(learner_ids):
+    """Acceptor WRITE: accept unless a higher promise was made, notify learners."""
+
+    def action(local: AcceptorState, messages, ctx: ActionContext) -> AcceptorState:
+        (message,) = messages
+        proposal_no = message["proposal_no"]
+        if proposal_no < local.promised_no:
+            return local
+        value = message["value"]
+        for learner in learner_ids:
+            ctx.send(learner, "ACCEPT", proposal_no=proposal_no, value=value)
+        return local.update(
+            promised_no=proposal_no, accepted_no=proposal_no, accepted_value=value
+        )
+
+    return action
+
+
+def _accept_guard_correct(_local: LearnerState, messages) -> bool:
+    """Correct learner: a quorum counts only if all accepts carry the same proposal."""
+    first = messages[0]["proposal_no"]
+    return all(message["proposal_no"] == first for message in messages)
+
+
+def _accept_guard_faulty(_local: LearnerState, _messages) -> bool:
+    """Faulty learner (the paper's "Faulty Paxos"): any majority is believed."""
+    return True
+
+
+def _accept_action(local: LearnerState, messages, _ctx: ActionContext) -> LearnerState:
+    """Learner ACCEPT: learn the value carried by the quorum.
+
+    The correct guard guarantees all messages agree; under the faulty guard
+    the quorum may mix proposals, in which case the learner blindly takes
+    the value of the first message — exactly the "does not compare values"
+    fault injected in Section V-A.
+    """
+    value = messages[0]["value"]
+    return local.update(learned=local.learned | {value})
+
+
+def build_paxos_quorum(config: PaxosConfig, faulty_learners: bool = False) -> Protocol:
+    """Build the quorum-transition Paxos model for a setting.
+
+    Args:
+        config: The ``(P, A, L)`` setting.
+        faulty_learners: Inject the "Faulty Paxos" bug: learners do not
+            compare the proposals of the ACCEPT messages they count.
+    """
+    variant = "faulty paxos" if faulty_learners else "paxos"
+    builder = ProtocolBuilder(f"{variant} {config.setting_label} quorum")
+    proposers = config.proposer_ids()
+    acceptors = config.acceptor_ids()
+    learners = config.learner_ids()
+    acceptor_set = frozenset(acceptors)
+    learner_set = frozenset(learners)
+    proposer_set = frozenset(proposers)
+
+    for index, pid in enumerate(proposers):
+        builder.add_process(
+            pid,
+            "proposer",
+            ProposerState(
+                proposal_no=config.proposal_number(index),
+                value=config.proposal_value(index),
+            ),
+        )
+    for pid in acceptors:
+        builder.add_process(pid, "acceptor", AcceptorState())
+    for pid in learners:
+        builder.add_process(pid, "learner", LearnerState())
+
+    # Proposer transitions -------------------------------------------------
+    for pid in proposers:
+        builder.add_transition(
+            name=f"PROPOSE@{pid}",
+            process_id=pid,
+            message_type="PROPOSE",
+            action=_propose_action(acceptors),
+            guard=_propose_guard,
+            annotation=LporAnnotation(
+                sends=(SendSpec("READ", recipients=acceptor_set),),
+                possible_senders=frozenset({DRIVER}),
+                starts_instance=True,
+                priority=3,
+            ),
+        )
+        builder.add_transition(
+            name=f"READ_REPL@{pid}",
+            process_id=pid,
+            message_type="READ_REPL",
+            quorum=exact_quorum(config.majority),
+            guard=_read_repl_guard,
+            action=_read_repl_action(acceptors),
+            annotation=LporAnnotation(
+                sends=(SendSpec("WRITE", recipients=acceptor_set),),
+                possible_senders=acceptor_set,
+                priority=2,
+            ),
+        )
+        builder.trigger("PROPOSE", pid)
+
+    # Acceptor transitions -------------------------------------------------
+    for pid in acceptors:
+        builder.add_transition(
+            name=f"READ@{pid}",
+            process_id=pid,
+            message_type="READ",
+            action=_read_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("READ_REPL", to_senders_only=True),),
+                possible_senders=proposer_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+        builder.add_transition(
+            name=f"WRITE@{pid}",
+            process_id=pid,
+            message_type="WRITE",
+            action=_write_action(learners),
+            annotation=LporAnnotation(
+                sends=(SendSpec("ACCEPT", recipients=learner_set),),
+                possible_senders=proposer_set,
+                priority=1,
+            ),
+        )
+
+    # Learner transitions --------------------------------------------------
+    accept_guard = _accept_guard_faulty if faulty_learners else _accept_guard_correct
+    for pid in learners:
+        builder.add_transition(
+            name=f"ACCEPT@{pid}",
+            process_id=pid,
+            message_type="ACCEPT",
+            quorum=exact_quorum(config.majority),
+            guard=accept_guard,
+            action=_accept_action,
+            annotation=LporAnnotation(
+                possible_senders=acceptor_set,
+                visible=True,
+                finishes_instance=True,
+                priority=0,
+            ),
+        )
+
+    builder.set_metadata(
+        protocol="paxos",
+        model="quorum",
+        setting=config.setting_label,
+        faulty_learners=faulty_learners,
+        majority=config.majority,
+    )
+    return builder.build()
+
+
+# Re-exported for convenience in type hints of downstream modules.
+__all__ = ["build_paxos_quorum"]

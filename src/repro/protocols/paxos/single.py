@@ -1,0 +1,199 @@
+"""Paxos modelled with single-message transitions only (the "no quorum" model).
+
+This is the paper's Figure 3 encoding: every quorum transition of the quorum
+model is simulated by a single-message transition that counts messages in
+the local state and fires the quorum's effect once the counter reaches the
+majority threshold.  The protocol behaviour is the same, but the many
+intermediate counting states inflate the state space — exactly the effect
+quantified in Section II-C and measured in Table I.
+"""
+
+from __future__ import annotations
+
+from ...mp.builder import ProtocolBuilder
+from ...mp.message import DRIVER
+from ...mp.protocol import Protocol
+from ...mp.transition import ActionContext, LporAnnotation, SendSpec
+from .config import AcceptorState, LearnerState, PaxosConfig, ProposerState
+from .quorum import (
+    _propose_action,
+    _propose_guard,
+    _read_action,
+    _write_action,
+)
+
+
+def _read_repl_single_action(acceptor_ids, majority: int):
+    """Proposer READ_REPL, one message at a time (Figure 3 of the paper).
+
+    Each reply for the proposer's own proposal increments a counter and
+    updates the highest accepted value seen; when the counter reaches the
+    majority the WRITE messages are sent and the counter is reset.
+    """
+
+    def action(local: ProposerState, messages, ctx: ActionContext) -> ProposerState:
+        (message,) = messages
+        if local.phase != "reading" or message["proposal_no"] != local.proposal_no:
+            return local
+        count = local.repl_count + 1
+        highest_no = local.repl_highest_no
+        highest_value = local.repl_highest_value
+        accepted_no = message["accepted_no"]
+        if accepted_no > highest_no:
+            highest_no = accepted_no
+            highest_value = message["accepted_value"]
+        if count < majority:
+            return local.update(
+                repl_count=count,
+                repl_highest_no=highest_no,
+                repl_highest_value=highest_value,
+            )
+        chosen = highest_value if highest_no > 0 else local.value
+        for acceptor in acceptor_ids:
+            ctx.send(acceptor, "WRITE", proposal_no=local.proposal_no, value=chosen)
+        return local.update(
+            phase="written",
+            repl_count=0,
+            repl_highest_no=0,
+            repl_highest_value=None,
+        )
+
+    return action
+
+
+def _accept_single_action(majority: int, faulty: bool):
+    """Learner ACCEPT, one message at a time.
+
+    The correct learner keeps one tally per proposal number and learns a
+    value once some proposal reaches a majority of distinct accepts; the
+    faulty learner keeps a single tally regardless of the proposal number.
+    """
+
+    def action(local: LearnerState, messages, _ctx: ActionContext) -> LearnerState:
+        (message,) = messages
+        proposal_no = 0 if faulty else message["proposal_no"]
+        value = message["value"]
+        counts = dict()
+        for existing_no, existing_count, existing_value in local.accept_counts:
+            counts[existing_no] = (existing_count, existing_value)
+        count, first_value = counts.get(proposal_no, (0, value))
+        count += 1
+        if count >= majority:
+            counts.pop(proposal_no, None)
+            learned_value = value if faulty else first_value
+            new_counts = tuple(sorted(
+                (no, c, v) for no, (c, v) in counts.items()
+            ))
+            return local.update(
+                learned=local.learned | {learned_value},
+                accept_counts=new_counts,
+            )
+        counts[proposal_no] = (count, first_value)
+        new_counts = tuple(sorted((no, c, v) for no, (c, v) in counts.items()))
+        return local.update(accept_counts=new_counts)
+
+    return action
+
+
+def build_paxos_single(config: PaxosConfig, faulty_learners: bool = False) -> Protocol:
+    """Build the single-message ("no quorum") Paxos model for a setting."""
+    variant = "faulty paxos" if faulty_learners else "paxos"
+    builder = ProtocolBuilder(f"{variant} {config.setting_label} single-message")
+    proposers = config.proposer_ids()
+    acceptors = config.acceptor_ids()
+    learners = config.learner_ids()
+    acceptor_set = frozenset(acceptors)
+    learner_set = frozenset(learners)
+    proposer_set = frozenset(proposers)
+
+    for index, pid in enumerate(proposers):
+        builder.add_process(
+            pid,
+            "proposer",
+            ProposerState(
+                proposal_no=config.proposal_number(index),
+                value=config.proposal_value(index),
+            ),
+        )
+    for pid in acceptors:
+        builder.add_process(pid, "acceptor", AcceptorState())
+    for pid in learners:
+        builder.add_process(pid, "learner", LearnerState())
+
+    for pid in proposers:
+        builder.add_transition(
+            name=f"PROPOSE@{pid}",
+            process_id=pid,
+            message_type="PROPOSE",
+            action=_propose_action(acceptors),
+            guard=_propose_guard,
+            annotation=LporAnnotation(
+                sends=(SendSpec("READ", recipients=acceptor_set),),
+                possible_senders=frozenset({DRIVER}),
+                starts_instance=True,
+                priority=3,
+            ),
+        )
+        builder.add_transition(
+            name=f"READ_REPL@{pid}",
+            process_id=pid,
+            message_type="READ_REPL",
+            action=_read_repl_single_action(acceptors, config.majority),
+            annotation=LporAnnotation(
+                sends=(SendSpec("WRITE", recipients=acceptor_set),),
+                possible_senders=acceptor_set,
+                priority=2,
+            ),
+        )
+        builder.trigger("PROPOSE", pid)
+
+    for pid in acceptors:
+        builder.add_transition(
+            name=f"READ@{pid}",
+            process_id=pid,
+            message_type="READ",
+            action=_read_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("READ_REPL", to_senders_only=True),),
+                possible_senders=proposer_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+        builder.add_transition(
+            name=f"WRITE@{pid}",
+            process_id=pid,
+            message_type="WRITE",
+            action=_write_action(learners),
+            annotation=LporAnnotation(
+                sends=(SendSpec("ACCEPT", recipients=learner_set),),
+                possible_senders=proposer_set,
+                priority=1,
+            ),
+        )
+
+    for pid in learners:
+        builder.add_transition(
+            name=f"ACCEPT@{pid}",
+            process_id=pid,
+            message_type="ACCEPT",
+            action=_accept_single_action(config.majority, faulty_learners),
+            annotation=LporAnnotation(
+                possible_senders=acceptor_set,
+                visible=True,
+                finishes_instance=True,
+                priority=0,
+            ),
+        )
+
+    builder.set_metadata(
+        protocol="paxos",
+        model="single-message",
+        setting=config.setting_label,
+        faulty_learners=faulty_learners,
+        majority=config.majority,
+    )
+    return builder.build()
+
+
+__all__ = ["build_paxos_single"]

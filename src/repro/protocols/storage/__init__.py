@@ -1,0 +1,37 @@
+"""Regular storage models (Section V-A of the paper).
+
+A message-based single-writer regular register over crash-prone base
+objects, in quorum-transition and single-message variants, together with the
+regularity invariant and the deliberately wrong specification used for the
+debugging experiments.
+"""
+
+from .config import (
+    INITIAL_VALUE,
+    WRITTEN_VALUE,
+    BaseObjectState,
+    ReaderState,
+    StorageConfig,
+    WriterState,
+)
+from .properties import (
+    base_object_monotonicity,
+    regularity_invariant,
+    wrong_regularity_invariant,
+)
+from .quorum import build_storage_quorum
+from .single import build_storage_single
+
+__all__ = [
+    "BaseObjectState",
+    "INITIAL_VALUE",
+    "ReaderState",
+    "StorageConfig",
+    "WRITTEN_VALUE",
+    "WriterState",
+    "base_object_monotonicity",
+    "build_storage_quorum",
+    "build_storage_single",
+    "regularity_invariant",
+    "wrong_regularity_invariant",
+]

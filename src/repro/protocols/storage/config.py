@@ -1,0 +1,105 @@
+"""Configuration and local states of the regular storage models.
+
+The protocol is a message-based single-writer regular register in the style
+of Attiya, Bar-Noy and Dolev (reference [3] of the paper): one writer, a set
+of crash-prone base objects that store timestamp/value pairs, and one or
+more readers.  A storage setting ``(B, R)`` gives the number of base objects
+and readers (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ...mp.process import LocalState
+from ...mp.transition import majority_of
+
+#: The register's initial value (timestamp 0).
+INITIAL_VALUE = "v0"
+#: The value written by the (single) write operation (timestamp 1).
+WRITTEN_VALUE = "v1"
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """A regular storage setting.
+
+    Attributes:
+        base_objects: Number of base (storing) objects.
+        readers: Number of reader processes.
+    """
+
+    base_objects: int = 3
+    readers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_objects < 1 or self.readers < 1:
+            raise ValueError("a storage setting needs at least one base object and one reader")
+
+    @property
+    def majority(self) -> int:
+        """The base-object majority threshold used by write and read quorums."""
+        return majority_of(self.base_objects)
+
+    @property
+    def setting_label(self) -> str:
+        """The paper's ``(B,R)`` notation."""
+        return f"({self.base_objects},{self.readers})"
+
+    def writer_id(self) -> str:
+        return "writer"
+
+    def base_ids(self) -> Tuple[str, ...]:
+        return tuple(f"base{i + 1}" for i in range(self.base_objects))
+
+    def reader_ids(self) -> Tuple[str, ...]:
+        return tuple(f"reader{i + 1}" for i in range(self.readers))
+
+
+@dataclass(frozen=True)
+class WriterState(LocalState):
+    """Local state of the single writer.
+
+    Attributes:
+        phase: ``"idle"`` before the write, ``"writing"`` while collecting
+            acknowledgements, ``"done"`` once a majority acknowledged.
+        ack_count: Acknowledgements counted so far (single-message model).
+    """
+
+    phase: str = "idle"
+    ack_count: int = 0
+
+
+@dataclass(frozen=True)
+class BaseObjectState(LocalState):
+    """Local state of a base object: the stored timestamp/value pair."""
+
+    timestamp: int = 0
+    value: str = INITIAL_VALUE
+
+
+@dataclass(frozen=True)
+class ReaderState(LocalState):
+    """Local state of a reader.
+
+    Attributes:
+        phase: ``"idle"`` / ``"reading"`` / ``"done"``.
+        returned: The value returned by the completed read, if any.
+        write_done_at_start: Ghost snapshot — was the write already complete
+            when the read started?  Used by the regularity property.
+        write_done_at_end: Ghost snapshot — was the write complete when the
+            read completed?  Used by the deliberately wrong property.
+        val_count: Replies counted so far (single-message model).
+        highest_timestamp: Highest timestamp among counted replies
+            (single-message model).
+        highest_value: Value of ``highest_timestamp`` (single-message model).
+    """
+
+    phase: str = "idle"
+    returned: Optional[str] = None
+    write_done_at_start: bool = False
+    write_done_at_end: bool = False
+    val_count: int = 0
+    highest_timestamp: int = -1
+    highest_value: Optional[str] = None

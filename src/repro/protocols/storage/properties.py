@@ -1,0 +1,92 @@
+"""Properties of the regular storage models."""
+
+from __future__ import annotations
+
+from ...checker.property import Invariant
+from ...mp.protocol import Protocol
+from ...mp.state import GlobalState
+from .config import INITIAL_VALUE, WRITTEN_VALUE
+
+
+def regularity_invariant() -> Invariant:
+    """Regularity of the single-writer register.
+
+    A completed read returns either the initial value or the written value,
+    and a read that *started after the write completed* must return the
+    written value.  The "started after the write completed" relation is
+    evaluated from the ghost snapshot the reader took when the read started.
+    """
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        for reader in protocol.processes_of_type("reader"):
+            local = state.local(reader.pid)
+            if local.phase != "done":
+                continue
+            if local.returned not in (INITIAL_VALUE, WRITTEN_VALUE):
+                return False
+            if local.write_done_at_start and local.returned != WRITTEN_VALUE:
+                return False
+        return True
+
+    return Invariant(
+        name="regularity",
+        predicate=predicate,
+        description=(
+            "a completed read returns a value not older than the latest write "
+            "that completed before the read started"
+        ),
+    )
+
+
+def wrong_regularity_invariant() -> Invariant:
+    """The deliberately wrong specification of Section V-A.
+
+    It requires a read that completes after the write completed to return
+    the written value *even if the two operations were concurrent*.  The
+    protocol does not guarantee this, so the model checker should find a
+    counterexample ("wrong regularity" rows of Tables I and II).
+    """
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        for reader in protocol.processes_of_type("reader"):
+            local = state.local(reader.pid)
+            if local.phase != "done":
+                continue
+            if local.write_done_at_end and local.returned != WRITTEN_VALUE:
+                return False
+        return True
+
+    return Invariant(
+        name="wrong-regularity",
+        predicate=predicate,
+        description=(
+            "(deliberately too strong) a read completing after the write must "
+            "return the written value even when the operations overlap"
+        ),
+    )
+
+
+def base_object_monotonicity() -> Invariant:
+    """Base objects never regress to an older timestamp (model sanity check)."""
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        for base in protocol.processes_of_type("base"):
+            local = state.local(base.pid)
+            if local.timestamp == 0 and local.value != INITIAL_VALUE:
+                return False
+            if local.timestamp == 1 and local.value != WRITTEN_VALUE:
+                return False
+        return True
+
+    return Invariant(
+        name="base-monotonicity",
+        predicate=predicate,
+        description="each base object's stored value matches its stored timestamp",
+    )
+
+
+__all__ = [
+    "base_object_monotonicity",
+    "regularity_invariant",
+    "wrong_regularity_invariant",
+]

@@ -1,0 +1,226 @@
+"""Regular storage modelled with quorum transitions.
+
+The write operation stores the new timestamp/value pair at every base object
+and completes once a majority acknowledged; a read queries every base object
+and returns the value with the highest timestamp among a majority of
+replies.  The two majority-collection events are quorum transitions.
+
+The regularity property needs to relate operation intervals ("a read that
+starts after the write completed must return the written value").  Following
+the paper's footnote-7 device, the reader takes specification-only snapshots
+of the writer's completion flag when the read starts and when it completes;
+both snapshots are declared in ``spec_reads`` so the partial-order reduction
+treats the snapshotting transitions as dependent on the writer's.
+"""
+
+from __future__ import annotations
+
+from ...mp.builder import ProtocolBuilder
+from ...mp.message import DRIVER
+from ...mp.protocol import Protocol
+from ...mp.transition import ActionContext, LporAnnotation, SendSpec, exact_quorum
+from .config import (
+    WRITTEN_VALUE,
+    BaseObjectState,
+    ReaderState,
+    StorageConfig,
+    WriterState,
+)
+
+
+def _write_start_action(base_ids):
+    """Writer WRITE_START: send the new pair to every base object."""
+
+    def action(local: WriterState, _messages, ctx: ActionContext) -> WriterState:
+        for base in base_ids:
+            ctx.send(base, "STORE", timestamp=1, value=WRITTEN_VALUE)
+        return local.update(phase="writing")
+
+    return action
+
+
+def _write_start_guard(local: WriterState, _messages) -> bool:
+    return local.phase == "idle"
+
+
+def _store_action(local: BaseObjectState, messages, ctx: ActionContext) -> BaseObjectState:
+    """Base STORE: adopt the pair if newer, always acknowledge."""
+    (message,) = messages
+    timestamp = message["timestamp"]
+    ctx.send(message.sender, "STORE_ACK", timestamp=timestamp)
+    if timestamp > local.timestamp:
+        return local.update(timestamp=timestamp, value=message["value"])
+    return local
+
+
+def _store_ack_guard(local: WriterState, _messages) -> bool:
+    return local.phase == "writing"
+
+
+def _store_ack_action(local: WriterState, _messages, _ctx: ActionContext) -> WriterState:
+    """Writer STORE_ACK quorum: the write operation completes."""
+    return local.update(phase="done")
+
+
+def _read_start_action(base_ids, writer_id: str):
+    """Reader READ_START: snapshot the writer's progress and query all bases."""
+
+    def action(local: ReaderState, _messages, ctx: ActionContext) -> ReaderState:
+        write_done = ctx.spec_read(writer_id).phase == "done"
+        for base in base_ids:
+            ctx.send(base, "GET")
+        return local.update(phase="reading", write_done_at_start=write_done)
+
+    return action
+
+
+def _read_start_guard(local: ReaderState, _messages) -> bool:
+    return local.phase == "idle"
+
+
+def _get_action(local: BaseObjectState, messages, ctx: ActionContext) -> BaseObjectState:
+    """Base GET: reply with the stored pair."""
+    (message,) = messages
+    ctx.send(message.sender, "VAL", timestamp=local.timestamp, value=local.value)
+    return local
+
+
+def _val_guard(local: ReaderState, _messages) -> bool:
+    return local.phase == "reading"
+
+
+def _val_action(writer_id: str):
+    """Reader VAL quorum: return the freshest value among a majority of replies."""
+
+    def action(local: ReaderState, messages, ctx: ActionContext) -> ReaderState:
+        best_timestamp = -1
+        best_value = None
+        for message in messages:
+            if message["timestamp"] > best_timestamp:
+                best_timestamp = message["timestamp"]
+                best_value = message["value"]
+        write_done = ctx.spec_read(writer_id).phase == "done"
+        return local.update(
+            phase="done",
+            returned=best_value,
+            write_done_at_end=write_done,
+        )
+
+    return action
+
+
+def build_storage_quorum(config: StorageConfig) -> Protocol:
+    """Build the quorum-transition regular storage model for a setting."""
+    builder = ProtocolBuilder(f"regular storage {config.setting_label} quorum")
+    writer = config.writer_id()
+    bases = config.base_ids()
+    readers = config.reader_ids()
+    base_set = frozenset(bases)
+    writer_set = frozenset({writer})
+    reader_set = frozenset(readers)
+
+    builder.add_process(writer, "writer", WriterState())
+    for pid in bases:
+        builder.add_process(pid, "base", BaseObjectState())
+    for pid in readers:
+        builder.add_process(pid, "reader", ReaderState())
+
+    # Writer ----------------------------------------------------------------
+    builder.add_transition(
+        name=f"WRITE_START@{writer}",
+        process_id=writer,
+        message_type="WRITE_START",
+        guard=_write_start_guard,
+        action=_write_start_action(bases),
+        annotation=LporAnnotation(
+            sends=(SendSpec("STORE", recipients=base_set),),
+            possible_senders=frozenset({DRIVER}),
+            starts_instance=True,
+            priority=3,
+        ),
+    )
+    builder.add_transition(
+        name=f"STORE_ACK@{writer}",
+        process_id=writer,
+        message_type="STORE_ACK",
+        quorum=exact_quorum(config.majority),
+        guard=_store_ack_guard,
+        action=_store_ack_action,
+        annotation=LporAnnotation(
+            possible_senders=base_set,
+            finishes_instance=True,
+            priority=1,
+        ),
+    )
+    builder.trigger("WRITE_START", writer)
+
+    # Base objects ------------------------------------------------------------
+    for pid in bases:
+        builder.add_transition(
+            name=f"STORE@{pid}",
+            process_id=pid,
+            message_type="STORE",
+            action=_store_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("STORE_ACK", to_senders_only=True),),
+                possible_senders=writer_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+        builder.add_transition(
+            name=f"GET@{pid}",
+            process_id=pid,
+            message_type="GET",
+            action=_get_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("VAL", to_senders_only=True),),
+                possible_senders=reader_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+
+    # Readers ------------------------------------------------------------------
+    for pid in readers:
+        builder.add_transition(
+            name=f"READ_START@{pid}",
+            process_id=pid,
+            message_type="READ_START",
+            guard=_read_start_guard,
+            action=_read_start_action(bases, writer),
+            annotation=LporAnnotation(
+                sends=(SendSpec("GET", recipients=base_set),),
+                possible_senders=frozenset({DRIVER}),
+                spec_reads=frozenset({writer}),
+                starts_instance=True,
+                priority=3,
+            ),
+        )
+        builder.add_transition(
+            name=f"VAL@{pid}",
+            process_id=pid,
+            message_type="VAL",
+            quorum=exact_quorum(config.majority),
+            guard=_val_guard,
+            action=_val_action(writer),
+            annotation=LporAnnotation(
+                possible_senders=base_set,
+                spec_reads=frozenset({writer}),
+                visible=True,
+                finishes_instance=True,
+                priority=0,
+            ),
+        )
+        builder.trigger("READ_START", pid)
+
+    builder.set_metadata(
+        protocol="regular storage",
+        model="quorum",
+        setting=config.setting_label,
+        majority=config.majority,
+    )
+    return builder.build()
+
+
+__all__ = ["build_storage_quorum"]

@@ -1,0 +1,185 @@
+"""Regular storage modelled with single-message transitions only.
+
+Quorum collection is simulated with per-message counting transitions, as in
+the paper's "no quorum" baseline models (Figure 3 pattern): the writer
+counts STORE_ACK messages, the reader counts VAL messages while tracking the
+highest timestamp seen, and the quorum's effect fires once the counter
+reaches the majority threshold.
+"""
+
+from __future__ import annotations
+
+from ...mp.builder import ProtocolBuilder
+from ...mp.message import DRIVER
+from ...mp.protocol import Protocol
+from ...mp.transition import ActionContext, LporAnnotation, SendSpec
+from .config import (
+    BaseObjectState,
+    ReaderState,
+    StorageConfig,
+    WriterState,
+)
+from .quorum import (
+    _get_action,
+    _read_start_action,
+    _read_start_guard,
+    _store_action,
+    _write_start_action,
+    _write_start_guard,
+)
+
+
+def _store_ack_single_action(majority: int):
+    """Writer STORE_ACK, one acknowledgement at a time."""
+
+    def action(local: WriterState, _messages, _ctx: ActionContext) -> WriterState:
+        if local.phase != "writing":
+            return local
+        count = local.ack_count + 1
+        if count >= majority:
+            return local.update(phase="done", ack_count=0)
+        return local.update(ack_count=count)
+
+    return action
+
+
+def _val_single_action(majority: int, writer_id: str):
+    """Reader VAL, one reply at a time, tracking the freshest value seen."""
+
+    def action(local: ReaderState, messages, ctx: ActionContext) -> ReaderState:
+        if local.phase != "reading":
+            return local
+        (message,) = messages
+        count = local.val_count + 1
+        highest_timestamp = local.highest_timestamp
+        highest_value = local.highest_value
+        if message["timestamp"] > highest_timestamp:
+            highest_timestamp = message["timestamp"]
+            highest_value = message["value"]
+        if count >= majority:
+            write_done = ctx.spec_read(writer_id).phase == "done"
+            return local.update(
+                phase="done",
+                returned=highest_value,
+                write_done_at_end=write_done,
+                val_count=0,
+                highest_timestamp=-1,
+                highest_value=None,
+            )
+        return local.update(
+            val_count=count,
+            highest_timestamp=highest_timestamp,
+            highest_value=highest_value,
+        )
+
+    return action
+
+
+def build_storage_single(config: StorageConfig) -> Protocol:
+    """Build the single-message ("no quorum") regular storage model."""
+    builder = ProtocolBuilder(f"regular storage {config.setting_label} single-message")
+    writer = config.writer_id()
+    bases = config.base_ids()
+    readers = config.reader_ids()
+    base_set = frozenset(bases)
+    writer_set = frozenset({writer})
+    reader_set = frozenset(readers)
+
+    builder.add_process(writer, "writer", WriterState())
+    for pid in bases:
+        builder.add_process(pid, "base", BaseObjectState())
+    for pid in readers:
+        builder.add_process(pid, "reader", ReaderState())
+
+    builder.add_transition(
+        name=f"WRITE_START@{writer}",
+        process_id=writer,
+        message_type="WRITE_START",
+        guard=_write_start_guard,
+        action=_write_start_action(bases),
+        annotation=LporAnnotation(
+            sends=(SendSpec("STORE", recipients=base_set),),
+            possible_senders=frozenset({DRIVER}),
+            starts_instance=True,
+            priority=3,
+        ),
+    )
+    builder.add_transition(
+        name=f"STORE_ACK@{writer}",
+        process_id=writer,
+        message_type="STORE_ACK",
+        action=_store_ack_single_action(config.majority),
+        annotation=LporAnnotation(
+            possible_senders=base_set,
+            finishes_instance=True,
+            priority=1,
+        ),
+    )
+    builder.trigger("WRITE_START", writer)
+
+    for pid in bases:
+        builder.add_transition(
+            name=f"STORE@{pid}",
+            process_id=pid,
+            message_type="STORE",
+            action=_store_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("STORE_ACK", to_senders_only=True),),
+                possible_senders=writer_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+        builder.add_transition(
+            name=f"GET@{pid}",
+            process_id=pid,
+            message_type="GET",
+            action=_get_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("VAL", to_senders_only=True),),
+                possible_senders=reader_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+
+    for pid in readers:
+        builder.add_transition(
+            name=f"READ_START@{pid}",
+            process_id=pid,
+            message_type="READ_START",
+            guard=_read_start_guard,
+            action=_read_start_action(bases, writer),
+            annotation=LporAnnotation(
+                sends=(SendSpec("GET", recipients=base_set),),
+                possible_senders=frozenset({DRIVER}),
+                spec_reads=frozenset({writer}),
+                starts_instance=True,
+                priority=3,
+            ),
+        )
+        builder.add_transition(
+            name=f"VAL@{pid}",
+            process_id=pid,
+            message_type="VAL",
+            action=_val_single_action(config.majority, writer),
+            annotation=LporAnnotation(
+                possible_senders=base_set,
+                spec_reads=frozenset({writer}),
+                visible=True,
+                finishes_instance=True,
+                priority=0,
+            ),
+        )
+        builder.trigger("READ_START", pid)
+
+    builder.set_metadata(
+        protocol="regular storage",
+        model="single-message",
+        setting=config.setting_label,
+        majority=config.majority,
+    )
+    return builder.build()
+
+
+__all__ = ["build_storage_single"]

@@ -1,0 +1,41 @@
+"""Transition refinement strategies (Section III of the paper).
+
+Quorum-split, reply-split and combined-split transform a protocol into an
+equivalent one (same state graph, Definition 1) whose finer-grained
+transitions let the static partial-order reduction compute smaller stubborn
+sets.  The :mod:`refinement` module also provides an enumeration-based
+validator for the equivalence claim (Theorem 2).
+"""
+
+from .combined import combined_split, describe_split_opportunities
+from .quorum_split import (
+    quorum_split,
+    split_quorum_transition,
+    splittable_quorum_transitions,
+)
+from .refinement import (
+    RefinementError,
+    RefinementReport,
+    candidate_senders,
+    compare_state_graphs,
+    is_transition_refinement,
+    split_name,
+)
+from .reply_split import reply_split, split_reply_transition, splittable_reply_transitions
+
+__all__ = [
+    "RefinementError",
+    "RefinementReport",
+    "candidate_senders",
+    "combined_split",
+    "compare_state_graphs",
+    "describe_split_opportunities",
+    "is_transition_refinement",
+    "quorum_split",
+    "reply_split",
+    "split_name",
+    "split_quorum_transition",
+    "split_reply_transition",
+    "splittable_quorum_transitions",
+    "splittable_reply_transitions",
+]

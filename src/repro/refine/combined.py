@@ -1,0 +1,58 @@
+"""Combined-split: reply-split plus quorum-split (Table II's last column)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..mp.protocol import Protocol
+from .quorum_split import quorum_split, splittable_quorum_transitions
+from .reply_split import reply_split, splittable_reply_transitions
+
+
+def combined_split(
+    protocol: Protocol,
+    quorum_transition_names: Optional[Iterable[str]] = None,
+    reply_transition_names: Optional[Iterable[str]] = None,
+    suffix: str = " [combined-split]",
+) -> Protocol:
+    """Apply reply-split to reply transitions and quorum-split to the rest.
+
+    The paper's combined-split refines *all* of a protocol's reply
+    transitions and non-reply quorum transitions; this function does the
+    same by default and allows narrowing either side explicitly.
+    """
+    refined = reply_split(protocol, transition_names=reply_transition_names, suffix="")
+    refined = quorum_split(refined, transition_names=quorum_transition_names, suffix="")
+    return refined.with_transitions(
+        refined.transitions,
+        name=protocol.name + suffix,
+        metadata_updates={"refinement": "combined-split"},
+    )
+
+
+def describe_split_opportunities(protocol: Protocol) -> str:
+    """Summarise which transitions each strategy would refine.
+
+    Useful when modelling a new protocol: it lists the reply transitions and
+    exact quorum transitions the strategies would split, so missing
+    annotations (``is_reply``, ``possible_senders``) are easy to spot.
+    """
+    reply_candidates = splittable_reply_transitions(protocol)
+    quorum_candidates = splittable_quorum_transitions(protocol)
+    lines = [f"split opportunities for {protocol.name}:"]
+    lines.append("  reply-split candidates:")
+    if reply_candidates:
+        for transition in reply_candidates:
+            lines.append(f"    {transition.name} @ {transition.process_id}")
+    else:
+        lines.append("    (none)")
+    lines.append("  quorum-split candidates:")
+    if quorum_candidates:
+        for transition in quorum_candidates:
+            lines.append(
+                f"    {transition.name} @ {transition.process_id} "
+                f"(quorum size {transition.quorum.size})"
+            )
+    else:
+        lines.append("    (none)")
+    return "\n".join(lines)

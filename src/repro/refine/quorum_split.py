@@ -1,0 +1,109 @@
+"""Quorum-split: refine exact quorum transitions per sender set (Section III-C).
+
+For an exact quorum transition ``t`` with threshold ``q`` the strategy adds
+one transition ``t__Q`` per size-``q`` subset ``Q`` of the processes that may
+send messages to ``t``, restricted (via ``quorum_peers``) to consume messages
+from exactly that subset.  Theorem 2 guarantees the resulting protocol
+generates the same state graph; the validator in
+:mod:`repro.refine.refinement` checks this on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Iterable, List, Optional
+
+from ..mp.protocol import Protocol
+from ..mp.transition import TransitionSpec
+from .refinement import RefinementError, candidate_senders, split_name
+
+
+def splittable_quorum_transitions(protocol: Protocol) -> tuple:
+    """Return the transitions eligible for quorum-split.
+
+    Eligible transitions are exact quorum transitions (threshold > 1) that
+    have not already been restricted to a fixed peer set.
+    """
+    return tuple(
+        transition
+        for transition in protocol.transitions
+        if transition.is_quorum_transition and transition.quorum_peers is None
+    )
+
+
+def split_quorum_transition(
+    protocol: Protocol, transition: TransitionSpec
+) -> List[TransitionSpec]:
+    """Return the quorum-split replacements of a single transition."""
+    if not transition.is_quorum_transition:
+        raise RefinementError(
+            f"{transition.name} is not a quorum transition; nothing to split"
+        )
+    if transition.quorum_peers is not None:
+        raise RefinementError(f"{transition.name} is already restricted to fixed peers")
+    senders = candidate_senders(protocol, transition)
+    size = transition.quorum.size
+    if len(senders) < size:
+        raise RefinementError(
+            f"{transition.name}: only {len(senders)} candidate senders for a "
+            f"quorum of {size}; the transition can never fire"
+        )
+    replacements = []
+    for combo in itertools.combinations(senders, size):
+        peers = frozenset(combo)
+        replacements.append(
+            replace(
+                transition,
+                name=split_name(transition.name, peers),
+                quorum_peers=peers,
+                refined_from=transition.base_name,
+                annotation=replace(transition.annotation, possible_senders=peers),
+            )
+        )
+    return replacements
+
+
+def quorum_split(
+    protocol: Protocol,
+    transition_names: Optional[Iterable[str]] = None,
+    suffix: str = " [quorum-split]",
+) -> Protocol:
+    """Apply quorum-split to a protocol.
+
+    Args:
+        protocol: The protocol to refine.
+        transition_names: Base names of the transitions to split; by default
+            every eligible exact quorum transition is split.
+        suffix: Appended to the protocol name of the refined model.
+
+    Returns:
+        A new protocol whose selected quorum transitions are replaced by one
+        transition per sender combination.
+    """
+    if transition_names is None:
+        selected = {transition.name for transition in splittable_quorum_transitions(protocol)}
+    else:
+        selected = set(transition_names)
+        known = set(protocol.transition_names())
+        unknown = selected - known
+        if unknown:
+            raise RefinementError(f"unknown transitions to split: {sorted(unknown)}")
+
+    new_transitions: List[TransitionSpec] = []
+    split_count = 0
+    for transition in protocol.transitions:
+        if transition.name in selected:
+            new_transitions.extend(split_quorum_transition(protocol, transition))
+            split_count += 1
+        else:
+            new_transitions.append(transition)
+
+    return protocol.with_transitions(
+        new_transitions,
+        name=protocol.name + suffix,
+        metadata_updates={
+            "refinement": "quorum-split",
+            "split_transitions": split_count,
+        },
+    )

@@ -1,0 +1,109 @@
+"""General transition refinement (Section III-B).
+
+A transition refinement replaces the transition set of a protocol by another
+one that generates *exactly the same state graph* (Definition 1).  The
+functions here provide the shared plumbing of the concrete strategies
+(quorum-split, reply-split) and a validator that checks Definition 1 by
+enumeration on small instances — the executable counterpart of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from ..mp.message import DRIVER
+from ..mp.protocol import Protocol
+from ..mp.semantics import state_graph_edges
+from ..mp.transition import TransitionSpec
+
+
+class RefinementError(Exception):
+    """A refinement strategy was applied to an unsuitable transition."""
+
+
+def candidate_senders(protocol: Protocol, transition: TransitionSpec) -> Tuple[str, ...]:
+    """Processes that may send messages consumed by ``transition``.
+
+    Uses the transition's static annotation when available and otherwise
+    falls back to every process except the executing one, mirroring the
+    conservative automatic detection described in Section III-C
+    ("otherwise we conservatively assume that i can be in such a set").
+    The driver pseudo-process is never a quorum member.
+    """
+    declared = transition.effective_senders()
+    if declared is not None:
+        senders = tuple(sorted(pid for pid in declared if pid != DRIVER))
+    else:
+        senders = tuple(
+            pid for pid in protocol.process_ids if pid != transition.process_id
+        )
+    return senders
+
+
+def split_name(base: str, peers: FrozenSet[str]) -> str:
+    """Canonical name of a split transition: ``BASE__peer1_peer2``.
+
+    Mirrors MP-Basset's double-underscore naming convention for quorum-split
+    transitions (Appendix I).
+    """
+    return base + "__" + "_".join(sorted(peers))
+
+
+@dataclass(frozen=True)
+class RefinementReport:
+    """Outcome of validating a refinement by state-graph enumeration.
+
+    Attributes:
+        equivalent: True if both protocols generate the same state graph.
+        original_states: Number of states of the original protocol.
+        refined_states: Number of states of the refined protocol.
+        original_edges: Number of edges (state pairs) of the original.
+        refined_edges: Number of edges of the refined protocol.
+        missing_edges: Edges present in the original but not the refinement.
+        extra_edges: Edges present in the refinement but not the original.
+    """
+
+    equivalent: bool
+    original_states: int
+    refined_states: int
+    original_edges: int
+    refined_edges: int
+    missing_edges: int
+    extra_edges: int
+
+
+def compare_state_graphs(
+    original: Protocol,
+    refined: Protocol,
+    max_states: Optional[int] = 200_000,
+) -> RefinementReport:
+    """Enumerate and compare the state graphs of two protocols.
+
+    This is the executable form of Definition 1: the refinement is valid iff
+    both protocols generate identical sets of states and edges.  Only
+    intended for instances small enough to enumerate exhaustively.
+    """
+    original_states, original_edges = state_graph_edges(original, max_states=max_states)
+    refined_states, refined_edges = state_graph_edges(refined, max_states=max_states)
+    missing = original_edges - refined_edges
+    extra = refined_edges - original_edges
+    equivalent = original_states == refined_states and not missing and not extra
+    return RefinementReport(
+        equivalent=equivalent,
+        original_states=len(original_states),
+        refined_states=len(refined_states),
+        original_edges=len(original_edges),
+        refined_edges=len(refined_edges),
+        missing_edges=len(missing),
+        extra_edges=len(extra),
+    )
+
+
+def is_transition_refinement(
+    original: Protocol,
+    refined: Protocol,
+    max_states: Optional[int] = 200_000,
+) -> bool:
+    """True if ``refined`` is a transition refinement of ``original`` (Definition 1)."""
+    return compare_state_graphs(original, refined, max_states=max_states).equivalent

@@ -1,0 +1,133 @@
+"""Reply-split: refine reply transitions per communicating peer (Section III-D).
+
+A reply transition consumes messages and replies only to their senders
+(Definition 4).  Splitting it per peer tells the static POR two things at
+once: the split transition can only be *enabled by* that peer, and it can
+only *enable* transitions of that peer — which is why reply-split yields
+more reduction than plain quorum-split on protocols with request/reply
+structure (e.g. the Paxos READ / READ_REPL exchange).
+
+Following the paper's implementation note, only single-message reply
+transitions are split (the common case: acknowledgements and replies to a
+single request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional
+
+from ..mp.message import DRIVER
+from ..mp.protocol import Protocol
+from ..mp.transition import SendSpec, TransitionSpec
+from .refinement import RefinementError, candidate_senders
+
+
+def splittable_reply_transitions(protocol: Protocol) -> tuple:
+    """Return the transitions eligible for reply-split.
+
+    Eligible transitions are single-message transitions annotated as reply
+    transitions, not already restricted to a fixed peer, and not triggered
+    by the driver.
+    """
+    eligible = []
+    for transition in protocol.transitions:
+        if not transition.annotation.is_reply:
+            continue
+        if transition.is_quorum_transition:
+            continue
+        if transition.quorum_peers is not None:
+            continue
+        senders = candidate_senders(protocol, transition)
+        if not senders or senders == (DRIVER,):
+            continue
+        eligible.append(transition)
+    return tuple(eligible)
+
+
+def _narrow_sends(transition: TransitionSpec, peer: str) -> tuple:
+    """Pin reply sends of the split transition to the single peer."""
+    narrowed = []
+    for send in transition.annotation.sends:
+        if send.to_senders_only and send.recipients is None:
+            narrowed.append(SendSpec(mtype=send.mtype, recipients=frozenset({peer}),
+                                     to_senders_only=True))
+        else:
+            narrowed.append(send)
+    return tuple(narrowed)
+
+
+def split_reply_transition(
+    protocol: Protocol, transition: TransitionSpec
+) -> List[TransitionSpec]:
+    """Return the reply-split replacements of a single transition."""
+    if not transition.annotation.is_reply:
+        raise RefinementError(f"{transition.name} is not annotated as a reply transition")
+    if transition.is_quorum_transition:
+        raise RefinementError(
+            f"{transition.name} is a quorum transition; reply-split supports "
+            "single-message reply transitions only"
+        )
+    if transition.quorum_peers is not None:
+        raise RefinementError(f"{transition.name} is already restricted to a fixed peer")
+    senders = candidate_senders(protocol, transition)
+    if not senders:
+        raise RefinementError(f"{transition.name}: no candidate senders to split over")
+    replacements = []
+    for peer in senders:
+        peers = frozenset({peer})
+        replacements.append(
+            replace(
+                transition,
+                name=f"{transition.name}_{peer}",
+                quorum_peers=peers,
+                refined_from=transition.base_name,
+                annotation=replace(
+                    transition.annotation,
+                    possible_senders=peers,
+                    sends=_narrow_sends(transition, peer),
+                ),
+            )
+        )
+    return replacements
+
+
+def reply_split(
+    protocol: Protocol,
+    transition_names: Optional[Iterable[str]] = None,
+    suffix: str = " [reply-split]",
+) -> Protocol:
+    """Apply reply-split to a protocol.
+
+    Args:
+        protocol: The protocol to refine.
+        transition_names: Base names of the reply transitions to split; by
+            default every eligible reply transition is split.
+        suffix: Appended to the protocol name of the refined model.
+    """
+    if transition_names is None:
+        selected = {transition.name for transition in splittable_reply_transitions(protocol)}
+    else:
+        selected = set(transition_names)
+        known = set(protocol.transition_names())
+        unknown = selected - known
+        if unknown:
+            raise RefinementError(f"unknown transitions to split: {sorted(unknown)}")
+
+    new_transitions: List[TransitionSpec] = []
+    split_count = 0
+    for transition in protocol.transitions:
+        if transition.name in selected:
+            new_transitions.extend(split_reply_transition(protocol, transition))
+            split_count += 1
+        else:
+            new_transitions.append(transition)
+
+    return protocol.with_transitions(
+        new_transitions,
+        name=protocol.name + suffix,
+        metadata_updates={
+            "refinement": "reply-split",
+            "split_transitions": split_count,
+        },
+    )

@@ -1,0 +1,56 @@
+"""Tests of the Section II-C interleaving blow-up formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis.blowup import (
+    blowup_factor,
+    blowup_lower_bound,
+    interleaving_state_bound,
+    paxos_blowup_bound,
+    paxos_smallest_instance_example,
+    paxos_transition_count,
+    single_message_state_bound,
+)
+from repro.protocols.paxos import PaxosConfig, build_paxos_quorum
+
+
+class TestBounds:
+    @pytest.mark.parametrize("k, expected", [(0, 0), (1, 1), (2, 4), (3, 18), (4, 96)])
+    def test_interleaving_bound_is_k_factorial_times_k(self, k, expected):
+        assert interleaving_state_bound(k) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            interleaving_state_bound(-1)
+
+    def test_single_message_bound_shifts_by_quorum_size(self):
+        assert single_message_state_bound(3, 2) == interleaving_state_bound(5)
+
+    @pytest.mark.parametrize("k, l", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 5)])
+    def test_paper_inequality_factor_at_least_k_plus_l_squared(self, k, l):
+        assert blowup_factor(k, l) >= blowup_lower_bound(k, l)
+
+    def test_blowup_factor_requires_concurrency(self):
+        with pytest.raises(ValueError):
+            blowup_factor(0, 2)
+
+
+class TestPaxosExample:
+    def test_paper_quotes_169(self):
+        example = paxos_smallest_instance_example()
+        assert example.bound == 169
+
+    def test_transition_count_matches_model(self):
+        config = PaxosConfig(1, 3, 1)
+        protocol = build_paxos_quorum(config)
+        assert paxos_transition_count(config) == len(protocol.transitions)
+
+    def test_blowup_bound_uses_process_count(self):
+        config = PaxosConfig(1, 3, 1)
+        transitions = paxos_transition_count(config)
+        assert paxos_blowup_bound(config) == (transitions + 5) ** 2
+
+    def test_bound_grows_with_setting(self):
+        assert paxos_blowup_bound(PaxosConfig(2, 3, 1)) > paxos_blowup_bound(PaxosConfig(1, 3, 1))

@@ -1,0 +1,54 @@
+"""Tests of the reduction-percentage helpers."""
+
+from repro.analysis.comparison import compare_results, reduction_percentage
+from repro.checker.result import CheckResult, SearchStatistics
+
+
+def make_result(states, seconds, strategy="spor"):
+    return CheckResult(
+        protocol_name="p",
+        property_name="q",
+        strategy=strategy,
+        verified=True,
+        complete=True,
+        statistics=SearchStatistics(states_visited=states, elapsed_seconds=seconds),
+    )
+
+
+class TestReductionPercentage:
+    def test_half_saved(self):
+        assert reduction_percentage(200, 100) == 50.0
+
+    def test_no_saving(self):
+        assert reduction_percentage(100, 100) == 0.0
+
+    def test_negative_when_worse(self):
+        assert reduction_percentage(100, 150) == -50.0
+
+    def test_zero_baseline_is_zero(self):
+        assert reduction_percentage(0, 10) == 0.0
+
+
+class TestCompareResults:
+    def test_percentages_and_labels(self):
+        baseline = make_result(1000, 10.0, strategy="unreduced")
+        improved = make_result(100, 2.0, strategy="spor")
+        comparison = compare_results(baseline, improved)
+        assert comparison.state_reduction_percent == 90.0
+        assert comparison.time_reduction_percent == 80.0
+        assert comparison.baseline_label == "unreduced"
+        assert comparison.improved_label == "spor"
+
+    def test_custom_labels(self):
+        comparison = compare_results(
+            make_result(10, 1.0), make_result(5, 0.5),
+            baseline_label="no quorum", improved_label="quorum",
+        )
+        assert comparison.baseline_label == "no quorum"
+        assert comparison.improved_label == "quorum"
+
+    def test_summary_mentions_counts(self):
+        comparison = compare_results(make_result(1000, 10.0), make_result(100, 2.0))
+        summary = comparison.summary()
+        assert "90%" in summary
+        assert "1000" in summary and "100" in summary

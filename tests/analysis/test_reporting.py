@@ -1,0 +1,59 @@
+"""Tests of the paper-style table rendering."""
+
+from repro.analysis.reporting import EvaluationTable, TableRow, format_count, format_duration
+from repro.checker.result import CheckResult, SearchStatistics
+
+
+def make_result(states, seconds):
+    return CheckResult(
+        protocol_name="p", property_name="q", strategy="spor",
+        verified=True, complete=True,
+        statistics=SearchStatistics(states_visited=states, elapsed_seconds=seconds),
+    )
+
+
+class TestFormatting:
+    def test_format_duration_milliseconds(self):
+        assert format_duration(0.25) == "250ms"
+
+    def test_format_duration_seconds(self):
+        assert format_duration(12.4) == "12s"
+
+    def test_format_duration_minutes(self):
+        assert format_duration(184) == "3m4s"
+
+    def test_format_duration_hours(self):
+        assert format_duration(9 * 3600 + 37 * 60) == "9h37m"
+
+    def test_format_count_thousands_separator(self):
+        assert format_count(2822764) == "2,822,764"
+
+
+class TestEvaluationTable:
+    def build_table(self):
+        table = EvaluationTable(title="Table I", columns=["No quorum", "Quorum"])
+        row = table.new_row("Paxos (2,3,1)", "consensus", "Verified")
+        row.add_result("No quorum", make_result(500, 2.0))
+        row.add_result("Quorum", make_result(200, 1.0))
+        return table
+
+    def test_render_contains_headers_and_values(self):
+        text = self.build_table().render()
+        assert "Table I" in text
+        assert "No quorum states" in text
+        assert "500" in text and "200" in text
+        assert "Verified" in text
+
+    def test_missing_cells_rendered_as_dash(self):
+        table = EvaluationTable(title="T", columns=["A", "B"])
+        table.new_row("X", "p", "CE").add_result("A", make_result(5, 0.1))
+        assert "-" in table.render()
+
+    def test_best_column_per_row(self):
+        table = self.build_table()
+        assert table.best_column_per_row() == {"Paxos (2,3,1)": "Quorum"}
+
+    def test_best_column_handles_empty_rows(self):
+        table = EvaluationTable(title="T", columns=["A"])
+        table.add_row(TableRow(protocol="empty", property_name="p", outcome="Verified"))
+        assert table.best_column_per_row() == {"empty": None}

@@ -1,0 +1,87 @@
+"""Unit tests for invariant properties."""
+
+from repro.checker.property import (
+    Invariant,
+    always_true,
+    conjunction,
+    local_state_invariant,
+)
+from repro.mp.semantics import apply_execution, enabled_executions
+
+from ..conftest import build_vote_collection
+
+
+def final_state(protocol):
+    """Run the protocol to some terminal state (deterministic first-choice walk)."""
+    state = protocol.initial_state()
+    while True:
+        enabled = enabled_executions(state, protocol)
+        if not enabled:
+            return state
+        state = apply_execution(state, enabled[0])
+
+
+class TestInvariant:
+    def test_holds_in_true(self, vote_collection):
+        invariant = always_true()
+        assert invariant.holds_in(vote_collection.initial_state(), vote_collection)
+
+    def test_predicate_receives_state_and_protocol(self, vote_collection):
+        seen = {}
+
+        def predicate(state, protocol):
+            seen["state"] = state
+            seen["protocol"] = protocol
+            return True
+
+        Invariant("probe", predicate).holds_in(vote_collection.initial_state(), vote_collection)
+        assert seen["protocol"] is vote_collection
+
+    def test_negated_invariant(self, vote_collection):
+        invariant = always_true()
+        negated = invariant.negated()
+        state = vote_collection.initial_state()
+        assert not negated.holds_in(state, vote_collection)
+        assert negated.name == "not(true)"
+
+    def test_negated_custom_name(self):
+        assert always_true().negated("falsehood").name == "falsehood"
+
+
+class TestConjunction:
+    def test_conjunction_all_hold(self, vote_collection):
+        combined = conjunction("both", [always_true("a"), always_true("b")])
+        assert combined.holds_in(vote_collection.initial_state(), vote_collection)
+        assert "a" in combined.description and "b" in combined.description
+
+    def test_conjunction_one_fails(self, vote_collection):
+        failing = Invariant("never", lambda _s, _p: False)
+        combined = conjunction("both", [always_true(), failing])
+        assert not combined.holds_in(vote_collection.initial_state(), vote_collection)
+
+    def test_empty_conjunction_holds(self, vote_collection):
+        combined = conjunction("empty", [])
+        assert combined.holds_in(vote_collection.initial_state(), vote_collection)
+
+
+class TestLocalStateInvariant:
+    def test_holds_for_all_processes_of_type(self):
+        protocol = build_vote_collection(voters=3, quorum=2)
+        invariant = local_state_invariant(
+            "not-voted-initially", "voter", lambda local: not local.voted
+        )
+        assert invariant.holds_in(protocol.initial_state(), protocol)
+
+    def test_fails_once_some_process_violates(self):
+        protocol = build_vote_collection(voters=2, quorum=2)
+        invariant = local_state_invariant(
+            "never-voted", "voter", lambda local: not local.voted
+        )
+        assert not invariant.holds_in(final_state(protocol), protocol)
+
+    def test_ignores_other_process_types(self):
+        protocol = build_vote_collection(voters=2, quorum=2)
+        invariant = local_state_invariant(
+            "collector-only", "collector", lambda local: local.votes_seen <= 2
+        )
+        assert invariant.holds_in(final_state(protocol), protocol)

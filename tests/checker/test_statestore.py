@@ -1,0 +1,72 @@
+"""Unit tests for visited-state stores."""
+
+import pytest
+
+from repro.checker.statestore import (
+    FingerprintStore,
+    FullStateStore,
+    NullStateStore,
+    make_state_store,
+)
+from repro.mp.channel import Network
+from repro.mp.state import GlobalState
+
+
+def make_state(value):
+    return GlobalState([("p", value)], Network.empty())
+
+
+class TestFullStateStore:
+    def test_add_new_state_returns_true(self):
+        store = FullStateStore()
+        assert store.add(make_state(1))
+
+    def test_add_duplicate_returns_false(self):
+        store = FullStateStore()
+        store.add(make_state(1))
+        assert not store.add(make_state(1))
+
+    def test_contains_and_len(self):
+        store = FullStateStore()
+        store.add(make_state(1))
+        store.add(make_state(2))
+        assert make_state(1) in store
+        assert make_state(3) not in store
+        assert len(store) == 2
+
+
+class TestFingerprintStore:
+    def test_add_and_membership(self):
+        store = FingerprintStore()
+        assert store.add(make_state(1))
+        assert not store.add(make_state(1))
+        assert make_state(1) in store
+        assert len(store) == 1
+
+    def test_distinct_states_distinct_fingerprints(self):
+        store = FingerprintStore()
+        store.add(make_state(1))
+        store.add(make_state(2))
+        assert len(store) == 2
+
+
+class TestNullStateStore:
+    def test_never_remembers(self):
+        store = NullStateStore()
+        assert store.add(make_state(1))
+        assert store.add(make_state(1))
+        assert make_state(1) not in store
+        assert len(store) == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind, cls",
+        [("full", FullStateStore), ("fingerprint", FingerprintStore), ("none", NullStateStore)],
+    )
+    def test_known_kinds(self, kind, cls):
+        assert isinstance(make_state_store(kind), cls)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_state_store("bogus")

@@ -1,0 +1,180 @@
+"""Shared fixtures: small hand-built protocols used across the test suite.
+
+The toy protocols here are deliberately tiny so that unit tests of the
+checker, the reduction and the refinement strategies can enumerate full
+state graphs in milliseconds; the real protocol models have their own test
+modules under ``tests/protocols``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.mp import (
+    ActionContext,
+    LporAnnotation,
+    ProtocolBuilder,
+    SendSpec,
+    exact_quorum,
+)
+from repro.mp.process import LocalState
+
+
+# --------------------------------------------------------------------------- #
+# Ping-pong: two processes, single-message transitions only
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PingState(LocalState):
+    """Pinger local state: pings sent and pongs received."""
+
+    sent: int = 0
+    pongs: int = 0
+
+
+@dataclass(frozen=True)
+class PongState(LocalState):
+    """Ponger local state: how many pings it has answered."""
+
+    pings: int = 0
+
+
+def _start_action(local: PingState, _messages, ctx: ActionContext) -> PingState:
+    ctx.send("pong", "PING")
+    return local.update(sent=local.sent + 1)
+
+
+def _ping_action(local: PongState, messages, ctx: ActionContext) -> PongState:
+    (message,) = messages
+    ctx.send(message.sender, "PONG")
+    return local.update(pings=local.pings + 1)
+
+
+def _pong_action(local: PingState, _messages, _ctx: ActionContext) -> PingState:
+    return local.update(pongs=local.pongs + 1)
+
+
+def build_ping_pong(rounds: int = 1):
+    """The driver starts ``rounds`` pings; the ponger echoes each one."""
+    builder = ProtocolBuilder(f"ping-pong x{rounds}")
+    builder.add_process("ping", "pinger", PingState())
+    builder.add_process("pong", "ponger", PongState())
+    builder.add_transition(
+        name="START@ping",
+        process_id="ping",
+        message_type="START",
+        action=_start_action,
+        annotation=LporAnnotation(
+            sends=(SendSpec("PING", recipients=frozenset({"pong"})),),
+            possible_senders=frozenset({"driver"}),
+            starts_instance=True,
+        ),
+    )
+    builder.add_transition(
+        name="PING@pong",
+        process_id="pong",
+        message_type="PING",
+        action=_ping_action,
+        annotation=LporAnnotation(
+            sends=(SendSpec("PONG", to_senders_only=True),),
+            possible_senders=frozenset({"ping"}),
+            is_reply=True,
+        ),
+    )
+    builder.add_transition(
+        name="PONG@ping",
+        process_id="ping",
+        message_type="PONG",
+        action=_pong_action,
+        annotation=LporAnnotation(
+            possible_senders=frozenset({"pong"}),
+            visible=True,
+            finishes_instance=True,
+        ),
+    )
+    for _ in range(rounds):
+        builder.trigger("START", "ping")
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- #
+# Vote collection: one collector with a quorum transition over n voters
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class VoterState(LocalState):
+    """Voter local state: whether it has voted yet."""
+
+    voted: bool = False
+
+
+@dataclass(frozen=True)
+class CollectorState(LocalState):
+    """Collector local state: whether the decision was taken."""
+
+    decided: bool = False
+    votes_seen: int = 0
+
+
+def _vote_action(local: VoterState, _messages, ctx: ActionContext) -> VoterState:
+    ctx.send("collector", "VOTE", choice="yes")
+    return local.update(voted=True)
+
+
+def _collect_action(local: CollectorState, messages, _ctx: ActionContext) -> CollectorState:
+    return local.update(decided=True, votes_seen=len(messages))
+
+
+def build_vote_collection(voters: int = 3, quorum: int = 2):
+    """``voters`` voter processes each cast one vote; the collector needs ``quorum``."""
+    builder = ProtocolBuilder(f"vote-collection {voters}/{quorum}")
+    voter_ids = tuple(f"voter{i + 1}" for i in range(voters))
+    builder.add_process("collector", "collector", CollectorState())
+    for pid in voter_ids:
+        builder.add_process(pid, "voter", VoterState())
+        builder.add_transition(
+            name=f"CAST@{pid}",
+            process_id=pid,
+            message_type="CAST",
+            action=_vote_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("VOTE", recipients=frozenset({"collector"})),),
+                possible_senders=frozenset({"driver"}),
+                starts_instance=True,
+            ),
+        )
+        builder.trigger("CAST", pid)
+    builder.add_transition(
+        name="VOTE@collector",
+        process_id="collector",
+        message_type="VOTE",
+        quorum=exact_quorum(quorum),
+        action=_collect_action,
+        annotation=LporAnnotation(
+            possible_senders=frozenset(voter_ids),
+            visible=True,
+            finishes_instance=True,
+        ),
+    )
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- #
+# Fixtures
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def ping_pong():
+    """Single-round ping-pong protocol."""
+    return build_ping_pong(rounds=1)
+
+
+@pytest.fixture
+def ping_pong_two_rounds():
+    """Two-round ping-pong protocol (non-trivial interleavings)."""
+    return build_ping_pong(rounds=2)
+
+
+@pytest.fixture
+def vote_collection():
+    """Three voters, quorum of two."""
+    return build_vote_collection(voters=3, quorum=2)

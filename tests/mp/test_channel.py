@@ -1,0 +1,126 @@
+"""Unit tests for the network multiset."""
+
+import pytest
+
+from repro.mp.channel import Network
+from repro.mp.message import Message
+
+
+def msg(mtype="M", sender="a", recipient="b", **fields):
+    return Message.make(mtype, sender, recipient, **fields)
+
+
+class TestConstruction:
+    def test_empty_network(self):
+        network = Network.empty()
+        assert len(network) == 0
+        assert not network
+
+    def test_of_messages(self):
+        network = Network.of([msg(x=1), msg(x=2)])
+        assert len(network) == 2
+
+    def test_duplicates_are_counted(self):
+        network = Network.of([msg(), msg()])
+        assert len(network) == 2
+        assert network.count(msg()) == 2
+
+    def test_zero_or_negative_counts_dropped(self):
+        network = Network([(msg(), 0), (msg(x=1), -2)])
+        assert len(network) == 0
+
+    def test_items_are_deterministic(self):
+        first = Network.of([msg(x=2), msg(x=1)])
+        second = Network.of([msg(x=1), msg(x=2)])
+        assert first.items == second.items
+
+
+class TestQueries:
+    def test_count_absent_message_is_zero(self):
+        assert Network.empty().count(msg()) == 0
+
+    def test_iter_repeats_by_multiplicity(self):
+        network = Network.of([msg(), msg(), msg(x=1)])
+        assert len(list(network)) == 3
+
+    def test_distinct_ignores_multiplicity(self):
+        network = Network.of([msg(), msg(), msg(x=1)])
+        assert len(list(network.distinct())) == 2
+
+    def test_pending_for_filters_recipient(self):
+        network = Network.of([msg(recipient="b"), msg(recipient="c")])
+        assert len(network.pending_for("b")) == 1
+
+    def test_pending_for_filters_type(self):
+        network = Network.of([msg(mtype="X"), msg(mtype="Y")])
+        assert len(network.pending_for("b", mtype="X")) == 1
+
+    def test_pending_for_filters_sender(self):
+        network = Network.of([msg(sender="a"), msg(sender="z")])
+        assert len(network.pending_for("b", sender="z")) == 1
+
+    def test_channel_view(self):
+        network = Network.of([msg(sender="a", recipient="b"), msg(sender="c", recipient="b")])
+        assert len(network.channel("a", "b")) == 1
+
+    def test_senders_to(self):
+        network = Network.of([msg(sender="a"), msg(sender="c"), msg(sender="a", x=2)])
+        assert network.senders_to("b") == ("a", "c")
+
+    def test_senders_to_with_type_filter(self):
+        network = Network.of([msg(sender="a", mtype="X"), msg(sender="c", mtype="Y")])
+        assert network.senders_to("b", mtype="X") == ("a",)
+
+
+class TestUpdates:
+    def test_add_all_returns_new_network(self):
+        original = Network.empty()
+        updated = original.add_all([msg()])
+        assert len(original) == 0
+        assert len(updated) == 1
+
+    def test_add_all_empty_is_identity(self):
+        network = Network.of([msg()])
+        assert network.add_all([]) is network
+
+    def test_remove_all(self):
+        network = Network.of([msg(), msg(x=1)])
+        remaining = network.remove_all([msg()])
+        assert len(remaining) == 1
+        assert remaining.count(msg()) == 0
+
+    def test_remove_one_of_duplicates(self):
+        network = Network.of([msg(), msg()])
+        remaining = network.remove_all([msg()])
+        assert remaining.count(msg()) == 1
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Network.empty().remove_all([msg()])
+
+    def test_remove_more_than_present_raises(self):
+        network = Network.of([msg()])
+        with pytest.raises(KeyError):
+            network.remove_all([msg(), msg()])
+
+    def test_remove_all_empty_is_identity(self):
+        network = Network.of([msg()])
+        assert network.remove_all([]) is network
+
+
+class TestEqualityAndHashing:
+    def test_equal_networks_hash_equal(self):
+        first = Network.of([msg(), msg(x=1)])
+        second = Network.of([msg(x=1), msg()])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_different_multiplicity_not_equal(self):
+        assert Network.of([msg()]) != Network.of([msg(), msg()])
+
+    def test_not_equal_to_other_types(self):
+        assert Network.empty() != "network"
+
+    def test_repr_mentions_messages(self):
+        network = Network.of([msg(), msg()])
+        assert "x2" in repr(network)

@@ -1,0 +1,38 @@
+"""Unit tests for the MP error hierarchy."""
+
+import pytest
+
+from repro.mp.errors import (
+    MessageError,
+    MPError,
+    ProtocolDefinitionError,
+    QuorumSpecificationError,
+    TransitionExecutionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_cls",
+        [
+            MessageError,
+            ProtocolDefinitionError,
+            QuorumSpecificationError,
+            TransitionExecutionError,
+        ],
+    )
+    def test_all_errors_derive_from_mperror(self, error_cls):
+        assert issubclass(error_cls, MPError)
+        with pytest.raises(MPError):
+            raise error_cls("boom")
+
+    def test_catching_specific_error_does_not_catch_siblings(self):
+        with pytest.raises(MessageError):
+            try:
+                raise MessageError("payload")
+            except ProtocolDefinitionError:  # pragma: no cover - must not trigger
+                pytest.fail("MessageError must not be caught as ProtocolDefinitionError")
+
+    def test_error_messages_preserved(self):
+        error = QuorumSpecificationError("quorum size must be positive")
+        assert "positive" in str(error)

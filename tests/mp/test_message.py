@@ -1,0 +1,104 @@
+"""Unit tests for messages and payload canonicalisation."""
+
+import pytest
+
+from repro.mp.errors import MessageError
+from repro.mp.message import DRIVER, Message, driver_message, freeze_payload
+
+
+class TestMessageConstruction:
+    def test_make_builds_sorted_payload(self):
+        message = Message.make("READ", "p1", "a1", zeta=1, alpha=2)
+        assert message.payload == (("alpha", 2), ("zeta", 1))
+
+    def test_make_without_fields_has_empty_payload(self):
+        message = Message.make("PING", "a", "b")
+        assert message.payload == ()
+
+    def test_messages_are_hashable(self):
+        first = Message.make("READ", "p1", "a1", n=1)
+        second = Message.make("READ", "p1", "a1", n=1)
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_equal_payload_different_order_is_equal(self):
+        first = Message.make("M", "a", "b", x=1, y=2)
+        second = Message.make("M", "a", "b", y=2, x=1)
+        assert first == second
+
+    def test_different_payload_not_equal(self):
+        first = Message.make("M", "a", "b", x=1)
+        second = Message.make("M", "a", "b", x=2)
+        assert first != second
+
+    def test_unhashable_payload_rejected(self):
+        with pytest.raises(MessageError):
+            Message.make("M", "a", "b", bad=bytearray(b"mutable"))
+
+
+class TestPayloadFreezing:
+    def test_list_payload_becomes_tuple(self):
+        message = Message.make("M", "a", "b", items=[1, 2, 3])
+        assert message["items"] == (1, 2, 3)
+
+    def test_nested_list_payload(self):
+        message = Message.make("M", "a", "b", items=[[1], [2]])
+        assert message["items"] == ((1,), (2,))
+
+    def test_set_payload_becomes_frozenset(self):
+        message = Message.make("M", "a", "b", items={1, 2})
+        assert message["items"] == frozenset({1, 2})
+
+    def test_dict_payload_becomes_sorted_pairs(self):
+        frozen = freeze_payload({"outer": {"b": 2, "a": 1}})
+        assert frozen == (("outer", (("a", 1), ("b", 2))),)
+
+
+class TestMessageAccessors:
+    def test_getitem_returns_field(self):
+        message = Message.make("READ", "p1", "a1", proposal_no=7)
+        assert message["proposal_no"] == 7
+
+    def test_getitem_missing_raises_keyerror(self):
+        message = Message.make("READ", "p1", "a1")
+        with pytest.raises(KeyError):
+            message["missing"]
+
+    def test_get_returns_default_for_missing(self):
+        message = Message.make("READ", "p1", "a1")
+        assert message.get("missing", 42) == 42
+
+    def test_contains(self):
+        message = Message.make("READ", "p1", "a1", proposal_no=7)
+        assert "proposal_no" in message
+        assert "other" not in message
+
+    def test_fields_returns_dict_copy(self):
+        message = Message.make("READ", "p1", "a1", proposal_no=7, value="x")
+        assert message.fields() == {"proposal_no": 7, "value": "x"}
+
+    def test_channel_is_sender_recipient_pair(self):
+        message = Message.make("READ", "p1", "a1")
+        assert message.channel() == ("p1", "a1")
+
+    def test_describe_mentions_type_and_endpoints(self):
+        message = Message.make("READ", "p1", "a1", n=1)
+        text = message.describe()
+        assert "READ" in text and "p1" in text and "a1" in text
+
+    def test_sort_key_is_total_even_with_mixed_payload_types(self):
+        first = Message.make("M", "a", "b", v=1)
+        second = Message.make("M", "a", "b", v="text")
+        assert sorted([first, second], key=Message.sort_key)
+
+
+class TestDriverMessages:
+    def test_driver_message_sender(self):
+        message = driver_message("PROPOSE", "proposer1")
+        assert message.sender == DRIVER
+        assert message.recipient == "proposer1"
+        assert message.mtype == "PROPOSE"
+
+    def test_driver_message_payload(self):
+        message = driver_message("START", "p", round=3)
+        assert message["round"] == 3

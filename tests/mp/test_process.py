@@ -1,0 +1,57 @@
+"""Unit tests for process declarations and the LocalState helper base class."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.mp.process import LocalState, ProcessDecl
+
+
+@dataclass(frozen=True)
+class Sample(LocalState):
+    phase: str = "idle"
+    count: int = 0
+
+
+class NotADataclass(LocalState):
+    """LocalState subclass that forgot the @dataclass decorator."""
+
+
+class TestLocalState:
+    def test_update_returns_modified_copy(self):
+        original = Sample()
+        updated = original.update(phase="busy", count=2)
+        assert updated == Sample(phase="busy", count=2)
+        assert original == Sample()
+
+    def test_update_with_no_changes_is_equal_copy(self):
+        original = Sample(phase="busy")
+        assert original.update() == original
+
+    def test_update_requires_dataclass(self):
+        with pytest.raises(TypeError):
+            NotADataclass().update(phase="busy")
+
+    def test_field_names_in_declaration_order(self):
+        assert Sample().field_names() == ("phase", "count")
+
+    def test_field_names_requires_dataclass(self):
+        with pytest.raises(TypeError):
+            NotADataclass().field_names()
+
+    def test_instances_are_hashable(self):
+        assert len({Sample(), Sample(), Sample(count=1)}) == 2
+
+
+class TestProcessDecl:
+    def test_valid_declaration(self):
+        decl = ProcessDecl("acceptor1", "acceptor", Sample())
+        assert decl.pid == "acceptor1"
+        assert decl.ptype == "acceptor"
+        assert decl.initial_state == Sample()
+
+    def test_declarations_are_hashable(self):
+        first = ProcessDecl("p", "t", Sample())
+        second = ProcessDecl("p", "t", Sample())
+        assert first == second
+        assert len({first, second}) == 1

@@ -1,0 +1,189 @@
+"""Unit tests for protocol definitions."""
+
+import pytest
+
+from repro.mp.builder import ProtocolBuilder
+from repro.mp.errors import ProtocolDefinitionError
+from repro.mp.message import Message, driver_message
+from repro.mp.process import ProcessDecl
+from repro.mp.protocol import Protocol
+from repro.mp.transition import TransitionSpec
+
+from ..conftest import CollectorState, PingState, PongState, build_ping_pong, build_vote_collection
+
+
+def noop_action(local, _messages, _ctx):
+    return local
+
+
+def make_transition(name="T", process_id="ping", message_type="M", **kwargs):
+    return TransitionSpec(
+        name=name, process_id=process_id, message_type=message_type,
+        action=noop_action, **kwargs,
+    )
+
+
+def two_processes():
+    return (
+        ProcessDecl("ping", "pinger", PingState()),
+        ProcessDecl("pong", "ponger", PongState()),
+    )
+
+
+class TestValidation:
+    def test_duplicate_process_ids_rejected(self):
+        processes = (
+            ProcessDecl("p", "x", PingState()),
+            ProcessDecl("p", "x", PingState()),
+        )
+        with pytest.raises(ProtocolDefinitionError):
+            Protocol("bad", processes, ())
+
+    def test_duplicate_transition_names_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            Protocol("bad", two_processes(), (make_transition(), make_transition()))
+
+    def test_transition_of_unknown_process_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            Protocol("bad", two_processes(), (make_transition(process_id="ghost"),))
+
+    def test_unknown_quorum_peers_rejected(self):
+        transition = make_transition(quorum_peers=frozenset({"ghost"}))
+        with pytest.raises(ProtocolDefinitionError):
+            Protocol("bad", two_processes(), (transition,))
+
+    def test_driver_allowed_as_quorum_peer(self):
+        transition = make_transition(quorum_peers=frozenset({"driver"}))
+        protocol = Protocol("ok", two_processes(), (transition,))
+        assert protocol.transition("T").quorum_peers == frozenset({"driver"})
+
+    def test_driver_message_to_unknown_process_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            Protocol(
+                "bad", two_processes(), (make_transition(),),
+                driver_messages=(driver_message("M", "ghost"),),
+            )
+
+    def test_unhashable_initial_state_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            ProcessDecl("p", "x", {"not": "hashable"})
+
+    def test_empty_pid_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            ProcessDecl("", "x", PingState())
+
+    def test_empty_ptype_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            ProcessDecl("p", "", PingState())
+
+
+class TestLookups:
+    def test_process_ids(self, ping_pong):
+        assert ping_pong.process_ids == ("ping", "pong")
+
+    def test_process_lookup(self, ping_pong):
+        assert ping_pong.process("ping").ptype == "pinger"
+
+    def test_process_lookup_unknown(self, ping_pong):
+        with pytest.raises(KeyError):
+            ping_pong.process("ghost")
+
+    def test_processes_of_type(self, vote_collection):
+        voters = vote_collection.processes_of_type("voter")
+        assert len(voters) == 3
+        assert all(process.ptype == "voter" for process in voters)
+
+    def test_transitions_of_process(self, ping_pong):
+        names = [t.name for t in ping_pong.transitions_of("pong")]
+        assert names == ["PING@pong"]
+
+    def test_transition_lookup(self, ping_pong):
+        assert ping_pong.transition("PONG@ping").process_id == "ping"
+
+    def test_transition_lookup_unknown(self, ping_pong):
+        with pytest.raises(KeyError):
+            ping_pong.transition("MISSING")
+
+    def test_transition_names(self, ping_pong):
+        assert set(ping_pong.transition_names()) == {"START@ping", "PING@pong", "PONG@ping"}
+
+    def test_transitions_by_base_name_groups_unrefined(self, ping_pong):
+        grouped = ping_pong.transitions_by_base_name()
+        assert set(grouped) == {"START@ping", "PING@pong", "PONG@ping"}
+        assert all(len(specs) == 1 for specs in grouped.values())
+
+
+class TestInitialState:
+    def test_initial_state_has_all_processes(self, vote_collection):
+        state = vote_collection.initial_state()
+        assert set(state.process_ids) == set(vote_collection.process_ids)
+
+    def test_initial_state_contains_driver_messages(self, vote_collection):
+        state = vote_collection.initial_state()
+        assert len(state.network) == 3  # one CAST trigger per voter
+
+    def test_initial_local_states(self, vote_collection):
+        state = vote_collection.initial_state()
+        assert state.local("collector") == CollectorState()
+
+
+class TestDerivation:
+    def test_with_transitions_replaces_set(self, ping_pong):
+        only_ping = [ping_pong.transition("PING@pong")]
+        derived = ping_pong.with_transitions(only_ping, name="reduced")
+        assert derived.name == "reduced"
+        assert derived.transition_names() == ("PING@pong",)
+        assert len(ping_pong.transitions) == 3
+
+    def test_with_transitions_keeps_name_by_default(self, ping_pong):
+        derived = ping_pong.with_transitions(ping_pong.transitions)
+        assert derived.name == ping_pong.name
+
+    def test_with_transitions_merges_metadata(self, ping_pong):
+        derived = ping_pong.with_transitions(
+            ping_pong.transitions, metadata_updates={"refinement": "none"}
+        )
+        assert derived.metadata["refinement"] == "none"
+
+    def test_describe_mentions_processes_and_transitions(self, vote_collection):
+        text = vote_collection.describe()
+        assert "collector" in text
+        assert "VOTE@collector" in text
+        assert "quorum" in text
+
+
+class TestBuilderErrors:
+    def test_duplicate_process(self):
+        builder = ProtocolBuilder("x")
+        builder.add_process("p", "t", PingState())
+        with pytest.raises(ProtocolDefinitionError):
+            builder.add_process("p", "t", PingState())
+
+    def test_duplicate_transition(self):
+        builder = ProtocolBuilder("x")
+        builder.add_process("p", "t", PingState())
+        builder.add_transition("T", "p", "M", noop_action)
+        with pytest.raises(ProtocolDefinitionError):
+            builder.add_transition("T", "p", "M", noop_action)
+
+    def test_unknown_possible_senders_rejected_at_build(self):
+        builder = ProtocolBuilder("x")
+        builder.add_process("p", "t", PingState())
+        builder.add_spec(
+            make_transition(process_id="p").with_annotation(
+                possible_senders=frozenset({"ghost"})
+            )
+        )
+        with pytest.raises(ProtocolDefinitionError):
+            builder.build()
+
+    def test_process_ids_filter_by_type(self):
+        builder = ProtocolBuilder("x")
+        builder.add_process("a", "alpha", PingState())
+        builder.add_process("b", "beta", PingState())
+        assert builder.process_ids("alpha") == ("a",)
+        assert builder.process_ids() == ("a", "b")
+
+    def test_builders_produce_expected_fixture_protocols(self):
+        assert len(build_ping_pong(3).driver_messages) == 3
+        assert len(build_vote_collection(4, 2).processes) == 5

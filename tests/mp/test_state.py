@@ -1,0 +1,119 @@
+"""Unit tests for global states."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.mp.channel import Network
+from repro.mp.errors import MPError
+from repro.mp.message import Message
+from repro.mp.process import LocalState
+from repro.mp.state import GlobalState
+
+
+@dataclass(frozen=True)
+class Counter(LocalState):
+    value: int = 0
+
+
+def make_state(values=(0, 0), messages=()):
+    locals_ = [(f"p{i + 1}", Counter(value)) for i, value in enumerate(values)]
+    return GlobalState(locals_, Network.of(messages))
+
+
+class TestConstruction:
+    def test_duplicate_process_ids_rejected(self):
+        with pytest.raises(MPError):
+            GlobalState([("p", Counter()), ("p", Counter())], Network.empty())
+
+    def test_process_ids_order_preserved(self):
+        state = make_state((1, 2))
+        assert state.process_ids == ("p1", "p2")
+
+    def test_locals_dict(self):
+        state = make_state((1, 2))
+        assert state.locals_dict() == {"p1": Counter(1), "p2": Counter(2)}
+
+
+class TestQueries:
+    def test_local_lookup(self):
+        state = make_state((5, 7))
+        assert state.local("p2") == Counter(7)
+
+    def test_local_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_state().local("ghost")
+
+    def test_network_property(self):
+        message = Message.make("M", "p1", "p2")
+        state = make_state(messages=[message])
+        assert state.network.count(message) == 1
+
+
+class TestUpdates:
+    def test_with_local_replaces_only_target(self):
+        state = make_state((1, 2))
+        updated = state.with_local("p1", Counter(9))
+        assert updated.local("p1") == Counter(9)
+        assert updated.local("p2") == Counter(2)
+        assert state.local("p1") == Counter(1)
+
+    def test_with_local_same_value_returns_self(self):
+        state = make_state((1, 2))
+        assert state.with_local("p1", Counter(1)) is state
+
+    def test_with_local_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_state().with_local("ghost", Counter())
+
+    def test_with_network(self):
+        state = make_state()
+        message = Message.make("M", "p1", "p2")
+        updated = state.with_network(Network.of([message]))
+        assert len(updated.network) == 1
+        assert len(state.network) == 0
+
+    def test_with_updates_changes_both(self):
+        state = make_state((1, 2))
+        message = Message.make("M", "p1", "p2")
+        updated = state.with_updates("p2", Counter(3), Network.of([message]))
+        assert updated.local("p2") == Counter(3)
+        assert len(updated.network) == 1
+
+    def test_with_updates_unknown_process_raises(self):
+        with pytest.raises(KeyError):
+            make_state().with_updates("ghost", Counter(), Network.empty())
+
+
+class TestEqualityAndHashing:
+    def test_equal_states_hash_equal(self):
+        assert make_state((1, 2)) == make_state((1, 2))
+        assert hash(make_state((1, 2))) == hash(make_state((1, 2)))
+
+    def test_states_differing_in_local_not_equal(self):
+        assert make_state((1, 2)) != make_state((1, 3))
+
+    def test_states_differing_in_network_not_equal(self):
+        message = Message.make("M", "p1", "p2")
+        assert make_state() != make_state(messages=[message])
+
+    def test_not_equal_to_other_types(self):
+        assert make_state() != 42
+
+    def test_usable_as_set_member(self):
+        states = {make_state((1, 2)), make_state((1, 2)), make_state((2, 1))}
+        assert len(states) == 2
+
+
+class TestDescribe:
+    def test_describe_lists_processes(self):
+        text = make_state((1, 2)).describe()
+        assert "p1" in text and "p2" in text
+
+    def test_describe_lists_messages(self):
+        message = Message.make("HELLO", "p1", "p2")
+        text = make_state(messages=[message]).describe()
+        assert "HELLO" in text
+
+    def test_describe_empty_network(self):
+        assert "(none)" in make_state().describe()

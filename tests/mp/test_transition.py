@@ -1,0 +1,216 @@
+"""Unit tests for transition specifications, quorum specs and annotations."""
+
+import pytest
+
+from repro.mp.errors import QuorumSpecificationError, TransitionExecutionError
+from repro.mp.message import Message
+from repro.mp.transition import (
+    ActionContext,
+    Execution,
+    LporAnnotation,
+    QuorumKind,
+    QuorumSpec,
+    SendSpec,
+    TransitionSpec,
+    exact_quorum,
+    majority_of,
+    single_message,
+)
+
+
+def noop_action(local, _messages, _ctx):
+    return local
+
+
+class TestQuorumSpec:
+    def test_single_message_spec(self):
+        spec = single_message()
+        assert spec.kind is QuorumKind.SINGLE
+        assert spec.size == 1
+        assert not spec.is_quorum
+
+    def test_exact_quorum_spec(self):
+        spec = exact_quorum(3)
+        assert spec.kind is QuorumKind.EXACT
+        assert spec.size == 3
+        assert spec.is_quorum
+
+    def test_exact_quorum_of_one_is_single(self):
+        assert exact_quorum(1).kind is QuorumKind.SINGLE
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(QuorumSpecificationError):
+            QuorumSpec(QuorumKind.EXACT, 0)
+
+    def test_single_with_other_size_rejected(self):
+        with pytest.raises(QuorumSpecificationError):
+            QuorumSpec(QuorumKind.SINGLE, 2)
+
+    @pytest.mark.parametrize(
+        "population, expected",
+        [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (7, 4), (10, 6)],
+    )
+    def test_majority_of(self, population, expected):
+        assert majority_of(population) == expected
+
+
+class TestTransitionSpec:
+    def test_missing_action_rejected(self):
+        with pytest.raises(TransitionExecutionError):
+            TransitionSpec(name="T", process_id="p", message_type="M")
+
+    def test_quorum_peers_size_must_match_exact_quorum(self):
+        with pytest.raises(QuorumSpecificationError):
+            TransitionSpec(
+                name="T",
+                process_id="p",
+                message_type="M",
+                quorum=exact_quorum(2),
+                quorum_peers=frozenset({"a", "b", "c"}),
+                action=noop_action,
+            )
+
+    def test_quorum_peers_allowed_for_single_message(self):
+        spec = TransitionSpec(
+            name="T",
+            process_id="p",
+            message_type="M",
+            quorum_peers=frozenset({"a"}),
+            action=noop_action,
+        )
+        assert spec.quorum_peers == frozenset({"a"})
+
+    def test_is_quorum_transition_classification(self):
+        quorum_spec = TransitionSpec(
+            name="Q", process_id="p", message_type="M",
+            quorum=exact_quorum(2), action=noop_action,
+        )
+        single_spec = TransitionSpec(
+            name="S", process_id="p", message_type="M", action=noop_action,
+        )
+        assert quorum_spec.is_quorum_transition and not quorum_spec.is_single_message
+        assert single_spec.is_single_message and not single_spec.is_quorum_transition
+
+    def test_base_name_of_refined_transition(self):
+        spec = TransitionSpec(
+            name="T__a_b", process_id="p", message_type="M",
+            action=noop_action, refined_from="T",
+        )
+        assert spec.is_refined
+        assert spec.base_name == "T"
+
+    def test_base_name_of_unrefined_transition(self):
+        spec = TransitionSpec(name="T", process_id="p", message_type="M", action=noop_action)
+        assert not spec.is_refined
+        assert spec.base_name == "T"
+
+    def test_effective_senders_prefers_quorum_peers(self):
+        spec = TransitionSpec(
+            name="T", process_id="p", message_type="M", action=noop_action,
+            quorum_peers=frozenset({"a"}),
+            annotation=LporAnnotation(possible_senders=frozenset({"a", "b"})),
+        )
+        assert spec.effective_senders() == frozenset({"a"})
+
+    def test_effective_senders_falls_back_to_annotation(self):
+        spec = TransitionSpec(
+            name="T", process_id="p", message_type="M", action=noop_action,
+            annotation=LporAnnotation(possible_senders=frozenset({"a", "b"})),
+        )
+        assert spec.effective_senders() == frozenset({"a", "b"})
+
+    def test_effective_senders_none_when_unknown(self):
+        spec = TransitionSpec(name="T", process_id="p", message_type="M", action=noop_action)
+        assert spec.effective_senders() is None
+
+    def test_with_annotation_replaces_fields(self):
+        spec = TransitionSpec(name="T", process_id="p", message_type="M", action=noop_action)
+        updated = spec.with_annotation(priority=5, visible=True)
+        assert updated.annotation.priority == 5
+        assert updated.annotation.visible
+        assert spec.annotation.priority == 0
+
+    def test_repr_mentions_peers(self):
+        spec = TransitionSpec(
+            name="T", process_id="p", message_type="M", action=noop_action,
+            quorum_peers=frozenset({"a"}),
+        )
+        assert "peers" in repr(spec)
+
+    def test_default_guard_is_true(self):
+        spec = TransitionSpec(name="T", process_id="p", message_type="M", action=noop_action)
+        assert spec.guard(None, ()) is True
+
+
+class TestActionContext:
+    def test_send_queues_message_from_self(self):
+        ctx = ActionContext("p1")
+        ctx.send("p2", "M", x=1)
+        assert ctx.outbox == (Message.make("M", "p1", "p2", x=1),)
+
+    def test_send_message_rejects_foreign_sender(self):
+        ctx = ActionContext("p1")
+        with pytest.raises(TransitionExecutionError):
+            ctx.send_message(Message.make("M", "p2", "p3"))
+
+    def test_send_message_accepts_own_sender(self):
+        ctx = ActionContext("p1")
+        message = Message.make("M", "p1", "p2")
+        ctx.send_message(message)
+        assert ctx.outbox == (message,)
+
+    def test_spec_read_requires_declaration(self):
+        ctx = ActionContext("p1", spec_view={"p2": "state"}, spec_reads=frozenset())
+        with pytest.raises(TransitionExecutionError):
+            ctx.spec_read("p2")
+
+    def test_spec_read_returns_declared_process_state(self):
+        ctx = ActionContext("p1", spec_view={"p2": "state"}, spec_reads=frozenset({"p2"}))
+        assert ctx.spec_read("p2") == "state"
+
+    def test_spec_read_unknown_process(self):
+        ctx = ActionContext("p1", spec_view={}, spec_reads=frozenset({"p2"}))
+        with pytest.raises(TransitionExecutionError):
+            ctx.spec_read("p2")
+
+    def test_outbox_preserves_send_order(self):
+        ctx = ActionContext("p1")
+        ctx.send("a", "M1")
+        ctx.send("b", "M2")
+        assert [m.mtype for m in ctx.outbox] == ["M1", "M2"]
+
+
+class TestExecution:
+    def test_senders_of_execution(self):
+        spec = TransitionSpec(
+            name="T", process_id="p", message_type="M",
+            quorum=exact_quorum(2), action=noop_action,
+        )
+        messages = (
+            Message.make("M", "a", "p"),
+            Message.make("M", "b", "p"),
+        )
+        execution = Execution(spec, messages)
+        assert execution.senders == frozenset({"a", "b"})
+        assert execution.process_id == "p"
+
+    def test_describe_mentions_transition_and_messages(self):
+        spec = TransitionSpec(name="T", process_id="p", message_type="M", action=noop_action)
+        execution = Execution(spec, (Message.make("M", "a", "p"),))
+        text = execution.describe()
+        assert "T" in text and "M" in text
+
+
+class TestSendSpec:
+    def test_defaults(self):
+        spec = SendSpec("M")
+        assert spec.recipients is None
+        assert not spec.to_senders_only
+
+    def test_annotation_defaults(self):
+        annotation = LporAnnotation()
+        assert annotation.sends == ()
+        assert annotation.possible_senders is None
+        assert not annotation.is_reply
+        assert not annotation.visible
+        assert annotation.spec_reads == frozenset()

@@ -1,0 +1,54 @@
+"""Property-based tests for message payload canonicalisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp.message import Message, freeze_payload
+
+field_names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+scalar_values = st.one_of(st.integers(-5, 5), st.text(max_size=3), st.booleans(), st.none())
+payload_values = st.one_of(
+    scalar_values,
+    st.lists(scalar_values, max_size=3),
+    st.dictionaries(field_names, scalar_values, max_size=3),
+)
+payloads = st.dictionaries(field_names, payload_values, max_size=4)
+
+
+class TestPayloadCanonicalisation:
+    @given(payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_messages_are_always_hashable(self, fields):
+        message = Message.make("M", "a", "b", **fields)
+        assert isinstance(hash(message), int)
+
+    @given(payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_field_round_trip(self, fields):
+        message = Message.make("M", "a", "b", **fields)
+        for name in fields:
+            assert name in message
+
+    @given(payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_equality_independent_of_insertion_order(self, fields):
+        reversed_fields = dict(reversed(list(fields.items())))
+        assert Message.make("M", "a", "b", **fields) == Message.make(
+            "M", "a", "b", **reversed_fields
+        )
+
+    @given(payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_freeze_payload_is_idempotent_on_keys(self, fields):
+        frozen = freeze_payload(fields)
+        assert [name for name, _ in frozen] == sorted(fields)
+
+    @given(payloads, payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_payloads_give_distinct_messages(self, first, second):
+        first_message = Message.make("M", "a", "b", **first)
+        second_message = Message.make("M", "a", "b", **second)
+        if freeze_payload(first) != freeze_payload(second):
+            assert first_message != second_message
+        else:
+            assert first_message == second_message

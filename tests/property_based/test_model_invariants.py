@@ -1,0 +1,92 @@
+"""Property-based tests on semantic invariants of the MP substrate.
+
+These properties formalise facts the reduction algorithms rely on:
+cross-process commutation of enabled executions, message conservation of
+the successor function, and determinism of the enabled-set computation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp.semantics import apply_execution, enabled_executions
+from repro.protocols.multicast import MulticastConfig, build_multicast_quorum
+from repro.protocols.paxos import PaxosConfig, build_paxos_quorum
+from repro.protocols.storage import StorageConfig, build_storage_quorum
+
+PROTOCOLS = [
+    build_paxos_quorum(PaxosConfig(2, 2, 1)),
+    build_storage_quorum(StorageConfig(2, 1)),
+    build_multicast_quorum(MulticastConfig(2, 1, 0, 1)),
+]
+
+protocol_strategy = st.sampled_from(PROTOCOLS)
+walks = st.lists(st.integers(min_value=0, max_value=10_000), max_size=12)
+
+
+def random_walk(protocol, choices):
+    """Follow a pseudo-random path selected by the list of choice indices."""
+    state = protocol.initial_state()
+    for choice in choices:
+        enabled = enabled_executions(state, protocol)
+        if not enabled:
+            break
+        state = apply_execution(state, enabled[choice % len(enabled)])
+    return state
+
+
+class TestSemanticInvariants:
+    @given(protocol_strategy, walks)
+    @settings(max_examples=60, deadline=None)
+    def test_enabled_set_computation_is_deterministic(self, protocol, choices):
+        state = random_walk(protocol, choices)
+        first = enabled_executions(state, protocol)
+        second = enabled_executions(state, protocol)
+        assert first == second
+
+    @given(protocol_strategy, walks)
+    @settings(max_examples=60, deadline=None)
+    def test_successor_conserves_untouched_messages(self, protocol, choices):
+        state = random_walk(protocol, choices)
+        for execution in enabled_executions(state, protocol):
+            successor = apply_execution(state, execution)
+            # Every message that was pending and not consumed must survive.
+            for message in state.network.distinct():
+                expected = state.network.count(message)
+                consumed = sum(1 for m in execution.messages if m == message)
+                assert successor.network.count(message) >= expected - consumed
+
+    @given(protocol_strategy, walks)
+    @settings(max_examples=60, deadline=None)
+    def test_only_executing_process_changes_local_state(self, protocol, choices):
+        state = random_walk(protocol, choices)
+        for execution in enabled_executions(state, protocol):
+            successor = apply_execution(state, execution)
+            for pid, local in state.locals:
+                if pid != execution.process_id:
+                    assert successor.local(pid) == local
+
+    @given(protocol_strategy, walks)
+    @settings(max_examples=40, deadline=None)
+    def test_cross_process_executions_commute(self, protocol, choices):
+        state = random_walk(protocol, choices)
+        enabled = enabled_executions(state, protocol)
+        for first in enabled:
+            for second in enabled:
+                if first.process_id == second.process_id:
+                    continue
+                spec_reads = (
+                    first.transition.annotation.spec_reads
+                    | second.transition.annotation.spec_reads
+                )
+                if spec_reads:
+                    # Ghost snapshots may legitimately differ across orders.
+                    continue
+                one_way = apply_execution(apply_execution(state, first), second)
+                other_way = apply_execution(apply_execution(state, second), first)
+                assert one_way == other_way
+
+    @given(protocol_strategy, walks)
+    @settings(max_examples=60, deadline=None)
+    def test_states_remain_hashable_along_walks(self, protocol, choices):
+        state = random_walk(protocol, choices)
+        assert isinstance(hash(state), int)

@@ -1,0 +1,69 @@
+"""Property-based tests (hypothesis) for the network multiset."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp.channel import Network
+from repro.mp.message import Message
+
+PROCESSES = ["p1", "p2", "p3"]
+TYPES = ["A", "B"]
+
+
+def message_strategy():
+    return st.builds(
+        lambda mtype, sender, recipient, tag: Message.make(mtype, sender, recipient, tag=tag),
+        st.sampled_from(TYPES),
+        st.sampled_from(PROCESSES),
+        st.sampled_from(PROCESSES),
+        st.integers(min_value=0, max_value=2),
+    )
+
+
+message_lists = st.lists(message_strategy(), max_size=8)
+
+
+class TestMultisetLaws:
+    @given(message_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_length_counts_multiplicity(self, messages):
+        assert len(Network.of(messages)) == len(messages)
+
+    @given(message_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_construction_is_order_insensitive(self, messages):
+        assert Network.of(messages) == Network.of(list(reversed(messages)))
+        assert hash(Network.of(messages)) == hash(Network.of(list(reversed(messages))))
+
+    @given(message_lists, message_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_add_then_remove_is_identity(self, base, extra):
+        network = Network.of(base)
+        assert network.add_all(extra).remove_all(extra) == network
+
+    @given(message_lists, message_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_add_is_commutative(self, first, second):
+        assert Network.of(first).add_all(second) == Network.of(second).add_all(first)
+
+    @given(message_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_count_matches_list_count(self, messages):
+        network = Network.of(messages)
+        for message in messages:
+            assert network.count(message) == messages.count(message)
+
+    @given(message_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_pending_for_partitions_by_recipient(self, messages):
+        network = Network.of(messages)
+        total_distinct = len(list(network.distinct()))
+        per_recipient = sum(len(network.pending_for(pid)) for pid in PROCESSES)
+        assert per_recipient == total_distinct
+
+    @given(message_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_iteration_is_sorted_and_stable(self, messages):
+        network = Network.of(messages)
+        keys = [message.sort_key() for message in network.distinct()]
+        assert keys == sorted(keys)

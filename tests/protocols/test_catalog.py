@@ -1,0 +1,68 @@
+"""Tests of the workload catalog used by the benchmark harness."""
+
+import pytest
+
+from repro.protocols.catalog import (
+    default_catalog,
+    entry_by_key,
+    multicast_entry,
+    paxos_entry,
+    storage_entry,
+)
+
+
+class TestEntries:
+    def test_paxos_entry_builds_both_models(self):
+        entry = paxos_entry(2, 2, 1)
+        assert entry.quorum_model().metadata["model"] == "quorum"
+        assert entry.single_model().metadata["model"] == "single-message"
+        assert not entry.expect_violation
+
+    def test_faulty_paxos_entry_expects_violation(self):
+        entry = paxos_entry(2, 3, 1, faulty=True)
+        assert entry.expect_violation
+        assert "Faulty" in entry.description
+
+    def test_storage_entry_wrong_spec(self):
+        entry = storage_entry(3, 2, wrong_specification=True)
+        assert entry.expect_violation
+        assert entry.invariant.name == "wrong-regularity"
+
+    def test_storage_entry_correct_spec(self):
+        entry = storage_entry(3, 1)
+        assert not entry.expect_violation
+        assert entry.invariant.name == "regularity"
+
+    def test_multicast_entry_threshold_drives_expectation(self):
+        assert not multicast_entry(3, 0, 1, 1).expect_violation
+        assert multicast_entry(2, 1, 2, 1).expect_violation
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("scale", ["small", "paper"])
+    def test_catalog_keys_unique(self, scale):
+        entries = default_catalog(scale)
+        keys = [entry.key for entry in entries]
+        assert len(keys) == len(set(keys))
+
+    def test_catalog_covers_all_three_protocols(self):
+        descriptions = " ".join(entry.description for entry in default_catalog("paper"))
+        assert "Paxos" in descriptions
+        assert "storage" in descriptions
+        assert "Multicast" in descriptions
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            default_catalog("huge")
+
+    def test_entry_by_key(self):
+        entry = entry_by_key("storage-3-1")
+        assert entry is not None
+        assert entry.description.startswith("Regular storage")
+        assert entry_by_key("does-not-exist") is None
+
+    def test_paper_catalog_matches_paper_settings(self):
+        descriptions = {entry.description for entry in default_catalog("paper")}
+        assert "Paxos (2,3,1)" in descriptions
+        assert "Echo Multicast (3,0,1,1)" in descriptions
+        assert "Regular storage (3,2)" in descriptions

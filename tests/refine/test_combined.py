@@ -1,0 +1,62 @@
+"""Unit tests for combined-split and the split-opportunity report."""
+
+from repro.refine import (
+    combined_split,
+    describe_split_opportunities,
+    is_transition_refinement,
+    quorum_split,
+    reply_split,
+)
+from repro.protocols.paxos import PaxosConfig, build_paxos_quorum
+from repro.protocols.storage import StorageConfig, build_storage_quorum
+
+from ..conftest import build_ping_pong
+
+
+class TestCombinedSplit:
+    def test_applies_both_strategies(self):
+        original = build_paxos_quorum(PaxosConfig(2, 3, 1))
+        combined = combined_split(original)
+        names = combined.transition_names()
+        assert "READ@acceptor1_proposer1" in names          # reply-split
+        assert "READ_REPL@proposer1__acceptor1_acceptor2" in names  # quorum-split
+        assert "READ@acceptor1" not in names
+        assert "READ_REPL@proposer1" not in names
+
+    def test_transition_count_matches_both_splits(self):
+        original = build_paxos_quorum(PaxosConfig(2, 3, 1))
+        combined = combined_split(original)
+        only_reply = reply_split(original)
+        only_quorum = quorum_split(original)
+        expected = (
+            len(original.transitions)
+            + (len(only_reply.transitions) - len(original.transitions))
+            + (len(only_quorum.transitions) - len(original.transitions))
+        )
+        assert len(combined.transitions) == expected
+
+    def test_combined_is_a_refinement(self):
+        original = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        assert is_transition_refinement(original, combined_split(original), max_states=20000)
+
+    def test_name_and_metadata(self):
+        combined = combined_split(build_paxos_quorum(PaxosConfig(1, 3, 1)))
+        assert "[combined-split]" in combined.name
+        assert combined.metadata["refinement"] == "combined-split"
+
+    def test_storage_combined_refinement(self):
+        original = build_storage_quorum(StorageConfig(2, 1))
+        assert is_transition_refinement(original, combined_split(original), max_states=20000)
+
+
+class TestSplitOpportunityReport:
+    def test_lists_candidates_for_paxos(self):
+        text = describe_split_opportunities(build_paxos_quorum(PaxosConfig(2, 3, 1)))
+        assert "READ@acceptor1" in text
+        assert "READ_REPL@proposer1" in text
+        assert "quorum size 2" in text
+
+    def test_reports_absence_of_candidates(self):
+        text = describe_split_opportunities(build_ping_pong(rounds=1))
+        assert "quorum-split candidates" in text
+        assert "(none)" in text

@@ -1,0 +1,113 @@
+"""Unit tests for the quorum-split refinement strategy."""
+
+import pytest
+
+from repro.refine import (
+    RefinementError,
+    is_transition_refinement,
+    quorum_split,
+    split_quorum_transition,
+    splittable_quorum_transitions,
+)
+from repro.protocols.multicast import MulticastConfig, build_multicast_quorum
+from repro.protocols.paxos import PaxosConfig, build_paxos_quorum
+
+from ..conftest import build_vote_collection
+
+
+class TestEligibility:
+    def test_paxos_quorum_transitions_are_splittable(self):
+        protocol = build_paxos_quorum(PaxosConfig(2, 3, 1))
+        names = {t.name for t in splittable_quorum_transitions(protocol)}
+        assert names == {
+            "READ_REPL@proposer1",
+            "READ_REPL@proposer2",
+            "ACCEPT@learner1",
+        }
+
+    def test_single_message_transition_not_splittable(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        with pytest.raises(RefinementError):
+            split_quorum_transition(protocol, protocol.transition("READ@acceptor1"))
+
+    def test_already_restricted_transition_not_splittable(self):
+        protocol = quorum_split(build_paxos_quorum(PaxosConfig(1, 3, 1)))
+        assert splittable_quorum_transitions(protocol) == ()
+
+    def test_unknown_transition_name_rejected(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        with pytest.raises(RefinementError):
+            quorum_split(protocol, transition_names=["MISSING"])
+
+
+class TestSplitStructure:
+    def test_one_transition_per_sender_combination(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        replacements = split_quorum_transition(
+            protocol, protocol.transition("READ_REPL@proposer1")
+        )
+        assert len(replacements) == 3  # C(3, 2)
+        peers = {replacement.quorum_peers for replacement in replacements}
+        assert peers == {
+            frozenset({"acceptor1", "acceptor2"}),
+            frozenset({"acceptor1", "acceptor3"}),
+            frozenset({"acceptor2", "acceptor3"}),
+        }
+
+    def test_split_transitions_remember_their_origin(self):
+        protocol = quorum_split(build_paxos_quorum(PaxosConfig(1, 3, 1)))
+        split = protocol.transition("READ_REPL@proposer1__acceptor1_acceptor2")
+        assert split.refined_from == "READ_REPL@proposer1"
+        assert split.annotation.possible_senders == frozenset({"acceptor1", "acceptor2"})
+
+    def test_non_quorum_transitions_untouched(self):
+        original = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        refined = quorum_split(original)
+        assert refined.transition("READ@acceptor1") == original.transition("READ@acceptor1")
+
+    def test_transition_count_grows_as_expected(self):
+        original = build_paxos_quorum(PaxosConfig(2, 3, 1))
+        refined = quorum_split(original)
+        # Each of the three exact majority-of-3 quorum transitions becomes 3.
+        assert len(refined.transitions) == len(original.transitions) + 3 * 2
+
+    def test_metadata_records_strategy(self):
+        refined = quorum_split(build_paxos_quorum(PaxosConfig(1, 3, 1)))
+        assert refined.metadata["refinement"] == "quorum-split"
+        assert "[quorum-split]" in refined.name
+
+    def test_selective_split_by_name(self):
+        original = build_paxos_quorum(PaxosConfig(2, 3, 1))
+        refined = quorum_split(original, transition_names=["ACCEPT@learner1"])
+        assert "READ_REPL@proposer1" in refined.transition_names()
+        assert "ACCEPT@learner1" not in refined.transition_names()
+        assert "ACCEPT@learner1__acceptor1_acceptor2" in refined.transition_names()
+
+    def test_impossible_quorum_rejected(self, vote_collection):
+        # Restrict the candidate senders below the quorum size: splitting
+        # must fail loudly instead of silently producing a dead transition.
+        protocol = vote_collection.with_transitions(
+            [
+                t.with_annotation(possible_senders=frozenset({"voter1"}))
+                if t.name == "VOTE@collector"
+                else t
+                for t in vote_collection.transitions
+            ]
+        )
+        with pytest.raises(RefinementError):
+            quorum_split(protocol)
+
+
+class TestTheoremTwo:
+    """Executable counterpart of Theorem 2: quorum-split preserves the state graph."""
+
+    def test_paxos_equivalence(self):
+        original = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        assert is_transition_refinement(original, quorum_split(original), max_states=20000)
+
+    def test_vote_collection_equivalence(self, vote_collection):
+        assert is_transition_refinement(vote_collection, quorum_split(vote_collection))
+
+    def test_multicast_equivalence(self):
+        original = build_multicast_quorum(MulticastConfig(2, 1, 0, 1))
+        assert is_transition_refinement(original, quorum_split(original), max_states=20000)

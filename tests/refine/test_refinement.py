@@ -1,0 +1,78 @@
+"""Unit tests for the general refinement plumbing and the equivalence validator."""
+
+import pytest
+
+from repro.refine.refinement import (
+    RefinementError,
+    candidate_senders,
+    compare_state_graphs,
+    is_transition_refinement,
+    split_name,
+)
+from repro.protocols.paxos import PaxosConfig, build_paxos_quorum
+
+from ..conftest import build_ping_pong, build_vote_collection
+
+
+class TestCandidateSenders:
+    def test_uses_annotation_when_available(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        transition = protocol.transition("READ_REPL@proposer1")
+        assert candidate_senders(protocol, transition) == (
+            "acceptor1",
+            "acceptor2",
+            "acceptor3",
+        )
+
+    def test_driver_is_never_a_candidate(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        transition = protocol.transition("PROPOSE@proposer1")
+        assert candidate_senders(protocol, transition) == ()
+
+    def test_falls_back_to_all_other_processes(self, vote_collection):
+        transition = vote_collection.transition("VOTE@collector").with_annotation(
+            possible_senders=None
+        )
+        senders = candidate_senders(vote_collection, transition)
+        assert "collector" not in senders
+        assert set(senders) == {"voter1", "voter2", "voter3"}
+
+
+class TestSplitName:
+    def test_sorted_and_double_underscore(self):
+        assert split_name("READ_REPL", frozenset({"b", "a"})) == "READ_REPL__a_b"
+
+
+class TestStateGraphComparison:
+    def test_protocol_is_refinement_of_itself(self, ping_pong):
+        assert is_transition_refinement(ping_pong, ping_pong)
+
+    def test_report_counts_match(self, ping_pong):
+        report = compare_state_graphs(ping_pong, ping_pong)
+        assert report.equivalent
+        assert report.original_states == report.refined_states == 4
+        assert report.missing_edges == report.extra_edges == 0
+
+    def test_dropping_a_transition_is_not_a_refinement(self, vote_collection):
+        crippled = vote_collection.with_transitions(
+            [t for t in vote_collection.transitions if t.name != "VOTE@collector"]
+        )
+        report = compare_state_graphs(vote_collection, crippled)
+        assert not report.equivalent
+        assert report.missing_edges > 0
+
+    def test_single_message_replacement_is_not_a_refinement(self):
+        # The paper stresses that replacing quorum transitions by
+        # single-message transitions is NOT a transition refinement: the
+        # state graphs differ.
+        from repro.protocols.paxos import build_paxos_single
+
+        config = PaxosConfig(1, 2, 1)
+        quorum_model = build_paxos_quorum(config)
+        single_model = build_paxos_single(config)
+        assert not is_transition_refinement(quorum_model, single_model, max_states=20000)
+
+    def test_max_states_guard(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        with pytest.raises(RuntimeError):
+            compare_state_graphs(protocol, protocol, max_states=3)

@@ -1,0 +1,84 @@
+"""Unit tests for the reply-split refinement strategy."""
+
+import pytest
+
+from repro.refine import (
+    RefinementError,
+    is_transition_refinement,
+    reply_split,
+    split_reply_transition,
+    splittable_reply_transitions,
+)
+from repro.protocols.paxos import PaxosConfig, build_paxos_quorum
+from repro.protocols.storage import StorageConfig, build_storage_quorum
+
+
+class TestEligibility:
+    def test_paxos_read_is_a_reply_transition(self):
+        protocol = build_paxos_quorum(PaxosConfig(2, 3, 1))
+        names = {t.name for t in splittable_reply_transitions(protocol)}
+        assert names == {"READ@acceptor1", "READ@acceptor2", "READ@acceptor3"}
+
+    def test_quorum_transition_not_reply_splittable(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        with pytest.raises(RefinementError):
+            split_reply_transition(protocol, protocol.transition("READ_REPL@proposer1"))
+
+    def test_non_reply_transition_rejected(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        with pytest.raises(RefinementError):
+            split_reply_transition(protocol, protocol.transition("WRITE@acceptor1"))
+
+    def test_unknown_transition_name_rejected(self):
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        with pytest.raises(RefinementError):
+            reply_split(protocol, transition_names=["MISSING"])
+
+
+class TestSplitStructure:
+    def test_one_transition_per_peer(self):
+        protocol = build_paxos_quorum(PaxosConfig(2, 3, 1))
+        replacements = split_reply_transition(protocol, protocol.transition("READ@acceptor1"))
+        assert {r.name for r in replacements} == {
+            "READ@acceptor1_proposer1",
+            "READ@acceptor1_proposer2",
+        }
+        assert all(len(r.quorum_peers) == 1 for r in replacements)
+
+    def test_reply_sends_narrowed_to_peer(self):
+        protocol = build_paxos_quorum(PaxosConfig(2, 3, 1))
+        refined = reply_split(protocol)
+        split = refined.transition("READ@acceptor1_proposer1")
+        (send,) = split.annotation.sends
+        assert send.recipients == frozenset({"proposer1"})
+
+    def test_single_peer_reply_split_is_identity_sized(self):
+        # With a single proposer the reply transitions still split into one
+        # transition per peer (exactly one), keeping behaviour identical.
+        protocol = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        refined = reply_split(protocol)
+        assert len(refined.transitions) == len(protocol.transitions)
+
+    def test_storage_reply_transitions_split_per_client(self):
+        protocol = build_storage_quorum(StorageConfig(3, 2))
+        refined = reply_split(protocol)
+        # STORE replies only to the writer; GET replies to each reader.
+        assert "STORE@base1_writer" in refined.transition_names()
+        assert "GET@base1_reader1" in refined.transition_names()
+        assert "GET@base1_reader2" in refined.transition_names()
+
+    def test_metadata_records_strategy(self):
+        refined = reply_split(build_paxos_quorum(PaxosConfig(1, 3, 1)))
+        assert refined.metadata["refinement"] == "reply-split"
+
+
+class TestTheoremTwo:
+    """Reply-split is a transition refinement (same state graph)."""
+
+    def test_paxos_equivalence(self):
+        original = build_paxos_quorum(PaxosConfig(1, 3, 1))
+        assert is_transition_refinement(original, reply_split(original), max_states=20000)
+
+    def test_storage_equivalence(self):
+        original = build_storage_quorum(StorageConfig(2, 1))
+        assert is_transition_refinement(original, reply_split(original), max_states=20000)
