@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..mp.protocol import Protocol
-from ..mp.semantics import apply_execution, enabled_executions
+from ..mp.semantics import SuccessorEngine
 from ..mp.state import GlobalState
 from ..mp.transition import Execution
 from .counterexample import Counterexample, Step
@@ -67,9 +67,11 @@ class ReductionContext:
         enabled: All enabled executions in ``state``.
         protocol: The protocol under verification.
         successor: Function computing the successor of an execution; results
-            are memoised by the search so calling it is cheap.
+            are cached by the successor engine so calling it is cheap.
         on_stack: True for states currently on the DFS stack; used for the
             cycle (stack) proviso.
+        engine: The successor engine driving the search; reducers may
+            consult its enabled-execution and successor caches directly.
     """
 
     state: GlobalState
@@ -77,6 +79,7 @@ class ReductionContext:
     protocol: Protocol
     successor: Callable[[Execution], GlobalState]
     on_stack: Callable[[GlobalState], bool]
+    engine: Optional[SuccessorEngine] = None
 
 
 #: A reducer maps a reduction context to the subset of executions to explore.
@@ -105,11 +108,19 @@ class _Frame:
     successors: dict = field(default_factory=dict)
 
 
-def _memoised_successor(frame: _Frame) -> Callable[[Execution], GlobalState]:
+def _memoised_successor(engine: SuccessorEngine, frame: _Frame) -> Callable[[Execution], GlobalState]:
+    """Per-frame successor memo, freed when the frame is popped.
+
+    Keeps the proviso-check -> expansion reuse without retaining every edge
+    for the whole search, which matters when the engine itself runs with
+    its global caches disabled (stateful searches, see
+    :meth:`SuccessorEngine.for_search`).
+    """
+
     def compute(execution: Execution) -> GlobalState:
         cached = frame.successors.get(execution)
         if cached is None:
-            cached = apply_execution(frame.state, execution)
+            cached = engine.successor(frame.state, execution)
             frame.successors[execution] = cached
         return cached
 
@@ -135,6 +146,7 @@ def dfs_search(
     invariant: Invariant,
     config: Optional[SearchConfig] = None,
     reducer: Optional[Reducer] = None,
+    engine: Optional[SuccessorEngine] = None,
 ) -> SearchOutcome:
     """Explore the state space depth-first and check an invariant.
 
@@ -144,6 +156,8 @@ def dfs_search(
         config: Search configuration; defaults to exhaustive stateful search.
         reducer: Optional partial-order reducer; ``None`` explores every
             enabled execution (unreduced search).
+        engine: Optional pre-built successor engine (e.g. to share caches
+            across several searches of the same protocol).
 
     Returns:
         A :class:`SearchOutcome` with verdict, counterexample and statistics.
@@ -152,8 +166,11 @@ def dfs_search(
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 
+    if engine is not None and engine.protocol is not protocol:
+        raise ValueError("successor engine was built for a different protocol")
+    engine = engine or SuccessorEngine.for_search(protocol, config.stateful)
     store: StateStore = make_state_store(config.state_store if config.stateful else "none")
-    initial = protocol.initial_state()
+    initial = engine.initial_state()
     store.add(initial)
     statistics.states_visited = 1
 
@@ -174,7 +191,7 @@ def dfs_search(
 
     def expand(frame_state: GlobalState, frame: _Frame) -> Tuple[Execution, ...]:
         """Compute the (possibly reduced) executions to explore from a state."""
-        enabled = enabled_executions(frame_state, protocol)
+        enabled = engine.enabled(frame_state)
         statistics.enabled_set_computations += 1
         if config.check_deadlocks and not enabled:
             nonlocal deadlock_states
@@ -186,8 +203,9 @@ def dfs_search(
             state=frame_state,
             enabled=enabled,
             protocol=protocol,
-            successor=_memoised_successor(frame),
+            successor=_memoised_successor(engine, frame),
             on_stack=lambda state: state in on_stack_states,
+            engine=engine,
         )
         reduced = reducer(context)
         if len(reduced) < len(enabled):
@@ -215,7 +233,7 @@ def dfs_search(
 
         successor = frame.successors.get(execution)
         if successor is None:
-            successor = apply_execution(frame.state, execution)
+            successor = engine.successor(frame.state, execution)
         statistics.transitions_executed += 1
 
         if config.stateful:
@@ -263,6 +281,7 @@ def bfs_search(
     protocol: Protocol,
     invariant: Invariant,
     config: Optional[SearchConfig] = None,
+    engine: Optional[SuccessorEngine] = None,
 ) -> SearchOutcome:
     """Breadth-first stateful search; finds shortest counterexamples.
 
@@ -274,7 +293,10 @@ def bfs_search(
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 
-    initial = protocol.initial_state()
+    if engine is not None and engine.protocol is not protocol:
+        raise ValueError("successor engine was built for a different protocol")
+    engine = engine or SuccessorEngine.for_search(protocol, stateful=True)
+    initial = engine.initial_state()
     store = make_state_store(config.state_store)
     store.add(initial)
     statistics.states_visited = 1
@@ -311,11 +333,11 @@ def bfs_search(
             break
         next_frontier = []
         for state in frontier:
-            enabled = enabled_executions(state, protocol)
+            enabled = engine.enabled(state)
             statistics.enabled_set_computations += 1
             statistics.full_expansions += 1
             for execution in enabled:
-                successor = apply_execution(state, execution)
+                successor = engine.successor(state, execution)
                 statistics.transitions_executed += 1
                 if not store.add(successor):
                     statistics.revisits += 1

@@ -36,9 +36,10 @@ class FullStateStore(StateStore):
         self._states: Set[GlobalState] = set()
 
     def add(self, state: GlobalState) -> bool:
-        before = len(self._states)
+        if state in self._states:
+            return False
         self._states.add(state)
-        return len(self._states) != before
+        return True
 
     def __contains__(self, state: GlobalState) -> bool:
         return state in self._states
@@ -60,13 +61,16 @@ class FingerprintStore(StateStore):
         self._fingerprints: Set[int] = set()
 
     def add(self, state: GlobalState) -> bool:
-        fingerprint = hash(state)
-        before = len(self._fingerprints)
+        # ``fingerprint()`` returns the hash cached at state-construction
+        # time, so membership-then-add costs one set lookup, not two hashes.
+        fingerprint = state.fingerprint()
+        if fingerprint in self._fingerprints:
+            return False
         self._fingerprints.add(fingerprint)
-        return len(self._fingerprints) != before
+        return True
 
     def __contains__(self, state: GlobalState) -> bool:
-        return hash(state) in self._fingerprints
+        return state.fingerprint() in self._fingerprints
 
     def __len__(self) -> int:
         return len(self._fingerprints)

@@ -20,6 +20,7 @@ from .message import DRIVER, Message, driver_message
 from .process import LocalState, ProcessDecl
 from .protocol import Protocol
 from .semantics import (
+    SuccessorEngine,
     apply_execution,
     enabled_executions,
     enabled_executions_for,
@@ -27,7 +28,7 @@ from .semantics import (
     state_graph_edges,
     successors,
 )
-from .state import GlobalState
+from .state import GlobalState, StateInterner
 from .transition import (
     ActionContext,
     Execution,
@@ -60,6 +61,8 @@ __all__ = [
     "QuorumSpec",
     "QuorumSpecificationError",
     "SendSpec",
+    "StateInterner",
+    "SuccessorEngine",
     "TransitionExecutionError",
     "TransitionSpec",
     "apply_execution",

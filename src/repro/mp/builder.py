@@ -23,7 +23,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional, Set
 
 from .errors import ProtocolDefinitionError
 from .message import DRIVER, Message, driver_message
@@ -48,14 +48,19 @@ class ProtocolBuilder:
         self._transitions: List[TransitionSpec] = []
         self._driver_messages: List[Message] = []
         self._metadata: Dict[str, object] = {}
+        # Id sets kept alongside the lists so duplicate checks stay O(1)
+        # while protocol generators add hundreds of refined transitions.
+        self._pids: Set[str] = set()
+        self._transition_names: Set[str] = set()
 
     # ------------------------------------------------------------------ #
     # Processes
     # ------------------------------------------------------------------ #
     def add_process(self, pid: str, ptype: str, initial_state: Any) -> "ProtocolBuilder":
         """Declare a process instance."""
-        if any(process.pid == pid for process in self._processes):
+        if pid in self._pids:
             raise ProtocolDefinitionError(f"process {pid} already declared")
+        self._pids.add(pid)
         self._processes.append(ProcessDecl(pid=pid, ptype=ptype, initial_state=initial_state))
         return self
 
@@ -83,7 +88,7 @@ class ProtocolBuilder:
         refined_from: Optional[str] = None,
     ) -> "ProtocolBuilder":
         """Declare a transition of ``process_id`` consuming ``message_type``."""
-        if any(transition.name == name for transition in self._transitions):
+        if name in self._transition_names:
             raise ProtocolDefinitionError(f"transition {name} already declared")
         spec = TransitionSpec(
             name=name,
@@ -96,13 +101,15 @@ class ProtocolBuilder:
             annotation=annotation if annotation is not None else LporAnnotation(),
             refined_from=refined_from,
         )
+        self._transition_names.add(name)
         self._transitions.append(spec)
         return self
 
     def add_spec(self, spec: TransitionSpec) -> "ProtocolBuilder":
         """Add an already-built transition specification."""
-        if any(transition.name == spec.name for transition in self._transitions):
+        if spec.name in self._transition_names:
             raise ProtocolDefinitionError(f"transition {spec.name} already declared")
+        self._transition_names.add(spec.name)
         self._transitions.append(spec)
         return self
 
@@ -127,8 +134,13 @@ class ProtocolBuilder:
         return self
 
     def build(self) -> Protocol:
-        """Validate and return the protocol."""
-        known = {process.pid for process in self._processes} | {DRIVER}
+        """Validate and return the protocol.
+
+        The returned :class:`Protocol` computes its shared ``pid -> position``
+        index during validation; every global state derived from it reuses
+        that single dictionary.
+        """
+        known = self._pids | {DRIVER}
         for transition in self._transitions:
             senders = transition.effective_senders()
             if senders is not None:

@@ -46,6 +46,19 @@ class Network:
     # Construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
+    def _from_canonical(cls, items: MultisetItems) -> "Network":
+        """Build a network from items already in canonical sorted form.
+
+        Internal fast path for :meth:`add_all` / :meth:`remove_all`, which
+        maintain canonical order themselves and skip the full re-sort of
+        ``__init__``.
+        """
+        network = object.__new__(cls)
+        network._items = items
+        network._hash = hash(items)
+        return network
+
+    @classmethod
     def empty(cls) -> "Network":
         """Return an empty network."""
         return cls(())
@@ -134,13 +147,47 @@ class Network:
     # ------------------------------------------------------------------ #
     def add_all(self, messages: Iterable[Message]) -> "Network":
         """Return a new network with ``messages`` added (each once)."""
-        additions = list(messages)
-        if not additions:
+        added: Dict[Message, int] = {}
+        for message in messages:
+            added[message] = added.get(message, 0) + 1
+        if not added:
             return self
-        items = list(self._items)
-        for message in additions:
-            items.append((message, 1))
-        return Network(items)
+        # Merge the (few) sorted additions into the already-sorted items.
+        pending = sorted(
+            ((message.sort_key(), message, count) for message, count in added.items()),
+            key=lambda triple: triple[0],
+        )
+        merged = []
+        cursor = 0
+        position = 0
+        for position, (message, count) in enumerate(self._items):
+            if cursor == len(pending):
+                break
+            key = message.sort_key()
+            while cursor < len(pending):
+                pending_key, pending_message, pending_count = pending[cursor]
+                if pending_key < key:
+                    merged.append((pending_message, pending_count))
+                    cursor += 1
+                elif pending_key == key and pending_message != message:
+                    # Sort keys compare payloads through repr and are not
+                    # injective; on a tie between distinct messages defer to
+                    # the re-sorting constructor so entries never split.
+                    return Network(
+                        list(self._items) + [(m, c) for _, m, c in pending]
+                    )
+                else:
+                    break
+            if cursor < len(pending) and pending[cursor][1] == message:
+                merged.append((message, count + pending[cursor][2]))
+                cursor += 1
+            else:
+                merged.append((message, count))
+        else:
+            position = len(self._items)
+        merged.extend(self._items[position:] if cursor == len(pending) else ())
+        merged.extend((m, c) for _, m, c in pending[cursor:])
+        return Network._from_canonical(tuple(merged))
 
     def remove_all(self, messages: Iterable[Message]) -> "Network":
         """Return a new network with one occurrence of each message removed.
@@ -153,6 +200,8 @@ class Network:
             removals[message] = removals.get(message, 0) + 1
         if not removals:
             return self
+        # Removal keeps the canonical order, so the re-sorting constructor
+        # is bypassed.
         items = []
         for message, count in self._items:
             to_remove = removals.pop(message, 0)
@@ -164,14 +213,18 @@ class Network:
         if removals:
             missing = next(iter(removals))
             raise KeyError(f"message not in network: {missing.describe()}")
-        return Network(items)
+        return Network._from_canonical(tuple(items))
 
     # ------------------------------------------------------------------ #
     # Dunder plumbing
     # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Network):
             return NotImplemented
+        if self._hash != other._hash:
+            return False
         return self._items == other._items
 
     def __hash__(self) -> int:

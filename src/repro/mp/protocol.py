@@ -9,6 +9,7 @@ every process, and the driver messages that trigger spontaneous transitions
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from .channel import Network
@@ -33,6 +34,8 @@ class Protocol:
             driver to trigger spontaneous transitions.
         metadata: Free-form description of the protocol setting (process
             counts, fault configuration, model variant).
+        process_index: Shared ``pid -> position`` dictionary (set during
+            validation); every global state of this protocol reuses it.
     """
 
     name: str
@@ -46,6 +49,14 @@ class Protocol:
         if len(set(pids)) != len(pids):
             raise ProtocolDefinitionError("duplicate process identifiers in protocol")
         pid_set = set(pids)
+        # Shared pid -> position index: computed once here, handed to every
+        # GlobalState of this protocol so functional updates never rebuild
+        # it.  Read-only because every state trusts it without revalidation.
+        object.__setattr__(
+            self,
+            "process_index",
+            MappingProxyType({pid: position for position, pid in enumerate(pids)}),
+        )
         names = [transition.name for transition in self.transitions]
         if len(set(names)) != len(names):
             duplicates = sorted({name for name in names if names.count(name) > 1})
@@ -115,7 +126,7 @@ class Protocol:
     def initial_state(self) -> GlobalState:
         """Build the initial global state: initial locals + driver messages."""
         locals_ = tuple((process.pid, process.initial_state) for process in self.processes)
-        return GlobalState(locals_, Network.of(self.driver_messages))
+        return GlobalState(locals_, Network.of(self.driver_messages), index=self.process_index)
 
     # ------------------------------------------------------------------ #
     # Derivation (used by transition refinement)

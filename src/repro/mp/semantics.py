@@ -13,6 +13,11 @@ exact quorum of size ``q`` the candidate message sets are the size-``q``
 sender combinations of the pending messages.  The enumeration below prunes
 by transition (message type, effective sender set, quorum peers) before
 forming combinations, which keeps the cost manageable in practice.
+
+:class:`SuccessorEngine` layers state interning plus enabled-set and
+successor caches over these primitives; all search strategies go through it
+so that revisiting a state along a different interleaving costs a couple of
+dictionary lookups instead of a full semantics recomputation.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from .channel import Network
 from .errors import TransitionExecutionError
 from .message import Message
 from .protocol import Protocol
-from .state import GlobalState
+from .state import GlobalState, StateInterner
 from .transition import ActionContext, Execution, QuorumKind, TransitionSpec
 
 
@@ -156,6 +161,137 @@ def apply_execution(state: GlobalState, execution: Execution) -> GlobalState:
         ) from exc
     network = state.network.remove_all(execution.messages).add_all(context.outbox)
     return state.with_updates(pid, new_local, network)
+
+
+class SuccessorEngine:
+    """Interned-state successor engine shared by all search strategies.
+
+    The engine wraps the two stateless primitives above with three layers
+    that exploit how searches actually use them:
+
+    * every state handed out is *interned* (:class:`StateInterner`), so a
+      state reached along two interleavings is one object and all caches
+      below are keyed by states whose hash is already computed and whose
+      equality check starts with an identity test;
+    * enabled-execution sets are cached per interned state — the quorum
+      combination enumeration is the single most expensive step of the
+      semantics, and stateless searches (DPOR in particular) recompute it
+      for the same state along every interleaving that reaches it;
+    * successor states are cached per ``(state, execution)`` edge, so
+      re-executing a transition out of a revisited state is a lookup.
+
+    The engine is purely an optimisation: it never changes which executions
+    are enabled, their order, or the successor states, so search statistics
+    (the paper's Table I/II state counts) are identical with and without it.
+
+    The layers retain references to every state they see, which is exactly
+    right for stateless search (states are revisited constantly and the
+    reachable set bounds the tables) but would defeat the memory model of a
+    stateful search over a fingerprint store.  :func:`for_search` picks the
+    appropriate configuration; stateful searches get a pass-through engine
+    and keep their per-frame memoisation instead.
+    """
+
+    __slots__ = (
+        "protocol",
+        "interner",
+        "cache_successors",
+        "cache_enabled_sets",
+        "_enabled_cache",
+        "_successor_cache",
+        "enabled_hits",
+        "enabled_misses",
+        "successor_hits",
+        "successor_misses",
+    )
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        interner: Optional[StateInterner] = None,
+        cache_successors: bool = True,
+        cache_enabled_sets: bool = True,
+        intern_states: bool = True,
+    ) -> None:
+        self.protocol = protocol
+        if interner is not None:
+            self.interner = interner
+        else:
+            self.interner = StateInterner() if intern_states else None
+        self.cache_successors = cache_successors
+        self.cache_enabled_sets = cache_enabled_sets
+        self._enabled_cache: Dict[GlobalState, Tuple[Execution, ...]] = {}
+        self._successor_cache: Dict[GlobalState, Dict[Execution, GlobalState]] = {}
+        self.enabled_hits = 0
+        self.enabled_misses = 0
+        self.successor_hits = 0
+        self.successor_misses = 0
+
+    @classmethod
+    def for_search(cls, protocol: Protocol, stateful: bool) -> "SuccessorEngine":
+        """Engine configured for a search's memory model.
+
+        Stateful searches expand each state exactly once and already retain
+        states in their store (or deliberately only fingerprints), so every
+        caching layer is disabled; stateless searches revisit states along
+        every interleaving and get the full engine.
+        """
+        if stateful:
+            return cls(
+                protocol,
+                cache_successors=False,
+                cache_enabled_sets=False,
+                intern_states=False,
+            )
+        return cls(protocol)
+
+    def intern(self, state: GlobalState) -> GlobalState:
+        """Return the canonical interned object for ``state``."""
+        if self.interner is None:
+            return state
+        return self.interner.intern(state)
+
+    def initial_state(self) -> GlobalState:
+        """The protocol's initial state, interned."""
+        return self.intern(self.protocol.initial_state())
+
+    def enabled(self, state: GlobalState) -> Tuple[Execution, ...]:
+        """All enabled executions in ``state``, cached per interned state."""
+        if not self.cache_enabled_sets:
+            return enabled_executions(state, self.protocol)
+        cached = self._enabled_cache.get(state)
+        if cached is not None:
+            self.enabled_hits += 1
+            return cached
+        computed = enabled_executions(state, self.protocol)
+        self._enabled_cache[state] = computed
+        self.enabled_misses += 1
+        return computed
+
+    def successor(self, state: GlobalState, execution: Execution) -> GlobalState:
+        """The interned successor of ``state`` under ``execution``."""
+        if not self.cache_successors:
+            return self.intern(apply_execution(state, execution))
+        per_state = self._successor_cache.get(state)
+        if per_state is None:
+            per_state = {}
+            self._successor_cache[state] = per_state
+        cached = per_state.get(execution)
+        if cached is not None:
+            self.successor_hits += 1
+            return cached
+        computed = self.intern(apply_execution(state, execution))
+        per_state[execution] = computed
+        self.successor_misses += 1
+        return computed
+
+    def cache_sizes(self) -> Dict[str, int]:
+        """Sizes of the interner and both caches, for diagnostics and tests."""
+        return {
+            "interned_states": len(self.interner) if self.interner is not None else 0,
+            "enabled_sets": len(self._enabled_cache),
+            "successor_edges": sum(len(edges) for edges in self._successor_cache.values()),
+        }
 
 
 def successors(

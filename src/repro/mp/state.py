@@ -4,14 +4,43 @@ A global state (Section II-A) is a vector of the local state of every
 process plus the contents of every channel.  Global states are immutable and
 hashable, which makes stateful search, fingerprinting and the transition
 refinement equivalence checks straightforward.
+
+Because the model checker creates millions of states through functional
+updates, construction is engineered around three invariants:
+
+* the ``pid -> position`` index is shared: it is computed once per protocol
+  and every derived state reuses the same dictionary object;
+* hashing is incremental: the hash over the local-state vector is an XOR of
+  position-tagged per-entry hashes, so replacing one local state combines
+  the old accumulator with the delta of the changed entry instead of
+  rehashing the whole tuple;
+* states can be *interned* (:class:`StateInterner`), so identical states
+  share one object and equality starts with an identity check.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from .channel import Network
 from .errors import MPError
+
+
+def _entry_hash(position: int, pid: str, local: Any) -> int:
+    """Hash of one ``(position, pid, local state)`` entry of the vector.
+
+    Tagging the position makes the XOR accumulator sensitive to entry order,
+    so swapping the local states of two processes changes the hash.
+    """
+    return hash((position, pid, local))
+
+
+def _locals_accumulator(pairs: Tuple[Tuple[str, Any], ...]) -> int:
+    """XOR-combine the entry hashes of a full local-state vector."""
+    accumulator = 0
+    for position, (pid, local) in enumerate(pairs):
+        accumulator ^= _entry_hash(position, pid, local)
+    return accumulator
 
 
 class GlobalState:
@@ -23,19 +52,58 @@ class GlobalState:
         network: The multiset of in-flight messages.
     """
 
-    __slots__ = ("_locals", "_network", "_index", "_hash")
+    __slots__ = ("_locals", "_network", "_index", "_lhash", "_hash")
 
-    def __init__(self, locals_: Iterable[Tuple[str, Any]], network: Network) -> None:
+    def __init__(
+        self,
+        locals_: Iterable[Tuple[str, Any]],
+        network: Network,
+        index: Optional[Mapping[str, int]] = None,
+    ) -> None:
         pairs = tuple(locals_)
-        index: Dict[str, int] = {}
-        for position, (pid, _) in enumerate(pairs):
-            if pid in index:
-                raise MPError(f"duplicate process id in global state: {pid}")
-            index[pid] = position
+        if index is None:
+            built: Dict[str, int] = {}
+            for position, (pid, _) in enumerate(pairs):
+                if pid in built:
+                    raise MPError(f"duplicate process id in global state: {pid}")
+                built[pid] = position
+            index = built
+        else:
+            if len(index) != len(pairs):
+                raise MPError(
+                    f"process index covers {len(index)} processes, state has {len(pairs)}"
+                )
+            for position, (pid, _) in enumerate(pairs):
+                if index.get(pid) != position:
+                    raise MPError(
+                        f"process index disagrees with state layout at {pid!r}"
+                    )
         self._locals = pairs
         self._network = network
         self._index = index
-        self._hash = hash((pairs, network))
+        self._lhash = _locals_accumulator(pairs)
+        self._hash = hash((self._lhash, network))
+
+    @classmethod
+    def _derive(
+        cls,
+        locals_: Tuple[Tuple[str, Any], ...],
+        network: Network,
+        index: Mapping[str, int],
+        lhash: int,
+    ) -> "GlobalState":
+        """Fast construction path for functional updates.
+
+        Trusts the caller's index and incrementally-maintained locals hash;
+        only the cheap combination with the (cached) network hash is redone.
+        """
+        state = object.__new__(cls)
+        state._locals = locals_
+        state._network = network
+        state._index = index
+        state._lhash = lhash
+        state._hash = hash((lhash, network))
+        return state
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -71,39 +139,69 @@ class GlobalState:
         """Return a fresh ``{process id: local state}`` dictionary."""
         return dict(self._locals)
 
+    def fingerprint(self) -> int:
+        """The cached state hash, exposed for fingerprint stores."""
+        return self._hash
+
     # ------------------------------------------------------------------ #
     # Functional updates
     # ------------------------------------------------------------------ #
     def with_local(self, pid: str, local_state: Any) -> "GlobalState":
         """Return a copy of the state with the local state of ``pid`` replaced."""
-        if pid not in self._index:
-            raise KeyError(f"unknown process: {pid}")
-        position = self._index[pid]
-        if self._locals[position][1] == local_state:
+        try:
+            position = self._index[pid]
+        except KeyError:
+            raise KeyError(f"unknown process: {pid}") from None
+        old_local = self._locals[position][1]
+        if old_local == local_state:
             return self
         updated = list(self._locals)
         updated[position] = (pid, local_state)
-        return GlobalState(updated, self._network)
+        lhash = (
+            self._lhash
+            ^ _entry_hash(position, pid, old_local)
+            ^ _entry_hash(position, pid, local_state)
+        )
+        return GlobalState._derive(tuple(updated), self._network, self._index, lhash)
 
     def with_network(self, network: Network) -> "GlobalState":
         """Return a copy of the state with the network replaced."""
-        return GlobalState(self._locals, network)
+        if network is self._network or network == self._network:
+            return self
+        return GlobalState._derive(self._locals, network, self._index, self._lhash)
 
     def with_updates(self, pid: str, local_state: Any, network: Network) -> "GlobalState":
         """Return a copy with both a new local state for ``pid`` and a new network."""
-        if pid not in self._index:
-            raise KeyError(f"unknown process: {pid}")
-        position = self._index[pid]
+        try:
+            position = self._index[pid]
+        except KeyError:
+            raise KeyError(f"unknown process: {pid}") from None
+        old_local = self._locals[position][1]
+        same_network = network is self._network or network == self._network
+        if old_local == local_state:
+            if same_network:
+                return self
+            return GlobalState._derive(self._locals, network, self._index, self._lhash)
         updated = list(self._locals)
         updated[position] = (pid, local_state)
-        return GlobalState(updated, network)
+        lhash = (
+            self._lhash
+            ^ _entry_hash(position, pid, old_local)
+            ^ _entry_hash(position, pid, local_state)
+        )
+        target = self._network if same_network else network
+        return GlobalState._derive(tuple(updated), target, self._index, lhash)
 
     # ------------------------------------------------------------------ #
     # Dunder plumbing
     # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, GlobalState):
             return NotImplemented
+        if self._hash != other._hash:
+            return False
         return self._locals == other._locals and self._network == other._network
 
     def __hash__(self) -> int:
@@ -126,3 +224,36 @@ class GlobalState:
         else:
             lines.append("  in flight: (none)")
         return "\n".join(lines)
+
+
+class StateInterner:
+    """Hash-consing table mapping each distinct global state to one object.
+
+    Searches that revisit states along many interleavings (stateless DPOR in
+    particular) funnel every successor through :meth:`intern`; afterwards
+    equal states are the *same* object, dictionary lookups keyed on states
+    hit the ``is`` fast path, and per-state caches never store duplicates.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._table: Dict[GlobalState, GlobalState] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, state: GlobalState) -> GlobalState:
+        """Return the canonical object for ``state`` (registering it if new)."""
+        canonical = self._table.get(state)
+        if canonical is not None:
+            self.hits += 1
+            return canonical
+        self._table[state] = state
+        self.misses += 1
+        return state
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, state: GlobalState) -> bool:
+        return state in self._table

@@ -288,6 +288,20 @@ class TransitionSpec:
             f"consumes={self.message_type!r} x{self.quorum.size}{peers})"
         )
 
+    def __hash__(self) -> int:
+        # Specs are dictionary keys on every hot path (successor caches,
+        # per-frame memoisation); the generated dataclass hash walks all
+        # nine fields each call, so the value is computed once and cached.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((
+                self.name, self.process_id, self.message_type, self.quorum,
+                self.guard, self.action, self.quorum_peers, self.annotation,
+                self.refined_from,
+            ))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class Execution:
@@ -314,3 +328,10 @@ class Execution:
         """Return a compact human-readable rendering of the execution."""
         consumed = ", ".join(message.describe() for message in self.messages)
         return f"{self.transition.name}@{self.transition.process_id} consuming [{consumed}]"
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.transition, self.messages))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached

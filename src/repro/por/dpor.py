@@ -33,7 +33,7 @@ from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
 from ..checker.search import SearchConfig, SearchOutcome
 from ..mp.protocol import Protocol
-from ..mp.semantics import apply_execution, enabled_executions
+from ..mp.semantics import SuccessorEngine
 from ..mp.state import GlobalState
 from ..mp.transition import Execution
 from .dependence import DependenceRelation
@@ -63,10 +63,17 @@ class DporSearch:
         protocol: Protocol,
         config: Optional[SearchConfig] = None,
         dependence: Optional[DependenceRelation] = None,
+        engine: Optional[SuccessorEngine] = None,
     ) -> None:
         self.protocol = protocol
         self.config = config or SearchConfig(stateful=False)
         self.dependence = dependence or DependenceRelation.precompute(protocol)
+        if engine is not None and engine.protocol is not protocol:
+            raise ValueError("successor engine was built for a different protocol")
+        # Stateless search revisits states along every interleaving, so the
+        # interned-state engine with its enabled/successor caches is what
+        # keeps the per-visit cost at a few dictionary lookups.
+        self.engine = engine or SuccessorEngine(protocol)
         self._stack: List[_Entry] = []
         self._path_states: Set[GlobalState] = set()
         self._statistics = SearchStatistics()
@@ -88,7 +95,7 @@ class DporSearch:
         self._path_states = set()
         self._start_time = time.perf_counter()
 
-        initial = self.protocol.initial_state()
+        initial = self.engine.initial_state()
         self._statistics.states_visited = 1
         verified = True
         try:
@@ -153,7 +160,7 @@ class DporSearch:
             self._complete = False
             return
 
-        enabled = enabled_executions(state, self.protocol)
+        enabled = self.engine.enabled(state)
         self._statistics.enabled_set_computations += 1
         if not enabled:
             return
@@ -194,7 +201,7 @@ class DporSearch:
                     if execution.process_id != process:
                         continue
                     entry.chosen = execution
-                    successor = apply_execution(state, execution)
+                    successor = self.engine.successor(state, execution)
                     self._statistics.transitions_executed += 1
                     self._statistics.states_visited += 1
                     self._statistics.max_depth = max(self._statistics.max_depth, depth + 1)

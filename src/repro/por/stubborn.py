@@ -178,7 +178,9 @@ class StubbornSetProvider:
             return enabled
 
         # Cycle (stack) proviso (condition C3): at least one explored
-        # execution must leave the current DFS stack.
+        # execution must leave the current DFS stack.  ``context.successor``
+        # is engine-backed and memoised, so the states computed here are
+        # reused when the DFS expands them.
         if all(context.on_stack(context.successor(execution)) for execution in reduced):
             self.fallback_states += 1
             return enabled
