@@ -1,0 +1,90 @@
+"""Benchmark — parallel exploration vs. the serial loops.
+
+Measures both parallel axes of :mod:`repro.parallel` on small cells:
+
+* frontier-parallel BFS against serial BFS on one cell (the shard-owning
+  worker design pays a per-level barrier, so on small cells and few cores
+  it documents overhead rather than speedup — the numbers are recorded to
+  track the trajectory as cells and machines grow);
+* the cell-parallel sweep pool against the serial sweep loop over several
+  independent cells (the embarrassingly parallel axis).
+
+The companion assertions keep the benchmark honest: parallel runs must
+report exactly the serial visited-state counts and verdicts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.checker.search import bfs_search
+from repro.parallel import CellSpec, parallel_bfs_search, run_cells
+from repro.protocols.catalog import multicast_entry, storage_entry
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="frontier-parallel search requires the fork start method",
+)
+
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+
+TABLE = "Parallel exploration (workers=%d)" % WORKERS
+COLUMNS = ("Serial BFS", "Parallel BFS")
+
+
+@pytest.mark.parametrize("mode", COLUMNS)
+def test_frontier_parallel_bfs(benchmark, table_registry, mode):
+    """One cell explored breadth-first, serially vs. across workers."""
+    entry = storage_entry(3, 1)
+    invariant = entry.invariant
+
+    def serial():
+        return bfs_search(entry.quorum_model(), invariant)
+
+    def parallel():
+        return parallel_bfs_search(entry.quorum_model(), invariant, workers=WORKERS)
+
+    outcome = benchmark.pedantic(
+        serial if mode == "Serial BFS" else parallel, rounds=1, iterations=1
+    )
+    assert outcome.verified
+    assert outcome.statistics.states_visited > 0
+    benchmark.extra_info["states"] = outcome.statistics.states_visited
+    from repro.checker.result import CheckResult
+
+    result = CheckResult(
+        protocol_name=entry.description,
+        property_name=invariant.name,
+        strategy="bfs" if mode == "Serial BFS" else f"bfs x{WORKERS}",
+        verified=outcome.verified,
+        complete=outcome.complete,
+        counterexample=outcome.counterexample,
+        statistics=outcome.statistics,
+    )
+    table_registry.declare_table(TABLE, COLUMNS)
+    table_registry.record(TABLE, entry.description, mode, result, invariant.name)
+
+
+SWEEP_SPECS = (
+    CellSpec(key="multicast-2-1-0-1"),
+    CellSpec(key="multicast-3-0-1-1"),
+    CellSpec(key="storage-3-1"),
+    CellSpec(key="paxos-2-2-1"),
+)
+
+
+@pytest.mark.parametrize("pool_workers", [1, WORKERS], ids=["serial-loop", "pool"])
+def test_cell_parallel_sweep(benchmark, pool_workers):
+    """The same cell grid swept serially vs. across a process pool."""
+    records = benchmark.pedantic(
+        lambda: run_cells(SWEEP_SPECS, workers=pool_workers), rounds=1, iterations=1
+    )
+    assert len(records) == len(SWEEP_SPECS)
+    assert all(record["ok"] for record in records)
+    benchmark.extra_info["cells"] = len(records)
+    benchmark.extra_info["total_states"] = sum(
+        record["states_visited"] for record in records
+    )

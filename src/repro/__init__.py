@@ -57,6 +57,7 @@ from .mp import (
     majority_of,
     single_message,
 )
+from .parallel import CellSpec, parallel_bfs_search, run_cells
 from .por import DependenceRelation, DporSearch, StubbornSetProvider
 from .protocols import (
     MulticastConfig,
@@ -88,6 +89,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ActionContext",
+    "CellSpec",
     "CheckResult",
     "CheckerOptions",
     "Counterexample",
@@ -129,9 +131,11 @@ __all__ = [
     "exact_quorum",
     "is_transition_refinement",
     "majority_of",
+    "parallel_bfs_search",
     "quorum_split",
     "regularity_invariant",
     "reply_split",
+    "run_cells",
     "single_message",
     "wrong_regularity_invariant",
     "__version__",

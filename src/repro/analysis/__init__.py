@@ -1,6 +1,17 @@
-"""Analysis helpers: the Section II-C blow-up formulas, reduction metrics and
-paper-style table rendering used by the benchmark harness."""
+"""Analysis helpers: the Section II-C blow-up formulas, reduction metrics,
+paper-style table rendering used by the benchmark harness, and aggregation
+of the CLI's machine-readable ``BENCH_*.json`` results."""
 
+from .aggregate import (
+    AggregateRow,
+    AggregateSummary,
+    aggregate_records,
+    bench_payload,
+    load_bench_files,
+    render_aggregate,
+    result_record,
+    write_bench_file,
+)
 from .blowup import (
     PaxosBlowupExample,
     blowup_factor,
@@ -15,11 +26,19 @@ from .comparison import ResultComparison, compare_results, reduction_percentage
 from .reporting import EvaluationTable, TableRow, format_count, format_duration
 
 __all__ = [
+    "AggregateRow",
+    "AggregateSummary",
     "EvaluationTable",
     "PaxosBlowupExample",
     "ResultComparison",
     "TableRow",
+    "aggregate_records",
+    "bench_payload",
     "blowup_factor",
+    "load_bench_files",
+    "render_aggregate",
+    "result_record",
+    "write_bench_file",
     "blowup_lower_bound",
     "compare_results",
     "format_count",

@@ -1,0 +1,242 @@
+"""Aggregation of machine-readable benchmark results (``BENCH_*.json``).
+
+The ``python -m repro`` CLI emits every run as a JSON payload so that
+sweeps from different machines, worker counts and commits can be compared
+offline.  This module owns the payload schema end to end:
+
+* :func:`result_record` — flatten one :class:`CheckResult` into the
+  JSON-able per-cell record the CLI and the cell-parallel runner emit;
+* :func:`bench_payload` / :func:`write_bench_file` — wrap records into a
+  self-describing payload and write it as ``BENCH_<kind>_<label>.json``;
+* :func:`load_bench_files` — read payloads back from files or directories;
+* :func:`aggregate_records` / :func:`render_aggregate` — merge payloads
+  into per-cell rows (best time per mode, serial-vs-parallel speedups) and
+  render them as a plain-text table.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..checker.result import CheckResult
+
+#: Filename prefix of every machine-readable benchmark artifact.
+BENCH_PREFIX = "BENCH_"
+
+
+def result_record(result: CheckResult, **extra) -> Dict:
+    """Flatten a :class:`CheckResult` into a JSON-able record.
+
+    Extra keyword fields (cell key, model variant, worker count, ...) are
+    merged in; they must be JSON-serialisable.
+    """
+    statistics = result.statistics
+    record = {
+        "protocol": result.protocol_name,
+        "property": result.property_name,
+        "strategy": result.strategy,
+        "verified": result.verified,
+        "complete": result.complete,
+        "stateful": result.stateful,
+        "counterexample_steps": (
+            len(result.counterexample.steps) if result.counterexample else None
+        ),
+        "states_visited": statistics.states_visited,
+        "transitions_executed": statistics.transitions_executed,
+        "revisits": statistics.revisits,
+        "max_depth": statistics.max_depth,
+        "elapsed_seconds": statistics.elapsed_seconds,
+        "enabled_set_computations": statistics.enabled_set_computations,
+    }
+    record.update(extra)
+    return record
+
+
+def bench_payload(kind: str, results: Sequence[Dict], **meta) -> Dict:
+    """Wrap per-cell records into a self-describing payload."""
+    payload = {
+        "schema": "repro-bench/1",
+        "kind": kind,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": list(results),
+    }
+    payload.update(meta)
+    return payload
+
+
+def write_bench_file(
+    directory: Path, kind: str, payload: Dict, label: Optional[str] = None
+) -> Path:
+    """Write a payload as ``BENCH_<kind>[_<label>]_<timestamp>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    middle = f"{kind}_{label}" if label else kind
+    path = directory / f"{BENCH_PREFIX}{middle}_{stamp}.json"
+    serial = 0
+    while path.exists():
+        serial += 1
+        path = directory / f"{BENCH_PREFIX}{middle}_{stamp}-{serial}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_files(paths: Iterable) -> List[Dict]:
+    """Load payloads from JSON files and/or directories of ``BENCH_*.json``.
+
+    Raises:
+        FileNotFoundError: If a given path does not exist.
+        ValueError: If a file does not carry the expected schema marker.
+    """
+    payloads: List[Dict] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(path.glob(f"{BENCH_PREFIX}*.json"))
+        elif path.exists():
+            files = [path]
+        else:
+            raise FileNotFoundError(f"no such benchmark file or directory: {path}")
+        for file in files:
+            payload = json.loads(file.read_text())
+            if not str(payload.get("schema", "")).startswith("repro-bench/"):
+                raise ValueError(f"{file} is not a repro benchmark payload")
+            payload["_source"] = str(file)
+            payloads.append(payload)
+    return payloads
+
+
+def _mode_of(record: Dict) -> str:
+    workers = int(record.get("workers", 1) or 1)
+    return f"parallel[{workers}]" if workers > 1 else "serial"
+
+
+@dataclass
+class AggregateRow:
+    """All observations of one ``(cell, model, strategy)`` combination.
+
+    Attributes:
+        cell: Catalog key (falls back to the protocol name for ad-hoc runs).
+        model: ``"quorum"`` or ``"single"``.
+        strategy: Search strategy string.
+        outcome: ``"Verified"`` / ``"CE"`` / ``"mixed"`` across observations.
+        states_visited: State count (the paper's primary column); ``None``
+            until observed, ``-1`` if observations disagree.
+        best_seconds: Mode name -> fastest observed wall clock.
+        runs: Mode name -> number of observations.
+    """
+
+    cell: str
+    model: str
+    strategy: str
+    outcome: str = "-"
+    states_visited: Optional[int] = None
+    best_seconds: Dict[str, float] = field(default_factory=dict)
+    runs: Dict[str, int] = field(default_factory=dict)
+
+    def speedup(self) -> Optional[float]:
+        """Best serial time over best parallel time, when both exist."""
+        serial = self.best_seconds.get("serial")
+        parallel = min(
+            (value for mode, value in self.best_seconds.items() if mode != "serial"),
+            default=None,
+        )
+        if serial is None or parallel is None or parallel <= 0:
+            return None
+        return serial / parallel
+
+
+@dataclass
+class AggregateSummary:
+    """Merged view over any number of benchmark payloads."""
+
+    rows: List[AggregateRow]
+    payload_count: int
+    record_count: int
+
+    def total_states(self) -> int:
+        return sum(row.states_visited or 0 for row in self.rows if row.states_visited)
+
+
+def aggregate_records(payloads: Sequence[Dict]) -> AggregateSummary:
+    """Merge payloads into one row per ``(cell, model, strategy)``."""
+    rows: Dict[Tuple[str, str, str], AggregateRow] = {}
+    record_count = 0
+    for payload in payloads:
+        for record in payload.get("results", ()):
+            record_count += 1
+            cell = str(record.get("cell") or record.get("protocol") or "?")
+            model = str(record.get("model", "-"))
+            strategy = str(record.get("strategy", "-"))
+            key = (cell, model, strategy)
+            row = rows.get(key)
+            if row is None:
+                row = rows[key] = AggregateRow(cell=cell, model=model, strategy=strategy)
+            mode = _mode_of(record)
+            elapsed = float(record.get("elapsed_seconds", 0.0))
+            best = row.best_seconds.get(mode)
+            if best is None or elapsed < best:
+                row.best_seconds[mode] = elapsed
+            row.runs[mode] = row.runs.get(mode, 0) + 1
+            outcome = "Verified" if record.get("verified") else "CE"
+            if row.outcome == "-":
+                row.outcome = outcome
+            elif row.outcome != outcome:
+                row.outcome = "mixed"
+            states = record.get("states_visited")
+            if states is not None:
+                if row.states_visited is None:
+                    row.states_visited = int(states)
+                elif row.states_visited != int(states):
+                    # Disagreeing counts across observations (e.g. different
+                    # bounds) are flagged rather than silently averaged.
+                    row.states_visited = -1
+    ordered = sorted(rows.values(), key=lambda row: (row.cell, row.model, row.strategy))
+    return AggregateSummary(
+        rows=ordered, payload_count=len(payloads), record_count=record_count
+    )
+
+
+def render_aggregate(summary: AggregateSummary) -> str:
+    """Render a summary as a plain-text table with per-row speedups."""
+    header = ("cell", "model", "strategy", "outcome", "states", "best serial", "best parallel", "speedup")
+    lines: List[Tuple[str, ...]] = [header]
+    for row in summary.rows:
+        states = "-"
+        if row.states_visited is not None:
+            states = "(differs)" if row.states_visited < 0 else f"{row.states_visited:,}"
+        serial = row.best_seconds.get("serial")
+        parallel_modes = {m: v for m, v in row.best_seconds.items() if m != "serial"}
+        best_parallel = min(parallel_modes.values()) if parallel_modes else None
+        speedup = row.speedup()
+        lines.append(
+            (
+                row.cell,
+                row.model,
+                row.strategy,
+                row.outcome,
+                states,
+                f"{serial:.3f}s" if serial is not None else "-",
+                f"{best_parallel:.3f}s" if best_parallel is not None else "-",
+                f"{speedup:.2f}x" if speedup is not None else "-",
+            )
+        )
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    rendered = []
+    for index, line in enumerate(lines):
+        rendered.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)).rstrip())
+        if index == 0:
+            rendered.append("  ".join("-" * widths[i] for i in range(len(header))))
+    rendered.append(
+        f"({summary.record_count} records from {summary.payload_count} payloads)"
+    )
+    return "\n".join(rendered)

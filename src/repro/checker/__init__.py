@@ -20,11 +20,15 @@ from .search import (
     dfs_search,
 )
 from .statestore import (
+    STORE_KINDS,
     FingerprintStore,
     FullStateStore,
     NullStateStore,
+    ShardedFingerprintStore,
     StateStore,
     make_state_store,
+    mix_fingerprint,
+    shard_of,
 )
 
 __all__ = [
@@ -39,8 +43,10 @@ __all__ = [
     "ReductionContext",
     "Reducer",
     "SearchConfig",
+    "STORE_KINDS",
     "SearchOutcome",
     "SearchStatistics",
+    "ShardedFingerprintStore",
     "StateStore",
     "Step",
     "Strategy",
@@ -51,4 +57,6 @@ __all__ = [
     "dfs_search",
     "local_state_invariant",
     "make_state_store",
+    "mix_fingerprint",
+    "shard_of",
 ]

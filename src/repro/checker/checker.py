@@ -10,7 +10,10 @@ strategy, mirroring how MP-Basset is invoked with the ``+fw.spor`` /
 * ``Strategy.SPOR_NET`` — static POR with necessary-enabling-transition
   handling of disabled transitions (the LPOR-NET analogue);
 * ``Strategy.DPOR`` — stateless dynamic POR (Flanagan–Godefroid style), the
-  configuration Basset uses for single-message models in Table I.
+  configuration Basset uses for single-message models in Table I;
+* ``Strategy.BFS`` — stateful breadth-first search, the only strategy with
+  a frontier-parallel mode (``CheckerOptions.workers > 1`` farms each level
+  across a pool of shard-owning workers, see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from typing import Optional
 from ..mp.protocol import Protocol
 from .property import Invariant
 from .result import CheckResult
-from .search import SearchConfig, SearchOutcome, dfs_search
+from .search import SearchConfig, SearchOutcome, bfs_search, dfs_search
 
 
 class Strategy(enum.Enum):
@@ -32,6 +35,7 @@ class Strategy(enum.Enum):
     SPOR = "spor"
     SPOR_NET = "spor-net"
     DPOR = "dpor"
+    BFS = "bfs"
 
 
 @dataclass
@@ -43,10 +47,15 @@ class CheckerOptions:
         seed_heuristic: Name of the seed-transition heuristic for SPOR
             (``"opposite-transaction"``, ``"transaction"``, ``"first"``,
             ``"fewest-dependents"``).
+        workers: Process count for the frontier-parallel breadth-first
+            search; 1 keeps every strategy serial.  Only ``Strategy.BFS``
+            supports ``workers > 1`` (partial-order reduction relies on a
+            DFS stack and cannot be level-parallelised this way).
     """
 
     search: SearchConfig = None  # type: ignore[assignment]
     seed_heuristic: str = "opposite-transaction"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.search is None:
@@ -67,6 +76,13 @@ class ModelChecker:
     # ------------------------------------------------------------------ #
     def run(self, strategy: Strategy = Strategy.UNREDUCED) -> CheckResult:
         """Run the search under ``strategy`` and return the verdict."""
+        if strategy is Strategy.BFS:
+            return self._run_bfs()
+        if self.options.workers > 1:
+            raise ValueError(
+                f"workers={self.options.workers} requires Strategy.BFS; "
+                f"{strategy.value} only runs serially"
+            )
         if strategy is Strategy.DPOR:
             return self._run_dpor()
         if strategy in (Strategy.SPOR, Strategy.SPOR_NET):
@@ -96,6 +112,21 @@ class ModelChecker:
     def _run_unreduced(self) -> CheckResult:
         outcome = dfs_search(self.protocol, self.invariant, self.options.search)
         return self._result(outcome, Strategy.UNREDUCED, self.options.search.stateful)
+
+    def _run_bfs(self) -> CheckResult:
+        if self.options.workers > 1:
+            # Imported lazily: repro.parallel builds on this module's siblings.
+            from ..parallel import parallel_bfs_search
+
+            outcome = parallel_bfs_search(
+                self.protocol,
+                self.invariant,
+                self.options.search,
+                workers=self.options.workers,
+            )
+        else:
+            outcome = bfs_search(self.protocol, self.invariant, self.options.search)
+        return self._result(outcome, Strategy.BFS, stateful=True)
 
     def _run_spor(self, use_net: bool) -> CheckResult:
         # Imported lazily to keep the layering acyclic (por depends on mp only).

@@ -47,6 +47,10 @@ class SearchConfig:
         check_deadlocks: Treat states without enabled transitions in the
             *unreduced* transition set as violations.  Off by default since
             all bundled protocols terminate legitimately.
+        engine_cache_capacity: LRU bound for the successor engine's
+            enabled-set and successor caches in stateless searches; ``None``
+            keeps them unbounded (appropriate when the reachable set fits in
+            memory, which holds for all bundled instances).
     """
 
     stateful: bool = True
@@ -56,6 +60,7 @@ class SearchConfig:
     max_seconds: Optional[float] = None
     stop_at_first_violation: bool = True
     check_deadlocks: bool = False
+    engine_cache_capacity: Optional[int] = None
 
 
 @dataclass
@@ -168,7 +173,9 @@ def dfs_search(
 
     if engine is not None and engine.protocol is not protocol:
         raise ValueError("successor engine was built for a different protocol")
-    engine = engine or SuccessorEngine.for_search(protocol, config.stateful)
+    engine = engine or SuccessorEngine.for_search(
+        protocol, config.stateful, max_cache_entries=config.engine_cache_capacity
+    )
     store: StateStore = make_state_store(config.state_store if config.stateful else "none")
     initial = engine.initial_state()
     store.add(initial)

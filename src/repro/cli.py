@@ -1,0 +1,268 @@
+"""``python -m repro`` — reproduce the paper's experiments from the shell.
+
+Subcommands:
+
+``cells``
+    List the catalog cells (Table-I rows) available at a scale.
+``check``
+    Check one cell under one strategy, serially or with the
+    frontier-parallel BFS (``--strategy bfs --workers N``).
+``sweep``
+    Run a grid of cells, optionally farming independent cells across a
+    process pool (``--workers N``), and write a ``BENCH_*.json`` payload.
+``bench``
+    Serial-vs-parallel comparison: times the sweep loop against the
+    cell-parallel pool and (optionally) serial BFS against the
+    frontier-parallel BFS per cell; writes a ``BENCH_*.json`` payload.
+``report``
+    Aggregate any number of ``BENCH_*.json`` files/directories into one
+    table with per-cell speedups.
+
+All machine-readable output follows the ``repro-bench/1`` schema of
+:mod:`repro.analysis.aggregate`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis.aggregate import (
+    aggregate_records,
+    bench_payload,
+    load_bench_files,
+    render_aggregate,
+    write_bench_file,
+)
+from .checker.statestore import STORE_KINDS
+from .parallel.cells import MODELS, CellSpec, run_cell_task, run_cells, specs_for_sweep
+from .protocols.catalog import default_catalog
+
+#: Strategy strings accepted by --strategy.
+STRATEGIES = ("unreduced", "spor", "spor-net", "dpor", "bfs")
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-states", type=int, default=None,
+                        help="abort a cell after this many stored states")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="abort a cell after this wall-clock budget")
+    parser.add_argument("--store", choices=[k for k in STORE_KINDS if k != "none"],
+                        default="full", help="visited-state store kind")
+    parser.add_argument("--scale", choices=("small", "paper"), default="small",
+                        help="catalog scale the cell keys belong to")
+
+
+def _parse_cells(value: Optional[str], scale: str) -> Optional[List[str]]:
+    if value is None or value == "all":
+        return None
+    return [key.strip() for key in value.split(",") if key.strip()]
+
+
+def _print_records(records: Sequence[dict], stream) -> None:
+    for record in records:
+        outcome = "Verified" if record["verified"] else "CE"
+        if record["verified"] and not record.get("complete", True):
+            outcome = "Inconclusive (budget hit)"
+        flag = "" if record.get("ok", True) else "  [UNEXPECTED]"
+        stream.write(
+            f"{record.get('cell', record['protocol'])} | {record.get('model', '-')} | "
+            f"{record['strategy']}"
+            + (f" x{record['workers']}" if record.get("workers", 1) > 1 else "")
+            + f": {outcome} — {record['states_visited']:,} states, "
+            f"{record['elapsed_seconds']:.2f}s{flag}\n"
+        )
+
+
+def _command_cells(args, stream) -> int:
+    for entry in default_catalog(args.scale):
+        expected = "CE" if entry.expect_violation else "Verified"
+        stream.write(f"{entry.key:<24} {entry.description:<32} expected: {expected}\n")
+    return 0
+
+
+def _command_check(args, stream) -> int:
+    spec = CellSpec(
+        key=args.cell,
+        model=args.model,
+        strategy=args.strategy,
+        scale=args.scale,
+        state_store=args.store,
+        max_states=args.max_states,
+        max_seconds=args.max_seconds,
+        workers=args.workers,
+    )
+    record = run_cell_task(spec.to_task())
+    _print_records([record], stream)
+    if args.json:
+        payload = bench_payload("check", [record], workers=args.workers)
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        stream.write(f"wrote {args.json}\n")
+    return 0 if record["ok"] else 1
+
+
+def _command_sweep(args, stream) -> int:
+    keys = _parse_cells(args.cells, args.scale)
+    specs = specs_for_sweep(
+        keys=keys,
+        scale=args.scale,
+        models=tuple(args.models.split(",")),
+        strategy=args.strategy,
+        max_states=args.max_states,
+        max_seconds=args.max_seconds,
+        state_store=args.store,
+    )
+    workers = 1 if args.serial else args.workers
+    started = time.perf_counter()
+    records = run_cells(specs, workers=workers)
+    wall = time.perf_counter() - started
+    _print_records(records, stream)
+    stream.write(
+        f"swept {len(records)} cells in {wall:.2f}s "
+        f"({'serial loop' if workers <= 1 else f'{workers}-process pool'})\n"
+    )
+    payload = bench_payload(
+        "sweep", records, workers=workers, sweep_seconds=wall, strategy=args.strategy
+    )
+    path = write_bench_file(Path(args.output), "sweep", payload, label=args.label)
+    stream.write(f"wrote {path}\n")
+    return 0 if all(record["ok"] for record in records) else 1
+
+
+def _command_bench(args, stream) -> int:
+    keys = _parse_cells(args.cells, args.scale)
+    specs = specs_for_sweep(
+        keys=keys,
+        scale=args.scale,
+        models=("quorum",),
+        strategy=args.strategy,
+        max_states=args.max_states,
+        max_seconds=args.max_seconds,
+        state_store=args.store,
+    )
+    results: List[dict] = []
+    meta = {"workers": args.workers}
+
+    # Axis 1: the same cell grid as a serial loop vs. a cell-parallel pool.
+    started = time.perf_counter()
+    serial_records = run_cells(specs, workers=1)
+    serial_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel_records = run_cells(specs, workers=args.workers)
+    parallel_wall = time.perf_counter() - started
+    for record in serial_records:
+        record["batch_mode"] = "serial-loop"
+    for record in parallel_records:
+        record["batch_mode"] = "cell-parallel"
+    results.extend(serial_records)
+    results.extend(parallel_records)
+    meta["sweep_serial_seconds"] = serial_wall
+    meta["sweep_parallel_seconds"] = parallel_wall
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("nan")
+    meta["sweep_speedup"] = speedup
+    stream.write(
+        f"cell-parallel sweep: serial loop {serial_wall:.2f}s vs "
+        f"{args.workers}-process pool {parallel_wall:.2f}s ({speedup:.2f}x)\n"
+    )
+
+    # Axis 2: serial BFS vs. frontier-parallel BFS on each cell.
+    if not args.skip_frontier:
+        for spec in specs:
+            for workers in dict.fromkeys((1, args.workers)):
+                record = run_cell_task(
+                    CellSpec(
+                        key=spec.key,
+                        model=spec.model,
+                        strategy="bfs",
+                        scale=spec.scale,
+                        state_store=spec.state_store,
+                        max_states=spec.max_states,
+                        max_seconds=spec.max_seconds,
+                        workers=workers,
+                    ).to_task()
+                )
+                record["batch_mode"] = "frontier"
+                results.append(record)
+        _print_records([r for r in results if r.get("batch_mode") == "frontier"], stream)
+
+    payload = bench_payload("bench", results, **meta)
+    path = write_bench_file(Path(args.output), "bench", payload, label=args.label)
+    stream.write(f"wrote {path}\n")
+    return 0
+
+
+def _command_report(args, stream) -> int:
+    payloads = load_bench_files(args.paths)
+    summary = aggregate_records(payloads)
+    stream.write(render_aggregate(summary) + "\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Model-check the paper's protocol cells, serially or in parallel.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    cells = subparsers.add_parser("cells", help="list the catalog cells")
+    cells.add_argument("--scale", choices=("small", "paper"), default="small")
+    cells.set_defaults(handler=_command_cells)
+
+    check = subparsers.add_parser("check", help="check one cell")
+    check.add_argument("cell", help="catalog key, e.g. paxos-2-2-1")
+    check.add_argument("--model", choices=MODELS, default="quorum")
+    check.add_argument("--strategy", choices=STRATEGIES, default="spor")
+    check.add_argument("--workers", type=int, default=1,
+                       help="frontier-parallel workers (requires --strategy bfs)")
+    check.add_argument("--json", default=None, help="write the result payload here")
+    _add_budget_arguments(check)
+    check.set_defaults(handler=_command_check)
+
+    sweep = subparsers.add_parser("sweep", help="run a grid of cells")
+    sweep.add_argument("--cells", default="all",
+                       help="comma-separated catalog keys, or 'all'")
+    sweep.add_argument("--models", default="quorum",
+                       help="comma-separated model variants (quorum,single)")
+    sweep.add_argument("--strategy", choices=STRATEGIES, default="spor")
+    sweep.add_argument("--workers", type=int, default=2,
+                       help="cell-parallel pool size")
+    sweep.add_argument("--serial", action="store_true",
+                       help="force the serial loop regardless of --workers")
+    sweep.add_argument("--output", default=".", help="directory for BENCH_*.json")
+    sweep.add_argument("--label", default=None, help="label in the BENCH filename")
+    _add_budget_arguments(sweep)
+    sweep.set_defaults(handler=_command_sweep)
+
+    bench = subparsers.add_parser(
+        "bench", help="compare serial vs parallel on both axes"
+    )
+    bench.add_argument("--cells", default="all",
+                       help="comma-separated catalog keys, or 'all'")
+    bench.add_argument("--strategy", choices=STRATEGIES, default="spor",
+                       help="strategy for the cell-parallel axis")
+    bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument("--skip-frontier", action="store_true",
+                       help="skip the per-cell frontier-parallel BFS axis")
+    bench.add_argument("--output", default=".", help="directory for BENCH_*.json")
+    bench.add_argument("--label", default=None, help="label in the BENCH filename")
+    _add_budget_arguments(bench)
+    bench.set_defaults(handler=_command_bench)
+
+    report = subparsers.add_parser("report", help="aggregate BENCH_*.json payloads")
+    report.add_argument("paths", nargs="+",
+                        help="BENCH_*.json files and/or directories holding them")
+    report.set_defaults(handler=_command_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    stream = stream or sys.stdout
+    args = build_parser().parse_args(argv)
+    return args.handler(args, stream)

@@ -230,6 +230,12 @@ class Network:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        """Pickle the canonical items only; the cached hash is process-local
+        (it depends on the interpreter's hash seed) and is recomputed by the
+        re-canonicalising constructor on unpickling."""
+        return (Network, (self._items,))
+
     def __repr__(self) -> str:
         inner = ", ".join(
             f"{message.describe()}x{count}" if count > 1 else message.describe()

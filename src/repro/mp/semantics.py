@@ -23,6 +23,7 @@ dictionary lookups instead of a full semantics recomputation.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .channel import Network
@@ -190,6 +191,14 @@ class SuccessorEngine:
     stateful search over a fingerprint store.  :func:`for_search` picks the
     appropriate configuration; stateful searches get a pass-through engine
     and keep their per-frame memoisation instead.
+
+    On instances whose reachable set is itself too large to hold, the two
+    derived caches can be bounded with ``max_cache_entries``: both become
+    LRU maps of at most that many states, evicting the least recently used
+    entry on overflow.  The interner is intentionally left unbounded — it
+    deduplicates rather than duplicates memory — while the enabled-set and
+    successor tables (which hold tuples and edge maps per state) are the
+    ones that grow without bound on long stateless runs.
     """
 
     __slots__ = (
@@ -197,12 +206,15 @@ class SuccessorEngine:
         "interner",
         "cache_successors",
         "cache_enabled_sets",
+        "max_cache_entries",
         "_enabled_cache",
         "_successor_cache",
         "enabled_hits",
         "enabled_misses",
+        "enabled_evictions",
         "successor_hits",
         "successor_misses",
+        "successor_evictions",
     )
 
     def __init__(
@@ -212,7 +224,10 @@ class SuccessorEngine:
         cache_successors: bool = True,
         cache_enabled_sets: bool = True,
         intern_states: bool = True,
+        max_cache_entries: Optional[int] = None,
     ) -> None:
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be at least 1 (or None)")
         self.protocol = protocol
         if interner is not None:
             self.interner = interner
@@ -220,21 +235,30 @@ class SuccessorEngine:
             self.interner = StateInterner() if intern_states else None
         self.cache_successors = cache_successors
         self.cache_enabled_sets = cache_enabled_sets
-        self._enabled_cache: Dict[GlobalState, Tuple[Execution, ...]] = {}
-        self._successor_cache: Dict[GlobalState, Dict[Execution, GlobalState]] = {}
+        self.max_cache_entries = max_cache_entries
+        self._enabled_cache: "OrderedDict[GlobalState, Tuple[Execution, ...]]" = OrderedDict()
+        self._successor_cache: "OrderedDict[GlobalState, Dict[Execution, GlobalState]]" = OrderedDict()
         self.enabled_hits = 0
         self.enabled_misses = 0
+        self.enabled_evictions = 0
         self.successor_hits = 0
         self.successor_misses = 0
+        self.successor_evictions = 0
 
     @classmethod
-    def for_search(cls, protocol: Protocol, stateful: bool) -> "SuccessorEngine":
+    def for_search(
+        cls,
+        protocol: Protocol,
+        stateful: bool,
+        max_cache_entries: Optional[int] = None,
+    ) -> "SuccessorEngine":
         """Engine configured for a search's memory model.
 
         Stateful searches expand each state exactly once and already retain
         states in their store (or deliberately only fingerprints), so every
         caching layer is disabled; stateless searches revisit states along
-        every interleaving and get the full engine.
+        every interleaving and get the full engine, optionally bounded by
+        ``max_cache_entries`` (see the class docstring).
         """
         if stateful:
             return cls(
@@ -243,7 +267,7 @@ class SuccessorEngine:
                 cache_enabled_sets=False,
                 intern_states=False,
             )
-        return cls(protocol)
+        return cls(protocol, max_cache_entries=max_cache_entries)
 
     def intern(self, state: GlobalState) -> GlobalState:
         """Return the canonical interned object for ``state``."""
@@ -262,10 +286,18 @@ class SuccessorEngine:
         cached = self._enabled_cache.get(state)
         if cached is not None:
             self.enabled_hits += 1
+            if self.max_cache_entries is not None:
+                self._enabled_cache.move_to_end(state)
             return cached
         computed = enabled_executions(state, self.protocol)
         self._enabled_cache[state] = computed
         self.enabled_misses += 1
+        if (
+            self.max_cache_entries is not None
+            and len(self._enabled_cache) > self.max_cache_entries
+        ):
+            self._enabled_cache.popitem(last=False)
+            self.enabled_evictions += 1
         return computed
 
     def successor(self, state: GlobalState, execution: Execution) -> GlobalState:
@@ -276,6 +308,14 @@ class SuccessorEngine:
         if per_state is None:
             per_state = {}
             self._successor_cache[state] = per_state
+            if (
+                self.max_cache_entries is not None
+                and len(self._successor_cache) > self.max_cache_entries
+            ):
+                self._successor_cache.popitem(last=False)
+                self.successor_evictions += 1
+        elif self.max_cache_entries is not None:
+            self._successor_cache.move_to_end(state)
         cached = per_state.get(execution)
         if cached is not None:
             self.successor_hits += 1
@@ -293,6 +333,13 @@ class SuccessorEngine:
             "successor_edges": sum(len(edges) for edges in self._successor_cache.values()),
         }
 
+    def eviction_counts(self) -> Dict[str, int]:
+        """LRU evictions per cache; all zero when ``max_cache_entries`` is None."""
+        return {
+            "enabled_sets": self.enabled_evictions,
+            "successor_states": self.successor_evictions,
+        }
+
 
 def successors(
     state: GlobalState, protocol: Protocol
@@ -307,6 +354,7 @@ def successors(
 def state_graph_edges(
     protocol: Protocol,
     max_states: Optional[int] = None,
+    engine: Optional[SuccessorEngine] = None,
 ) -> Tuple[frozenset, frozenset]:
     """Enumerate the full state graph of a protocol.
 
@@ -318,17 +366,37 @@ def state_graph_edges(
     Args:
         protocol: The protocol to explore.
         max_states: Safety bound; exploration raises if exceeded.
+        engine: Optional successor engine.  A caching engine shared across
+            repeated enumerations of the same protocol (the refinement
+            validator checks one protocol against several refinements) turns
+            every enumeration after the first into cache lookups.
 
     Raises:
         RuntimeError: If ``max_states`` is exceeded.
     """
-    initial = protocol.initial_state()
+    if engine is not None and engine.protocol is not protocol:
+        raise ValueError("successor engine was built for a different protocol")
+    if engine is None:
+        initial = protocol.initial_state()
+
+        def expand(state: GlobalState) -> Iterable[Tuple[Execution, GlobalState]]:
+            return successors(state, protocol)
+
+    else:
+        initial = engine.initial_state()
+
+        def expand(state: GlobalState) -> Iterable[Tuple[Execution, GlobalState]]:
+            return (
+                (execution, engine.successor(state, execution))
+                for execution in engine.enabled(state)
+            )
+
     visited = {initial}
     edges = set()
     frontier = [initial]
     while frontier:
         state = frontier.pop()
-        for _, successor in successors(state, protocol):
+        for _, successor in expand(state):
             edges.add((state, successor))
             if successor not in visited:
                 visited.add(successor)

@@ -26,6 +26,30 @@ from .channel import Network
 from .errors import MPError
 
 
+#: ``pid tuple -> shared index`` table used when unpickling states, so all
+#: states of one protocol restored in a process share a single index dict
+#: (mirroring the shared-index invariant of freshly built states).
+_UNPICKLE_INDEX_CACHE: Dict[Tuple[str, ...], Dict[str, int]] = {}
+
+
+def _restore_state(pairs: Tuple[Tuple[str, Any], ...], network: Network) -> "GlobalState":
+    """Rebuild a pickled :class:`GlobalState`.
+
+    Only the local-state vector and the network cross the process boundary;
+    the index is reattached from a per-process cache and both hashes are
+    recomputed under the *receiving* interpreter's hash seed.  Fingerprints
+    therefore agree between sender and receiver exactly when both share a
+    hash seed — true for ``fork``-started workers and for ``spawn`` with
+    ``PYTHONHASHSEED`` pinned; the parallel search relies on this.
+    """
+    pids = tuple(pid for pid, _ in pairs)
+    index = _UNPICKLE_INDEX_CACHE.get(pids)
+    if index is None:
+        index = {pid: position for position, pid in enumerate(pids)}
+        _UNPICKLE_INDEX_CACHE[pids] = index
+    return GlobalState(pairs, network, index=index)
+
+
 def _entry_hash(position: int, pid: str, local: Any) -> int:
     """Hash of one ``(position, pid, local state)`` entry of the vector.
 
@@ -206,6 +230,15 @@ class GlobalState:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        """Compact pickling: ship only the locals vector and the network.
+
+        The shared index and both cached hashes are process-local artifacts
+        (hashes depend on the interpreter's hash seed) and are rebuilt on
+        unpickling by :func:`_restore_state`.
+        """
+        return (_restore_state, (self._locals, self._network))
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{pid}={local!r}" for pid, local in self._locals)

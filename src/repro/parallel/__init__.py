@@ -1,0 +1,36 @@
+"""Parallel exploration subsystem.
+
+Two orthogonal axes of parallelism for the paper's sweep-shaped evaluation:
+
+* :func:`parallel_bfs_search` — one Table-I cell explored by several
+  ``multiprocessing`` workers.  Each worker owns one shard of a sharded
+  fingerprint store (:mod:`repro.checker.statestore`), runs a local
+  :class:`~repro.mp.semantics.SuccessorEngine` over its share of the
+  frontier, and exchanges ``(fingerprint, serialized state)`` deltas at
+  level barriers, so the visited set — and therefore the visited-state
+  count — is exactly the serial breadth-first one.
+
+* :func:`run_cells` — many independent Table-I cells farmed across a
+  process pool.  Cells are described by picklable :class:`CellSpec` records
+  (catalog key + strategy + bounds); each pool worker rebuilds its protocol
+  from the catalog, so this axis works under any multiprocessing start
+  method.
+
+When shard-parallel BFS helps vs. cell-parallel sweeps: shard-parallel BFS
+attacks a *single* large cell whose frontier dwarfs the per-level barrier
+cost; cell-parallel sweeps attack *many* small-to-medium cells and scale
+embarrassingly.  A full table sweep should default to cell-parallelism and
+reserve shard-parallel BFS for the one cell that dominates the wall clock.
+"""
+
+from .bfs import default_mp_context, parallel_bfs_search
+from .cells import CellSpec, run_cell_task, run_cells, specs_for_sweep
+
+__all__ = [
+    "CellSpec",
+    "default_mp_context",
+    "parallel_bfs_search",
+    "run_cell_task",
+    "run_cells",
+    "specs_for_sweep",
+]

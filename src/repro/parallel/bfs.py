@@ -1,0 +1,252 @@
+"""Frontier-parallel breadth-first search (the coordinator side).
+
+The search is level-synchronous: all workers expand their share of level
+*d* before any state of level *d+1* is expanded.  Within a level each
+worker owns one shard of the fingerprint partition and deduplicates exactly
+the successors routed to it, so the set of states discovered at every level
+— and therefore the visited-state count — is identical to the serial
+:func:`repro.checker.search.bfs_search` closure.  What parallelism changes
+is only *who* expands a state, never *whether* it is expanded.
+
+Guarantees relative to serial BFS:
+
+* identical visited-state counts, transition counts, revisit counts and
+  depth on every run that completes a level (i.e. all verified cells);
+* identical verdicts everywhere; on violating cells the counterexample has
+  the same (minimal) depth, and the bound/violation checks are applied at
+  level barriers, so a run stopped mid-search may count the remainder of
+  the level the serial search would have abandoned mid-way through.
+
+The workers inherit the protocol via the ``fork`` start method (transition
+guards and actions are closures and never pickle); only global states and
+fingerprints cross process boundaries, using the compact pickling of
+:class:`repro.mp.state.GlobalState`.  On platforms without ``fork`` the
+function transparently falls back to the serial search.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import warnings
+from typing import List, Optional
+
+from ..checker.counterexample import Counterexample, Step
+from ..checker.property import Invariant
+from ..checker.result import SearchStatistics
+from ..checker.search import SearchConfig, SearchOutcome, bfs_search
+from ..mp.protocol import Protocol
+from ..mp.semantics import enabled_executions
+from ..mp.state import GlobalState
+from .worker import collect_replies, frontier_worker
+
+
+def default_mp_context():
+    """The ``fork`` multiprocessing context, or None when unavailable.
+
+    ``fork`` is required for two reasons: workers inherit the (unpicklable)
+    protocol object, and forked children share the parent's hash seed so
+    fingerprints — and with them the shard partition — agree across all
+    processes.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def parallel_bfs_search(
+    protocol: Protocol,
+    invariant: Invariant,
+    config: Optional[SearchConfig] = None,
+    workers: int = 2,
+    mp_context=None,
+    track_parents: bool = True,
+    worker_timeout: Optional[float] = None,
+) -> SearchOutcome:
+    """Breadth-first search of one cell across ``workers`` processes.
+
+    Args:
+        protocol: The protocol instance to explore.
+        invariant: The invariant to check in every reachable state.
+        config: Search configuration; ``state_store == "full"`` dedups
+            shards by exact states, every other kind by fingerprints.
+        workers: Worker process count (= shard count).  ``workers <= 1``
+            delegates to the serial :func:`bfs_search`.
+        mp_context: Multiprocessing context; defaults to ``fork``.  Without
+            a fork-capable platform the search falls back to serial.
+        track_parents: Keep the parent edge of every discovered state so a
+            violation can be rebuilt into a counterexample.  Disabling this
+            drops the coordinator-side state table — the memory profile then
+            matches the sharded fingerprint store — at the price of
+            ``counterexample=None`` on violations.
+        worker_timeout: Optional hard cap per level barrier.  By default the
+            coordinator waits for as long as every worker process is alive
+            (an arbitrarily long level is progress, not a hang; crashed
+            workers are detected by liveness polling), so large cells never
+            abort spuriously.  Prefer ``config.max_seconds`` for budgeting
+            the search as a whole.
+
+    Returns:
+        A :class:`SearchOutcome`, shaped exactly like the serial one.
+    """
+    config = config or SearchConfig()
+    if workers <= 1:
+        return bfs_search(protocol, invariant, config)
+    context = mp_context if mp_context is not None else default_mp_context()
+    if context is None:
+        warnings.warn(
+            "parallel_bfs_search requires a fork-capable platform; "
+            "falling back to serial bfs_search",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return bfs_search(protocol, invariant, config)
+
+    statistics = SearchStatistics()
+    start_time = time.perf_counter()
+
+    initial = protocol.initial_state()
+    statistics.states_visited = 1
+    if not invariant.holds_in(initial, protocol):
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        counterexample = Counterexample(
+            initial_state=initial, steps=(), property_name=invariant.name
+        )
+        return SearchOutcome(False, False, counterexample, statistics)
+
+    exact = config.state_store == "full"
+    task_queues = [context.Queue() for _ in range(workers)]
+    result_queue = context.Queue()
+    processes = [
+        context.Process(
+            target=frontier_worker,
+            args=(
+                worker_id,
+                workers,
+                protocol,
+                invariant,
+                exact,
+                track_parents,
+                task_queues[worker_id],
+                result_queue,
+            ),
+            daemon=True,
+        )
+        for worker_id in range(workers)
+    ]
+
+    parents = {initial.fingerprint(): None} if track_parents else None
+    states_by_fp = {initial.fingerprint(): initial} if track_parents else None
+
+    def rebuild(violating_fp: int) -> Counterexample:
+        """Walk the parent chain back to the initial state.
+
+        Executions are not shipped across processes (transition closures do
+        not pickle); they are recomputed here from the deterministic enabled
+        order, which is identical in every process.
+        """
+        steps: List[Step] = []
+        cursor = violating_fp
+        while parents[cursor] is not None:
+            parent_fp, exec_index = parents[cursor]
+            parent_state = states_by_fp[parent_fp]
+            execution = enabled_executions(parent_state, protocol)[exec_index]
+            steps.append(Step(execution=execution, state=states_by_fp[cursor]))
+            cursor = parent_fp
+        steps.reverse()
+        return Counterexample(
+            initial_state=initial, steps=tuple(steps), property_name=invariant.name
+        )
+
+    verified = True
+    complete = True
+    counterexample: Optional[Counterexample] = None
+    try:
+        for process in processes:
+            process.start()
+        for queue in task_queues:
+            queue.put(("seed", initial))
+
+        frontier_total = 1
+        depth = 0
+        while frontier_total:
+            if config.max_seconds is not None:
+                if time.perf_counter() - start_time > config.max_seconds:
+                    complete = False
+                    break
+            if config.max_depth is not None and depth >= config.max_depth:
+                complete = False
+                break
+
+            # Expand: every worker walks its local frontier.
+            for queue in task_queues:
+                queue.put(("expand", None))
+            expanded = collect_replies(
+                result_queue, workers, "expanded", worker_timeout, processes
+            )
+            for _worker_id, outgoing, expansions, transitions in expanded:
+                statistics.enabled_set_computations += expansions
+                statistics.full_expansions += expansions
+                statistics.transitions_executed += transitions
+
+            # Exchange deltas: candidates routed to each owner shard, in
+            # worker-id order so the absorb order is deterministic.
+            for destination in range(workers):
+                candidates = []
+                for _worker_id, outgoing, _expansions, _transitions in expanded:
+                    candidates.extend(outgoing[destination])
+                task_queues[destination].put(("absorb", candidates))
+            absorbed = collect_replies(
+                result_queue, workers, "absorbed", worker_timeout, processes
+            )
+
+            level_new = 0
+            level_violations: List[int] = []
+            for _worker_id, new_count, revisits, violations, new_records in absorbed:
+                level_new += new_count
+                statistics.revisits += revisits
+                level_violations.extend(violations)
+                if track_parents and new_records:
+                    for fingerprint, successor, parent_fp, exec_index in new_records:
+                        parents[fingerprint] = (parent_fp, exec_index)
+                        states_by_fp[fingerprint] = successor
+            statistics.states_visited += level_new
+
+            if level_violations:
+                verified = False
+                if track_parents:
+                    counterexample = rebuild(level_violations[0])
+                if config.stop_at_first_violation:
+                    complete = False
+                    break
+            if (
+                config.max_states is not None
+                and statistics.states_visited >= config.max_states
+            ):
+                complete = False
+                depth += 1
+                statistics.max_depth = max(statistics.max_depth, depth)
+                break
+
+            frontier_total = level_new
+            depth += 1
+            statistics.max_depth = max(statistics.max_depth, depth)
+    finally:
+        for queue in task_queues:
+            try:
+                queue.put(("stop", None))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in processes:
+            process.join(timeout=5.0)
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+
+    statistics.elapsed_seconds = time.perf_counter() - start_time
+    return SearchOutcome(
+        verified=verified,
+        complete=complete,
+        counterexample=counterexample,
+        statistics=statistics,
+    )

@@ -1,0 +1,167 @@
+"""Cell-level parallel experiment runner.
+
+The paper's Table I is a grid of independent cells — protocol instance ×
+model variant × search strategy — which makes a sweep embarrassingly
+parallel at cell granularity.  A cell is described by a :class:`CellSpec`
+whose task form contains only strings and numbers: pool workers rebuild the
+protocol from the catalog key, so the (unpicklable) transition closures
+never cross a process boundary and any multiprocessing start method works.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.aggregate import result_record
+from ..checker import CheckerOptions, ModelChecker, SearchConfig, Strategy
+from ..protocols.catalog import CatalogEntry, default_catalog, entry_by_key
+
+#: Model variants a catalog entry can be checked under.
+MODELS = ("quorum", "single")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One Table-I cell: which protocol to check, how, and within what bounds.
+
+    Attributes:
+        key: Catalog key of the protocol instance (see
+            :func:`repro.protocols.catalog.default_catalog`).
+        model: ``"quorum"`` or ``"single"``.
+        strategy: Strategy value string (``"spor"``, ``"bfs"``, ...).
+        scale: Catalog scale the key belongs to (``"small"`` / ``"paper"``).
+        stateful: Stateful search (ignored by DPOR, which is stateless).
+        state_store: Visited-state store kind for stateful searches.
+        max_states / max_seconds: Optional exploration budgets.
+        workers: *Inner* worker count — only meaningful with the ``"bfs"``
+            strategy, where it selects the frontier-parallel search.
+        seed_heuristic: SPOR seed-transition heuristic.
+    """
+
+    key: str
+    model: str = "quorum"
+    strategy: str = "spor"
+    scale: str = "small"
+    stateful: bool = True
+    state_store: str = "full"
+    max_states: Optional[int] = None
+    max_seconds: Optional[float] = None
+    workers: int = 1
+    seed_heuristic: str = "opposite-transaction"
+
+    def to_task(self) -> Dict:
+        """The picklable task form handed to pool workers."""
+        return asdict(self)
+
+
+def _resolve_entry(key: str, scale: str) -> CatalogEntry:
+    entry = entry_by_key(key, scale)
+    if entry is None:
+        known = ", ".join(e.key for e in default_catalog(scale))
+        raise KeyError(f"unknown catalog cell {key!r} (scale {scale!r}; known: {known})")
+    return entry
+
+
+def run_cell_task(task: Dict) -> Dict:
+    """Run one cell from its task form and return its JSON-able record.
+
+    This is the pool-worker entry point; it is also what the serial path
+    calls, so a cell behaves identically whether or not it was farmed out.
+    """
+    spec = CellSpec(**task)
+    entry = _resolve_entry(spec.key, spec.scale)
+    if spec.model not in MODELS:
+        raise ValueError(f"unknown model variant {spec.model!r} (expected one of {MODELS})")
+    protocol = entry.quorum_model() if spec.model == "quorum" else entry.single_model()
+    options = CheckerOptions(
+        search=SearchConfig(
+            stateful=spec.stateful,
+            state_store=spec.state_store,
+            max_states=spec.max_states,
+            max_seconds=spec.max_seconds,
+        ),
+        seed_heuristic=spec.seed_heuristic,
+        workers=spec.workers,
+    )
+    started = time.perf_counter()
+    result = ModelChecker(protocol, entry.invariant, options).run(Strategy(spec.strategy))
+    wall_seconds = time.perf_counter() - started
+    # A truncated search that found no counterexample proves nothing, so it
+    # must not count as agreeing with the paper's expected outcome; a found
+    # counterexample is conclusive evidence even when the search stopped at
+    # it (stop-at-first-violation always reports complete=False).
+    conclusive = result.complete or result.found_counterexample
+    return result_record(
+        result,
+        cell=spec.key,
+        model=spec.model,
+        scale=spec.scale,
+        workers=spec.workers,
+        store=spec.state_store,
+        expect_violation=entry.expect_violation,
+        ok=conclusive and result.found_counterexample == entry.expect_violation,
+        wall_seconds=wall_seconds,
+    )
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    workers: Optional[int] = None,
+    mp_context=None,
+) -> List[Dict]:
+    """Run a batch of cells, optionally across a process pool.
+
+    Args:
+        specs: The cells to run.
+        workers: Pool size; ``None``, 0 or 1 runs the cells serially in
+            this process.  Results always come back in ``specs`` order.
+        mp_context: Multiprocessing context override (tests use this).
+
+    Returns:
+        One record per spec (see :func:`run_cell_task`).
+    """
+    tasks = [spec.to_task() for spec in specs]
+    if not workers or workers <= 1 or len(tasks) <= 1:
+        return [run_cell_task(task) for task in tasks]
+    context = mp_context if mp_context is not None else multiprocessing.get_context()
+    with context.Pool(min(workers, len(tasks))) as pool:
+        return pool.map(run_cell_task, tasks)
+
+
+def specs_for_sweep(
+    keys: Optional[Iterable[str]] = None,
+    scale: str = "small",
+    models: Sequence[str] = ("quorum",),
+    strategy: str = "spor",
+    max_states: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    state_store: str = "full",
+) -> List[CellSpec]:
+    """Build the cell grid of a sweep: every requested key × model variant.
+
+    ``keys=None`` sweeps the whole catalog at the given scale.
+    """
+    if keys is None:
+        resolved = [entry.key for entry in default_catalog(scale)]
+    else:
+        resolved = [key for key in keys]
+        for key in resolved:
+            _resolve_entry(key, scale)
+    specs = []
+    for key in resolved:
+        for model in models:
+            specs.append(
+                CellSpec(
+                    key=key,
+                    model=model,
+                    strategy=strategy,
+                    scale=scale,
+                    state_store=state_store,
+                    max_states=max_states,
+                    max_seconds=max_seconds,
+                )
+            )
+    return specs

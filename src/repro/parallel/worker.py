@@ -1,0 +1,191 @@
+"""Worker-process side of the frontier-parallel breadth-first search.
+
+One worker owns exactly one shard of the search's fingerprint partition
+(:func:`repro.checker.statestore.shard_of`): every global state whose
+fingerprint routes to shard *i* is deduplicated, stored and expanded by
+worker *i* and by nobody else.  Because ownership is a pure function of the
+fingerprint, no locks are needed — the only synchronisation is the level
+barrier at which candidate successors are exchanged.
+
+The coordinator drives workers through a tiny command protocol (one command
+queue per worker, one shared result queue):
+
+``("seed", state)``
+    Start of the search.  The worker claims the initial state if it owns
+    its shard, making it the worker's level-0 frontier.
+``("expand", None)``
+    Expand the local frontier with a local
+    :class:`~repro.mp.semantics.SuccessorEngine`: compute every enabled
+    execution and successor, evaluate the invariant, and reply with the
+    successors routed per destination shard (the *delta* of this level).
+``("absorb", candidates)``
+    Deduplicate the candidates routed to this worker's shard against the
+    owned fingerprint set; the newly added states become the next local
+    frontier.  Replies with the new/revisit counts and any violations.
+``("stop", None)``
+    Terminate the worker loop.
+
+All replies carry the worker id so the coordinator can collect one reply
+per worker per phase.  Any exception is reported as an ``("error", ...)``
+reply instead of silently killing the process.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import List, Optional, Sequence, Tuple
+
+from ..checker.property import Invariant
+from ..checker.statestore import shard_of
+from ..mp.protocol import Protocol
+from ..mp.semantics import SuccessorEngine
+from ..mp.state import GlobalState
+
+#: A candidate successor crossing the level barrier:
+#: ``(successor state, invariant holds, parent fingerprint, execution index)``.
+Candidate = Tuple[GlobalState, bool, int, int]
+
+
+def frontier_worker(
+    worker_id: int,
+    num_workers: int,
+    protocol: Protocol,
+    invariant: Invariant,
+    exact: bool,
+    track_parents: bool,
+    task_queue,
+    result_queue,
+) -> None:
+    """Run the worker command loop (the ``multiprocessing.Process`` target).
+
+    Args:
+        worker_id: Index of this worker; also the shard it owns.
+        num_workers: Total worker count (= shard count of the partition).
+        protocol: The protocol under verification (inherited via ``fork``,
+            so transition closures never need to pickle).
+        invariant: The invariant checked in every discovered state.
+        exact: Own the shard as a set of *states* (exact, mirrors the serial
+            full store) instead of a set of fingerprints.
+        track_parents: Include the successor state and its parent edge in
+            the absorb reply so the coordinator can rebuild counterexamples.
+        task_queue: This worker's command queue.
+        result_queue: The shared reply queue.
+    """
+    try:
+        engine = SuccessorEngine.for_search(protocol, stateful=True)
+        shard = set()
+        local_frontier: List[GlobalState] = []
+        while True:
+            command, payload = task_queue.get()
+            if command == "stop":
+                return
+            if command == "seed":
+                state: GlobalState = payload
+                if shard_of(state.fingerprint(), num_workers) == worker_id:
+                    shard.add(state if exact else state.fingerprint())
+                    local_frontier = [state]
+                else:
+                    local_frontier = []
+            elif command == "expand":
+                outgoing: List[List[Candidate]] = [[] for _ in range(num_workers)]
+                expansions = 0
+                transitions = 0
+                for state in local_frontier:
+                    enabled = engine.enabled(state)
+                    expansions += 1
+                    parent_fp = state.fingerprint()
+                    for index, execution in enumerate(enabled):
+                        successor = engine.successor(state, execution)
+                        transitions += 1
+                        holds = invariant.holds_in(successor, protocol)
+                        destination = shard_of(successor.fingerprint(), num_workers)
+                        outgoing[destination].append((successor, holds, parent_fp, index))
+                result_queue.put(("expanded", worker_id, outgoing, expansions, transitions))
+            elif command == "absorb":
+                candidates: List[Candidate] = payload
+                new_states: List[GlobalState] = []
+                new_records = [] if track_parents else None
+                violations: List[int] = []
+                revisits = 0
+                for successor, holds, parent_fp, exec_index in candidates:
+                    key = successor if exact else successor.fingerprint()
+                    if key in shard:
+                        revisits += 1
+                        continue
+                    shard.add(key)
+                    new_states.append(successor)
+                    fingerprint = successor.fingerprint()
+                    if not holds:
+                        violations.append(fingerprint)
+                    if new_records is not None:
+                        new_records.append((fingerprint, successor, parent_fp, exec_index))
+                local_frontier = new_states
+                result_queue.put(
+                    ("absorbed", worker_id, len(new_states), revisits, violations, new_records)
+                )
+            else:  # pragma: no cover - protocol error, not reachable from bfs.py
+                raise ValueError(f"unknown worker command: {command!r}")
+    except BaseException:
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+#: How often the collector wakes up to check worker liveness, in seconds.
+_LIVENESS_POLL_SECONDS = 2.0
+
+
+def collect_replies(
+    result_queue,
+    num_workers: int,
+    phase: str,
+    timeout: Optional[float],
+    processes: Sequence = (),
+):
+    """Collect exactly one ``phase`` reply per worker, in worker-id order.
+
+    Waits as long as every worker process is alive (a long level is
+    progress, not a hang); ``timeout`` is an optional hard cap on top.
+    Liveness is polled every few seconds so a crashed worker (e.g. killed
+    by the OOM killer, which never reaches the error-reply path) fails the
+    search promptly instead of blocking forever.
+
+    Raises:
+        RuntimeError: If a worker reported an error, died without replying,
+            an unexpected phase arrived, or the hard timeout elapsed.
+    """
+    import queue as queue_module
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    replies = [None] * num_workers
+    collected = 0
+    while collected < num_workers:
+        try:
+            reply = result_queue.get(timeout=_LIVENESS_POLL_SECONDS)
+        except queue_module.Empty:
+            if any(not process.is_alive() for process in processes):
+                # One last drain: the dying worker's reply may still be in
+                # the queue's feeder pipe.
+                try:
+                    reply = result_queue.get(timeout=_LIVENESS_POLL_SECONDS)
+                except queue_module.Empty:
+                    raise RuntimeError(
+                        f"parallel search: a worker died without sending its "
+                        f"{phase!r} reply"
+                    ) from None
+            elif deadline is not None and time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"parallel search: timed out waiting for {phase!r} replies"
+                ) from None
+            else:
+                continue
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"parallel search worker {reply[1]} failed:\n{reply[2]}"
+            )
+        if reply[0] != phase:
+            raise RuntimeError(
+                f"parallel search: expected {phase!r} reply, got {reply[0]!r}"
+            )
+        replies[reply[1]] = reply[1:]
+        collected += 1
+    return replies

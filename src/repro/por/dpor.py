@@ -72,8 +72,12 @@ class DporSearch:
             raise ValueError("successor engine was built for a different protocol")
         # Stateless search revisits states along every interleaving, so the
         # interned-state engine with its enabled/successor caches is what
-        # keeps the per-visit cost at a few dictionary lookups.
-        self.engine = engine or SuccessorEngine(protocol)
+        # keeps the per-visit cost at a few dictionary lookups.  The config
+        # may bound the caches (LRU) for instances whose reachable set is
+        # too large to retain in full.
+        self.engine = engine or SuccessorEngine(
+            protocol, max_cache_entries=self.config.engine_cache_capacity
+        )
         self._stack: List[_Entry] = []
         self._path_states: Set[GlobalState] = set()
         self._statistics = SearchStatistics()

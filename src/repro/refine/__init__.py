@@ -19,6 +19,7 @@ from .refinement import (
     candidate_senders,
     compare_state_graphs,
     is_transition_refinement,
+    shared_successor_engine,
     split_name,
 )
 from .reply_split import reply_split, split_reply_transition, splittable_reply_transitions
@@ -33,6 +34,7 @@ __all__ = [
     "is_transition_refinement",
     "quorum_split",
     "reply_split",
+    "shared_successor_engine",
     "split_name",
     "split_quorum_transition",
     "split_reply_transition",

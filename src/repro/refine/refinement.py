@@ -9,17 +9,51 @@ enumeration on small instances — the executable counterpart of Theorem 2.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from ..mp.message import DRIVER
 from ..mp.protocol import Protocol
-from ..mp.semantics import state_graph_edges
+from ..mp.semantics import SuccessorEngine, state_graph_edges
 from ..mp.transition import TransitionSpec
 
 
 class RefinementError(Exception):
     """A refinement strategy was applied to an unsuitable transition."""
+
+
+#: How many protocols keep a cached successor engine at once.  Validation
+#: workflows compare one original against a handful of refinements, so a
+#: small LRU covers the repeated-enumeration pattern without pinning every
+#: protocol ever validated in memory.
+_MAX_SHARED_ENGINES = 4
+
+#: ``id(protocol) -> engine`` LRU.  Keyed by identity (protocols contain
+#: unhashable metadata mappings); the engine's own strong reference to the
+#: protocol keeps the id stable for as long as the entry lives.
+_SHARED_ENGINES: "OrderedDict[int, SuccessorEngine]" = OrderedDict()
+
+
+def shared_successor_engine(protocol: Protocol) -> SuccessorEngine:
+    """Return the cached successor engine for ``protocol`` (building one if needed).
+
+    The refinement validator enumerates the same protocol's state graph once
+    per comparison — the original of a quorum-split, reply-split and
+    combined-split validation is walked three times.  Sharing one caching
+    :class:`SuccessorEngine` across those enumerations turns every walk
+    after the first into cache lookups instead of re-derived successors.
+    """
+    key = id(protocol)
+    engine = _SHARED_ENGINES.get(key)
+    if engine is not None and engine.protocol is protocol:
+        _SHARED_ENGINES.move_to_end(key)
+        return engine
+    engine = SuccessorEngine(protocol)
+    _SHARED_ENGINES[key] = engine
+    if len(_SHARED_ENGINES) > _MAX_SHARED_ENGINES:
+        _SHARED_ENGINES.popitem(last=False)
+    return engine
 
 
 def candidate_senders(protocol: Protocol, transition: TransitionSpec) -> Tuple[str, ...]:
@@ -83,9 +117,17 @@ def compare_state_graphs(
     This is the executable form of Definition 1: the refinement is valid iff
     both protocols generate identical sets of states and edges.  Only
     intended for instances small enough to enumerate exhaustively.
+
+    Each protocol is enumerated through a shared successor engine
+    (:func:`shared_successor_engine`), so validating one original against
+    several refinement strategies re-derives its successors only once.
     """
-    original_states, original_edges = state_graph_edges(original, max_states=max_states)
-    refined_states, refined_edges = state_graph_edges(refined, max_states=max_states)
+    original_states, original_edges = state_graph_edges(
+        original, max_states=max_states, engine=shared_successor_engine(original)
+    )
+    refined_states, refined_edges = state_graph_edges(
+        refined, max_states=max_states, engine=shared_successor_engine(refined)
+    )
     missing = original_edges - refined_edges
     extra = refined_edges - original_edges
     equivalent = original_states == refined_states and not missing and not extra

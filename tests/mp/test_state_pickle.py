@@ -1,0 +1,87 @@
+"""Pickling of global states and networks across process boundaries.
+
+The parallel search ships states between workers; the compact ``__reduce__``
+of :class:`GlobalState` must preserve value equality and the fingerprint
+(within one hash seed), rebuild the shared-index invariant, and keep the
+network canonical.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.mp.channel import Network
+from repro.mp.message import Message
+from repro.mp.semantics import enabled_executions, apply_execution
+
+
+def reachable_sample(protocol, depth=3):
+    """A few states reachable within ``depth`` steps (deterministic order)."""
+    states = [protocol.initial_state()]
+    frontier = list(states)
+    for _ in range(depth):
+        next_frontier = []
+        for state in frontier:
+            for execution in enabled_executions(state, protocol):
+                next_frontier.append(apply_execution(state, execution))
+        states.extend(next_frontier)
+        frontier = next_frontier
+    return states
+
+
+class TestGlobalStatePickle:
+    def test_round_trip_preserves_value_and_fingerprint(self, ping_pong_two_rounds):
+        for state in reachable_sample(ping_pong_two_rounds):
+            restored = pickle.loads(pickle.dumps(state))
+            assert restored == state
+            assert hash(restored) == hash(state)
+            assert restored.fingerprint() == state.fingerprint()
+            assert restored.locals == state.locals
+            assert restored.network == state.network
+
+    def test_quorum_protocol_states_round_trip(self, vote_collection):
+        for state in reachable_sample(vote_collection, depth=2):
+            restored = pickle.loads(pickle.dumps(state))
+            assert restored == state
+            assert restored.fingerprint() == state.fingerprint()
+
+    def test_unpickled_states_share_one_index(self, ping_pong_two_rounds):
+        states = reachable_sample(ping_pong_two_rounds, depth=2)
+        restored = [pickle.loads(pickle.dumps(state)) for state in states]
+        indices = {id(state._index) for state in restored}
+        assert len(indices) == 1
+
+    def test_restored_state_supports_functional_updates(self, ping_pong):
+        state = pickle.loads(pickle.dumps(ping_pong.initial_state()))
+        for execution in enabled_executions(state, ping_pong):
+            successor = apply_execution(state, execution)
+            rebuilt = pickle.loads(pickle.dumps(successor))
+            assert rebuilt == successor
+            assert rebuilt.fingerprint() == successor.fingerprint()
+
+    def test_payload_is_compact(self, vote_collection):
+        # The shared index and cached hashes must not be serialized; a state
+        # should cost well under a kilobyte for these small protocols.
+        blob = pickle.dumps(vote_collection.initial_state())
+        assert len(blob) < 1024
+
+
+class TestNetworkPickle:
+    def test_round_trip_preserves_multiset(self):
+        network = Network.of(
+            [
+                Message.make("A", "p1", "p2", k=1),
+                Message.make("A", "p1", "p2", k=1),
+                Message.make("B", "p2", "p1"),
+            ]
+        )
+        restored = pickle.loads(pickle.dumps(network))
+        assert restored == network
+        assert hash(restored) == hash(network)
+        assert restored.items == network.items
+        assert len(restored) == 3
+
+    def test_empty_network(self):
+        restored = pickle.loads(pickle.dumps(Network.empty()))
+        assert restored == Network.empty()
+        assert not restored

@@ -1,0 +1,110 @@
+"""Tests of the cell-parallel experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.cells import CellSpec, run_cell_task, run_cells, specs_for_sweep
+from repro.protocols.catalog import default_catalog
+
+#: Timing fields that legitimately differ between runs of the same cell.
+TIMING_FIELDS = ("elapsed_seconds", "wall_seconds")
+
+
+def stable(record):
+    return {key: value for key, value in record.items() if key not in TIMING_FIELDS}
+
+
+class TestRunCellTask:
+    def test_verified_cell(self):
+        record = run_cell_task(CellSpec(key="multicast-2-1-0-1").to_task())
+        assert record["verified"] and record["ok"]
+        assert record["cell"] == "multicast-2-1-0-1"
+        assert record["states_visited"] > 0
+        assert not record["expect_violation"]
+
+    def test_violating_cell_is_expected(self):
+        record = run_cell_task(
+            CellSpec(key="storage-3-2-wrong", strategy="spor").to_task()
+        )
+        assert not record["verified"]
+        assert record["expect_violation"] and record["ok"]
+        assert record["counterexample_steps"] > 0
+
+    def test_inner_parallel_bfs_cell(self):
+        serial = run_cell_task(
+            CellSpec(key="multicast-2-1-0-1", strategy="bfs", workers=1).to_task()
+        )
+        parallel = run_cell_task(
+            CellSpec(key="multicast-2-1-0-1", strategy="bfs", workers=2).to_task()
+        )
+        assert serial["states_visited"] == parallel["states_visited"]
+        assert parallel["workers"] == 2
+
+    def test_truncated_search_is_not_ok(self):
+        # Seeing 5 states of a verified cell proves nothing: the record must
+        # not claim agreement with the paper's expected outcome.
+        record = run_cell_task(CellSpec(key="paxos-2-2-1", max_states=5).to_task())
+        assert record["verified"] and not record["complete"]
+        assert not record["ok"]
+
+    def test_truncated_search_that_found_the_expected_ce_is_ok(self):
+        # stop-at-first-violation reports complete=False, but a found
+        # counterexample is conclusive evidence.
+        record = run_cell_task(CellSpec(key="storage-3-2-wrong").to_task())
+        assert not record["verified"] and not record["complete"]
+        assert record["ok"]
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            run_cell_task(CellSpec(key="paxos-99-99-99").to_task())
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            run_cell_task(CellSpec(key="paxos-2-2-1", model="triple").to_task())
+
+
+class TestRunCells:
+    SPECS = (
+        CellSpec(key="multicast-2-1-0-1"),
+        CellSpec(key="multicast-3-0-1-1"),
+        CellSpec(key="storage-3-1"),
+    )
+
+    def test_serial_and_pool_agree(self):
+        serial = run_cells(self.SPECS, workers=1)
+        pooled = run_cells(self.SPECS, workers=2)
+        assert [stable(record) for record in serial] == [
+            stable(record) for record in pooled
+        ]
+        # Results come back in spec order regardless of completion order.
+        assert [record["cell"] for record in pooled] == [
+            spec.key for spec in self.SPECS
+        ]
+
+    def test_single_spec_stays_in_process(self):
+        records = run_cells(self.SPECS[:1], workers=4)
+        assert len(records) == 1 and records[0]["ok"]
+
+
+class TestSpecsForSweep:
+    def test_defaults_cover_catalog(self):
+        specs = specs_for_sweep()
+        assert [spec.key for spec in specs] == [
+            entry.key for entry in default_catalog("small")
+        ]
+        assert all(spec.model == "quorum" for spec in specs)
+
+    def test_model_grid(self):
+        specs = specs_for_sweep(
+            keys=["paxos-2-2-1"], models=("quorum", "single"), strategy="dpor"
+        )
+        assert [(spec.key, spec.model) for spec in specs] == [
+            ("paxos-2-2-1", "quorum"),
+            ("paxos-2-2-1", "single"),
+        ]
+        assert all(spec.strategy == "dpor" for spec in specs)
+
+    def test_unknown_key_rejected_upfront(self):
+        with pytest.raises(KeyError):
+            specs_for_sweep(keys=["nope"])

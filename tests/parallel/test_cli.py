@@ -1,0 +1,130 @@
+"""End-to-end tests of the ``python -m repro`` command line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+class TestCells:
+    def test_lists_catalog(self):
+        code, output = run_cli(["cells"])
+        assert code == 0
+        assert "paxos-2-2-1" in output
+        assert "expected: CE" in output
+
+
+class TestCheck:
+    def test_verified_cell_exits_zero(self):
+        code, output = run_cli(["check", "multicast-2-1-0-1"])
+        assert code == 0
+        assert "Verified" in output
+
+    def test_expected_violation_exits_zero(self):
+        code, output = run_cli(["check", "storage-3-2-wrong"])
+        assert code == 0
+        assert "CE" in output
+
+    def test_json_payload(self, tmp_path):
+        target = tmp_path / "check.json"
+        code, _ = run_cli(
+            ["check", "multicast-2-1-0-1", "--strategy", "bfs", "--json", str(target)]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["results"][0]["cell"] == "multicast-2-1-0-1"
+        assert payload["results"][0]["verified"] is True
+
+    def test_parallel_bfs_matches_serial(self, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert run_cli(
+            ["check", "storage-3-1", "--strategy", "bfs", "--json", str(serial_path)]
+        )[0] == 0
+        assert run_cli(
+            [
+                "check", "storage-3-1", "--strategy", "bfs",
+                "--workers", "2", "--json", str(parallel_path),
+            ]
+        )[0] == 0
+        serial = json.loads(serial_path.read_text())["results"][0]
+        parallel = json.loads(parallel_path.read_text())["results"][0]
+        assert serial["states_visited"] == parallel["states_visited"]
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            run_cli(["check", "not-a-cell"])
+
+
+class TestSweepAndReport:
+    def test_sweep_writes_bench_payload(self, tmp_path):
+        code, output = run_cli(
+            [
+                "sweep", "--cells", "multicast-2-1-0-1,storage-3-1",
+                "--workers", "2", "--output", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        files = list(tmp_path.glob("BENCH_sweep_*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["kind"] == "sweep"
+        assert len(payload["results"]) == 2
+        assert "swept 2 cells" in output
+
+    def test_serial_flag_forces_loop(self, tmp_path):
+        code, output = run_cli(
+            [
+                "sweep", "--cells", "multicast-2-1-0-1", "--serial",
+                "--workers", "8", "--output", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "serial loop" in output
+
+    def test_report_aggregates_directory(self, tmp_path):
+        for _ in range(2):
+            assert run_cli(
+                [
+                    "sweep", "--cells", "multicast-2-1-0-1",
+                    "--serial", "--output", str(tmp_path),
+                ]
+            )[0] == 0
+        code, output = run_cli(["report", str(tmp_path)])
+        assert code == 0
+        assert "multicast-2-1-0-1" in output
+        assert "2 payloads" in output
+
+    def test_report_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_cli(["report", str(tmp_path / "missing")])
+
+
+class TestBench:
+    def test_bench_emits_sweep_comparison(self, tmp_path):
+        code, output = run_cli(
+            [
+                "bench", "--cells", "multicast-2-1-0-1", "--workers", "2",
+                "--skip-frontier", "--output", str(tmp_path), "--label", "t",
+            ]
+        )
+        assert code == 0
+        assert "cell-parallel sweep" in output
+        files = list(tmp_path.glob("BENCH_bench_t_*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["sweep_serial_seconds"] > 0
+        assert payload["sweep_parallel_seconds"] > 0
+        modes = {record["batch_mode"] for record in payload["results"]}
+        assert modes == {"serial-loop", "cell-parallel"}

@@ -1,0 +1,75 @@
+"""Property-based tests of the fingerprint shard partition.
+
+The parallel search is sound only if shard routing is a *partition*: every
+fingerprint maps to exactly one shard, the same shard every time, in every
+process (pickling a store or a state must not silently re-route anything).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.checker.statestore import (
+    ShardedFingerprintStore,
+    mix_fingerprint,
+    shard_of,
+)
+
+#: Python hashes: arbitrary signed machine-word-ish integers.
+fingerprints = st.integers(min_value=-(2 ** 63), max_value=2 ** 64 - 1)
+shard_counts = st.integers(min_value=1, max_value=32)
+
+
+@given(fingerprints, shard_counts)
+def test_routing_is_total_and_in_range(fingerprint, num_shards):
+    shard = shard_of(fingerprint, num_shards)
+    assert 0 <= shard < num_shards
+
+
+@given(fingerprints, shard_counts)
+def test_routing_is_deterministic(fingerprint, num_shards):
+    assert shard_of(fingerprint, num_shards) == shard_of(fingerprint, num_shards)
+
+
+@given(fingerprints)
+def test_mixer_is_a_64_bit_value(fingerprint):
+    mixed = mix_fingerprint(fingerprint)
+    assert 0 <= mixed < 2 ** 64
+    # Mixing only depends on the low 64 bits, i.e. routing agrees for ints
+    # that are congruent mod 2**64 (Python hashes live in that range).
+    assert mix_fingerprint(fingerprint + 2 ** 64) == mixed
+
+
+@given(st.lists(fingerprints, max_size=50), shard_counts)
+def test_every_fingerprint_lives_in_exactly_one_shard(values, num_shards):
+    store = ShardedFingerprintStore(num_shards=num_shards)
+    for value in values:
+        store.add_fingerprint(value)
+    for value in values:
+        holders = [
+            index
+            for index in range(num_shards)
+            if value in store.shard_contents(index)
+        ]
+        assert holders == [store.shard_of(value)]
+    assert sum(store.shard_sizes()) == len(store) == len(set(values))
+
+
+@given(st.lists(fingerprints, max_size=50), shard_counts)
+def test_store_survives_pickle_round_trip(values, num_shards):
+    store = ShardedFingerprintStore(num_shards=num_shards)
+    for value in values:
+        store.add_fingerprint(value)
+    restored = pickle.loads(pickle.dumps(store))
+    assert restored.num_shards == store.num_shards
+    assert restored.shard_sizes() == store.shard_sizes()
+    for value in values:
+        assert restored.contains_fingerprint(value)
+        # Routing must be identical on both sides of the round trip.
+        assert restored.shard_of(value) == store.shard_of(value)
+    # Re-adding a restored fingerprint must report "seen before".
+    for value in values:
+        assert not restored.add_fingerprint(value)

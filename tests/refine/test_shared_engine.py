@@ -1,0 +1,65 @@
+"""The refinement validator shares one successor engine per protocol."""
+
+from __future__ import annotations
+
+from repro.mp.semantics import SuccessorEngine, state_graph_edges
+from repro.refine.quorum_split import quorum_split
+from repro.refine.refinement import (
+    compare_state_graphs,
+    is_transition_refinement,
+    shared_successor_engine,
+)
+
+
+class TestSharedEngine:
+    def test_same_protocol_object_reuses_engine(self, vote_collection):
+        first = shared_successor_engine(vote_collection)
+        second = shared_successor_engine(vote_collection)
+        assert first is second
+        assert first.protocol is vote_collection
+
+    def test_distinct_protocols_get_distinct_engines(self, ping_pong, vote_collection):
+        assert shared_successor_engine(ping_pong) is not shared_successor_engine(
+            vote_collection
+        )
+
+    def test_second_enumeration_hits_caches(self, vote_collection):
+        engine = shared_successor_engine(vote_collection)
+        state_graph_edges(vote_collection, engine=engine)
+        misses_after_first = engine.enabled_misses
+        assert misses_after_first > 0
+        state_graph_edges(vote_collection, engine=engine)
+        # Every enabled set of the second walk is a cache hit, not a miss.
+        assert engine.enabled_misses == misses_after_first
+        assert engine.enabled_hits >= misses_after_first
+
+
+class TestEngineAwareEnumeration:
+    def test_engine_enumeration_matches_primitives(self, ping_pong_two_rounds):
+        plain_states, plain_edges = state_graph_edges(ping_pong_two_rounds)
+        engine = SuccessorEngine(ping_pong_two_rounds)
+        cached_states, cached_edges = state_graph_edges(
+            ping_pong_two_rounds, engine=engine
+        )
+        assert cached_states == plain_states
+        assert cached_edges == plain_edges
+
+    def test_engine_protocol_mismatch_rejected(self, ping_pong, vote_collection):
+        import pytest
+
+        with pytest.raises(ValueError):
+            state_graph_edges(ping_pong, engine=SuccessorEngine(vote_collection))
+
+
+class TestValidatorStillCorrect:
+    def test_quorum_split_validates_through_shared_engines(self, vote_collection):
+        refined = quorum_split(vote_collection)
+        report = compare_state_graphs(vote_collection, refined)
+        assert report.equivalent
+        assert report.original_states == report.refined_states
+        # Validating a second refinement of the same original reuses its
+        # cached enumeration rather than re-deriving every successor.
+        engine = shared_successor_engine(vote_collection)
+        misses = engine.enabled_misses
+        assert is_transition_refinement(vote_collection, quorum_split(vote_collection))
+        assert engine.enabled_misses == misses
