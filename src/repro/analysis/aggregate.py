@@ -164,7 +164,12 @@ class AggregateSummary:
     record_count: int
 
     def total_states(self) -> int:
-        return sum(row.states_visited or 0 for row in self.rows if row.states_visited)
+        # The -1 "observations disagree" sentinel must not leak into sums.
+        return sum(
+            row.states_visited
+            for row in self.rows
+            if row.states_visited is not None and row.states_visited > 0
+        )
 
 
 def aggregate_records(payloads: Sequence[Dict]) -> AggregateSummary:

@@ -11,9 +11,17 @@ strategy, mirroring how MP-Basset is invoked with the ``+fw.spor`` /
   handling of disabled transitions (the LPOR-NET analogue);
 * ``Strategy.DPOR`` — stateless dynamic POR (Flanagan–Godefroid style), the
   configuration Basset uses for single-message models in Table I;
-* ``Strategy.BFS`` — stateful breadth-first search, the only strategy with
-  a frontier-parallel mode (``CheckerOptions.workers > 1`` farms each level
-  across a pool of shard-owning workers, see :mod:`repro.parallel`).
+* ``Strategy.BFS`` — stateful breadth-first search; with
+  ``CheckerOptions.workers > 1`` each level is farmed across a pool of
+  shard-owning workers (see :mod:`repro.parallel`).
+
+``Strategy.DFS`` and ``Strategy.STUBBORN`` are aliases of ``UNREDUCED`` and
+``SPOR`` named after their search shape; with ``CheckerOptions.workers > 1``
+every DFS-shaped strategy (unreduced, SPOR, SPOR-NET) runs under the
+work-stealing parallel engine of :mod:`repro.parallel.dfs`.  DPOR is the
+one strategy that stays serial: its backtrack sets are mutated up the
+serial stack and do not survive subtree donation, so ``workers > 1`` is
+rejected with a diagnostic rather than silently ignored.
 """
 
 from __future__ import annotations
@@ -29,13 +37,26 @@ from .search import SearchConfig, SearchOutcome, bfs_search, dfs_search
 
 
 class Strategy(enum.Enum):
-    """Available search strategies."""
+    """Available search strategies.
+
+    ``DFS`` and ``STUBBORN`` are aliases (``DFS is UNREDUCED``,
+    ``STUBBORN is SPOR``) so call sites can name the search shape the
+    parallel engines care about; the strings ``"dfs"`` and ``"stubborn"``
+    are likewise accepted by the constructor and the CLI.
+    """
 
     UNREDUCED = "unreduced"
+    DFS = "unreduced"
     SPOR = "spor"
+    STUBBORN = "spor"
     SPOR_NET = "spor-net"
     DPOR = "dpor"
     BFS = "bfs"
+
+    @classmethod
+    def _missing_(cls, value):
+        aliases = {"dfs": cls.UNREDUCED, "stubborn": cls.SPOR}
+        return aliases.get(value)
 
 
 @dataclass
@@ -47,10 +68,12 @@ class CheckerOptions:
         seed_heuristic: Name of the seed-transition heuristic for SPOR
             (``"opposite-transaction"``, ``"transaction"``, ``"first"``,
             ``"fewest-dependents"``).
-        workers: Process count for the frontier-parallel breadth-first
-            search; 1 keeps every strategy serial.  Only ``Strategy.BFS``
-            supports ``workers > 1`` (partial-order reduction relies on a
-            DFS stack and cannot be level-parallelised this way).
+        workers: In-cell worker process count; 1 keeps every strategy
+            serial.  ``Strategy.BFS`` uses the frontier-parallel search;
+            the DFS-shaped strategies (``UNREDUCED``/``DFS``, ``SPOR``/
+            ``STUBBORN``, ``SPOR_NET``) use the work-stealing parallel DFS.
+            ``Strategy.DPOR`` rejects ``workers > 1``: its backtrack sets
+            follow the serial stack and cannot be donated across workers.
     """
 
     search: SearchConfig = None  # type: ignore[assignment]
@@ -78,12 +101,15 @@ class ModelChecker:
         """Run the search under ``strategy`` and return the verdict."""
         if strategy is Strategy.BFS:
             return self._run_bfs()
-        if self.options.workers > 1:
-            raise ValueError(
-                f"workers={self.options.workers} requires Strategy.BFS; "
-                f"{strategy.value} only runs serially"
-            )
         if strategy is Strategy.DPOR:
+            if self.options.workers > 1:
+                raise ValueError(
+                    f"workers={self.options.workers} is not supported for DPOR: "
+                    "dynamic POR mutates backtrack sets up the serial DFS stack, "
+                    "so its subtrees cannot be donated to other workers; run "
+                    "DPOR with workers=1, or choose Strategy.DFS / "
+                    "Strategy.STUBBORN for a work-stealing parallel search"
+                )
             return self._run_dpor()
         if strategy in (Strategy.SPOR, Strategy.SPOR_NET):
             return self._run_spor(use_net=strategy is Strategy.SPOR_NET)
@@ -109,8 +135,32 @@ class ModelChecker:
             stateful=stateful,
         )
 
+    def _run_dfs(self, reducer=None) -> SearchOutcome:
+        """Serial or work-stealing DFS, depending on ``options.workers``."""
+        if self.options.workers > 1:
+            if not self.options.search.stateful:
+                raise ValueError(
+                    f"workers={self.options.workers} requires a stateful "
+                    "search: the work-stealing DFS deduplicates via a shared "
+                    "claim table, which has no stateless mode; run stateless "
+                    "searches with workers=1"
+                )
+            # Imported lazily: repro.parallel builds on this module's siblings.
+            from ..parallel import parallel_dfs_search
+
+            return parallel_dfs_search(
+                self.protocol,
+                self.invariant,
+                self.options.search,
+                workers=self.options.workers,
+                reducer=reducer,
+            )
+        return dfs_search(
+            self.protocol, self.invariant, self.options.search, reducer=reducer
+        )
+
     def _run_unreduced(self) -> CheckResult:
-        outcome = dfs_search(self.protocol, self.invariant, self.options.search)
+        outcome = self._run_dfs()
         return self._result(outcome, Strategy.UNREDUCED, self.options.search.stateful)
 
     def _run_bfs(self) -> CheckResult:
@@ -142,9 +192,7 @@ class ModelChecker:
             seed_heuristic=heuristic,
             use_net=use_net,
         )
-        outcome = dfs_search(
-            self.protocol, self.invariant, self.options.search, reducer=provider.reduce
-        )
+        outcome = self._run_dfs(reducer=provider.reduce)
         strategy = Strategy.SPOR_NET if use_net else Strategy.SPOR
         return self._result(outcome, strategy, self.options.search.stateful)
 

@@ -19,7 +19,10 @@ class SearchStatistics:
             traversed, counting re-traversals).
         revisits: Number of times an already-visited state was reached
             again (stateful search only).
-        max_depth: Deepest point of the search stack reached.
+        max_depth: Edges on the deepest explored path: the deepest DFS
+            stack reached, or the deepest level that discovered a state in
+            a breadth-first search.  All engines count edges, so a search
+            that never leaves the initial state reports 0.
         elapsed_seconds: Wall-clock duration of the search.
         enabled_set_computations: Number of enabled-execution computations;
             a proxy for the quorum-enumeration overhead of Section IV-A.

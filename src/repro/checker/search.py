@@ -360,6 +360,7 @@ def bfs_search(
                 if config.max_states is not None and statistics.states_visited >= config.max_states:
                     complete = False
                     next_frontier = []
+                    statistics.max_depth = max(statistics.max_depth, depth + 1)
                     break
                 next_frontier.append(successor)
             else:
@@ -367,7 +368,11 @@ def bfs_search(
             break
         frontier = next_frontier
         depth += 1
-        statistics.max_depth = max(statistics.max_depth, depth)
+        # Count only levels that discovered states: ``max_depth`` is the
+        # depth (in edges) of the deepest state found, matching the DFS
+        # engines; the final empty level is bookkeeping, not depth.
+        if frontier:
+            statistics.max_depth = max(statistics.max_depth, depth)
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
     return SearchOutcome(verified=verified, complete=complete,

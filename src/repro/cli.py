@@ -5,15 +5,20 @@ Subcommands:
 ``cells``
     List the catalog cells (Table-I rows) available at a scale.
 ``check``
-    Check one cell under one strategy, serially or with the
-    frontier-parallel BFS (``--strategy bfs --workers N``).
+    Check one cell under one strategy, serially or in-cell parallel:
+    ``--strategy bfs --workers N`` selects the frontier-parallel BFS,
+    ``--strategy dfs|stubborn|spor-net --workers N`` the work-stealing
+    parallel DFS.
 ``sweep``
     Run a grid of cells, optionally farming independent cells across a
-    process pool (``--workers N``), and write a ``BENCH_*.json`` payload.
+    process pool (``--workers N``) and/or giving every cell an inner
+    worker count (``--cell-workers N``), and write a ``BENCH_*.json``
+    payload.
 ``bench``
     Serial-vs-parallel comparison: times the sweep loop against the
-    cell-parallel pool and (optionally) serial BFS against the
-    frontier-parallel BFS per cell; writes a ``BENCH_*.json`` payload.
+    cell-parallel pool and (optionally) per-cell serial vs parallel runs
+    of the in-cell engines — frontier-parallel BFS and, for DFS-shaped
+    strategies, work-stealing DFS; writes a ``BENCH_*.json`` payload.
 ``report``
     Aggregate any number of ``BENCH_*.json`` files/directories into one
     table with per-cell speedups.
@@ -28,6 +33,7 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -42,8 +48,12 @@ from .checker.statestore import STORE_KINDS
 from .parallel.cells import MODELS, CellSpec, run_cell_task, run_cells, specs_for_sweep
 from .protocols.catalog import default_catalog
 
-#: Strategy strings accepted by --strategy.
-STRATEGIES = ("unreduced", "spor", "spor-net", "dpor", "bfs")
+#: Strategy strings accepted by --strategy (``dfs`` and ``stubborn`` are
+#: aliases of ``unreduced`` and ``spor``, named after the search shape).
+STRATEGIES = ("unreduced", "dfs", "spor", "stubborn", "spor-net", "dpor", "bfs")
+
+#: Strategies the work-stealing parallel DFS can drive.
+DFS_SHAPED = ("unreduced", "dfs", "spor", "stubborn", "spor-net")
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -115,15 +125,18 @@ def _command_sweep(args, stream) -> int:
         max_states=args.max_states,
         max_seconds=args.max_seconds,
         state_store=args.store,
+        cell_workers=args.cell_workers,
     )
     workers = 1 if args.serial else args.workers
     started = time.perf_counter()
     records = run_cells(specs, workers=workers)
     wall = time.perf_counter() - started
     _print_records(records, stream)
+    # Inner-parallel cells bypass the (daemonic) pool inside run_cells.
+    pooled = workers > 1 and len(specs) > 1 and args.cell_workers <= 1
     stream.write(
         f"swept {len(records)} cells in {wall:.2f}s "
-        f"({'serial loop' if workers <= 1 else f'{workers}-process pool'})\n"
+        f"({f'{workers}-process pool' if pooled else 'serial loop'})\n"
     )
     payload = bench_payload(
         "sweep", records, workers=workers, sweep_seconds=wall, strategy=args.strategy
@@ -189,10 +202,20 @@ def _command_bench(args, stream) -> int:
                 results.append(record)
         _print_records([r for r in results if r.get("batch_mode") == "frontier"], stream)
 
+    # Axis 3: serial DFS vs. work-stealing DFS on each cell (only DFS-shaped
+    # strategies have a work-stealing mode; bfs/dpor cells skip this axis).
+    if not args.skip_worksteal and args.strategy in DFS_SHAPED:
+        for spec in specs:
+            for workers in dict.fromkeys((1, args.workers)):
+                record = run_cell_task(replace(spec, workers=workers).to_task())
+                record["batch_mode"] = "worksteal"
+                results.append(record)
+        _print_records([r for r in results if r.get("batch_mode") == "worksteal"], stream)
+
     payload = bench_payload("bench", results, **meta)
     path = write_bench_file(Path(args.output), "bench", payload, label=args.label)
     stream.write(f"wrote {path}\n")
-    return 0
+    return 0 if all(record["ok"] for record in results) else 1
 
 
 def _command_report(args, stream) -> int:
@@ -218,7 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--model", choices=MODELS, default="quorum")
     check.add_argument("--strategy", choices=STRATEGIES, default="spor")
     check.add_argument("--workers", type=int, default=1,
-                       help="frontier-parallel workers (requires --strategy bfs)")
+                       help="in-cell workers: frontier-parallel for bfs, "
+                            "work-stealing DFS for dfs/stubborn/spor-net")
     check.add_argument("--json", default=None, help="write the result payload here")
     _add_budget_arguments(check)
     check.set_defaults(handler=_command_check)
@@ -231,6 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--strategy", choices=STRATEGIES, default="spor")
     sweep.add_argument("--workers", type=int, default=2,
                        help="cell-parallel pool size")
+    sweep.add_argument("--cell-workers", type=int, default=1,
+                       help="inner worker count of every cell's own search "
+                            "(cells run one at a time when > 1)")
     sweep.add_argument("--serial", action="store_true",
                        help="force the serial loop regardless of --workers")
     sweep.add_argument("--output", default=".", help="directory for BENCH_*.json")
@@ -248,6 +275,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=2)
     bench.add_argument("--skip-frontier", action="store_true",
                        help="skip the per-cell frontier-parallel BFS axis")
+    bench.add_argument("--skip-worksteal", action="store_true",
+                       help="skip the per-cell work-stealing DFS axis")
     bench.add_argument("--output", default=".", help="directory for BENCH_*.json")
     bench.add_argument("--label", default=None, help="label in the BENCH filename")
     _add_budget_arguments(bench)

@@ -1,14 +1,22 @@
 """Parallel exploration subsystem.
 
-Two orthogonal axes of parallelism for the paper's sweep-shaped evaluation:
+Three orthogonal axes of parallelism for the paper's sweep-shaped
+evaluation:
 
-* :func:`parallel_bfs_search` — one Table-I cell explored by several
-  ``multiprocessing`` workers.  Each worker owns one shard of a sharded
-  fingerprint store (:mod:`repro.checker.statestore`), runs a local
+* :func:`parallel_bfs_search` — one Table-I cell explored breadth-first by
+  several ``multiprocessing`` workers.  Each worker owns one shard of a
+  sharded fingerprint store (:mod:`repro.checker.statestore`), runs a local
   :class:`~repro.mp.semantics.SuccessorEngine` over its share of the
   frontier, and exchanges ``(fingerprint, serialized state)`` deltas at
   level barriers, so the visited set — and therefore the visited-state
   count — is exactly the serial breadth-first one.
+
+* :func:`parallel_dfs_search` — one cell explored depth-first by a
+  work-stealing pool: each worker runs its own DFS, donates unexplored
+  sibling subtrees to a public deque, and idle workers steal from the tail
+  of the busiest victim; a lock-striped shared claim table arbitrates which
+  worker expands a state.  This is the engine that parallelises the
+  *reduced* (stubborn-set) searches, which have no levels to barrier on.
 
 * :func:`run_cells` — many independent Table-I cells farmed across a
   process pool.  Cells are described by picklable :class:`CellSpec` records
@@ -16,20 +24,28 @@ Two orthogonal axes of parallelism for the paper's sweep-shaped evaluation:
   from the catalog, so this axis works under any multiprocessing start
   method.
 
-When shard-parallel BFS helps vs. cell-parallel sweeps: shard-parallel BFS
-attacks a *single* large cell whose frontier dwarfs the per-level barrier
-cost; cell-parallel sweeps attack *many* small-to-medium cells and scale
-embarrassingly.  A full table sweep should default to cell-parallelism and
-reserve shard-parallel BFS for the one cell that dominates the wall clock.
+Choosing an axis: cell-parallel sweeps scale embarrassingly over *many*
+cells; frontier-parallel BFS attacks a single large *unreduced* cell whose
+wide levels dwarf the barrier cost; work-stealing DFS attacks a single
+large cell under a *reduction* (or any cell whose levels are too narrow to
+feed a frontier), at the price of scheduling-dependent visited counts for
+reduced runs.  A full table sweep should default to cell-parallelism and
+reserve the in-cell engines for the cells dominating the wall clock.
 """
 
 from .bfs import default_mp_context, parallel_bfs_search
 from .cells import CellSpec, run_cell_task, run_cells, specs_for_sweep
+from .dfs import parallel_dfs_search
+from .worksteal import StolenFrame, StripedClaimTable, WorkStealingDeques
 
 __all__ = [
     "CellSpec",
+    "StolenFrame",
+    "StripedClaimTable",
+    "WorkStealingDeques",
     "default_mp_context",
     "parallel_bfs_search",
+    "parallel_dfs_search",
     "run_cell_task",
     "run_cells",
     "specs_for_sweep",

@@ -230,7 +230,10 @@ def parallel_bfs_search(
 
             frontier_total = level_new
             depth += 1
-            statistics.max_depth = max(statistics.max_depth, depth)
+            # Mirror the serial engines: ``max_depth`` counts the edges to
+            # the deepest *discovered* state, not the final empty level.
+            if frontier_total:
+                statistics.max_depth = max(statistics.max_depth, depth)
     finally:
         for queue in task_queues:
             try:

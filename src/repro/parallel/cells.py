@@ -36,8 +36,11 @@ class CellSpec:
         stateful: Stateful search (ignored by DPOR, which is stateless).
         state_store: Visited-state store kind for stateful searches.
         max_states / max_seconds: Optional exploration budgets.
-        workers: *Inner* worker count — only meaningful with the ``"bfs"``
-            strategy, where it selects the frontier-parallel search.
+        workers: *Inner* worker count for the cell's own search: the
+            frontier-parallel engine for ``"bfs"``, the work-stealing DFS
+            for the DFS-shaped strategies (``"unreduced"``/``"dfs"``,
+            ``"spor"``/``"stubborn"``, ``"spor-net"``).  ``"dpor"`` rejects
+            ``workers > 1``.
         seed_heuristic: SPOR seed-transition heuristic.
     """
 
@@ -126,6 +129,11 @@ def run_cells(
     tasks = [spec.to_task() for spec in specs]
     if not workers or workers <= 1 or len(tasks) <= 1:
         return [run_cell_task(task) for task in tasks]
+    if any(spec.workers > 1 for spec in specs):
+        # Pool workers are daemonic and cannot spawn the in-cell search
+        # processes, so inner-parallel cells run in this process, one at a
+        # time — the two axes compose as inner × outer, not inner ∧ outer.
+        return [run_cell_task(task) for task in tasks]
     context = mp_context if mp_context is not None else multiprocessing.get_context()
     with context.Pool(min(workers, len(tasks))) as pool:
         return pool.map(run_cell_task, tasks)
@@ -139,10 +147,14 @@ def specs_for_sweep(
     max_states: Optional[int] = None,
     max_seconds: Optional[float] = None,
     state_store: str = "full",
+    cell_workers: int = 1,
 ) -> List[CellSpec]:
     """Build the cell grid of a sweep: every requested key × model variant.
 
     ``keys=None`` sweeps the whole catalog at the given scale.
+    ``cell_workers`` sets the *inner* worker count of every cell (the
+    strategy×workers axis); the pool size of :func:`run_cells` remains the
+    outer, cell-level axis.
     """
     if keys is None:
         resolved = [entry.key for entry in default_catalog(scale)]
@@ -162,6 +174,7 @@ def specs_for_sweep(
                     state_store=state_store,
                     max_states=max_states,
                     max_seconds=max_seconds,
+                    workers=cell_workers,
                 )
             )
     return specs

@@ -1,0 +1,500 @@
+"""Work-stealing parallel depth-first search.
+
+This is the engine that parallelises the *reduced* searches — the unreduced
+DFS baseline and the stubborn-set (SPOR / SPOR-NET) configurations that
+reproduce Table I.  Level-synchronous frontier parallelism (PR 2's
+:func:`~repro.parallel.bfs.parallel_bfs_search`) cannot drive them: the
+stubborn-set cycle proviso needs a DFS stack, and a reduced search has no
+meaningful levels.  Instead each worker runs an ordinary depth-first
+explorer and parallelism comes from *stealing subtrees*:
+
+* every worker owns a private DFS stack and a public deque
+  (:class:`~repro.parallel.worksteal.WorkStealingDeques`); when its deque
+  runs dry it donates the unexplored executions of its shallowest stack
+  frame — the largest subtree it can give away — as one
+  :class:`~repro.parallel.worksteal.StolenFrame`;
+* idle workers steal from the tail of the busiest victim's deque and resume
+  the frame as if they had expanded it themselves: the frame carries the
+  enabled-order indices of its pending executions, the execution-index path
+  from the initial state (PR 2's counterexample-rebuild currency) and its
+  ancestor fingerprints (so the cycle proviso sees the exact serial stack);
+* a lock-striped shared claim table
+  (:class:`~repro.parallel.worksteal.StripedClaimTable`) arbitrates which
+  worker explores a state: the first worker to claim a fingerprint expands
+  it, every other reach is a revisit.  Claims are fingerprint-based (the
+  standard bit-state trade-off) regardless of ``config.state_store``.
+
+Equivalence to the serial search:
+
+* **Unreduced DFS** explores the reachability closure, which is independent
+  of exploration order, so visited-state, transition and revisit counts are
+  *identical* to serial on every run that completes (the conformance matrix
+  pins this for 1, 2 and 4 workers).
+* **Stubborn sets** choose their reduced sets per state exactly as the
+  serial DFS would have for the same access path (same seed heuristic, same
+  closure, cycle proviso over the true root-to-state path).  Which access
+  path claims a state first is scheduling-dependent, so visited counts may
+  vary across runs while verdict soundness is preserved; stubborn sets
+  carry no sleep sets or other cross-subtree state, which is what makes
+  subtree stealing sound here.  (All bundled protocols have acyclic state
+  graphs — transitions strictly consume trigger messages — so the per-path
+  proviso degenerates to the serial behaviour; a cyclic protocol whose
+  cycles span workers would, like any distributed stubborn-set DFS, need a
+  stronger ignoring-prevention condition.)
+* **DPOR is excluded by design.**  Its backtrack sets are mutated up the
+  *serial* stack as race reversals are discovered; donating a subtree would
+  detach frames from the stack their backtrack semantics refer to.  The
+  checker rejects ``workers > 1`` for DPOR with a diagnostic instead of
+  silently degrading.
+
+Workers inherit the protocol (and the pre-built reducer) via the ``fork``
+start method — transition guards and actions are closures and never pickle.
+Platforms without ``fork`` transparently fall back to the serial search,
+mirroring :func:`~repro.parallel.bfs.parallel_bfs_search`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+import warnings
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..checker.counterexample import Counterexample, Step
+from ..checker.property import Invariant
+from ..checker.result import SearchStatistics
+from ..checker.search import ReductionContext, Reducer, SearchConfig, SearchOutcome, dfs_search
+from ..checker.statestore import ShardedFingerprintStore
+from ..mp.protocol import Protocol
+from ..mp.semantics import SuccessorEngine
+from ..mp.state import GlobalState
+from .bfs import default_mp_context
+from .worker import collect_replies
+from .worksteal import StolenFrame, StripedClaimTable, WorkStealingDeques, pending_indices
+
+__all__ = ["parallel_dfs_search"]
+
+#: Statistic keys shipped in every worker's final report.
+_STAT_KEYS = (
+    "transitions_executed",
+    "revisits",
+    "enabled_set_computations",
+    "full_expansions",
+    "reduced_expansions",
+    "max_depth",
+    "deadlock_states",
+    "claimed",
+)
+
+
+class _LocalFrame:
+    """One entry of a worker's private DFS stack."""
+
+    __slots__ = ("state", "fingerprint", "enabled", "pending", "next_index", "path", "successors")
+
+    def __init__(self, state: GlobalState, fingerprint: int, path: Tuple[int, ...]) -> None:
+        self.state = state
+        self.fingerprint = fingerprint
+        self.enabled: Tuple = ()
+        self.pending: Tuple[int, ...] = ()
+        self.next_index = 0
+        self.path = path
+        self.successors: Dict = {}
+
+
+def _worksteal_worker(
+    worker_id: int,
+    protocol: Protocol,
+    invariant: Invariant,
+    reducer: Optional[Reducer],
+    config: SearchConfig,
+    table: StripedClaimTable,
+    deques: WorkStealingDeques,
+    result_queue,
+    start_time: float,
+) -> None:
+    """Worker-process body: steal frames, explore subtrees depth-first.
+
+    All heavyweight arguments arrive through ``fork`` (no pickling).  The
+    worker reports ``("report", id, stats, violations, truncated)`` on exit,
+    or ``("error", id, traceback)`` after setting the stop flag so its
+    siblings wind down too.
+    """
+    try:
+        engine = SuccessorEngine.for_search(protocol, stateful=True)
+        # Local claim cache: fingerprints this worker has already routed
+        # through the shared table (won or lost) are revisits, lock-free.
+        seen = ShardedFingerprintStore(num_shards=8)
+        stats = {key: 0 for key in _STAT_KEYS}
+        violations: List[Tuple[int, ...]] = []
+        truncated = False
+
+        def expand(frame: _LocalFrame, ancestor_fps: frozenset, stack_fps: Set[int]) -> None:
+            """Compute a fresh frame's (possibly reduced) pending indices."""
+            enabled = engine.enabled(frame.state)
+            stats["enabled_set_computations"] += 1
+            frame.enabled = enabled
+            if config.check_deadlocks and not enabled:
+                stats["deadlock_states"] += 1
+            if reducer is None or len(enabled) <= 1:
+                stats["full_expansions"] += 1
+                frame.pending = tuple(range(len(enabled)))
+                return
+
+            def successor_of(execution) -> GlobalState:
+                cached = frame.successors.get(execution)
+                if cached is None:
+                    cached = engine.successor(frame.state, execution)
+                    frame.successors[execution] = cached
+                return cached
+
+            context = ReductionContext(
+                state=frame.state,
+                enabled=enabled,
+                protocol=protocol,
+                successor=successor_of,
+                on_stack=lambda state: (
+                    state.fingerprint() in stack_fps
+                    or state.fingerprint() in ancestor_fps
+                ),
+                engine=engine,
+            )
+            reduced = reducer(context)
+            if len(reduced) < len(enabled):
+                stats["reduced_expansions"] += 1
+            else:
+                stats["full_expansions"] += 1
+            frame.pending = pending_indices(enabled, reduced)
+
+        def maybe_donate(
+            task: StolenFrame, stack: List[_LocalFrame], floor: List[int]
+        ) -> None:
+            """Publish the shallowest unexplored sibling subtree when the
+            public deque is empty.  The top frame only donates when it can
+            keep one execution for its owner, avoiding publish/repop churn.
+
+            ``floor[0]`` is a persistent cursor over the stack: a frame's
+            pending set only ever shrinks, so once a position is exhausted
+            it stays exhausted and is never rescanned — without it a deep
+            chain-shaped search would walk the whole stack per transition.
+            """
+            if deques.size_hint(worker_id) > 0:
+                return
+            top = len(stack) - 1
+            floor[0] = min(floor[0], top)
+            for position in range(floor[0], len(stack)):
+                frame = stack[position]
+                cut = frame.next_index
+                if position == top:
+                    cut += 1
+                donated = frame.pending[cut:]
+                if not donated:
+                    if frame.next_index >= len(frame.pending):
+                        floor[0] = position + 1
+                    continue
+                frame.pending = frame.pending[:cut]
+                ancestors = task.ancestors + tuple(
+                    below.fingerprint for below in stack[:position]
+                )
+                deques.publish(
+                    worker_id,
+                    StolenFrame(
+                        state=frame.state,
+                        pending=donated,
+                        path=frame.path,
+                        ancestors=ancestors,
+                    ),
+                )
+                return
+
+        def run_task(task: StolenFrame) -> None:
+            nonlocal truncated
+            ancestor_fps = frozenset(task.ancestors)
+            root = _LocalFrame(task.state, task.state.fingerprint(), task.path)
+            stack = [root]
+            stack_fps: Set[int] = set()
+            donate_floor = [0]
+            if task.pending is None:
+                # The seed frame of the whole search: expand like serial.
+                expand(root, ancestor_fps, stack_fps)
+            else:
+                # A donated frame: resume exactly the victim's pending set.
+                root.enabled = engine.enabled(root.state)
+                stats["enabled_set_computations"] += 1
+                root.pending = task.pending
+            stack_fps.add(root.fingerprint)
+
+            while stack:
+                if deques.stop.is_set():
+                    return
+                if config.max_seconds is not None:
+                    if time.perf_counter() - start_time > config.max_seconds:
+                        truncated = True
+                        deques.stop.set()
+                        return
+                maybe_donate(task, stack, donate_floor)
+                frame = stack[-1]
+                if frame.next_index >= len(frame.pending):
+                    stack.pop()
+                    stack_fps.discard(frame.fingerprint)
+                    continue
+                index = frame.pending[frame.next_index]
+                frame.next_index += 1
+                execution = frame.enabled[index]
+                successor = frame.successors.get(execution)
+                if successor is None:
+                    successor = engine.successor(frame.state, execution)
+                stats["transitions_executed"] += 1
+
+                fingerprint = successor.fingerprint()
+                if seen.contains_fingerprint(fingerprint):
+                    stats["revisits"] += 1
+                    continue
+                seen.add_fingerprint(fingerprint)
+                if not table.add_fingerprint(fingerprint):
+                    stats["revisits"] += 1
+                    continue
+                stats["claimed"] += 1
+
+                if not invariant.holds_in(successor, protocol):
+                    violations.append(frame.path + (index,))
+                    if config.stop_at_first_violation:
+                        deques.stop.set()
+                        return
+                if config.max_states is not None and len(table) >= config.max_states:
+                    truncated = True
+                    deques.stop.set()
+                    return
+                if config.max_depth is not None and len(frame.path) >= config.max_depth:
+                    truncated = True
+                    continue
+
+                child = _LocalFrame(successor, fingerprint, frame.path + (index,))
+                expand(child, ancestor_fps, stack_fps)
+                stack.append(child)
+                stack_fps.add(fingerprint)
+                if len(child.path) > stats["max_depth"]:
+                    stats["max_depth"] = len(child.path)
+
+        while not (deques.stop.is_set() or deques.done.is_set()):
+            task = deques.next_task(worker_id)
+            if task is None:
+                # Resigned: spin on steal attempts until work or shutdown.
+                while not (deques.stop.is_set() or deques.done.is_set()):
+                    task = deques.try_acquire(worker_id)
+                    if task is not None:
+                        break
+                    time.sleep(WorkStealingDeques.IDLE_SLEEP_SECONDS)
+                if task is None:
+                    break
+            run_task(task)
+        result_queue.put(("report", worker_id, stats, violations, truncated))
+    except BaseException:
+        deques.stop.set()
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+def _replay_counterexample(
+    protocol: Protocol, invariant: Invariant, path: Tuple[int, ...]
+) -> Counterexample:
+    """Rebuild a counterexample from an execution-index path.
+
+    Executions are recomputed from the deterministic enabled order in the
+    coordinator process — the same rebuild currency the frontier-parallel
+    BFS uses — so nothing unpicklable ever crossed a process boundary.
+    """
+    engine = SuccessorEngine.for_search(protocol, stateful=True)
+    cursor = engine.initial_state()
+    initial = cursor
+    steps: List[Step] = []
+    for index in path:
+        execution = engine.enabled(cursor)[index]
+        cursor = engine.successor(cursor, execution)
+        steps.append(Step(execution=execution, state=cursor))
+    return Counterexample(
+        initial_state=initial, steps=tuple(steps), property_name=invariant.name
+    )
+
+
+def parallel_dfs_search(
+    protocol: Protocol,
+    invariant: Invariant,
+    config: Optional[SearchConfig] = None,
+    workers: int = 2,
+    reducer: Optional[Reducer] = None,
+    mp_context=None,
+    worker_timeout: Optional[float] = None,
+    claim_capacity: Optional[int] = None,
+    claim_stripes: Optional[int] = None,
+) -> SearchOutcome:
+    """Depth-first search of one cell across ``workers`` stealing processes.
+
+    Args:
+        protocol: The protocol instance to explore.
+        invariant: The invariant to check in every claimed state.
+        config: Search configuration.  The parallel engine is always
+            stateful and deduplicates by fingerprint (``state_store`` is not
+            consulted; the exact-store option has no shared-memory analogue).
+        workers: Worker process count.  ``workers <= 1`` delegates to the
+            serial :func:`~repro.checker.search.dfs_search` with the same
+            reducer, so worker sweeps include an exact serial baseline.
+        reducer: Optional partial-order reducer (e.g. a pre-built
+            :class:`~repro.por.stubborn.StubbornSetProvider`'s ``reduce``),
+            inherited by every worker via ``fork``.
+        mp_context: Multiprocessing context; defaults to ``fork``.  Without
+            a fork-capable platform the search falls back to serial.
+        worker_timeout: Optional hard wall-clock cap; on expiry the run
+            fails with :class:`RuntimeError` (prefer ``config.max_seconds``
+            for budgeting, which truncates gracefully).
+        claim_capacity: Total slot count of the shared claim table
+            (default ``2**20``, or four times ``config.max_states`` when
+            that is larger).
+        claim_stripes: Lock stripes of the claim table (default scales with
+            the worker count).
+
+    Returns:
+        A :class:`SearchOutcome` shaped exactly like the serial one.  When
+        several workers report violations, the counterexample is rebuilt
+        from the lexicographically smallest (shortest-first) execution-index
+        path, making the reported trace deterministic given the set of
+        discovered violations.
+    """
+    config = config or SearchConfig()
+    if workers <= 1:
+        return dfs_search(protocol, invariant, config, reducer=reducer)
+    context = mp_context if mp_context is not None else default_mp_context()
+    if context is None:
+        warnings.warn(
+            "parallel_dfs_search requires a fork-capable platform; "
+            "falling back to serial dfs_search",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return dfs_search(protocol, invariant, config, reducer=reducer)
+
+    statistics = SearchStatistics()
+    start_time = time.perf_counter()
+
+    initial = protocol.initial_state()
+    statistics.states_visited = 1
+    if not invariant.holds_in(initial, protocol):
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        counterexample = Counterexample(
+            initial_state=initial, steps=(), property_name=invariant.name
+        )
+        return SearchOutcome(False, False, counterexample, statistics)
+
+    capacity = claim_capacity
+    if capacity is None:
+        capacity = 1 << 20
+        if config.max_states is not None:
+            capacity = max(capacity, 4 * config.max_states)
+    stripes = claim_stripes if claim_stripes is not None else max(16, 4 * workers)
+    table = StripedClaimTable(capacity=capacity, stripes=stripes, mp_context=context)
+    table.add_fingerprint(initial.fingerprint())
+
+    verified = True
+    complete = True
+    truncated = False
+    counterexample: Optional[Counterexample] = None
+    deadlock_states = 0
+    manager = context.Manager()
+    processes = []
+    deques = None
+    try:
+        deques = WorkStealingDeques(workers, manager, mp_context=context)
+        # Seeding the frame with its own fingerprint as "ancestor" mirrors
+        # the serial search, whose stack contains the initial state while
+        # the root expansion (and its proviso checks) runs.
+        deques.publish(
+            0,
+            StolenFrame(
+                state=initial,
+                pending=None,
+                path=(),
+                ancestors=(initial.fingerprint(),),
+            ),
+        )
+        result_queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_worksteal_worker,
+                args=(
+                    worker_id,
+                    protocol,
+                    invariant,
+                    reducer,
+                    config,
+                    table,
+                    deques,
+                    result_queue,
+                    start_time,
+                ),
+                daemon=True,
+            )
+            for worker_id in range(workers)
+        ]
+        for process in processes:
+            process.start()
+
+        deadline = None if worker_timeout is None else start_time + worker_timeout
+        while not (deques.done.is_set() or deques.stop.is_set()):
+            if deadline is not None and time.perf_counter() > deadline:
+                deques.stop.set()
+                raise RuntimeError(
+                    "parallel_dfs_search: timed out waiting for the workers"
+                )
+            if config.max_seconds is not None:
+                if time.perf_counter() - start_time > config.max_seconds:
+                    truncated = True
+                    deques.stop.set()
+                    break
+            if any(not process.is_alive() for process in processes):
+                # A worker died; collect_replies below drains its last
+                # words (an error reply) or raises.
+                break
+            deques.done.wait(0.05)
+
+        # Hand collect_replies the *remaining* budget so worker_timeout is
+        # one hard cap over the whole run, not one per phase.
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.1, deadline - time.perf_counter())
+        replies = collect_replies(result_queue, workers, "report", remaining, processes)
+        violations: List[Tuple[int, ...]] = []
+        for _worker_id, stats, worker_violations, worker_truncated in replies:
+            statistics.transitions_executed += stats["transitions_executed"]
+            statistics.revisits += stats["revisits"]
+            statistics.enabled_set_computations += stats["enabled_set_computations"]
+            statistics.full_expansions += stats["full_expansions"]
+            statistics.reduced_expansions += stats["reduced_expansions"]
+            statistics.max_depth = max(statistics.max_depth, stats["max_depth"])
+            violations.extend(tuple(path) for path in worker_violations)
+            truncated = truncated or worker_truncated
+        statistics.states_visited = len(table)
+        deadlock_states = sum(reply[1]["deadlock_states"] for reply in replies)
+
+        if violations:
+            verified = False
+            best = min(violations, key=lambda path: (len(path), path))
+            counterexample = _replay_counterexample(protocol, invariant, best)
+        if truncated or (not verified and config.stop_at_first_violation):
+            complete = False
+    finally:
+        if deques is not None:
+            deques.stop.set()
+        for process in processes:
+            process.join(timeout=5.0)
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+        manager.shutdown()
+
+    statistics.elapsed_seconds = time.perf_counter() - start_time
+    return SearchOutcome(
+        verified=verified,
+        complete=complete,
+        counterexample=counterexample,
+        statistics=statistics,
+        deadlock_states=deadlock_states,
+    )

@@ -143,11 +143,18 @@ def collect_replies(
 ):
     """Collect exactly one ``phase`` reply per worker, in worker-id order.
 
-    Waits as long as every worker process is alive (a long level is
-    progress, not a hang); ``timeout`` is an optional hard cap on top.
-    Liveness is polled every few seconds so a crashed worker (e.g. killed
-    by the OOM killer, which never reaches the error-reply path) fails the
-    search promptly instead of blocking forever.
+    Waits as long as every *outstanding* worker process is alive (a long
+    level is progress, not a hang); ``timeout`` is an optional hard cap on
+    top.  Liveness is polled every few seconds so a crashed worker (e.g.
+    killed by the OOM killer, which never reaches the error-reply path)
+    fails the search promptly instead of blocking forever.  Workers that
+    already replied may exit freely — the work-stealing search winds its
+    workers down as each finishes its final report, so only a death
+    *before* replying is a crash.
+
+    Args:
+        processes: Worker processes, indexed by worker id (so liveness can
+            be checked only for workers whose reply is still outstanding).
 
     Raises:
         RuntimeError: If a worker reported an error, died without replying,
@@ -158,11 +165,19 @@ def collect_replies(
     deadline = None if timeout is None else time.monotonic() + timeout
     replies = [None] * num_workers
     collected = 0
+
+    def outstanding_worker_died() -> bool:
+        return any(
+            replies[index] is None and not process.is_alive()
+            for index, process in enumerate(processes)
+            if index < num_workers
+        )
+
     while collected < num_workers:
         try:
             reply = result_queue.get(timeout=_LIVENESS_POLL_SECONDS)
         except queue_module.Empty:
-            if any(not process.is_alive() for process in processes):
+            if outstanding_worker_died():
                 # One last drain: the dying worker's reply may still be in
                 # the queue's feeder pipe.
                 try:

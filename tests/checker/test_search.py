@@ -171,3 +171,28 @@ class TestBfs:
     def test_bfs_max_depth(self, ping_pong_two_rounds):
         outcome = bfs_search(ping_pong_two_rounds, always_true(), SearchConfig(max_depth=1))
         assert not outcome.complete
+
+
+class TestDepthAccounting:
+    """``max_depth`` counts edges, identically in DFS and BFS.
+
+    Regression for the historical off-by-one: BFS used to report one extra
+    level (the final level that discovers nothing), so DFS and BFS
+    disagreed by one even on linear state graphs.
+    """
+
+    def test_chain_graph_reports_its_edge_count(self, ping_pong):
+        # Single-round ping-pong is a 4-state chain: START, PING, PONG.
+        dfs = dfs_search(ping_pong, always_true())
+        bfs = bfs_search(ping_pong, always_true())
+        assert dfs.statistics.max_depth == 3
+        assert bfs.statistics.max_depth == 3
+
+    def test_dfs_and_bfs_agree_on_graded_graphs(self, ping_pong_two_rounds):
+        # Every path to a state of these protocols has the same length
+        # (each transition advances exactly one process by one step), so
+        # the deepest DFS path and the deepest BFS level must coincide.
+        for protocol in (ping_pong_two_rounds, build_vote_collection(3, 2)):
+            dfs = dfs_search(protocol, always_true())
+            bfs = bfs_search(protocol, always_true())
+            assert dfs.statistics.max_depth == bfs.statistics.max_depth

@@ -127,4 +127,25 @@ class TestBench:
         assert payload["sweep_serial_seconds"] > 0
         assert payload["sweep_parallel_seconds"] > 0
         modes = {record["batch_mode"] for record in payload["results"]}
+        # The default strategy (spor) is DFS-shaped, so the work-stealing
+        # axis runs alongside the cell-parallel comparison.
+        assert modes == {"serial-loop", "cell-parallel", "worksteal"}
+        worksteal = [
+            record for record in payload["results"]
+            if record["batch_mode"] == "worksteal"
+        ]
+        assert {record["workers"] for record in worksteal} == {1, 2}
+        assert all(record["verified"] for record in worksteal)
+
+    def test_bench_axes_can_be_skipped(self, tmp_path):
+        code, _ = run_cli(
+            [
+                "bench", "--cells", "multicast-2-1-0-1", "--workers", "2",
+                "--skip-frontier", "--skip-worksteal",
+                "--output", str(tmp_path), "--label", "bare",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(next(iter(tmp_path.glob("BENCH_bench_bare_*.json"))).read_text())
+        modes = {record["batch_mode"] for record in payload["results"]}
         assert modes == {"serial-loop", "cell-parallel"}

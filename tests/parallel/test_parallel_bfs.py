@@ -152,13 +152,16 @@ class TestCheckerPlumbing:
             parallel.statistics.states_visited == serial.statistics.states_visited
         )
 
-    def test_workers_rejected_for_serial_only_strategies(self, ping_pong):
+    def test_workers_rejected_for_dpor_only(self, ping_pong):
+        # Since the work-stealing DFS landed, only DPOR remains serial-only
+        # (its backtrack sets follow the serial stack and cannot be stolen).
         from repro.checker.property import always_true
 
         checker = ModelChecker(ping_pong, always_true(), CheckerOptions(workers=2))
-        for strategy in (Strategy.UNREDUCED, Strategy.SPOR, Strategy.DPOR):
-            with pytest.raises(ValueError):
-                checker.run(strategy)
+        with pytest.raises(ValueError, match="backtrack"):
+            checker.run(Strategy.DPOR)
+        for strategy in (Strategy.UNREDUCED, Strategy.SPOR):
+            assert checker.run(strategy).verified
 
     def test_workers_one_is_plain_serial_bfs(self):
         entry = multicast_entry(2, 1, 0, 1)

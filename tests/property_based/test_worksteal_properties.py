@@ -1,0 +1,160 @@
+"""Property-based tests of the work-stealing primitives.
+
+Two facts the parallel DFS is sound only if they hold universally:
+
+* a :class:`~repro.parallel.worksteal.StolenFrame` survives its pickle →
+  rebuild → resume round trip: the thief, recomputing executions from the
+  enabled-order indices, sees exactly the successor states the victim
+  would have explored;
+* the striped claim table is a partition of claims: no interleaving of
+  claim attempts — from any number of claimants, in any order, with any
+  duplication — loses a fingerprint or grants it twice.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker.statestore import shard_of
+from repro.mp.semantics import apply_execution, enabled_executions
+from repro.parallel.worksteal import StolenFrame, StripedClaimTable, pending_indices
+from repro.protocols.multicast import MulticastConfig, build_multicast_quorum
+from repro.protocols.paxos import PaxosConfig, build_paxos_quorum
+from repro.protocols.storage import StorageConfig, build_storage_quorum
+
+PROTOCOLS = [
+    build_paxos_quorum(PaxosConfig(2, 2, 1)),
+    build_storage_quorum(StorageConfig(2, 1)),
+    build_multicast_quorum(MulticastConfig(2, 1, 0, 1)),
+]
+
+protocol_strategy = st.sampled_from(PROTOCOLS)
+walks = st.lists(st.integers(min_value=0, max_value=10_000), max_size=10)
+fingerprints = st.integers(min_value=-(2 ** 63), max_value=2 ** 64 - 1)
+
+
+def random_walk(protocol, choices):
+    """Follow a pseudo-random path selected by the list of choice indices."""
+    state = protocol.initial_state()
+    path = []
+    for choice in choices:
+        enabled = enabled_executions(state, protocol)
+        if not enabled:
+            break
+        index = choice % len(enabled)
+        path.append(index)
+        state = apply_execution(state, enabled[index])
+    return state, tuple(path)
+
+
+class TestStolenFrameRoundTrip:
+    @given(protocol_strategy, walks, st.integers(min_value=0, max_value=2 ** 32))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_successor_sets(self, protocol, choices, mask):
+        state, path = random_walk(protocol, choices)
+        enabled = enabled_executions(state, protocol)
+        pending = tuple(
+            index for index in range(len(enabled)) if (mask >> index) & 1
+        )
+        frame = StolenFrame(
+            state=state,
+            pending=pending,
+            path=path,
+            ancestors=(state.fingerprint(),),
+        )
+        restored = pickle.loads(pickle.dumps(frame))
+
+        assert restored.pending == frame.pending
+        assert restored.path == frame.path
+        assert restored.ancestors == frame.ancestors
+        assert restored.depth == len(path)
+        assert restored.state == state
+        # Same process => same hash seed: the fingerprint (and with it the
+        # claim routing) must survive the trip, like a forked worker's.
+        assert restored.state.fingerprint() == state.fingerprint()
+
+        # The thief recomputes executions from the enabled order; every
+        # pending index must denote the same successor on both sides.
+        rebuilt_enabled = enabled_executions(restored.state, protocol)
+        assert rebuilt_enabled == enabled
+        for index in restored.pending:
+            original = apply_execution(state, enabled[index])
+            resumed = apply_execution(restored.state, rebuilt_enabled[index])
+            assert resumed == original
+
+    @given(protocol_strategy, walks)
+    @settings(max_examples=30, deadline=None)
+    def test_pending_indices_invert_execution_selection(self, protocol, choices):
+        state, _ = random_walk(protocol, choices)
+        enabled = enabled_executions(state, protocol)
+        chosen = enabled[::2]
+        indices = pending_indices(enabled, chosen)
+        assert tuple(enabled[i] for i in indices) == chosen
+
+
+class TestClaimPartition:
+    @given(
+        st.lists(fingerprints, max_size=60),
+        st.randoms(use_true_random=False),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_interleaving_grants_each_claim_exactly_once(
+        self, values, rng, stripes
+    ):
+        # Model an arbitrary steal schedule: every fingerprint is claimed
+        # three times (three racing workers), in a shuffled global order.
+        attempts = list(values) * 3
+        rng.shuffle(attempts)
+        table = StripedClaimTable(capacity=512, stripes=stripes)
+        wins = {}
+        for fingerprint in attempts:
+            if table.add_fingerprint(fingerprint):
+                wins[fingerprint] = wins.get(fingerprint, 0) + 1
+        distinct = set(values)
+        assert set(wins) == distinct
+        assert all(count == 1 for count in wins.values())
+        assert len(table) == len(distinct)
+        for fingerprint in distinct:
+            assert table.contains_fingerprint(fingerprint)
+
+    @given(st.lists(fingerprints, min_size=1, max_size=40))
+    @settings(max_examples=15, deadline=None)
+    def test_concurrent_claimants_never_double_grant(self, values):
+        table = StripedClaimTable(capacity=1024, stripes=4)
+        grants = []
+        grant_lock = threading.Lock()
+
+        def claimant(order):
+            local = []
+            for fingerprint in order:
+                if table.add_fingerprint(fingerprint):
+                    local.append(fingerprint)
+            with grant_lock:
+                grants.extend(local)
+
+        threads = [
+            threading.Thread(target=claimant, args=(list(reversed(values)) if i % 2 else list(values),))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Exactly one grant per distinct fingerprint across all claimants.
+        assert sorted(grants) == sorted(set(values))
+        assert len(table) == len(set(values))
+
+    @given(fingerprints, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_stripe_routing_matches_the_shared_partition(self, fingerprint, stripes):
+        table = StripedClaimTable(capacity=64 * stripes, stripes=stripes)
+        assert table.stripe_of(fingerprint) == shard_of(fingerprint, stripes)
+        table.add_fingerprint(fingerprint)
+        sizes = table.stripe_sizes()
+        assert sum(sizes) == 1
+        assert sizes[table.stripe_of(fingerprint)] == 1
