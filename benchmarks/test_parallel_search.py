@@ -21,6 +21,7 @@ import os
 import pytest
 
 from repro.checker.search import bfs_search
+from repro.engine import CollectingObserver
 from repro.parallel import CellSpec, parallel_bfs_search, run_cells
 from repro.protocols.catalog import multicast_entry, storage_entry
 
@@ -40,19 +41,30 @@ def test_frontier_parallel_bfs(benchmark, table_registry, mode):
     """One cell explored breadth-first, serially vs. across workers."""
     entry = storage_entry(3, 1)
     invariant = entry.invariant
+    # Both engines feed the same observer stream; the benchmark consumes it
+    # for per-level shape instead of a private stat path.
+    observer = CollectingObserver()
 
     def serial():
-        return bfs_search(entry.quorum_model(), invariant)
+        return bfs_search(entry.quorum_model(), invariant, observer=observer)
 
     def parallel():
-        return parallel_bfs_search(entry.quorum_model(), invariant, workers=WORKERS)
+        return parallel_bfs_search(
+            entry.quorum_model(), invariant, workers=WORKERS, observer=observer
+        )
 
     outcome = benchmark.pedantic(
         serial if mode == "Serial BFS" else parallel, rounds=1, iterations=1
     )
     assert outcome.verified
     assert outcome.statistics.states_visited > 0
+    levels = [e for e in observer.events if e.kind == "level-completed"]
+    assert levels, "every BFS engine reports its levels on the event stream"
     benchmark.extra_info["states"] = outcome.statistics.states_visited
+    benchmark.extra_info["levels"] = len(levels)
+    benchmark.extra_info["widest_level"] = max(
+        e.payload["new_states"] for e in levels
+    )
     from repro.checker.result import CheckResult
 
     result = CheckResult(

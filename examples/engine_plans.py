@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The composable engine API: plans, the registry, and the event stream.
+
+A model-checking run is one point of a cross-product of orthogonal axes —
+search shape × reduction × store × backend × workers — named by a
+:class:`repro.CheckPlan`.  This example shows the three things the plan
+layer gives you over the legacy ``Strategy`` enum:
+
+1. **Declarative engine selection** — the registry resolves a plan to the
+   engine supporting it (serial, frontier-parallel or work-stealing) and
+   refuses unsupported combinations with a structured diagnostic naming the
+   offending axis, instead of silently downgrading.
+2. **One event stream** — every engine feeds the same observer API
+   (progress ticks, level barriers, worker reports, violations), so tools
+   consume one stream regardless of the backend.
+3. **A migration path** — ``ModelChecker.run(Strategy.X)`` still works; it
+   now builds the equivalent plan, so both APIs return identical results.
+
+Run with::
+
+    PYTHONPATH=src python examples/engine_plans.py
+
+The same registry is available from the shell::
+
+    PYTHONPATH=src python -m repro engines
+    PYTHONPATH=src python -m repro check storage-3-1 --shape bfs --workers 4
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CheckPlan,
+    CollectingObserver,
+    ModelChecker,
+    Strategy,
+    UnsupportedPlanError,
+    default_registry,
+    plan_for_strategy,
+    run_plan,
+)
+from repro.protocols.catalog import multicast_entry
+
+
+def list_engines() -> None:
+    """Walk the registry: every engine declares what it supports."""
+    print("registered engines:")
+    for engine in default_registry().engines():
+        caps = engine.capabilities
+        print(f"  {engine.name:<14} shapes={'/'.join(caps.shapes)} "
+              f"reductions={'/'.join(caps.reductions)} "
+              f"{caps.supported_description('workers')}")
+    print()
+
+
+def resolve_some_plans() -> None:
+    """Plan resolution picks the backend from the shape and worker count."""
+    entry = multicast_entry(2, 1, 0, 1)
+    for plan in (
+        CheckPlan(reduction="spor"),                       # serial stubborn-set DFS
+        CheckPlan(reduction="spor", workers=2),            # work-stealing DFS
+        CheckPlan(shape="bfs", workers=2),                 # frontier-parallel BFS
+        CheckPlan(reduction="dpor"),                       # stateless dynamic POR
+    ):
+        result = run_plan(entry.quorum_model(), entry.invariant, plan)
+        print(f"  {plan.describe():<28} -> {result.engine:<14} "
+              f"{result.outcome_label():<9} "
+              f"{result.statistics.states_visited:,} states")
+    print()
+
+
+def watch_the_event_stream() -> None:
+    """All engines feed one observer API; here we count the events."""
+    entry = multicast_entry(2, 1, 0, 1)
+    observer = CollectingObserver()
+    run_plan(entry.quorum_model(), entry.invariant,
+             CheckPlan(shape="bfs"), observer=observer)
+    print(f"  serial BFS event stream: {observer.counts()}")
+    print()
+
+
+def unsupported_plans_fail_loudly() -> None:
+    """No silent downgrades: the registry names the offending axis."""
+    entry = multicast_entry(2, 1, 0, 1)
+    try:
+        run_plan(entry.quorum_model(), entry.invariant,
+                 CheckPlan(reduction="dpor", workers=4))
+    except UnsupportedPlanError as error:
+        print(f"  rejected axis: {error.axis} = {error.value}")
+        print(f"  nearest supported alternative: {error.alternative.describe()}")
+    print()
+
+
+def legacy_shim_agrees() -> None:
+    """The Strategy enum is now a thin shim building the equivalent plan."""
+    entry = multicast_entry(2, 1, 0, 1)
+    legacy = ModelChecker(entry.quorum_model(), entry.invariant).run(Strategy.STUBBORN)
+    plan = plan_for_strategy(Strategy.STUBBORN)
+    direct = run_plan(entry.quorum_model(), entry.invariant, plan)
+    assert legacy.statistics.states_visited == direct.statistics.states_visited
+    assert legacy.engine == direct.engine
+    print(f"  Strategy.STUBBORN == {plan.describe()} "
+          f"({legacy.statistics.states_visited} states via {legacy.engine})")
+    print()
+
+
+if __name__ == "__main__":
+    print("=" * 72)
+    print("Composable engine API")
+    print("=" * 72)
+    list_engines()
+    resolve_some_plans()
+    watch_the_event_stream()
+    unsupported_plans_fail_loudly()
+    legacy_shim_agrees()

@@ -22,17 +22,21 @@ from __future__ import annotations
 
 import time
 
-from repro import CellSpec, parallel_bfs_search, run_cells
-from repro.checker.search import bfs_search
+from repro import CellSpec, CheckPlan, run_cells, run_plan
 from repro.protocols.catalog import storage_entry
 
 
 def frontier_parallel_cell(workers: int = 4) -> None:
-    """Explore one cell serially and with shard-owning workers."""
+    """Explore one cell serially and with shard-owning workers.
+
+    Both runs go through the plan layer: same shape, different worker
+    count; the registry picks the serial vs frontier-parallel engine.
+    """
     entry = storage_entry(3, 1)
-    serial = bfs_search(entry.quorum_model(), entry.invariant)
-    parallel = parallel_bfs_search(
-        entry.quorum_model(), entry.invariant, workers=workers
+    serial = run_plan(entry.quorum_model(), entry.invariant, CheckPlan(shape="bfs"))
+    parallel = run_plan(
+        entry.quorum_model(), entry.invariant,
+        CheckPlan(shape="bfs", workers=workers),
     )
     print(f"{entry.description}: serial BFS visited "
           f"{serial.statistics.states_visited:,} states in "

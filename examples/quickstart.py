@@ -14,6 +14,7 @@ Run with::
 from __future__ import annotations
 
 from repro import (
+    CheckPlan,
     ModelChecker,
     PaxosConfig,
     Strategy,
@@ -30,13 +31,16 @@ def verify_correct_paxos() -> None:
     print(protocol.describe())
     print()
 
-    for strategy in (Strategy.UNREDUCED, Strategy.SPOR_NET):
-        result = ModelChecker(protocol, consensus_invariant()).run(strategy)
+    # A run is a CheckPlan: search shape x reduction (x store x backend x
+    # workers); the registry picks the engine.  ``ModelChecker.run(Strategy.X)``
+    # remains available as a shim building the equivalent plan.
+    for plan in (CheckPlan(), CheckPlan(reduction="spor-net")):
+        result = ModelChecker(protocol, consensus_invariant()).run_plan(plan)
         print(
-            f"  {strategy.value:10s}: {result.outcome_label():9s}"
+            f"  {result.strategy:10s}: {result.outcome_label():9s}"
             f"  {result.statistics.states_visited:6d} states"
             f"  {result.statistics.transitions_executed:6d} transitions"
-            f"  {result.statistics.elapsed_seconds:6.2f}s"
+            f"  {result.statistics.elapsed_seconds:6.2f}s  [{result.engine}]"
         )
     print()
 

@@ -8,6 +8,10 @@ DSN 2011).  The library provides:
   guarded single-message and quorum transitions;
 * :mod:`repro.checker` — an explicit-state model checker (stateful and
   stateless search, invariants, counterexamples);
+* :mod:`repro.engine` — the composable engine layer: :class:`CheckPlan`
+  (search shape × reduction × store × backend × workers), a capability-
+  declaring engine registry with structured unsupported-plan diagnostics,
+  and the progress/event observer API all engines feed;
 * :mod:`repro.por` — partial-order reduction: a stubborn-set static POR with
   a pre-computed dependence relation (the MP-LPOR analogue) and a stateless
   dynamic POR baseline;
@@ -39,7 +43,19 @@ from .checker import (
     SearchConfig,
     SearchStatistics,
     Strategy,
+    check_plan,
     check_protocol,
+    plan_for_strategy,
+)
+from .engine import (
+    CheckPlan,
+    CollectingObserver,
+    EngineRegistry,
+    Observer,
+    ProgressPrinter,
+    UnsupportedPlanError,
+    default_registry,
+    run_plan,
 )
 from .mp import (
     ActionContext,
@@ -90,9 +106,19 @@ __version__ = "1.0.0"
 __all__ = [
     "ActionContext",
     "CellSpec",
+    "CheckPlan",
     "CheckResult",
     "CheckerOptions",
+    "CollectingObserver",
     "Counterexample",
+    "EngineRegistry",
+    "Observer",
+    "ProgressPrinter",
+    "UnsupportedPlanError",
+    "check_plan",
+    "default_registry",
+    "plan_for_strategy",
+    "run_plan",
     "DependenceRelation",
     "DporSearch",
     "Execution",

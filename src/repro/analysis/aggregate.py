@@ -32,8 +32,12 @@ BENCH_PREFIX = "BENCH_"
 def result_record(result: CheckResult, **extra) -> Dict:
     """Flatten a :class:`CheckResult` into a JSON-able record.
 
-    Extra keyword fields (cell key, model variant, worker count, ...) are
-    merged in; they must be JSON-serialisable.
+    Results produced through the plan layer additionally carry their
+    resolved axes (``shape`` / ``reduction`` / ``backend``) and the registry
+    name of the engine that ran them, so payloads from different engines
+    aggregate without guessing the configuration back out of the legacy
+    strategy string.  Extra keyword fields (cell key, model variant, worker
+    count, ...) are merged in; they must be JSON-serialisable.
     """
     statistics = result.statistics
     record = {
@@ -53,6 +57,14 @@ def result_record(result: CheckResult, **extra) -> Dict:
         "elapsed_seconds": statistics.elapsed_seconds,
         "enabled_set_computations": statistics.enabled_set_computations,
     }
+    if result.plan is not None:
+        record.update(
+            shape=result.plan.shape,
+            reduction=result.plan.reduction,
+            backend=result.plan.backend,
+        )
+    if result.engine is not None:
+        record["engine"] = result.engine
     record.update(extra)
     return record
 

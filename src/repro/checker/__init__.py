@@ -7,7 +7,15 @@ properties, counterexamples and run statistics, plus the
 POR and dynamic POR.
 """
 
-from .checker import CheckerOptions, ModelChecker, Strategy, check_protocol
+from .checker import (
+    STRATEGY_ALIASES,
+    CheckerOptions,
+    ModelChecker,
+    Strategy,
+    check_plan,
+    check_protocol,
+    plan_for_strategy,
+)
 from .counterexample import Counterexample, Step
 from .property import Invariant, always_true, conjunction, local_state_invariant
 from .result import CheckResult, SearchStatistics
@@ -35,6 +43,9 @@ __all__ = [
     "CheckResult",
     "CheckerOptions",
     "Counterexample",
+    "STRATEGY_ALIASES",
+    "check_plan",
+    "plan_for_strategy",
     "FingerprintStore",
     "FullStateStore",
     "Invariant",

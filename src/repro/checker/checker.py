@@ -1,62 +1,89 @@
-"""The model checker facade.
+"""The model checker facade — a thin shim over the composable engine layer.
 
 :class:`ModelChecker` ties together a protocol, a property and a search
-strategy, mirroring how MP-Basset is invoked with the ``+fw.spor`` /
-``+fw.dpor`` flags (Appendix I):
+configuration.  Since the plan/registry redesign the real API is the
+:class:`~repro.engine.plan.CheckPlan` (search shape × reduction × store ×
+backend × workers) resolved by :mod:`repro.engine.registry`; the
+:class:`Strategy` enum survives as a compatibility shim whose members map
+onto equivalent plans via :func:`plan_for_strategy`:
 
-* ``Strategy.UNREDUCED`` — plain exhaustive search;
+* ``Strategy.UNREDUCED`` — plain exhaustive DFS (``shape="dfs"``,
+  ``reduction="none"``), the ``+fw`` baseline;
 * ``Strategy.SPOR`` — static POR with the pre-computed dependence relation
-  (the LPOR analogue);
+  (``reduction="spor"``, the LPOR analogue of ``+fw.spor``);
 * ``Strategy.SPOR_NET`` — static POR with necessary-enabling-transition
-  handling of disabled transitions (the LPOR-NET analogue);
-* ``Strategy.DPOR`` — stateless dynamic POR (Flanagan–Godefroid style), the
+  handling (``reduction="spor-net"``, the LPOR-NET analogue);
+* ``Strategy.DPOR`` — stateless dynamic POR (``reduction="dpor"``), the
   configuration Basset uses for single-message models in Table I;
-* ``Strategy.BFS`` — stateful breadth-first search; with
-  ``CheckerOptions.workers > 1`` each level is farmed across a pool of
-  shard-owning workers (see :mod:`repro.parallel`).
+* ``Strategy.BFS`` — stateful breadth-first search (``shape="bfs"``).
 
-``Strategy.DFS`` and ``Strategy.STUBBORN`` are aliases of ``UNREDUCED`` and
-``SPOR`` named after their search shape; with ``CheckerOptions.workers > 1``
-every DFS-shaped strategy (unreduced, SPOR, SPOR-NET) runs under the
-work-stealing parallel engine of :mod:`repro.parallel.dfs`.  DPOR is the
-one strategy that stays serial: its backtrack sets are mutated up the
-serial stack and do not survive subtree donation, so ``workers > 1`` is
-rejected with a diagnostic rather than silently ignored.
+``Strategy.DFS`` and ``Strategy.STUBBORN`` are explicit attribute aliases of
+``UNREDUCED`` and ``SPOR`` named after their search shape; the strings
+``"dfs"`` and ``"stubborn"`` are likewise accepted by the constructor and
+the CLI (see :data:`STRATEGY_ALIASES`).
+
+With ``CheckerOptions.workers > 1`` plan resolution picks the parallel
+backend automatically: the frontier-parallel BFS for ``shape="bfs"``, the
+work-stealing DFS for the DFS-shaped strategies.  Combinations no engine
+supports (e.g. DPOR with ``workers > 1``, whose backtrack sets are mutated
+up the serial stack and do not survive subtree donation) raise a structured
+:class:`~repro.engine.plan.UnsupportedPlanError` naming the offending axis.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
 
+from ..engine.events import Observer
+from ..engine.plan import CheckPlan, UnsupportedPlanError
 from ..mp.protocol import Protocol
 from .property import Invariant
 from .result import CheckResult
-from .search import SearchConfig, SearchOutcome, bfs_search, dfs_search
+from .search import SearchConfig
+
+
+#: Explicit alias resolution for the shim layer: alternative strategy
+#: spellings -> canonical member values.  Kept out of the enum body so the
+#: members are never value-aliased (two members silently sharing a string
+#: made the enum fragile: editing one literal would split the alias into a
+#: distinct member without any test noticing).
+STRATEGY_ALIASES = {
+    "dfs": "unreduced",
+    "stubborn": "spor",
+}
 
 
 class Strategy(enum.Enum):
-    """Available search strategies.
+    """Available search strategies (the legacy, pre-plan API).
 
-    ``DFS`` and ``STUBBORN`` are aliases (``DFS is UNREDUCED``,
-    ``STUBBORN is SPOR``) so call sites can name the search shape the
-    parallel engines care about; the strings ``"dfs"`` and ``"stubborn"``
-    are likewise accepted by the constructor and the CLI.
+    ``DFS`` and ``STUBBORN`` are attribute aliases assigned after the class
+    body (``Strategy.DFS is Strategy.UNREDUCED``, ``Strategy.STUBBORN is
+    Strategy.SPOR``) so call sites can name the search shape the parallel
+    backends care about; the strings ``"dfs"`` and ``"stubborn"`` are
+    resolved through :data:`STRATEGY_ALIASES` by the constructor.
     """
 
     UNREDUCED = "unreduced"
-    DFS = "unreduced"
     SPOR = "spor"
-    STUBBORN = "spor"
     SPOR_NET = "spor-net"
     DPOR = "dpor"
     BFS = "bfs"
 
     @classmethod
     def _missing_(cls, value):
-        aliases = {"dfs": cls.UNREDUCED, "stubborn": cls.SPOR}
-        return aliases.get(value)
+        canonical = STRATEGY_ALIASES.get(value)
+        if canonical is not None:
+            return cls(canonical)
+        return None
+
+
+# Attribute aliases: identical objects, not value-aliased members, so
+# iteration and __members__ stay canonical while identity holds.
+Strategy.DFS = Strategy.UNREDUCED
+Strategy.STUBBORN = Strategy.SPOR
 
 
 @dataclass
@@ -76,133 +103,150 @@ class CheckerOptions:
             follow the serial stack and cannot be donated across workers.
     """
 
-    search: SearchConfig = None  # type: ignore[assignment]
+    search: Optional[SearchConfig] = field(default_factory=SearchConfig)
     seed_heuristic: str = "opposite-transaction"
     workers: int = 1
 
     def __post_init__(self) -> None:
+        # The default is a real factory now; explicit ``search=None`` is
+        # still accepted (it was the historical default value) and means
+        # "use the defaults".
         if self.search is None:
             self.search = SearchConfig()
 
 
+def plan_for_strategy(
+    strategy: Union[Strategy, str], options: Optional[CheckerOptions] = None
+) -> CheckPlan:
+    """Translate a legacy ``(Strategy, CheckerOptions)`` pair into a plan.
+
+    This is the compatibility shim's whole contract: the returned plan
+    resolves to the engine the old if-chain in ``ModelChecker.run`` would
+    have dispatched to, with identical semantics — BFS is always stateful,
+    DPOR always stateless, stores only apply to stateful searches.
+    """
+    strategy = Strategy(strategy)
+    options = options or CheckerOptions()
+    search = options.search
+    if strategy is Strategy.BFS:
+        shape, reduction, stateful = "bfs", "none", True
+    elif strategy is Strategy.DPOR:
+        shape, reduction, stateful = "dfs", "dpor", False
+    else:
+        reductions = {"unreduced": "none", "spor": "spor", "spor-net": "spor-net"}
+        shape, reduction, stateful = "dfs", reductions[strategy.value], search.stateful
+    return CheckPlan(
+        shape=shape,
+        reduction=reduction,
+        store=search.state_store if stateful else "none",
+        backend="auto",
+        # The legacy facade treated any workers <= 1 as serial (0 was a
+        # documented "no pool" spelling); preserve that through the shim.
+        workers=max(1, options.workers),
+        stateful=stateful,
+        seed_heuristic=options.seed_heuristic,
+        store_shards=search.state_store_shards,
+        max_depth=search.max_depth,
+        max_states=search.max_states,
+        max_seconds=search.max_seconds,
+        stop_at_first_violation=search.stop_at_first_violation,
+        check_deadlocks=search.check_deadlocks,
+        engine_cache_capacity=search.engine_cache_capacity,
+    )
+
+
+def _plans_derivable_from(options: CheckerOptions):
+    """Every plan the shim could build from ``options``, one per strategy.
+
+    Strategies the options are invalid for (e.g. a ``"none"`` store with
+    the always-stateful BFS) are skipped rather than raised: this feeds a
+    diagnostic comparison, not a run.
+    """
+    for strategy in Strategy:
+        try:
+            yield plan_for_strategy(strategy, options)
+        except UnsupportedPlanError:
+            continue
+
+
 class ModelChecker:
-    """Checks an invariant of an MP protocol under a chosen strategy."""
+    """Checks an invariant of an MP protocol under a chosen plan or strategy."""
 
     def __init__(self, protocol: Protocol, invariant: Invariant,
-                 options: Optional[CheckerOptions] = None) -> None:
+                 options: Optional[CheckerOptions] = None,
+                 registry=None) -> None:
         self.protocol = protocol
         self.invariant = invariant
         self.options = options or CheckerOptions()
+        self.registry = registry
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def run(self, strategy: Strategy = Strategy.UNREDUCED) -> CheckResult:
-        """Run the search under ``strategy`` and return the verdict."""
-        if strategy is Strategy.BFS:
-            return self._run_bfs()
-        if strategy is Strategy.DPOR:
-            if self.options.workers > 1:
-                raise ValueError(
-                    f"workers={self.options.workers} is not supported for DPOR: "
-                    "dynamic POR mutates backtrack sets up the serial DFS stack, "
-                    "so its subtrees cannot be donated to other workers; run "
-                    "DPOR with workers=1, or choose Strategy.DFS / "
-                    "Strategy.STUBBORN for a work-stealing parallel search"
-                )
-            return self._run_dpor()
-        if strategy in (Strategy.SPOR, Strategy.SPOR_NET):
-            return self._run_spor(use_net=strategy is Strategy.SPOR_NET)
-        return self._run_unreduced()
+    def run_plan(self, plan: CheckPlan,
+                 observer: Optional[Observer] = None) -> CheckResult:
+        """Resolve ``plan`` against the registry and run it.
+
+        A plan is self-contained: it does not inherit anything from the
+        ``CheckerOptions`` this checker was built with (those configure the
+        legacy :meth:`run` shim only).  Mixing the two is almost always a
+        migration mistake, so it warns rather than silently dropping the
+        options — put workers/bounds/heuristics on the plan itself, or
+        build it with :func:`plan_for_strategy`.
+        """
+        # Checked at call time (not construction) so post-construction
+        # mutation of ``self.options`` is caught too.  No warning when the
+        # options carry nothing beyond the defaults, or when the plan
+        # already incorporates them (it matches what plan_for_strategy
+        # derives from these very options for some strategy) — that is the
+        # recommended migration pattern, not a mistake.  Options that are
+        # invalid for a given strategy (e.g. a stateless store combined
+        # with BFS) simply don't produce a comparison plan, and the backend
+        # is compared in its "auto" form so re-running a *resolved* plan
+        # (``CheckResult.plan``, backend concretised) is recognised too.
+        requested = replace(plan, backend="auto")
+        if self.options != CheckerOptions() and not any(
+            requested == derived
+            for derived in _plans_derivable_from(self.options)
+        ):
+            warnings.warn(
+                "ModelChecker.run_plan ignores the CheckerOptions passed to "
+                "the constructor; set workers/bounds/seed_heuristic on the "
+                "CheckPlan itself, or build the plan with "
+                "plan_for_strategy(strategy, options)",
+                UserWarning,
+                stacklevel=2,
+            )
+        return self._execute_plan(plan, observer)
+
+    def run(self, strategy: Strategy = Strategy.UNREDUCED,
+            observer: Optional[Observer] = None) -> CheckResult:
+        """Run the search under a legacy ``strategy`` and return the verdict.
+
+        Compatibility shim: builds the equivalent :class:`CheckPlan` (from
+        the strategy *and* this checker's options) and funnels through the
+        same engine path — one validation/diagnostic layer for both APIs.
+        """
+        return self._execute_plan(
+            plan_for_strategy(strategy, self.options), observer
+        )
+
+    def _execute_plan(self, plan: CheckPlan,
+                      observer: Optional[Observer]) -> CheckResult:
+        # Imported lazily: the registry builds on the checker's siblings.
+        from ..engine.registry import run_plan
+
+        return run_plan(
+            self.protocol,
+            self.invariant,
+            plan,
+            observer=observer,
+            registry=self.registry,
+        )
 
     def check(self, strategy: Strategy = Strategy.UNREDUCED) -> bool:
         """Convenience wrapper returning only the boolean verdict."""
         return self.run(strategy).verified
-
-    # ------------------------------------------------------------------ #
-    # Strategy implementations
-    # ------------------------------------------------------------------ #
-    def _result(self, outcome: SearchOutcome, strategy: Strategy,
-                stateful: bool) -> CheckResult:
-        return CheckResult(
-            protocol_name=self.protocol.name,
-            property_name=self.invariant.name,
-            strategy=strategy.value,
-            verified=outcome.verified,
-            complete=outcome.complete,
-            counterexample=outcome.counterexample,
-            statistics=outcome.statistics,
-            stateful=stateful,
-        )
-
-    def _run_dfs(self, reducer=None) -> SearchOutcome:
-        """Serial or work-stealing DFS, depending on ``options.workers``."""
-        if self.options.workers > 1:
-            if not self.options.search.stateful:
-                raise ValueError(
-                    f"workers={self.options.workers} requires a stateful "
-                    "search: the work-stealing DFS deduplicates via a shared "
-                    "claim table, which has no stateless mode; run stateless "
-                    "searches with workers=1"
-                )
-            # Imported lazily: repro.parallel builds on this module's siblings.
-            from ..parallel import parallel_dfs_search
-
-            return parallel_dfs_search(
-                self.protocol,
-                self.invariant,
-                self.options.search,
-                workers=self.options.workers,
-                reducer=reducer,
-            )
-        return dfs_search(
-            self.protocol, self.invariant, self.options.search, reducer=reducer
-        )
-
-    def _run_unreduced(self) -> CheckResult:
-        outcome = self._run_dfs()
-        return self._result(outcome, Strategy.UNREDUCED, self.options.search.stateful)
-
-    def _run_bfs(self) -> CheckResult:
-        if self.options.workers > 1:
-            # Imported lazily: repro.parallel builds on this module's siblings.
-            from ..parallel import parallel_bfs_search
-
-            outcome = parallel_bfs_search(
-                self.protocol,
-                self.invariant,
-                self.options.search,
-                workers=self.options.workers,
-            )
-        else:
-            outcome = bfs_search(self.protocol, self.invariant, self.options.search)
-        return self._result(outcome, Strategy.BFS, stateful=True)
-
-    def _run_spor(self, use_net: bool) -> CheckResult:
-        # Imported lazily to keep the layering acyclic (por depends on mp only).
-        from ..por.dependence import DependenceRelation
-        from ..por.seed import make_seed_heuristic
-        from ..por.stubborn import StubbornSetProvider
-
-        dependence = DependenceRelation.precompute(self.protocol)
-        heuristic = make_seed_heuristic(self.options.seed_heuristic)
-        provider = StubbornSetProvider(
-            protocol=self.protocol,
-            dependence=dependence,
-            seed_heuristic=heuristic,
-            use_net=use_net,
-        )
-        outcome = self._run_dfs(reducer=provider.reduce)
-        strategy = Strategy.SPOR_NET if use_net else Strategy.SPOR
-        return self._result(outcome, strategy, self.options.search.stateful)
-
-    def _run_dpor(self) -> CheckResult:
-        from ..por.dpor import DporSearch
-
-        search_config = replace(self.options.search, stateful=False)
-        dpor = DporSearch(self.protocol, config=search_config)
-        outcome = dpor.run(self.invariant)
-        return self._result(outcome, Strategy.DPOR, stateful=False)
 
 
 def check_protocol(
@@ -213,3 +257,13 @@ def check_protocol(
 ) -> CheckResult:
     """One-shot helper: build a :class:`ModelChecker` and run it."""
     return ModelChecker(protocol, invariant, options).run(strategy)
+
+
+def check_plan(
+    protocol: Protocol,
+    invariant: Invariant,
+    plan: CheckPlan,
+    observer: Optional[Observer] = None,
+) -> CheckResult:
+    """One-shot helper for the plan API, mirroring :func:`check_protocol`."""
+    return ModelChecker(protocol, invariant).run_plan(plan, observer=observer)

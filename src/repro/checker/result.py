@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .counterexample import Counterexample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.plan import CheckPlan
 
 
 @dataclass
@@ -71,6 +74,9 @@ class CheckResult:
         counterexample: A violating path, if one was found.
         statistics: Exploration counters.
         stateful: Whether visited states were stored.
+        plan: The resolved :class:`~repro.engine.plan.CheckPlan` the run
+            executed (None for results built outside the plan layer).
+        engine: Registry name of the engine that ran the plan.
     """
 
     protocol_name: str
@@ -81,6 +87,8 @@ class CheckResult:
     counterexample: Optional[Counterexample] = None
     statistics: SearchStatistics = field(default_factory=SearchStatistics)
     stateful: bool = True
+    plan: Optional["CheckPlan"] = None
+    engine: Optional[str] = None
 
     @property
     def found_counterexample(self) -> bool:

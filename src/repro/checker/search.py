@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..engine.events import PROGRESS_INTERVAL, Observer, emit
 from ..mp.protocol import Protocol
 from ..mp.semantics import SuccessorEngine
 from ..mp.state import GlobalState
@@ -39,6 +40,8 @@ class SearchConfig:
         stateful: Keep a visited-state store (stateful search); if False the
             search is stateless and only avoids cycles on the current path.
         state_store: ``"full"`` (exact) or ``"fingerprint"`` (hash-only).
+        state_store_shards: Shard count when ``state_store`` is
+            ``"sharded-fingerprint"`` (ignored by the other kinds).
         max_depth: Truncate paths longer than this many transitions.
         max_states: Abort once this many distinct states were stored.
         max_seconds: Abort after this wall-clock budget.
@@ -55,6 +58,7 @@ class SearchConfig:
 
     stateful: bool = True
     state_store: str = "full"
+    state_store_shards: int = 8
     max_depth: Optional[int] = None
     max_states: Optional[int] = None
     max_seconds: Optional[float] = None
@@ -152,6 +156,7 @@ def dfs_search(
     config: Optional[SearchConfig] = None,
     reducer: Optional[Reducer] = None,
     engine: Optional[SuccessorEngine] = None,
+    observer: Optional[Observer] = None,
 ) -> SearchOutcome:
     """Explore the state space depth-first and check an invariant.
 
@@ -163,6 +168,8 @@ def dfs_search(
             enabled execution (unreduced search).
         engine: Optional pre-built successor engine (e.g. to share caches
             across several searches of the same protocol).
+        observer: Optional event observer; receives periodic ``progress``
+            ticks and ``violation-found`` events.
 
     Returns:
         A :class:`SearchOutcome` with verdict, counterexample and statistics.
@@ -176,7 +183,10 @@ def dfs_search(
     engine = engine or SuccessorEngine.for_search(
         protocol, config.stateful, max_cache_entries=config.engine_cache_capacity
     )
-    store: StateStore = make_state_store(config.state_store if config.stateful else "none")
+    store: StateStore = make_state_store(
+        config.state_store if config.stateful else "none",
+        shards=config.state_store_shards,
+    )
     initial = engine.initial_state()
     store.add(initial)
     statistics.states_visited = 1
@@ -190,6 +200,7 @@ def dfs_search(
         counterexample = Counterexample(initial_state=initial, steps=(),
                                         property_name=invariant.name)
         verified = False
+        emit(observer, "violation-found", states_visited=1, depth=0)
         if config.stop_at_first_violation:
             statistics.elapsed_seconds = time.perf_counter() - start_time
             return SearchOutcome(False, False, counterexample, statistics)
@@ -253,10 +264,15 @@ def dfs_search(
                 statistics.revisits += 1
                 continue
             statistics.states_visited += 1
+        if observer is not None and statistics.states_visited % PROGRESS_INTERVAL == 0:
+            emit(observer, "progress", states_visited=statistics.states_visited,
+                 transitions_executed=statistics.transitions_executed)
 
         if not invariant.holds_in(successor, protocol):
             verified = False
             counterexample = _path_from_stack(stack, (execution, successor), invariant.name)
+            emit(observer, "violation-found",
+                 states_visited=statistics.states_visited, depth=len(stack))
             if config.stop_at_first_violation:
                 complete = False
                 break
@@ -289,12 +305,15 @@ def bfs_search(
     invariant: Invariant,
     config: Optional[SearchConfig] = None,
     engine: Optional[SuccessorEngine] = None,
+    observer: Optional[Observer] = None,
 ) -> SearchOutcome:
     """Breadth-first stateful search; finds shortest counterexamples.
 
     Partial-order reduction is not supported here (the cycle proviso relies
     on a DFS stack); the breadth-first engine exists for debugging, where a
-    shortest violating path is often easier to read.
+    shortest violating path is often easier to read.  The optional
+    ``observer`` receives one ``level-completed`` event per frontier level
+    plus ``violation-found`` events.
     """
     config = config or SearchConfig()
     statistics = SearchStatistics()
@@ -304,7 +323,7 @@ def bfs_search(
         raise ValueError("successor engine was built for a different protocol")
     engine = engine or SuccessorEngine.for_search(protocol, stateful=True)
     initial = engine.initial_state()
-    store = make_state_store(config.state_store)
+    store = make_state_store(config.state_store, shards=config.state_store_shards)
     store.add(initial)
     statistics.states_visited = 1
 
@@ -325,6 +344,7 @@ def bfs_search(
                               property_name=invariant.name)
 
     if not invariant.holds_in(initial, protocol):
+        emit(observer, "violation-found", states_visited=1, depth=0)
         statistics.elapsed_seconds = time.perf_counter() - start_time
         return SearchOutcome(False, False, rebuild(initial), statistics)
 
@@ -354,6 +374,8 @@ def bfs_search(
                 if not invariant.holds_in(successor, protocol):
                     verified = False
                     counterexample = rebuild(successor)
+                    emit(observer, "violation-found",
+                         states_visited=statistics.states_visited, depth=depth + 1)
                     if config.stop_at_first_violation:
                         statistics.elapsed_seconds = time.perf_counter() - start_time
                         return SearchOutcome(False, False, counterexample, statistics)
@@ -373,6 +395,9 @@ def bfs_search(
         # engines; the final empty level is bookkeeping, not depth.
         if frontier:
             statistics.max_depth = max(statistics.max_depth, depth)
+            emit(observer, "level-completed", depth=depth,
+                 new_states=len(frontier),
+                 states_visited=statistics.states_visited)
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
     return SearchOutcome(verified=verified, complete=complete,

@@ -4,11 +4,15 @@ Subcommands:
 
 ``cells``
     List the catalog cells (Table-I rows) available at a scale.
+``engines``
+    List the registered engines with the plan-axis combinations each one
+    supports (shape × reduction × backend × workers × store).
 ``check``
-    Check one cell under one strategy, serially or in-cell parallel:
-    ``--strategy bfs --workers N`` selects the frontier-parallel BFS,
-    ``--strategy dfs|stubborn|spor-net --workers N`` the work-stealing
-    parallel DFS.
+    Check one cell.  Either name a legacy ``--strategy`` or spell the plan
+    axes out (``--shape`` / ``--reduction`` / ``--backend``); plan
+    resolution picks the backend for ``--workers N`` automatically
+    (frontier-parallel BFS for bfs shapes, work-stealing DFS otherwise).
+    ``--progress`` streams the engine's event feed while it runs.
 ``sweep``
     Run a grid of cells, optionally farming independent cells across a
     process pool (``--workers N``) and/or giving every cell an inner
@@ -45,6 +49,9 @@ from .analysis.aggregate import (
     write_bench_file,
 )
 from .checker.statestore import STORE_KINDS
+from .engine.events import ProgressPrinter
+from .engine.plan import BACKENDS, REDUCTIONS, SHAPES, UnsupportedPlanError
+from .engine.registry import default_registry
 from .parallel.cells import MODELS, CellSpec, run_cell_task, run_cells, specs_for_sweep
 from .protocols.catalog import default_catalog
 
@@ -95,18 +102,48 @@ def _command_cells(args, stream) -> int:
     return 0
 
 
+def _command_engines(args, stream) -> int:
+    """List the registered engines and their declared capabilities."""
+    for engine in default_registry().engines():
+        caps = engine.capabilities
+        stream.write(
+            f"{engine.name:<16} "
+            f"shape={'|'.join(caps.shapes)} "
+            f"reduction={'|'.join(caps.reductions)} "
+            f"backend={'|'.join(caps.backends)} "
+            f"{caps.supported_description('workers')} "
+            f"store={'|'.join(caps.stores)}\n"
+        )
+        stream.write(f"{'':<16} {engine.description}\n")
+    return 0
+
+
 def _command_check(args, stream) -> int:
+    # A strategy names a full (shape, reduction) point; partial axis
+    # overrides on top of it would have to silently drop one or the other,
+    # so mixing the two forms is an explicit error, not a guess.
+    if args.strategy is not None and (args.shape or args.reduction):
+        stream.write(
+            "error: --strategy and --shape/--reduction are alternative ways "
+            "to name the same axes; use one form (e.g. --strategy spor  ==  "
+            "--shape dfs --reduction spor)\n"
+        )
+        return 2
     spec = CellSpec(
         key=args.cell,
         model=args.model,
-        strategy=args.strategy,
+        strategy=args.strategy or "spor",
         scale=args.scale,
         state_store=args.store,
         max_states=args.max_states,
         max_seconds=args.max_seconds,
         workers=args.workers,
+        shape=args.shape,
+        reduction=args.reduction,
+        backend=args.backend,
     )
-    record = run_cell_task(spec.to_task())
+    observer = ProgressPrinter(stream) if args.progress else None
+    record = run_cell_task(spec.to_task(), observer=observer)
     _print_records([record], stream)
     if args.json:
         payload = bench_payload("check", [record], workers=args.workers)
@@ -126,6 +163,7 @@ def _command_sweep(args, stream) -> int:
         max_seconds=args.max_seconds,
         state_store=args.store,
         cell_workers=args.cell_workers,
+        backend=args.backend,
     )
     workers = 1 if args.serial else args.workers
     started = time.perf_counter()
@@ -236,13 +274,31 @@ def build_parser() -> argparse.ArgumentParser:
     cells.add_argument("--scale", choices=("small", "paper"), default="small")
     cells.set_defaults(handler=_command_cells)
 
+    engines = subparsers.add_parser(
+        "engines", help="list the registered engines and their capabilities"
+    )
+    engines.set_defaults(handler=_command_engines)
+
     check = subparsers.add_parser("check", help="check one cell")
     check.add_argument("cell", help="catalog key, e.g. paxos-2-2-1")
     check.add_argument("--model", choices=MODELS, default="quorum")
-    check.add_argument("--strategy", choices=STRATEGIES, default="spor")
+    check.add_argument("--strategy", choices=STRATEGIES, default=None,
+                       help="legacy strategy name (default spor); mutually "
+                            "exclusive with --shape/--reduction")
+    check.add_argument("--shape", choices=SHAPES, default=None,
+                       help="explicit plan axis: search shape "
+                            "(mutually exclusive with --strategy)")
+    check.add_argument("--reduction", choices=REDUCTIONS, default=None,
+                       help="explicit plan axis: partial-order reduction "
+                            "(mutually exclusive with --strategy)")
+    check.add_argument("--backend", choices=BACKENDS, default="auto",
+                       help="execution backend; 'auto' picks serial/"
+                            "frontier/worksteal from shape and workers")
     check.add_argument("--workers", type=int, default=1,
                        help="in-cell workers: frontier-parallel for bfs, "
                             "work-stealing DFS for dfs/stubborn/spor-net")
+    check.add_argument("--progress", action="store_true",
+                       help="stream the engine's event feed while it runs")
     check.add_argument("--json", default=None, help="write the result payload here")
     _add_budget_arguments(check)
     check.set_defaults(handler=_command_check)
@@ -253,6 +309,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--models", default="quorum",
                        help="comma-separated model variants (quorum,single)")
     sweep.add_argument("--strategy", choices=STRATEGIES, default="spor")
+    sweep.add_argument("--backend", choices=BACKENDS, default="auto",
+                       help="execution backend for every cell's own search")
     sweep.add_argument("--workers", type=int, default=2,
                        help="cell-parallel pool size")
     sweep.add_argument("--cell-workers", type=int, default=1,
@@ -294,4 +352,10 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
     """CLI entry point; returns the process exit code."""
     stream = stream or sys.stdout
     args = build_parser().parse_args(argv)
-    return args.handler(args, stream)
+    try:
+        return args.handler(args, stream)
+    except UnsupportedPlanError as error:
+        # The structured diagnostic (offending axis + nearest supported
+        # alternative) is the user-facing message; no traceback.
+        stream.write(f"error: {error}\n")
+        return 2

@@ -1,0 +1,82 @@
+"""Composable engine layer: plans, capabilities, registry, observers.
+
+The public checking API decomposes a run into orthogonal axes — search
+*shape* (dfs/bfs), partial-order *reduction* (none/spor/spor-net/dpor),
+visited-state *store* (full/fingerprint/sharded-fingerprint), execution
+*backend* (serial/frontier/worksteal) and a *workers* count — captured by a
+:class:`CheckPlan`.  A registry of engines declares, per engine, which axis
+combinations it supports (:class:`Capabilities`); :func:`resolve` maps a
+plan to the engine implementing it, and :func:`run_plan` executes it while
+feeding a uniform :class:`EngineEvent` stream to an optional
+:class:`Observer`.
+
+The legacy ``ModelChecker.run(Strategy.X)`` facade is a thin shim over this
+layer (see :func:`repro.checker.checker.plan_for_strategy`).
+"""
+
+from .capabilities import Capabilities
+from .engines import (
+    DporEngine,
+    Engine,
+    FrontierBfsEngine,
+    SerialBfsEngine,
+    SerialDfsEngine,
+    WorkstealDfsEngine,
+    builtin_engines,
+    make_reducer,
+)
+from .events import (
+    EVENT_KINDS,
+    PROGRESS_INTERVAL,
+    CollectingObserver,
+    EngineEvent,
+    MultiObserver,
+    NullObserver,
+    Observer,
+    ProgressPrinter,
+    emit,
+)
+from .plan import (
+    BACKENDS,
+    PLAN_AXES,
+    REDUCTIONS,
+    SHAPES,
+    STORES,
+    CheckPlan,
+    UnsupportedPlanError,
+    strategy_label,
+)
+from .registry import EngineRegistry, default_registry, resolve, run_plan
+
+__all__ = [
+    "BACKENDS",
+    "Capabilities",
+    "CheckPlan",
+    "CollectingObserver",
+    "DporEngine",
+    "EVENT_KINDS",
+    "Engine",
+    "EngineEvent",
+    "EngineRegistry",
+    "FrontierBfsEngine",
+    "MultiObserver",
+    "NullObserver",
+    "Observer",
+    "PLAN_AXES",
+    "PROGRESS_INTERVAL",
+    "ProgressPrinter",
+    "REDUCTIONS",
+    "SHAPES",
+    "STORES",
+    "SerialBfsEngine",
+    "SerialDfsEngine",
+    "UnsupportedPlanError",
+    "WorkstealDfsEngine",
+    "builtin_engines",
+    "default_registry",
+    "emit",
+    "make_reducer",
+    "resolve",
+    "run_plan",
+    "strategy_label",
+]

@@ -1,0 +1,152 @@
+"""Capability descriptors: which plan axes an engine supports, declaratively.
+
+Every registered engine carries one :class:`Capabilities` record.  Plan
+resolution never asks an engine "can you run this?" imperatively — it reads
+the descriptor, so unsupported combinations produce one uniform
+:class:`~repro.engine.plan.UnsupportedPlanError` naming the offending axis
+(plus the engine's own explanation, when it declared one in ``notes``)
+instead of scattered ``raise ValueError`` sites inside the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from .plan import PLAN_AXES, CheckPlan
+
+#: Weight of each axis when ranking "nearest" engines for diagnostics.  The
+#: most identity-defining axes dominate: an engine matching the requested
+#: reduction is closer than one merely matching the store kind, and a
+#: mismatch on the explicitly requested worker count outranks statefulness
+#: (suggesting ``workers=1`` to someone who asked for parallelism would be
+#: the silent downgrade this layer exists to prevent).
+_AXIS_WEIGHTS = {
+    "reduction": 32,
+    "shape": 16,
+    "workers": 8,
+    "stateful": 4,
+    "backend": 2,
+    "store": 1,
+}
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """The axis combinations one engine supports.
+
+    Attributes:
+        shapes / reductions / backends / stores: Supported values per axis.
+        statefulness: Supported values of the ``stateful`` axis.
+        min_workers / max_workers: Inclusive worker-count range
+            (``max_workers=None`` means unbounded).
+        notes: Optional per-axis explanation of *why* a constraint exists;
+            surfaced verbatim in the :class:`UnsupportedPlanError` message.
+    """
+
+    shapes: Tuple[str, ...]
+    reductions: Tuple[str, ...]
+    backends: Tuple[str, ...]
+    stores: Tuple[str, ...]
+    statefulness: Tuple[bool, ...] = (True, False)
+    min_workers: int = 1
+    max_workers: Optional[int] = None
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Axis checks
+    # ------------------------------------------------------------------ #
+    def _axis_supported(self, axis: str, plan: CheckPlan) -> bool:
+        if axis == "shape":
+            return plan.shape in self.shapes
+        if axis == "reduction":
+            return plan.reduction in self.reductions
+        if axis == "backend":
+            # "auto" is a wildcard: resolution concretises it to the chosen
+            # engine's backend, so it matches every engine.
+            return plan.backend == "auto" or plan.backend in self.backends
+        if axis == "store":
+            return plan.store in self.stores
+        if axis == "stateful":
+            return plan.stateful in self.statefulness
+        if axis == "workers":
+            if plan.workers < self.min_workers:
+                return False
+            return self.max_workers is None or plan.workers <= self.max_workers
+        raise KeyError(f"unknown capability axis {axis!r}")
+
+    def supports(self, plan: CheckPlan) -> bool:
+        """True when every axis of ``plan`` falls inside this descriptor."""
+        return all(self._axis_supported(axis, plan) for axis in PLAN_AXES)
+
+    def violations(self, plan: CheckPlan) -> List[str]:
+        """Unsupported axes of ``plan``, most identity-defining first."""
+        return [axis for axis in PLAN_AXES if not self._axis_supported(axis, plan)]
+
+    def match_score(self, plan: CheckPlan) -> int:
+        """Weighted count of matching axes (for "nearest engine" ranking)."""
+        return sum(
+            _AXIS_WEIGHTS[axis]
+            for axis in PLAN_AXES
+            if self._axis_supported(axis, plan)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def supported_description(self, axis: str) -> str:
+        """Human-readable rendering of the supported range of one axis."""
+        if axis == "workers":
+            if self.max_workers is None:
+                return f"workers >= {self.min_workers}"
+            if self.max_workers == self.min_workers:
+                return f"workers == {self.min_workers}"
+            return f"{self.min_workers} <= workers <= {self.max_workers}"
+        values = {
+            "shape": self.shapes,
+            "reduction": self.reductions,
+            "backend": self.backends,
+            "store": self.stores,
+            "stateful": self.statefulness,
+        }[axis]
+        return f"{axis} in {{{', '.join(map(repr, values))}}}"
+
+    def nearest_plan(self, plan: CheckPlan) -> CheckPlan:
+        """``plan`` with every unsupported axis replaced by a supported value.
+
+        The result is guaranteed to satisfy :meth:`supports`, making it a
+        concrete, runnable "nearest supported alternative" for diagnostics.
+        """
+        changes: Dict[str, object] = {}
+        for axis in self.violations(plan):
+            if axis == "workers":
+                clamped = max(plan.workers, self.min_workers)
+                if self.max_workers is not None:
+                    clamped = min(clamped, self.max_workers)
+                changes["workers"] = clamped
+            elif axis == "shape":
+                changes["shape"] = self.shapes[0]
+            elif axis == "reduction":
+                changes["reduction"] = self.reductions[0]
+            elif axis == "backend":
+                changes["backend"] = self.backends[0]
+            elif axis == "store":
+                changes["store"] = self.stores[0]
+                if plan.stateful and changes["store"] == "none":
+                    # A "none"-only engine is stateless; follow it there.
+                    changes["stateful"] = False
+                elif not plan.stateful and changes["store"] != "none":
+                    # A stateless plan's store is always "none", so a real
+                    # store can only be reached by turning statefulness back
+                    # on (CheckPlan.__post_init__ would otherwise revert the
+                    # store fix and the "alternative" would equal the
+                    # rejected plan).
+                    changes["stateful"] = True
+            elif axis == "stateful":
+                changes["stateful"] = self.statefulness[0]
+                if self.statefulness[0] and plan.store == "none":
+                    # Re-entering statefulness needs a real store again.
+                    changes["store"] = next(
+                        kind for kind in self.stores if kind != "none"
+                    )
+        return replace(plan, **changes)

@@ -1,0 +1,248 @@
+"""Concrete engines: thin adapters from :class:`CheckPlan` to the searches.
+
+Each engine binds one execution backend to the search shapes, reductions,
+stores and worker counts it genuinely supports, declared in a
+:class:`~repro.engine.capabilities.Capabilities` descriptor.  The adapters
+contain no policy — validation lives in the registry's plan resolution, and
+the actual exploration in :mod:`repro.checker.search`,
+:mod:`repro.parallel` and :mod:`repro.por`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..checker.property import Invariant
+from ..checker.search import Reducer, SearchOutcome, bfs_search, dfs_search
+from ..mp.protocol import Protocol
+from .capabilities import Capabilities
+from .events import Observer
+from .plan import CheckPlan
+
+#: Store kinds a genuinely stateful engine can use.
+_STATEFUL_STORES = ("full", "fingerprint", "sharded-fingerprint")
+
+
+def make_reducer(protocol: Protocol, plan: CheckPlan) -> Optional[Reducer]:
+    """Build the stubborn-set reducer a plan asks for (None when unreduced).
+
+    DPOR is not a reducer in this sense — it is a whole search discipline —
+    so ``reduction="dpor"`` also returns None; the DPOR engine drives
+    :class:`repro.por.dpor.DporSearch` directly.
+    """
+    if plan.reduction not in ("spor", "spor-net"):
+        return None
+    # Imported lazily to keep the layering acyclic (por depends on mp only).
+    from ..por.dependence import DependenceRelation
+    from ..por.seed import make_seed_heuristic
+    from ..por.stubborn import StubbornSetProvider
+
+    dependence = DependenceRelation.precompute(protocol)
+    heuristic = make_seed_heuristic(plan.seed_heuristic)
+    provider = StubbornSetProvider(
+        protocol=protocol,
+        dependence=dependence,
+        seed_heuristic=heuristic,
+        use_net=plan.reduction == "spor-net",
+    )
+    return provider.reduce
+
+
+class Engine:
+    """Interface of a registered engine."""
+
+    #: Registry key; also the ``engine`` column of result records.
+    name: str = ""
+    #: One-line description shown by ``python -m repro engines``.
+    description: str = ""
+    #: Declarative support matrix consulted by plan resolution.
+    capabilities: Capabilities
+
+    def run(
+        self,
+        protocol: Protocol,
+        invariant: Invariant,
+        plan: CheckPlan,
+        observer: Optional[Observer] = None,
+    ) -> SearchOutcome:
+        """Execute ``plan`` (already validated against ``capabilities``)."""
+        raise NotImplementedError
+
+
+class SerialDfsEngine(Engine):
+    """Single-process depth-first search, stateful or stateless, with or
+    without a stubborn-set reduction."""
+
+    name = "serial-dfs"
+    description = "serial DFS; supports the stubborn-set reductions and stateless mode"
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("none", "spor", "spor-net"),
+        backends=("serial",),
+        stores=("full", "fingerprint", "sharded-fingerprint", "none"),
+        statefulness=(True, False),
+        min_workers=1,
+        max_workers=1,
+        notes={
+            "workers": "the serial DFS runs in-process; request the "
+            "worksteal backend (or backend='auto') for workers > 1",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        return dfs_search(
+            protocol,
+            invariant,
+            plan.search_config(),
+            reducer=make_reducer(protocol, plan),
+            observer=observer,
+        )
+
+
+class SerialBfsEngine(Engine):
+    """Single-process breadth-first search (shortest counterexamples)."""
+
+    name = "serial-bfs"
+    description = "serial BFS; stateful only, finds shortest counterexamples"
+    capabilities = Capabilities(
+        shapes=("bfs",),
+        reductions=("none",),
+        backends=("serial",),
+        stores=_STATEFUL_STORES,
+        statefulness=(True,),
+        min_workers=1,
+        max_workers=1,
+        notes={
+            "reduction": "the stubborn-set cycle proviso needs a DFS stack, "
+            "so breadth-first search runs unreduced",
+            "stateful": "breadth-first search deduplicates per level and is "
+            "inherently stateful",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        return bfs_search(
+            protocol, invariant, plan.search_config(), observer=observer
+        )
+
+
+class FrontierBfsEngine(Engine):
+    """Level-synchronous frontier-parallel BFS (PR 2): shard-owning workers,
+    visited counts exactly equal to serial BFS."""
+
+    name = "frontier-bfs"
+    description = "frontier-parallel BFS; shard-owning workers, serial-exact counts"
+    capabilities = Capabilities(
+        shapes=("bfs",),
+        reductions=("none",),
+        backends=("frontier",),
+        stores=_STATEFUL_STORES,
+        statefulness=(True,),
+        min_workers=2,
+        max_workers=None,
+        notes={
+            "reduction": "the stubborn-set cycle proviso needs a DFS stack, "
+            "so breadth-first search runs unreduced",
+            "workers": "one worker has no frontier to share; backend='auto' "
+            "picks the serial BFS instead",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        # Imported lazily: repro.parallel builds on the checker package.
+        from ..parallel.bfs import parallel_bfs_search
+
+        return parallel_bfs_search(
+            protocol,
+            invariant,
+            plan.search_config(),
+            workers=plan.workers,
+            observer=observer,
+        )
+
+
+class WorkstealDfsEngine(Engine):
+    """Work-stealing parallel DFS (PR 3): per-worker deques, a lock-striped
+    shared claim table, subtree donation."""
+
+    name = "worksteal-dfs"
+    description = ("work-stealing parallel DFS; drives the stubborn-set "
+                   "reductions (dedup is fingerprint-based for every store)")
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("none", "spor", "spor-net"),
+        backends=("worksteal",),
+        stores=_STATEFUL_STORES,
+        statefulness=(True,),
+        min_workers=2,
+        max_workers=None,
+        notes={
+            "store": "the shared claim table arbitrating worker expansions "
+            "is fingerprint-based regardless of the store kind (the exact "
+            "store has no shared-memory analogue), so store='full' keeps "
+            "the legacy semantics but carries the standard bit-state "
+            "collision trade-off; run workers=1 for exact-store dedup",
+            "stateful": "the work-stealing DFS deduplicates via a shared "
+            "claim table, which has no stateless mode; run stateless "
+            "searches with workers=1",
+            "reduction": "dynamic POR mutates backtrack sets up the serial "
+            "DFS stack, so its subtrees cannot be donated to other workers",
+            "workers": "one worker has nothing to steal from; backend='auto' "
+            "picks the serial DFS instead",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        # Imported lazily: repro.parallel builds on the checker package.
+        from ..parallel.dfs import parallel_dfs_search
+
+        return parallel_dfs_search(
+            protocol,
+            invariant,
+            plan.search_config(),
+            workers=plan.workers,
+            reducer=make_reducer(protocol, plan),
+            observer=observer,
+        )
+
+
+class DporEngine(Engine):
+    """Stateless dynamic partial-order reduction (the Basset DPOR baseline)."""
+
+    name = "dpor"
+    description = "stateless dynamic POR; serial by construction"
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("dpor",),
+        backends=("serial",),
+        stores=("none",),
+        statefulness=(False,),
+        min_workers=1,
+        max_workers=1,
+        notes={
+            "workers": "dynamic POR mutates backtrack sets up the serial "
+            "DFS stack, so its subtrees cannot be donated to other workers; "
+            "run DPOR with workers=1, or choose reduction='spor' for a "
+            "work-stealing parallel search",
+            "stateful": "DPOR is unsound with stateful exploration "
+            "(Section III-A), so it always runs stateless",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        # Imported lazily to keep the layering acyclic.
+        from ..por.dpor import DporSearch
+
+        search = DporSearch(protocol, config=plan.search_config())
+        return search.run(invariant, observer=observer)
+
+
+def builtin_engines():
+    """Fresh instances of every built-in engine, registration order."""
+    return (
+        SerialDfsEngine(),
+        SerialBfsEngine(),
+        FrontierBfsEngine(),
+        WorkstealDfsEngine(),
+        DporEngine(),
+    )

@@ -1,0 +1,165 @@
+"""Progress/event observer API shared by every engine.
+
+Before this layer existed each engine grew its own private progress path
+(the CLI read ``SearchStatistics`` after the fact, the cells runner its
+records, the benchmarks their payloads).  Engines now emit one uniform
+stream of :class:`EngineEvent` records into an :class:`Observer`, and the
+CLI's ``--progress`` flag, :func:`repro.parallel.cells.run_cells` and the
+benchmark harness all consume that same stream.
+
+Event kinds (``EngineEvent.kind``):
+
+``search-started``
+    Emitted once by :func:`repro.engine.registry.run_plan` before the engine
+    runs; payload carries the resolved plan axes and the engine name.
+``progress``
+    Periodic states-visited tick from the serial engines (every
+    :data:`PROGRESS_INTERVAL` stored/expanded states).
+``level-completed``
+    One BFS level finished; payload carries the depth, the level's newly
+    discovered state count and (for the frontier-parallel engine) the
+    exchanged delta count.
+``worker-report``
+    One parallel-DFS worker's final counters (claimed states, transitions,
+    revisits) as collected by the coordinator.
+``violation-found``
+    An invariant violation was discovered.
+``search-finished``
+    Emitted once by ``run_plan`` after the engine returns; payload carries
+    the verdict and final statistics.
+
+Parallel engines emit coordinator-side events only: observers are plain
+Python objects and do not cross process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+#: States between two ``progress`` ticks of the serial engines.
+PROGRESS_INTERVAL = 1000
+
+#: Every event kind an engine may emit, for validation and documentation.
+EVENT_KINDS = (
+    "search-started",
+    "progress",
+    "level-completed",
+    "worker-report",
+    "violation-found",
+    "search-finished",
+)
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One observation from a running engine."""
+
+    kind: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class Observer:
+    """Base observer: receives every event; the default implementation
+    ignores them, so subclasses override only what they consume."""
+
+    def on_event(self, event: EngineEvent) -> None:  # pragma: no cover - trivial
+        pass
+
+
+#: Back-compat friendly alias: an explicitly do-nothing observer.
+NullObserver = Observer
+
+
+class MultiObserver(Observer):
+    """Fan one event stream out to several observers."""
+
+    def __init__(self, observers: Iterable[Observer]) -> None:
+        self.observers = tuple(observers)
+
+    def on_event(self, event: EngineEvent) -> None:
+        for observer in self.observers:
+            observer.on_event(event)
+
+
+class CollectingObserver(Observer):
+    """Observer that records every event (tests and offline analysis)."""
+
+    def __init__(self) -> None:
+        self.events: List[EngineEvent] = []
+
+    def on_event(self, event: EngineEvent) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> List[str]:
+        """Event kinds in arrival order."""
+        return [event.kind for event in self.events]
+
+    def counts(self) -> Dict[str, int]:
+        """Number of received events per kind."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def last(self, kind: str) -> Optional[EngineEvent]:
+        """The most recent event of ``kind``, or None."""
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+
+class ProgressPrinter(Observer):
+    """Observer that renders the stream as one line per event.
+
+    This is what ``python -m repro check --progress`` attaches: the same
+    stream the programmatic consumers read, printed for humans.
+    """
+
+    def __init__(self, stream) -> None:
+        self.stream = stream
+
+    def on_event(self, event: EngineEvent) -> None:
+        payload = event.payload
+        if event.kind == "search-started":
+            plan = payload.get("plan", {})
+            axes = "/".join(
+                str(plan.get(axis, "?"))
+                for axis in ("shape", "reduction", "store", "backend")
+            )
+            workers = plan.get("workers", 1)
+            suffix = f" x{workers}" if isinstance(workers, int) and workers > 1 else ""
+            self.stream.write(
+                f"[{payload.get('engine', '?')}] {axes}{suffix} "
+                f"on {payload.get('protocol', '?')}\n"
+            )
+        elif event.kind == "progress":
+            self.stream.write(
+                f"  ... {payload.get('states_visited', 0):,} states\n"
+            )
+        elif event.kind == "level-completed":
+            self.stream.write(
+                f"  level {payload.get('depth', '?')}: "
+                f"+{payload.get('new_states', 0):,} states\n"
+            )
+        elif event.kind == "worker-report":
+            self.stream.write(
+                f"  worker {payload.get('worker', '?')}: "
+                f"{payload.get('claimed', 0):,} states claimed\n"
+            )
+        elif event.kind == "violation-found":
+            self.stream.write("  violation found\n")
+        elif event.kind == "search-finished":
+            verdict = "Verified" if payload.get("verified") else "CE"
+            self.stream.write(
+                f"[{payload.get('engine', '?')}] {verdict} — "
+                f"{payload.get('states_visited', 0):,} states, "
+                f"{payload.get('elapsed_seconds', 0.0):.2f}s\n"
+            )
+
+
+def emit(observer: Optional[Observer], kind: str, **payload) -> None:
+    """Deliver one event, tolerating ``observer=None`` (the common case)."""
+    if observer is not None:
+        observer.on_event(EngineEvent(kind=kind, payload=payload))

@@ -1,0 +1,216 @@
+"""The :class:`CheckPlan` — one model-checking run as explicit orthogonal axes.
+
+The paper's evaluation (Table I / Appendix I) is a cross-product of choices
+that are independent of each other: how the state space is walked (*shape*),
+which partial-order reduction prunes it (*reduction*), how visited states
+are remembered (*store*), and which execution backend drives the walk
+(*backend*, with a *workers* count).  A plan names one point of that
+cross-product; the registry (:mod:`repro.engine.registry`) maps it to the
+engine implementing it — or raises a structured
+:class:`UnsupportedPlanError` naming the offending axis when no engine can.
+
+Plans are frozen and hashable, so they work as dictionary keys for sweeps
+and conformance matrices.  Construction normalises the axes that are
+determined by others (a stateless search has no store; DPOR is stateless by
+definition) and rejects combinations that are contradictions rather than
+merely unsupported (a stateful search with no store would never terminate
+on a cyclic state graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from difflib import get_close_matches
+from typing import Dict, Optional, Tuple
+
+#: Search shapes: how the reachable state space is walked.
+SHAPES = ("dfs", "bfs")
+
+#: Partial-order reductions (``"none"`` is the unreduced baseline).
+REDUCTIONS = ("none", "spor", "spor-net", "dpor")
+
+#: Visited-state store kinds.  Deliberately a literal rather than an import
+#: of ``repro.checker.statestore.STORE_KINDS`` (that import would cycle
+#: through ``repro.checker.__init__`` back into this module);
+#: tests/engine/test_plan.py pins the two vocabularies in lockstep.
+STORES = ("full", "fingerprint", "sharded-fingerprint", "none")
+
+#: Execution backends; ``"auto"`` lets plan resolution pick one from the
+#: shape and worker count (serial for 1 worker, frontier/worksteal above).
+BACKENDS = ("auto", "serial", "frontier", "worksteal")
+
+#: The orthogonal axes engine capabilities are declared over, in the order
+#: violations are reported (most identity-defining axis first).
+PLAN_AXES = ("reduction", "shape", "workers", "stateful", "backend", "store")
+
+
+class UnsupportedPlanError(ValueError):
+    """A plan names an axis combination no registered engine supports.
+
+    Subclasses :class:`ValueError` so call sites that guarded the legacy
+    facade's ad-hoc ``raise ValueError`` diagnostics keep working.
+
+    Attributes:
+        axis: Name of the offending axis (one of :data:`PLAN_AXES`).
+        value: The requested value of that axis.
+        alternative: The nearest supported alternative — a :class:`CheckPlan`
+            that resolves, or a plain axis value when no full plan applies
+            (axis-vocabulary errors raised at construction time).
+    """
+
+    def __init__(self, axis: str, value, message: str, alternative=None) -> None:
+        self.axis = axis
+        self.value = value
+        self.alternative = alternative
+        super().__init__(message)
+
+    def __reduce__(self):
+        # The default exception reduction re-calls ``cls(*args)`` with only
+        # the message, which TypeErrors on this 4-argument signature — and
+        # an exception that cannot be unpickled deadlocks multiprocessing
+        # pools trying to ship it back to the parent (run_cells workers).
+        return (
+            type(self),
+            (self.axis, self.value, self.args[0], self.alternative),
+        )
+
+
+def _unknown_axis_value(axis: str, value, vocabulary: Tuple[str, ...]) -> UnsupportedPlanError:
+    close = get_close_matches(str(value), vocabulary, n=1)
+    alternative = close[0] if close else vocabulary[0]
+    return UnsupportedPlanError(
+        axis,
+        value,
+        f"unknown {axis} {value!r} (expected one of {', '.join(map(repr, vocabulary))}); "
+        f"nearest supported alternative: {axis}={alternative!r}",
+        alternative=alternative,
+    )
+
+
+@dataclass(frozen=True)
+class CheckPlan:
+    """One model-checking run, described axis by axis.
+
+    Attributes:
+        shape: ``"dfs"`` or ``"bfs"`` — how the state space is walked.
+        reduction: ``"none"``, ``"spor"``, ``"spor-net"`` or ``"dpor"``.
+        store: Visited-state store kind; forced to ``"none"`` for stateless
+            plans (there is nothing to store).
+        backend: ``"auto"`` (resolution picks serial / frontier / worksteal
+            from shape and workers) or an explicit backend name.
+        workers: Worker process count of the chosen backend; 1 is serial.
+        stateful: Keep a visited-state store.  ``reduction="dpor"`` forces
+            ``False`` — DPOR is unsound with stateful exploration
+            (Section III-A of the paper).
+        seed_heuristic: Seed-transition heuristic for the stubborn-set
+            reductions; ignored by the others.
+        store_shards: Shard count of the ``"sharded-fingerprint"`` store in
+            the serial engines.  The parallel engines partition by worker
+            (frontier BFS: one shard per worker) or claim by fingerprint
+            (worksteal), so they do not consult it.
+        max_depth / max_states / max_seconds: Exploration budgets.
+        stop_at_first_violation: Stop at the first counterexample.
+        check_deadlocks: Treat states without enabled transitions as
+            violations.
+        engine_cache_capacity: LRU bound for the successor-engine caches.
+    """
+
+    shape: str = "dfs"
+    reduction: str = "none"
+    store: str = "full"
+    backend: str = "auto"
+    workers: int = 1
+    stateful: bool = True
+    seed_heuristic: str = "opposite-transaction"
+    store_shards: int = 8
+    max_depth: Optional[int] = None
+    max_states: Optional[int] = None
+    max_seconds: Optional[float] = None
+    stop_at_first_violation: bool = True
+    check_deadlocks: bool = False
+    engine_cache_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise _unknown_axis_value("shape", self.shape, SHAPES)
+        if self.reduction not in REDUCTIONS:
+            raise _unknown_axis_value("reduction", self.reduction, REDUCTIONS)
+        if self.store not in STORES:
+            raise _unknown_axis_value("store", self.store, STORES)
+        if self.backend not in BACKENDS:
+            raise _unknown_axis_value("backend", self.backend, BACKENDS)
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise UnsupportedPlanError(
+                "workers",
+                self.workers,
+                f"workers must be a positive integer, got {self.workers!r}; "
+                "nearest supported alternative: workers=1",
+                alternative=1,
+            )
+        # Axis normalisation — values determined by other axes, mirroring the
+        # legacy facade: DPOR is stateless by definition, and a stateless
+        # search stores nothing.
+        if self.reduction == "dpor" and self.stateful:
+            object.__setattr__(self, "stateful", False)
+        if not self.stateful and self.store != "none":
+            object.__setattr__(self, "store", "none")
+        if self.stateful and self.store == "none":
+            raise UnsupportedPlanError(
+                "store",
+                "none",
+                "store='none' contradicts stateful=True: a stateful search "
+                "with no visited-state store would re-expand every state; "
+                "nearest supported alternative: store='full' (or "
+                "stateful=False for a genuinely storeless search)",
+                alternative=replace(self, store="full"),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def axes(self) -> Dict[str, object]:
+        """The capability axes as a dict (for records and diagnostics)."""
+        return {
+            "shape": self.shape,
+            "reduction": self.reduction,
+            "store": self.store,
+            "backend": self.backend,
+            "workers": self.workers,
+            "stateful": self.stateful,
+        }
+
+    def describe(self) -> str:
+        """Compact one-line rendering: ``dfs/spor/full/worksteal x4``."""
+        suffix = f" x{self.workers}" if self.workers > 1 else ""
+        return f"{self.shape}/{self.reduction}/{self.store}/{self.backend}{suffix}"
+
+    def search_config(self):
+        """The :class:`repro.checker.search.SearchConfig` this plan implies."""
+        # Imported lazily: checker.search is loaded while this module may
+        # still be initialising during package import.
+        from ..checker.search import SearchConfig
+
+        return SearchConfig(
+            stateful=self.stateful,
+            state_store=self.store if self.stateful else "full",
+            state_store_shards=self.store_shards,
+            max_depth=self.max_depth,
+            max_states=self.max_states,
+            max_seconds=self.max_seconds,
+            stop_at_first_violation=self.stop_at_first_violation,
+            check_deadlocks=self.check_deadlocks,
+            engine_cache_capacity=self.engine_cache_capacity,
+        )
+
+
+def strategy_label(plan: CheckPlan) -> str:
+    """The legacy strategy string of a plan (``CheckResult.strategy``).
+
+    Keeps the records emitted through the new API byte-compatible with the
+    ones the ``Strategy``-enum facade produced: ``"bfs"`` for breadth-first
+    runs, otherwise the reduction name with ``"none"`` spelled
+    ``"unreduced"``.
+    """
+    if plan.shape == "bfs":
+        return "bfs"
+    return "unreduced" if plan.reduction == "none" else plan.reduction

@@ -1,0 +1,226 @@
+"""Engine registry and plan resolution.
+
+The registry is the single place where "which engine runs this plan?" is
+answered.  Engines declare the axis combinations they support via
+:class:`~repro.engine.capabilities.Capabilities`; :meth:`EngineRegistry.resolve`
+matches a :class:`~repro.engine.plan.CheckPlan` against those descriptors,
+concretising ``backend="auto"`` (serial for one worker, frontier/worksteal
+above) and raising a structured
+:class:`~repro.engine.plan.UnsupportedPlanError` — offending axis, engine
+explanation, nearest supported alternative — when nothing matches.
+
+New axes land here as registry entries: a C-accelerated successor engine, a
+spawn-mode frontier or a new backend registers an engine with its
+capabilities and every consumer (facade, cells runner, CLI, benchmarks)
+picks it up without edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..checker.property import Invariant
+from ..checker.result import CheckResult
+from ..mp.protocol import Protocol
+from .engines import Engine, builtin_engines
+from .events import Observer, emit
+from .plan import CheckPlan, UnsupportedPlanError, strategy_label
+
+
+class EngineRegistry:
+    """Ordered collection of engines keyed by name."""
+
+    def __init__(self, engines: Sequence[Engine] = ()) -> None:
+        self._engines: Dict[str, Engine] = {}
+        for engine in engines:
+            self.register(engine)
+
+    def register(self, engine: Engine) -> Engine:
+        """Add an engine; names are unique, capabilities must be coherent.
+
+        Coherence check: a stateless plan's store axis is always ``"none"``
+        (normalised at plan construction), so an engine declaring stateless
+        support without the ``"none"`` store could never match a stateless
+        plan — its ``False`` statefulness would be dead and its diagnostics
+        misleading.  Rejected here, at registration, not at resolve time.
+        """
+        if not engine.name:
+            raise ValueError("engines must carry a non-empty name")
+        if engine.name in self._engines:
+            raise ValueError(f"engine {engine.name!r} is already registered")
+        capabilities = engine.capabilities
+        if False in capabilities.statefulness and "none" not in capabilities.stores:
+            raise ValueError(
+                f"engine {engine.name!r} declares stateless support "
+                "(False in statefulness) but not the 'none' store; stateless "
+                "plans always carry store='none', so add it to stores or "
+                "drop False from statefulness"
+            )
+        self._engines[engine.name] = engine
+        return engine
+
+    def engines(self) -> Tuple[Engine, ...]:
+        """Every registered engine, in registration order."""
+        return tuple(self._engines.values())
+
+    def get(self, name: str) -> Engine:
+        """Look an engine up by name."""
+        try:
+            return self._engines[name]
+        except KeyError:
+            known = ", ".join(self._engines) or "none"
+            raise KeyError(f"unknown engine {name!r} (registered: {known})")
+
+    # ------------------------------------------------------------------ #
+    # Plan resolution
+    # ------------------------------------------------------------------ #
+    def resolve(self, plan: CheckPlan) -> Tuple[Engine, CheckPlan]:
+        """Pick the engine for ``plan``; never silently downgrades an axis.
+
+        Returns:
+            ``(engine, resolved_plan)`` where ``resolved_plan`` equals
+            ``plan`` except that ``backend="auto"`` is concretised to the
+            chosen engine's backend.
+
+        Raises:
+            UnsupportedPlanError: When no registered engine supports the
+                combination.  The error names the offending axis, quotes the
+                nearest engine's explanation for the constraint, and carries
+                a runnable nearest-alternative plan.
+        """
+        if not self._engines:
+            raise ValueError("cannot resolve a plan against an empty registry")
+        supporting = [
+            engine
+            for engine in self._engines.values()
+            if engine.capabilities.supports(plan)
+        ]
+        if supporting:
+            engine = supporting[0]
+            resolved = plan
+            if plan.backend == "auto":
+                resolved = replace(plan, backend=engine.capabilities.backends[0])
+            return engine, resolved
+
+        nearest = max(
+            self._engines.values(), key=lambda e: e.capabilities.match_score(plan)
+        )
+        capabilities = nearest.capabilities
+        axis = capabilities.violations(plan)[0]
+        requested = plan.axes()[axis]
+        alternative = capabilities.nearest_plan(plan)
+        note = capabilities.notes.get(axis)
+        detail = f" ({note})" if note else ""
+        raise UnsupportedPlanError(
+            axis,
+            requested,
+            f"no registered engine supports plan {plan.describe()}: "
+            f"axis {axis}={requested!r} is outside the nearest engine's "
+            f"support ({nearest.name}: {capabilities.supported_description(axis)})"
+            f"{detail}; nearest supported alternative: {alternative.describe()}",
+            alternative=alternative,
+        )
+
+    def supported_plans(
+        self,
+        worker_counts: Sequence[int] = (1, 2, 4),
+        stores: Sequence[str] = ("full",),
+    ) -> Iterator[Tuple[Engine, CheckPlan]]:
+        """Enumerate the (shape × reduction × backend × workers × store)
+        grid the registry reports as supported.
+
+        This is what the conformance matrix iterates: every yielded plan is
+        guaranteed to resolve to the accompanying engine.
+        """
+        from .plan import REDUCTIONS, SHAPES
+
+        seen = set()
+        for shape in SHAPES:
+            for reduction in REDUCTIONS:
+                for store in stores:
+                    for workers in worker_counts:
+                        stateful = reduction != "dpor"
+                        try:
+                            plan = CheckPlan(
+                                shape=shape,
+                                reduction=reduction,
+                                store=store if stateful else "none",
+                                workers=workers,
+                                stateful=stateful,
+                            )
+                            engine, resolved = self.resolve(plan)
+                        except UnsupportedPlanError:
+                            continue
+                        # Stateless plans collapse the store axis to "none",
+                        # so several grid points can normalise to one plan.
+                        if resolved in seen:
+                            continue
+                        seen.add(resolved)
+                        yield engine, resolved
+
+
+#: The process-wide default registry, built lazily.
+_DEFAULT_REGISTRY: Optional[EngineRegistry] = None
+
+
+def default_registry() -> EngineRegistry:
+    """The shared registry holding every built-in engine."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = EngineRegistry(builtin_engines())
+    return _DEFAULT_REGISTRY
+
+
+def resolve(
+    plan: CheckPlan, registry: Optional[EngineRegistry] = None
+) -> Tuple[Engine, CheckPlan]:
+    """Module-level convenience: resolve against the default registry."""
+    return (registry or default_registry()).resolve(plan)
+
+
+def run_plan(
+    protocol: Protocol,
+    invariant: Invariant,
+    plan: CheckPlan,
+    observer: Optional[Observer] = None,
+    registry: Optional[EngineRegistry] = None,
+) -> CheckResult:
+    """Resolve ``plan``, run it, and wrap the outcome as a CheckResult.
+
+    This is the one entry point every consumer (the :class:`ModelChecker`
+    facade, the cells runner, the CLI) funnels through; the ``observer``
+    receives the uniform event stream documented in
+    :mod:`repro.engine.events`.
+    """
+    engine, resolved = resolve(plan, registry)
+    emit(
+        observer,
+        "search-started",
+        engine=engine.name,
+        plan=resolved.axes(),
+        protocol=protocol.name,
+        invariant=invariant.name,
+    )
+    outcome = engine.run(protocol, invariant, resolved, observer=observer)
+    emit(
+        observer,
+        "search-finished",
+        engine=engine.name,
+        verified=outcome.verified,
+        complete=outcome.complete,
+        states_visited=outcome.statistics.states_visited,
+        elapsed_seconds=outcome.statistics.elapsed_seconds,
+    )
+    return CheckResult(
+        protocol_name=protocol.name,
+        property_name=invariant.name,
+        strategy=strategy_label(resolved),
+        verified=outcome.verified,
+        complete=outcome.complete,
+        counterexample=outcome.counterexample,
+        statistics=outcome.statistics,
+        stateful=resolved.stateful,
+        plan=resolved,
+        engine=engine.name,
+    )

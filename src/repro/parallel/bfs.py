@@ -35,6 +35,7 @@ from ..checker.counterexample import Counterexample, Step
 from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
 from ..checker.search import SearchConfig, SearchOutcome, bfs_search
+from ..engine.events import Observer, emit
 from ..mp.protocol import Protocol
 from ..mp.semantics import enabled_executions
 from ..mp.state import GlobalState
@@ -62,6 +63,7 @@ def parallel_bfs_search(
     mp_context=None,
     track_parents: bool = True,
     worker_timeout: Optional[float] = None,
+    observer: Optional[Observer] = None,
 ) -> SearchOutcome:
     """Breadth-first search of one cell across ``workers`` processes.
 
@@ -85,13 +87,16 @@ def parallel_bfs_search(
             workers are detected by liveness polling), so large cells never
             abort spuriously.  Prefer ``config.max_seconds`` for budgeting
             the search as a whole.
+        observer: Optional coordinator-side event observer; receives one
+            ``level-completed`` event per level barrier (including the
+            exchanged delta count) plus ``violation-found`` events.
 
     Returns:
         A :class:`SearchOutcome`, shaped exactly like the serial one.
     """
     config = config or SearchConfig()
     if workers <= 1:
-        return bfs_search(protocol, invariant, config)
+        return bfs_search(protocol, invariant, config, observer=observer)
     context = mp_context if mp_context is not None else default_mp_context()
     if context is None:
         warnings.warn(
@@ -100,7 +105,7 @@ def parallel_bfs_search(
             RuntimeWarning,
             stacklevel=2,
         )
-        return bfs_search(protocol, invariant, config)
+        return bfs_search(protocol, invariant, config, observer=observer)
 
     statistics = SearchStatistics()
     start_time = time.perf_counter()
@@ -108,6 +113,7 @@ def parallel_bfs_search(
     initial = protocol.initial_state()
     statistics.states_visited = 1
     if not invariant.holds_in(initial, protocol):
+        emit(observer, "violation-found", states_visited=1, depth=0)
         statistics.elapsed_seconds = time.perf_counter() - start_time
         counterexample = Counterexample(
             initial_state=initial, steps=(), property_name=invariant.name
@@ -191,10 +197,12 @@ def parallel_bfs_search(
 
             # Exchange deltas: candidates routed to each owner shard, in
             # worker-id order so the absorb order is deterministic.
+            level_deltas = 0
             for destination in range(workers):
                 candidates = []
                 for _worker_id, outgoing, _expansions, _transitions in expanded:
                     candidates.extend(outgoing[destination])
+                level_deltas += len(candidates)
                 task_queues[destination].put(("absorb", candidates))
             absorbed = collect_replies(
                 result_queue, workers, "absorbed", worker_timeout, processes
@@ -216,6 +224,8 @@ def parallel_bfs_search(
                 verified = False
                 if track_parents:
                     counterexample = rebuild(level_violations[0])
+                emit(observer, "violation-found",
+                     states_visited=statistics.states_visited, depth=depth + 1)
                 if config.stop_at_first_violation:
                     complete = False
                     break
@@ -228,6 +238,15 @@ def parallel_bfs_search(
                 statistics.max_depth = max(statistics.max_depth, depth)
                 break
 
+            if level_new:
+                # Mirror the serial engine's stream: only levels the search
+                # carries forward are observable — a level that ends the run
+                # (violation stop, truncation) or discovers nothing is
+                # bookkeeping, and violation-found precedes the level event
+                # when both occur.
+                emit(observer, "level-completed", depth=depth + 1,
+                     new_states=level_new, deltas=level_deltas,
+                     states_visited=statistics.states_visited)
             frontier_total = level_new
             depth += 1
             # Mirror the serial engines: ``max_depth`` counts the edges to

@@ -1,22 +1,33 @@
 """Cell-level parallel experiment runner.
 
 The paper's Table I is a grid of independent cells — protocol instance ×
-model variant × search strategy — which makes a sweep embarrassingly
-parallel at cell granularity.  A cell is described by a :class:`CellSpec`
-whose task form contains only strings and numbers: pool workers rebuild the
-protocol from the catalog key, so the (unpicklable) transition closures
-never cross a process boundary and any multiprocessing start method works.
+model variant × check plan — which makes a sweep embarrassingly parallel at
+cell granularity.  A cell is described by a :class:`CellSpec` whose task
+form contains only strings and numbers: pool workers rebuild the protocol
+from the catalog key, so the (unpicklable) transition closures never cross
+a process boundary and any multiprocessing start method works.
+
+Cells run on the composable engine layer (:mod:`repro.engine`): each spec
+either names a legacy ``strategy`` string (translated by the compatibility
+shim) or spells the plan axes out explicitly (``shape`` / ``reduction`` /
+``backend``); both forms funnel through
+:func:`repro.engine.registry.run_plan`, so the records a sweep emits carry
+the resolved axes and engine name.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..analysis.aggregate import result_record
-from ..checker import CheckerOptions, ModelChecker, SearchConfig, Strategy
+from ..checker import CheckerOptions, SearchConfig, Strategy
+from ..checker.checker import plan_for_strategy
+from ..engine.events import Observer
+from ..engine.plan import CheckPlan
+from ..engine.registry import run_plan
 from ..protocols.catalog import CatalogEntry, default_catalog, entry_by_key
 
 #: Model variants a catalog entry can be checked under.
@@ -31,17 +42,20 @@ class CellSpec:
         key: Catalog key of the protocol instance (see
             :func:`repro.protocols.catalog.default_catalog`).
         model: ``"quorum"`` or ``"single"``.
-        strategy: Strategy value string (``"spor"``, ``"bfs"``, ...).
+        strategy: Legacy strategy value string (``"spor"``, ``"bfs"``, ...),
+            used when ``shape``/``reduction`` are not given.
         scale: Catalog scale the key belongs to (``"small"`` / ``"paper"``).
         stateful: Stateful search (ignored by DPOR, which is stateless).
         state_store: Visited-state store kind for stateful searches.
         max_states / max_seconds: Optional exploration budgets.
-        workers: *Inner* worker count for the cell's own search: the
-            frontier-parallel engine for ``"bfs"``, the work-stealing DFS
-            for the DFS-shaped strategies (``"unreduced"``/``"dfs"``,
-            ``"spor"``/``"stubborn"``, ``"spor-net"``).  ``"dpor"`` rejects
-            ``workers > 1``.
+        workers: *Inner* worker count for the cell's own search; plan
+            resolution picks the backend (frontier-parallel for BFS shapes,
+            work-stealing for DFS shapes; DPOR rejects ``workers > 1``).
         seed_heuristic: SPOR seed-transition heuristic.
+        shape / reduction: Explicit plan axes; when either is set, they take
+            precedence over ``strategy``.
+        backend: Explicit execution backend (default ``"auto"`` lets the
+            registry pick serial / frontier / worksteal).
     """
 
     key: str
@@ -54,10 +68,51 @@ class CellSpec:
     max_seconds: Optional[float] = None
     workers: int = 1
     seed_heuristic: str = "opposite-transaction"
+    shape: Optional[str] = None
+    reduction: Optional[str] = None
+    backend: str = "auto"
 
     def to_task(self) -> Dict:
         """The picklable task form handed to pool workers."""
         return asdict(self)
+
+    def to_plan(self) -> CheckPlan:
+        """The :class:`CheckPlan` this cell runs.
+
+        Explicit ``shape``/``reduction`` axes win; otherwise the legacy
+        ``strategy`` string goes through the compatibility shim so both
+        forms resolve to the same engines.
+        """
+        if self.shape is None and self.reduction is None:
+            options = CheckerOptions(
+                search=SearchConfig(
+                    stateful=self.stateful,
+                    state_store=self.state_store,
+                    max_states=self.max_states,
+                    max_seconds=self.max_seconds,
+                ),
+                seed_heuristic=self.seed_heuristic,
+                workers=self.workers,
+            )
+            plan = plan_for_strategy(Strategy(self.strategy), options)
+            if self.backend != "auto":
+                plan = replace(plan, backend=self.backend)
+            return plan
+        # CheckPlan.__post_init__ owns the cross-axis normalisation (dpor is
+        # stateless, stateless plans store nothing); pass the axes through.
+        return CheckPlan(
+            shape=self.shape or "dfs",
+            reduction=self.reduction or "none",
+            store=self.state_store if self.stateful else "none",
+            backend=self.backend,
+            # Same workers<=1-means-serial spelling as the legacy branch
+            # (which gets the clamp through plan_for_strategy).
+            workers=max(1, self.workers),
+            stateful=self.stateful,
+            seed_heuristic=self.seed_heuristic,
+            max_states=self.max_states,
+            max_seconds=self.max_seconds,
+        )
 
 
 def _resolve_entry(key: str, scale: str) -> CatalogEntry:
@@ -68,29 +123,21 @@ def _resolve_entry(key: str, scale: str) -> CatalogEntry:
     return entry
 
 
-def run_cell_task(task: Dict) -> Dict:
+def run_cell_task(task: Dict, observer: Optional[Observer] = None) -> Dict:
     """Run one cell from its task form and return its JSON-able record.
 
     This is the pool-worker entry point; it is also what the serial path
     calls, so a cell behaves identically whether or not it was farmed out.
+    The optional ``observer`` (serial path only — observers do not cross
+    process boundaries) receives the engine-event stream of the cell's run.
     """
     spec = CellSpec(**task)
     entry = _resolve_entry(spec.key, spec.scale)
     if spec.model not in MODELS:
         raise ValueError(f"unknown model variant {spec.model!r} (expected one of {MODELS})")
     protocol = entry.quorum_model() if spec.model == "quorum" else entry.single_model()
-    options = CheckerOptions(
-        search=SearchConfig(
-            stateful=spec.stateful,
-            state_store=spec.state_store,
-            max_states=spec.max_states,
-            max_seconds=spec.max_seconds,
-        ),
-        seed_heuristic=spec.seed_heuristic,
-        workers=spec.workers,
-    )
     started = time.perf_counter()
-    result = ModelChecker(protocol, entry.invariant, options).run(Strategy(spec.strategy))
+    result = run_plan(protocol, entry.invariant, spec.to_plan(), observer=observer)
     wall_seconds = time.perf_counter() - started
     # A truncated search that found no counterexample proves nothing, so it
     # must not count as agreeing with the paper's expected outcome; a found
@@ -114,6 +161,7 @@ def run_cells(
     specs: Sequence[CellSpec],
     workers: Optional[int] = None,
     mp_context=None,
+    observer: Optional[Observer] = None,
 ) -> List[Dict]:
     """Run a batch of cells, optionally across a process pool.
 
@@ -122,13 +170,17 @@ def run_cells(
         workers: Pool size; ``None``, 0 or 1 runs the cells serially in
             this process.  Results always come back in ``specs`` order.
         mp_context: Multiprocessing context override (tests use this).
+        observer: Optional engine-event observer.  Observers are plain
+            objects and cannot cross a process boundary, so attaching one
+            forces the serial loop (every cell's events then arrive in
+            ``specs`` order on one stream).
 
     Returns:
         One record per spec (see :func:`run_cell_task`).
     """
     tasks = [spec.to_task() for spec in specs]
-    if not workers or workers <= 1 or len(tasks) <= 1:
-        return [run_cell_task(task) for task in tasks]
+    if observer is not None or not workers or workers <= 1 or len(tasks) <= 1:
+        return [run_cell_task(task, observer=observer) for task in tasks]
     if any(spec.workers > 1 for spec in specs):
         # Pool workers are daemonic and cannot spawn the in-cell search
         # processes, so inner-parallel cells run in this process, one at a
@@ -148,13 +200,15 @@ def specs_for_sweep(
     max_seconds: Optional[float] = None,
     state_store: str = "full",
     cell_workers: int = 1,
+    backend: str = "auto",
 ) -> List[CellSpec]:
     """Build the cell grid of a sweep: every requested key × model variant.
 
     ``keys=None`` sweeps the whole catalog at the given scale.
     ``cell_workers`` sets the *inner* worker count of every cell (the
     strategy×workers axis); the pool size of :func:`run_cells` remains the
-    outer, cell-level axis.
+    outer, cell-level axis.  ``backend`` pins every cell's execution
+    backend (default ``"auto"`` lets plan resolution choose).
     """
     if keys is None:
         resolved = [entry.key for entry in default_catalog(scale)]
@@ -175,6 +229,7 @@ def specs_for_sweep(
                     max_states=max_states,
                     max_seconds=max_seconds,
                     workers=cell_workers,
+                    backend=backend,
                 )
             )
     return specs

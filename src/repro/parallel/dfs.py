@@ -65,6 +65,7 @@ from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
 from ..checker.search import ReductionContext, Reducer, SearchConfig, SearchOutcome, dfs_search
 from ..checker.statestore import ShardedFingerprintStore
+from ..engine.events import Observer, emit
 from ..mp.protocol import Protocol
 from ..mp.semantics import SuccessorEngine
 from ..mp.state import GlobalState
@@ -326,6 +327,7 @@ def parallel_dfs_search(
     worker_timeout: Optional[float] = None,
     claim_capacity: Optional[int] = None,
     claim_stripes: Optional[int] = None,
+    observer: Optional[Observer] = None,
 ) -> SearchOutcome:
     """Depth-first search of one cell across ``workers`` stealing processes.
 
@@ -351,6 +353,9 @@ def parallel_dfs_search(
             that is larger).
         claim_stripes: Lock stripes of the claim table (default scales with
             the worker count).
+        observer: Optional coordinator-side event observer; receives one
+            ``worker-report`` event per worker (claimed states, steals-side
+            counters) plus ``violation-found`` events.
 
     Returns:
         A :class:`SearchOutcome` shaped exactly like the serial one.  When
@@ -361,7 +366,8 @@ def parallel_dfs_search(
     """
     config = config or SearchConfig()
     if workers <= 1:
-        return dfs_search(protocol, invariant, config, reducer=reducer)
+        return dfs_search(protocol, invariant, config, reducer=reducer,
+                          observer=observer)
     context = mp_context if mp_context is not None else default_mp_context()
     if context is None:
         warnings.warn(
@@ -370,7 +376,8 @@ def parallel_dfs_search(
             RuntimeWarning,
             stacklevel=2,
         )
-        return dfs_search(protocol, invariant, config, reducer=reducer)
+        return dfs_search(protocol, invariant, config, reducer=reducer,
+                          observer=observer)
 
     statistics = SearchStatistics()
     start_time = time.perf_counter()
@@ -378,6 +385,7 @@ def parallel_dfs_search(
     initial = protocol.initial_state()
     statistics.states_visited = 1
     if not invariant.holds_in(initial, protocol):
+        emit(observer, "violation-found", states_visited=1, depth=0)
         statistics.elapsed_seconds = time.perf_counter() - start_time
         counterexample = Counterexample(
             initial_state=initial, steps=(), property_name=invariant.name
@@ -462,7 +470,11 @@ def parallel_dfs_search(
             remaining = max(0.1, deadline - time.perf_counter())
         replies = collect_replies(result_queue, workers, "report", remaining, processes)
         violations: List[Tuple[int, ...]] = []
-        for _worker_id, stats, worker_violations, worker_truncated in replies:
+        for worker_id, stats, worker_violations, worker_truncated in replies:
+            emit(observer, "worker-report", worker=worker_id,
+                 claimed=stats["claimed"],
+                 transitions_executed=stats["transitions_executed"],
+                 revisits=stats["revisits"])
             statistics.transitions_executed += stats["transitions_executed"]
             statistics.revisits += stats["revisits"]
             statistics.enabled_set_computations += stats["enabled_set_computations"]
@@ -477,6 +489,8 @@ def parallel_dfs_search(
         if violations:
             verified = False
             best = min(violations, key=lambda path: (len(path), path))
+            emit(observer, "violation-found",
+                 states_visited=statistics.states_visited, depth=len(best))
             counterexample = _replay_counterexample(protocol, invariant, best)
         if truncated or (not verified and config.stop_at_first_violation):
             complete = False

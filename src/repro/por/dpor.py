@@ -32,6 +32,7 @@ from ..checker.counterexample import Counterexample, Step
 from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
 from ..checker.search import SearchConfig, SearchOutcome
+from ..engine.events import PROGRESS_INTERVAL, Observer, emit
 from ..mp.protocol import Protocol
 from ..mp.semantics import SuccessorEngine
 from ..mp.state import GlobalState
@@ -82,6 +83,7 @@ class DporSearch:
         self._path_states: Set[GlobalState] = set()
         self._statistics = SearchStatistics()
         self._invariant: Optional[Invariant] = None
+        self._observer: Optional[Observer] = None
         self._counterexample: Optional[Counterexample] = None
         self._complete = True
         self._start_time = 0.0
@@ -89,9 +91,16 @@ class DporSearch:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def run(self, invariant: Invariant) -> SearchOutcome:
-        """Explore the protocol and check ``invariant`` in every visited state."""
+    def run(self, invariant: Invariant,
+            observer: Optional[Observer] = None) -> SearchOutcome:
+        """Explore the protocol and check ``invariant`` in every visited state.
+
+        The optional ``observer`` receives periodic ``progress`` ticks
+        (every :data:`~repro.engine.events.PROGRESS_INTERVAL` expanded
+        states) plus ``violation-found`` events.
+        """
         self._invariant = invariant
+        self._observer = observer
         self._statistics = SearchStatistics()
         self._counterexample = None
         self._complete = True
@@ -108,6 +117,8 @@ class DporSearch:
                 self._counterexample = Counterexample(
                     initial_state=initial, steps=(), property_name=invariant.name
                 )
+                emit(self._observer, "violation-found",
+                     states_visited=1, depth=0)
                 if self.config.stop_at_first_violation:
                     raise _StopSearch
             self._path_states.add(initial)
@@ -155,6 +166,9 @@ class DporSearch:
             steps=tuple(steps),
             property_name=self._invariant.name if self._invariant else "invariant",
         )
+        emit(self._observer, "violation-found",
+             states_visited=self._statistics.states_visited,
+             depth=len(self._counterexample.steps))
 
     def _explore(self, state: GlobalState, depth: int = 0) -> None:
         if self._out_of_budget():
@@ -209,6 +223,11 @@ class DporSearch:
                     self._statistics.transitions_executed += 1
                     self._statistics.states_visited += 1
                     self._statistics.max_depth = max(self._statistics.max_depth, depth + 1)
+                    if (self._observer is not None
+                            and self._statistics.states_visited % PROGRESS_INTERVAL == 0):
+                        emit(self._observer, "progress",
+                             states_visited=self._statistics.states_visited,
+                             transitions_executed=self._statistics.transitions_executed)
 
                     if not self._invariant.holds_in(successor, self.protocol):
                         self._record_violation(execution, successor)

@@ -1,0 +1,191 @@
+"""The progress/event observer API, across every engine."""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+
+import pytest
+
+from repro.engine import (
+    CheckPlan,
+    CollectingObserver,
+    EngineEvent,
+    MultiObserver,
+    ProgressPrinter,
+    run_plan,
+)
+from repro.engine.events import emit
+from repro.protocols.catalog import multicast_entry, paxos_entry
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+VERIFIED = multicast_entry(2, 1, 0, 1)     # 45 states, verified
+VIOLATING = multicast_entry(2, 1, 2, 1)    # expected counterexample
+
+
+def run_observed(entry, plan):
+    observer = CollectingObserver()
+    result = run_plan(entry.quorum_model(), entry.invariant, plan, observer=observer)
+    return result, observer
+
+
+class TestObserverPrimitives:
+    def test_emit_tolerates_none(self):
+        emit(None, "progress", states_visited=1)  # must not raise
+
+    def test_collecting_observer_counts_and_last(self):
+        observer = CollectingObserver()
+        emit(observer, "progress", states_visited=1)
+        emit(observer, "progress", states_visited=2)
+        assert observer.kinds() == ["progress", "progress"]
+        assert observer.counts() == {"progress": 2}
+        assert observer.last("progress").payload["states_visited"] == 2
+        assert observer.last("violation-found") is None
+
+    def test_multi_observer_fans_out(self):
+        first, second = CollectingObserver(), CollectingObserver()
+        emit(MultiObserver([first, second]), "progress", states_visited=7)
+        assert first.counts() == second.counts() == {"progress": 1}
+
+    def test_events_are_frozen(self):
+        event = EngineEvent(kind="progress", payload={"states_visited": 1})
+        with pytest.raises(AttributeError):
+            event.kind = "other"
+
+
+class TestOneStreamPerEngine:
+    """Every engine brackets its run with started/finished on one stream."""
+
+    @pytest.mark.parametrize("plan", [
+        CheckPlan(),
+        CheckPlan(reduction="spor"),
+        CheckPlan(reduction="dpor"),
+        CheckPlan(shape="bfs"),
+    ], ids=["serial-dfs", "serial-spor", "dpor", "serial-bfs"])
+    def test_serial_engines_bracket_the_run(self, plan):
+        result, observer = run_observed(VERIFIED, plan)
+        kinds = observer.kinds()
+        assert kinds[0] == "search-started"
+        assert kinds[-1] == "search-finished"
+        started = observer.events[0].payload
+        assert started["engine"] == result.engine
+        assert started["plan"]["shape"] == plan.shape
+        finished = observer.last("search-finished").payload
+        assert finished["verified"] is True
+        assert finished["states_visited"] == result.statistics.states_visited
+
+    def test_serial_bfs_reports_levels(self):
+        result, observer = run_observed(VERIFIED, CheckPlan(shape="bfs"))
+        levels = [e for e in observer.events if e.kind == "level-completed"]
+        assert levels
+        depths = [event.payload["depth"] for event in levels]
+        assert depths == sorted(depths)
+        assert depths[-1] == result.statistics.max_depth
+        assert sum(event.payload["new_states"] for event in levels) \
+            == result.statistics.states_visited - 1
+
+    def test_violations_are_events(self):
+        result, observer = run_observed(VIOLATING, CheckPlan())
+        assert not result.verified
+        assert observer.counts().get("violation-found", 0) >= 1
+
+    @pytest.mark.parametrize("plan", [
+        CheckPlan(),
+        CheckPlan(shape="bfs"),
+        CheckPlan(reduction="dpor"),
+        pytest.param(CheckPlan(workers=2),
+                     marks=pytest.mark.skipif(not HAS_FORK, reason="fork")),
+        pytest.param(CheckPlan(shape="bfs", workers=2),
+                     marks=pytest.mark.skipif(not HAS_FORK, reason="fork")),
+    ], ids=["serial-dfs", "serial-bfs", "dpor", "worksteal", "frontier"])
+    def test_initial_state_violations_are_events_too(self, plan):
+        # The initial-state check predates the exploration loop in every
+        # engine; it must not bypass the event contract.
+        from repro.checker.property import Invariant
+
+        never = Invariant(name="never", predicate=lambda _s, _p: False)
+        observer = CollectingObserver()
+        result = run_plan(
+            VERIFIED.quorum_model(), never, plan, observer=observer
+        )
+        assert not result.verified
+        assert observer.counts().get("violation-found", 0) == 1
+        assert observer.last("violation-found").payload["depth"] == 0
+
+    def test_progress_ticks_fire_at_the_interval(self, monkeypatch):
+        monkeypatch.setattr("repro.checker.search.PROGRESS_INTERVAL", 10)
+        entry = paxos_entry(2, 2, 1)  # 168 states
+        result, observer = run_observed(entry, CheckPlan())
+        ticks = [e for e in observer.events if e.kind == "progress"]
+        assert len(ticks) == result.statistics.states_visited // 10
+        assert ticks[0].payload["states_visited"] == 10
+
+    def test_dpor_progress_ticks(self, monkeypatch):
+        monkeypatch.setattr("repro.por.dpor.PROGRESS_INTERVAL", 50)
+        _, observer = run_observed(paxos_entry(2, 2, 1), CheckPlan(reduction="dpor"))
+        assert observer.counts().get("progress", 0) >= 1
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="parallel engines require fork")
+class TestParallelStreams:
+    def test_frontier_bfs_reports_levels_with_deltas(self):
+        result, observer = run_observed(VERIFIED, CheckPlan(shape="bfs", workers=2))
+        assert result.engine == "frontier-bfs"
+        levels = [e for e in observer.events if e.kind == "level-completed"]
+        assert levels
+        assert all("deltas" in event.payload for event in levels)
+        assert sum(event.payload["new_states"] for event in levels) \
+            == result.statistics.states_visited - 1
+
+    def test_worksteal_reports_every_worker(self):
+        result, observer = run_observed(VERIFIED, CheckPlan(workers=2))
+        assert result.engine == "worksteal-dfs"
+        reports = [e for e in observer.events if e.kind == "worker-report"]
+        assert len(reports) == 2
+        assert {event.payload["worker"] for event in reports} == {0, 1}
+        # Claims partition the non-initial states across workers.
+        assert sum(event.payload["claimed"] for event in reports) \
+            == result.statistics.states_visited - 1
+
+    def test_worksteal_violation_event(self):
+        result, observer = run_observed(VIOLATING, CheckPlan(workers=2))
+        assert not result.verified
+        assert observer.counts().get("violation-found", 0) == 1
+
+    def test_bfs_violation_stream_shape_matches_serial(self):
+        # Uniform-stream contract: on a violating cell with
+        # stop-at-first-violation, neither BFS engine emits a
+        # "level-completed" for the level that ended the search, so the
+        # deepest level event sits strictly below the violation depth in
+        # both — an observer deriving the violation's level from the stream
+        # gets the same answer regardless of the engine.
+        streams = {}
+        for workers in (1, 2):
+            result, observer = run_observed(
+                VIOLATING, CheckPlan(shape="bfs", workers=workers)
+            )
+            assert not result.verified
+            violation = observer.last("violation-found")
+            levels = [e for e in observer.events if e.kind == "level-completed"]
+            streams[workers] = (
+                violation.payload["depth"],
+                max(e.payload["depth"] for e in levels),
+            )
+            assert streams[workers][1] < streams[workers][0]
+        assert streams[1] == streams[2]
+
+
+class TestProgressPrinter:
+    def test_renders_one_line_per_event(self):
+        stream = io.StringIO()
+        observer = ProgressPrinter(stream)
+        result = run_plan(
+            VERIFIED.quorum_model(), VERIFIED.invariant, CheckPlan(shape="bfs"),
+            observer=observer,
+        )
+        output = stream.getvalue()
+        assert "[serial-bfs]" in output
+        assert "level" in output
+        assert "Verified" in output
+        assert f"{result.statistics.states_visited:,} states" in output

@@ -1,0 +1,272 @@
+"""The ``Strategy`` compatibility shim over the plan/registry layer.
+
+Covers the two API-redesign satellites: explicit (non-value-aliased) alias
+resolution for ``Strategy.DFS``/``Strategy.STUBBORN``, and the guarantee
+that every legacy ``ModelChecker.run(Strategy.X)`` call resolves to a plan
+with identical semantics.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.checker import (
+    STRATEGY_ALIASES,
+    CheckerOptions,
+    ModelChecker,
+    SearchConfig,
+    Strategy,
+    check_plan,
+    plan_for_strategy,
+)
+from repro.engine import CheckPlan, run_plan
+from repro.protocols.catalog import multicast_entry
+
+
+class TestStrategyAliases:
+    """Regression tests for identity and CLI strings (the alias table moved
+    out of the enum body; the old value-aliased members silently shared
+    string literals)."""
+
+    def test_attribute_aliases_are_identical_objects(self):
+        assert Strategy.DFS is Strategy.UNREDUCED
+        assert Strategy.STUBBORN is Strategy.SPOR
+
+    def test_cli_strings_resolve_through_the_alias_table(self):
+        assert Strategy("dfs") is Strategy.UNREDUCED
+        assert Strategy("stubborn") is Strategy.SPOR
+        assert Strategy("unreduced") is Strategy.UNREDUCED
+        assert Strategy("spor") is Strategy.SPOR
+
+    def test_alias_table_is_explicit(self):
+        assert STRATEGY_ALIASES == {"dfs": "unreduced", "stubborn": "spor"}
+
+    def test_canonical_members_only_in_iteration(self):
+        # No value-aliased members: iteration and __members__ stay canonical.
+        assert [member.value for member in Strategy] == [
+            "unreduced", "spor", "spor-net", "dpor", "bfs",
+        ]
+        assert set(Strategy.__members__) == {
+            "UNREDUCED", "SPOR", "SPOR_NET", "DPOR", "BFS",
+        }
+
+    def test_alias_values_are_canonical(self):
+        assert Strategy.DFS.value == "unreduced"
+        assert Strategy.STUBBORN.value == "spor"
+
+    def test_unknown_strings_still_raise(self):
+        with pytest.raises(ValueError):
+            Strategy("zigzag")
+
+    def test_aliases_pickle_to_the_canonical_member(self):
+        assert pickle.loads(pickle.dumps(Strategy.DFS)) is Strategy.UNREDUCED
+        assert pickle.loads(pickle.dumps(Strategy.STUBBORN)) is Strategy.SPOR
+
+    def test_constructor_accepts_members(self):
+        assert Strategy(Strategy.DFS) is Strategy.UNREDUCED
+
+
+class TestCheckerOptionsDefaults:
+    def test_search_defaults_to_a_fresh_config(self):
+        options = CheckerOptions()
+        assert isinstance(options.search, SearchConfig)
+
+    def test_instances_do_not_share_the_mutable_default(self):
+        first, second = CheckerOptions(), CheckerOptions()
+        assert first.search is not second.search
+        first.search.max_states = 7
+        assert second.search.max_states is None
+
+    def test_explicit_search_none_still_means_defaults(self):
+        # The historical default value; legacy callers spelled it out.
+        options = CheckerOptions(search=None)
+        assert isinstance(options.search, SearchConfig)
+        assert plan_for_strategy(Strategy.SPOR, options).store == "full"
+
+
+class TestPlanForStrategy:
+    def test_unreduced(self):
+        plan = plan_for_strategy(Strategy.UNREDUCED)
+        assert (plan.shape, plan.reduction, plan.stateful) == ("dfs", "none", True)
+        assert plan.backend == "auto"
+
+    def test_shape_aliases_map_like_their_canonical_member(self):
+        assert plan_for_strategy(Strategy.DFS) == plan_for_strategy(Strategy.UNREDUCED)
+        assert plan_for_strategy("stubborn") == plan_for_strategy(Strategy.SPOR)
+
+    def test_spor_variants(self):
+        assert plan_for_strategy(Strategy.SPOR).reduction == "spor"
+        assert plan_for_strategy(Strategy.SPOR_NET).reduction == "spor-net"
+
+    def test_bfs_is_always_stateful(self):
+        options = CheckerOptions(search=SearchConfig(stateful=False))
+        plan = plan_for_strategy(Strategy.BFS, options)
+        assert plan.shape == "bfs"
+        assert plan.stateful
+        assert plan.store == "full"
+
+    def test_dpor_is_always_stateless(self):
+        plan = plan_for_strategy(Strategy.DPOR)
+        assert plan.reduction == "dpor"
+        assert not plan.stateful
+        assert plan.store == "none"
+
+    def test_stateless_dfs_drops_the_store(self):
+        options = CheckerOptions(search=SearchConfig(stateful=False))
+        assert plan_for_strategy(Strategy.DFS, options).store == "none"
+
+    def test_workers_zero_keeps_the_legacy_serial_meaning(self):
+        # The old facade dispatched serially for any workers <= 1; 0 was a
+        # documented "no pool" spelling and must not start raising.
+        plan = plan_for_strategy(Strategy.DFS, CheckerOptions(workers=0))
+        assert plan.workers == 1
+        entry = multicast_entry(2, 1, 0, 1)
+        result = ModelChecker(
+            entry.quorum_model(), entry.invariant, CheckerOptions(workers=0)
+        ).run(Strategy.DFS)
+        assert result.verified
+        assert result.engine == "serial-dfs"
+
+    def test_options_carry_over(self):
+        options = CheckerOptions(
+            search=SearchConfig(
+                state_store="fingerprint",
+                state_store_shards=32,
+                max_depth=4,
+                max_states=100,
+                max_seconds=2.0,
+                stop_at_first_violation=False,
+                check_deadlocks=True,
+                engine_cache_capacity=64,
+            ),
+            seed_heuristic="first",
+            workers=3,
+        )
+        plan = plan_for_strategy(Strategy.SPOR, options)
+        assert plan.store == "fingerprint"
+        assert plan.store_shards == 32
+        assert plan.max_depth == 4
+        assert plan.max_states == 100
+        assert plan.max_seconds == 2.0
+        assert not plan.stop_at_first_violation
+        assert plan.check_deadlocks
+        assert plan.engine_cache_capacity == 64
+        assert plan.seed_heuristic == "first"
+        assert plan.workers == 3
+
+
+class TestBothApisAgree:
+    """The executable shim contract on a small cell: identical verdicts,
+    counts and record fields whichever API the caller used."""
+
+    ENTRY = multicast_entry(2, 1, 0, 1)
+
+    @pytest.mark.parametrize(
+        "strategy", [Strategy.DFS, Strategy.SPOR, Strategy.SPOR_NET,
+                     Strategy.DPOR, Strategy.BFS],
+        ids=["dfs", "spor", "spor-net", "dpor", "bfs"],
+    )
+    def test_run_equals_run_plan(self, strategy):
+        legacy = ModelChecker(self.ENTRY.quorum_model(), self.ENTRY.invariant).run(strategy)
+        plan = plan_for_strategy(strategy)
+        direct = run_plan(self.ENTRY.quorum_model(), self.ENTRY.invariant, plan)
+        assert legacy.verified == direct.verified
+        assert legacy.statistics.states_visited == direct.statistics.states_visited
+        assert legacy.strategy == direct.strategy
+        assert legacy.stateful == direct.stateful
+        assert legacy.engine == direct.engine
+        assert legacy.plan == direct.plan
+
+    def test_legacy_results_carry_the_resolved_plan(self):
+        result = ModelChecker(self.ENTRY.quorum_model(), self.ENTRY.invariant).run(
+            Strategy.SPOR
+        )
+        assert result.engine == "serial-dfs"
+        assert result.plan.reduction == "spor"
+        assert result.plan.backend == "serial"
+
+    def test_check_plan_helper(self):
+        result = check_plan(
+            self.ENTRY.quorum_model(), self.ENTRY.invariant, CheckPlan(shape="bfs")
+        )
+        assert result.verified
+        assert result.engine == "serial-bfs"
+
+    def test_run_plan_warns_when_constructor_options_would_be_ignored(self):
+        # Plans are self-contained; silently dropping explicitly supplied
+        # CheckerOptions would be the downgrade the layer forbids.
+        checker = ModelChecker(
+            self.ENTRY.quorum_model(),
+            self.ENTRY.invariant,
+            CheckerOptions(workers=4),
+        )
+        with pytest.warns(UserWarning, match="ignores the CheckerOptions"):
+            checker.run_plan(CheckPlan())
+
+    def test_run_plan_without_options_does_not_warn(self, recwarn):
+        ModelChecker(self.ENTRY.quorum_model(), self.ENTRY.invariant).run_plan(
+            CheckPlan()
+        )
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
+
+    def test_run_plan_warns_on_post_construction_option_mutation(self):
+        checker = ModelChecker(self.ENTRY.quorum_model(), self.ENTRY.invariant)
+        checker.options.workers = 4
+        with pytest.warns(UserWarning, match="ignores the CheckerOptions"):
+            checker.run_plan(CheckPlan())
+
+    def test_run_plan_with_default_options_does_not_warn(self, recwarn):
+        # A default options object carries nothing run_plan could ignore.
+        ModelChecker(
+            self.ENTRY.quorum_model(), self.ENTRY.invariant, CheckerOptions()
+        ).run_plan(CheckPlan())
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
+
+    def test_run_plan_does_not_warn_when_the_plan_incorporates_the_options(
+        self, recwarn
+    ):
+        # The warning's own advice — build the plan with plan_for_strategy
+        # from the same options — must not itself trigger the warning.
+        options = CheckerOptions(seed_heuristic="first")
+        checker = ModelChecker(
+            self.ENTRY.quorum_model(), self.ENTRY.invariant, options
+        )
+        checker.run_plan(plan_for_strategy(Strategy.SPOR, options))
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
+
+    def test_run_plan_does_not_warn_when_rerunning_a_resolved_plan(self, recwarn):
+        # CheckResult.plan carries the concretised backend; re-running it is
+        # still "the plan derived from these options", not a mistake.
+        options = CheckerOptions(seed_heuristic="first")
+        checker = ModelChecker(
+            self.ENTRY.quorum_model(), self.ENTRY.invariant, options
+        )
+        first = checker.run(Strategy.SPOR)
+        assert first.plan.backend == "serial"
+        checker.run_plan(first.plan)
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
+
+    def test_run_plan_warning_check_tolerates_options_invalid_for_some_strategy(self):
+        # A stateless 'none'-store options object cannot derive a BFS plan
+        # (BFS is always stateful); the warning diagnostic must skip that
+        # strategy, not crash a perfectly valid run_plan call.
+        options = CheckerOptions(
+            search=SearchConfig(stateful=False, state_store="none")
+        )
+        checker = ModelChecker(
+            self.ENTRY.quorum_model(), self.ENTRY.invariant, options
+        )
+        with pytest.warns(UserWarning, match="ignores the CheckerOptions"):
+            result = checker.run_plan(CheckPlan(reduction="spor"))
+        assert result.verified
+
+    def test_legacy_run_with_options_does_not_warn(self, recwarn):
+        checker = ModelChecker(
+            self.ENTRY.quorum_model(),
+            self.ENTRY.invariant,
+            CheckerOptions(seed_heuristic="first"),
+        )
+        checker.run(Strategy.SPOR)
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]

@@ -15,11 +15,20 @@ or below the exhaustive count on verified cells.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 
 import pytest
 
-from repro.checker import CheckerOptions, ModelChecker, SearchConfig, Strategy
+from repro.checker import (
+    CheckerOptions,
+    ModelChecker,
+    SearchConfig,
+    Strategy,
+    plan_for_strategy,
+)
+from repro.engine import CheckPlan, UnsupportedPlanError, default_registry, run_plan
+from repro.engine.plan import REDUCTIONS, SHAPES
 from repro.protocols.catalog import multicast_entry, paxos_entry, storage_entry
 
 pytestmark = pytest.mark.skipif(
@@ -111,6 +120,111 @@ class TestReducedRunsStayBelowExhaustive:
         reduced = run_cell(entry, Strategy.STUBBORN, workers)
         assert reduced.verified
         assert reduced.statistics.states_visited <= EXPECTED_STATES[entry.key]
+
+
+class TestPlanApiConformance:
+    """The plan/registry API against the legacy ``Strategy`` path.
+
+    Acceptance contract of the API redesign: every (shape × reduction ×
+    backend × workers) combination the registry reports as supported
+    produces the same verdict — and, for the exhaustive engines, the same
+    visited-state count — as the legacy path; unsupported combinations
+    raise :class:`UnsupportedPlanError` naming the axis; and
+    ``ModelChecker.run(Strategy.X)`` stays green through the shim.
+    """
+
+    ENTRY = multicast_entry(2, 1, 0, 1)
+
+    def supported(self):
+        return list(default_registry().supported_plans(worker_counts=WORKER_COUNTS))
+
+    def test_every_supported_combination_matches_the_legacy_path(self):
+        entry = self.ENTRY
+        expected_states = EXPECTED_STATES[entry.key]
+        combinations = self.supported()
+        assert combinations
+        for engine, plan in combinations:
+            result = run_plan(entry.quorum_model(), entry.invariant, plan)
+            assert result.engine == engine.name
+            assert result.verified, f"{plan.describe()} via {engine.name}"
+            if plan.reduction == "none":
+                # Exhaustive engines reproduce the serial closure exactly.
+                assert result.statistics.states_visited == expected_states, (
+                    f"{plan.describe()} via {engine.name}"
+                )
+            elif plan.reduction in ("spor", "spor-net"):
+                # Reduced runs are scheduling-dependent under work stealing;
+                # the invariant is the verdict plus the exhaustive bound.
+                assert result.statistics.states_visited <= expected_states
+            else:  # dpor: serial and deterministic — compare to the legacy run.
+                legacy = ModelChecker(entry.quorum_model(), entry.invariant).run(
+                    Strategy.DPOR
+                )
+                assert (
+                    result.statistics.states_visited
+                    == legacy.statistics.states_visited
+                )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize(
+        "strategy",
+        [Strategy.DFS, Strategy.STUBBORN, Strategy.SPOR_NET, Strategy.BFS],
+        ids=["dfs", "stubborn", "spor-net", "bfs"],
+    )
+    def test_shim_and_plan_api_agree(self, strategy, workers):
+        entry = self.ENTRY
+        options = CheckerOptions(search=SearchConfig(), workers=workers)
+        legacy = ModelChecker(entry.quorum_model(), entry.invariant, options).run(
+            strategy
+        )
+        direct = run_plan(
+            entry.quorum_model(), entry.invariant, plan_for_strategy(strategy, options)
+        )
+        assert legacy.verified == direct.verified
+        assert legacy.strategy == direct.strategy
+        assert legacy.engine == direct.engine
+        if strategy in (Strategy.DFS, Strategy.BFS):
+            assert (
+                legacy.statistics.states_visited
+                == direct.statistics.states_visited
+                == EXPECTED_STATES[entry.key]
+            )
+
+    def test_unsupported_combinations_raise_with_the_axis_named(self):
+        registry = default_registry()
+        supported = {
+            (plan.shape, plan.reduction, plan.backend, plan.workers)
+            for _, plan in self.supported()
+        }
+        backends = ("serial", "frontier", "worksteal")
+        for shape, reduction, backend, workers in itertools.product(
+            SHAPES, REDUCTIONS, backends, WORKER_COUNTS
+        ):
+            stateful = reduction != "dpor"
+            plan = CheckPlan(
+                shape=shape,
+                reduction=reduction,
+                store="full" if stateful else "none",
+                backend=backend,
+                workers=workers,
+                stateful=stateful,
+            )
+            if (shape, reduction, backend, workers) in supported:
+                engine, _ = registry.resolve(plan)
+                assert engine.capabilities.supports(plan)
+            else:
+                with pytest.raises(UnsupportedPlanError) as excinfo:
+                    registry.resolve(plan)
+                assert excinfo.value.axis in plan.axes()
+
+    def test_dpor_workers_stay_rejected_through_the_shim(self):
+        checker = ModelChecker(
+            self.ENTRY.quorum_model(),
+            self.ENTRY.invariant,
+            CheckerOptions(workers=2),
+        )
+        with pytest.raises(ValueError, match="backtrack sets"):
+            checker.run(Strategy.DPOR)
 
 
 class TestDepthConsistency:

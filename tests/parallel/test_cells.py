@@ -108,3 +108,19 @@ class TestSpecsForSweep:
     def test_unknown_key_rejected_upfront(self):
         with pytest.raises(KeyError):
             specs_for_sweep(keys=["nope"])
+
+
+class TestUnsupportedPlansAcrossThePool:
+    def test_pool_workers_propagate_the_structured_error(self):
+        # Regression: UnsupportedPlanError used not to survive pickling, so
+        # a rejection inside a pool worker deadlocked pool.map forever
+        # instead of surfacing the diagnostic.
+        from repro.engine import UnsupportedPlanError
+        from repro.parallel.cells import CellSpec, run_cells
+
+        specs = [
+            CellSpec(key="multicast-2-1-0-1", backend="worksteal"),  # workers=1
+            CellSpec(key="multicast-3-0-1-1", backend="worksteal"),
+        ]
+        with pytest.raises(UnsupportedPlanError, match="nearest supported"):
+            run_cells(specs, workers=2)

@@ -24,6 +24,91 @@ class TestCells:
         assert "expected: CE" in output
 
 
+class TestEngines:
+    def test_lists_every_registered_engine_with_capabilities(self):
+        code, output = run_cli(["engines"])
+        assert code == 0
+        for name in ("serial-dfs", "serial-bfs", "frontier-bfs",
+                     "worksteal-dfs", "dpor"):
+            assert name in output
+        assert "reduction=none|spor|spor-net" in output
+        assert "workers >= 2" in output
+
+
+class TestCheckPlanAxes:
+    def test_axis_flags_match_the_strategy_route(self, tmp_path):
+        by_strategy = tmp_path / "strategy.json"
+        by_axes = tmp_path / "axes.json"
+        assert run_cli(
+            ["check", "multicast-2-1-0-1", "--strategy", "spor",
+             "--json", str(by_strategy)]
+        )[0] == 0
+        assert run_cli(
+            ["check", "multicast-2-1-0-1", "--shape", "dfs",
+             "--reduction", "spor", "--json", str(by_axes)]
+        )[0] == 0
+        first = json.loads(by_strategy.read_text())["results"][0]
+        second = json.loads(by_axes.read_text())["results"][0]
+        for key in ("verified", "states_visited", "strategy",
+                    "shape", "reduction", "backend", "engine"):
+            assert first[key] == second[key]
+
+    def test_records_carry_the_resolved_axes(self, tmp_path):
+        target = tmp_path / "check.json"
+        code, _ = run_cli(
+            ["check", "multicast-2-1-0-1", "--strategy", "bfs",
+             "--json", str(target)]
+        )
+        assert code == 0
+        record = json.loads(target.read_text())["results"][0]
+        assert record["shape"] == "bfs"
+        assert record["reduction"] == "none"
+        assert record["backend"] == "serial"
+        assert record["engine"] == "serial-bfs"
+
+    def test_progress_streams_the_event_feed(self):
+        code, output = run_cli(
+            ["check", "multicast-2-1-0-1", "--strategy", "bfs", "--progress"]
+        )
+        assert code == 0
+        assert "[serial-bfs]" in output
+        assert "level" in output
+
+    def test_workers_zero_is_serial_in_both_forms(self):
+        # The legacy 0-means-serial spelling must behave identically through
+        # the strategy form and the equivalent axis form.
+        for argv in (
+            ["check", "multicast-2-1-0-1", "--strategy", "spor",
+             "--workers", "0"],
+            ["check", "multicast-2-1-0-1", "--shape", "dfs",
+             "--reduction", "spor", "--workers", "0"],
+        ):
+            code, output = run_cli(argv)
+            assert code == 0
+            assert "Verified" in output
+
+    def test_strategy_and_axis_flags_are_mutually_exclusive(self):
+        # Mixing the two forms would have to silently drop one of them
+        # (e.g. --strategy spor --shape dfs running unreduced), so it is an
+        # explicit usage error instead.
+        code, output = run_cli(
+            ["check", "multicast-2-1-0-1", "--strategy", "spor",
+             "--shape", "dfs"]
+        )
+        assert code == 2
+        assert "alternative ways" in output
+
+    def test_unsupported_axis_combinations_exit_with_the_diagnostic(self):
+        code, output = run_cli(
+            ["check", "multicast-2-1-0-1", "--reduction", "dpor",
+             "--workers", "2"]
+        )
+        assert code == 2
+        assert "backtrack sets" in output
+        assert "nearest supported alternative" in output
+        assert "Traceback" not in output
+
+
 class TestCheck:
     def test_verified_cell_exits_zero(self):
         code, output = run_cli(["check", "multicast-2-1-0-1"])
