@@ -1,0 +1,156 @@
+"""Benchmark — packed fast-path successor engine vs. the PR-1 engine.
+
+Measures states/second of the serial depth-first search on a Table-I
+quorum cell under the object-graph :class:`SuccessorEngine` and under the
+packed :class:`FastSuccessorEngine`, asserts byte-identical verdicts and
+visited-state counts, and emits a machine-readable
+``BENCH_fastpath_*.json`` payload into ``benchmarks/results/`` so the
+nightly job records the per-state-constant trajectory.
+
+Honesty rules, mirroring the worksteal benchmark:
+
+* the fast run must reproduce the object run's verdict, visited-state
+  count and transition count exactly — a speedup that changes the search
+  is a bug, not a result;
+* the ≥3x acceptance bar (the ISSUE-5 criterion) is *asserted* when the
+  machine has four or more usable cores or when explicitly forced via
+  ``REPRO_REQUIRE_FASTPATH_SPEEDUP`` ("1" forces, "0" disables, "auto"
+  decides by core count); the measured ratio is always recorded in the
+  payload either way.  The speedup is a serial constant-factor win, so
+  the core-count gate only guards against noisy shared CI boxes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.aggregate import bench_payload, write_bench_file
+from repro.checker.search import dfs_search
+from repro.fastpath.search import fast_dfs_search
+from repro.protocols.catalog import paxos_entry, storage_entry
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Minimum accumulated wall clock per engine before a ratio is trusted.
+MIN_MEASURE_SECONDS = float(os.environ.get("REPRO_FASTPATH_MIN_SECONDS", "0.4"))
+
+#: The ISSUE-5 acceptance bar: packed states/sec over object states/sec.
+SPEEDUP_BAR = 3.0
+
+REQUIRE_SPEEDUP = os.environ.get("REPRO_REQUIRE_FASTPATH_SPEEDUP", "auto")
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _speedup_bar_active() -> bool:
+    if REQUIRE_SPEEDUP == "1":
+        return True
+    if REQUIRE_SPEEDUP == "0":
+        return False
+    return _usable_cores() >= 4
+
+
+def _bench_cell(scale: str):
+    """The serial-DFS Table-I quorum cell at the harness scale."""
+    if scale == "paper":
+        return paxos_entry(2, 3, 1)
+    return storage_entry(3, 1)
+
+
+def _measure(entry, search):
+    """Run ``search`` on fresh models until the accumulated time is
+    trustworthy; return (outcome, best states/sec, rounds)."""
+    outcome = None
+    best = 0.0
+    total = 0.0
+    rounds = 0
+    while total < MIN_MEASURE_SECONDS or rounds < 2:
+        protocol = entry.quorum_model()
+        started = time.perf_counter()
+        outcome = search(protocol, entry.invariant)
+        elapsed = time.perf_counter() - started
+        total += elapsed
+        rounds += 1
+        if elapsed > 0:
+            best = max(best, outcome.statistics.states_visited / elapsed)
+        if rounds >= 25:  # pragma: no cover - pathological timer
+            break
+    return outcome, best, rounds
+
+
+def test_fastpath_speedup_on_serial_dfs_quorum_cell(benchmark, bench_scale):
+    """Object vs. packed serial DFS on the Table-I quorum cell."""
+    entry = _bench_cell(bench_scale)
+
+    object_outcome, object_rate, object_rounds = benchmark.pedantic(
+        lambda: _measure(entry, dfs_search), rounds=1, iterations=1
+    )
+    fast_outcome, fast_rate, fast_rounds = _measure(entry, fast_dfs_search)
+
+    # Byte-identical search: same verdict, same closure, same edge count.
+    assert fast_outcome.verified == object_outcome.verified
+    assert (
+        fast_outcome.statistics.states_visited
+        == object_outcome.statistics.states_visited
+    )
+    assert (
+        fast_outcome.statistics.transitions_executed
+        == object_outcome.statistics.transitions_executed
+    )
+
+    speedup = fast_rate / object_rate if object_rate > 0 else float("inf")
+    benchmark.extra_info["states"] = object_outcome.statistics.states_visited
+    benchmark.extra_info["object_states_per_sec"] = round(object_rate)
+    benchmark.extra_info["fast_states_per_sec"] = round(fast_rate)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["usable_cores"] = _usable_cores()
+
+    records = [
+        {
+            "cell": entry.key,
+            "model": "quorum",
+            "strategy": "dfs",
+            "successors": successors,
+            "workers": 1,
+            "verified": outcome.verified,
+            "complete": outcome.complete,
+            "states_visited": outcome.statistics.states_visited,
+            "transitions_executed": outcome.statistics.transitions_executed,
+            "elapsed_seconds": outcome.statistics.elapsed_seconds,
+            "states_per_second": rate,
+            "measure_rounds": rounds,
+            "batch_mode": "fastpath",
+        }
+        for successors, outcome, rate, rounds in (
+            ("object", object_outcome, object_rate, object_rounds),
+            ("fast", fast_outcome, fast_rate, fast_rounds),
+        )
+    ]
+    payload = bench_payload(
+        "fastpath",
+        records,
+        scale=bench_scale,
+        usable_cores=_usable_cores(),
+        object_states_per_sec=object_rate,
+        fast_states_per_sec=fast_rate,
+        speedup_over_object_engine=speedup,
+        speedup_bar=SPEEDUP_BAR,
+        speedup_bar_asserted=_speedup_bar_active(),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = write_bench_file(RESULTS_DIR, "fastpath", payload, label=bench_scale)
+    assert json.loads(path.read_text())["kind"] == "fastpath"
+
+    if _speedup_bar_active():
+        assert speedup >= SPEEDUP_BAR, (
+            f"packed fast path is only {speedup:.2f}x over the object engine "
+            f"on {entry.key} (bar: {SPEEDUP_BAR}x; payload recorded at {path})"
+        )

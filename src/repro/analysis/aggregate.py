@@ -62,6 +62,7 @@ def result_record(result: CheckResult, **extra) -> Dict:
             shape=result.plan.shape,
             reduction=result.plan.reduction,
             backend=result.plan.backend,
+            successors=result.plan.successors,
         )
     if result.engine is not None:
         record["engine"] = result.engine

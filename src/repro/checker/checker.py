@@ -144,6 +144,7 @@ def plan_for_strategy(
         # documented "no pool" spelling); preserve that through the shim.
         workers=max(1, options.workers),
         stateful=stateful,
+        successors=search.successor_engine,
         seed_heuristic=options.seed_heuristic,
         store_shards=search.state_store_shards,
         max_depth=search.max_depth,

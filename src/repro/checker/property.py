@@ -32,11 +32,19 @@ class Invariant:
         name: Human-readable property name (e.g. ``"consensus"``).
         predicate: Returns True when the state satisfies the property.
         description: Optional longer explanation, used in reports.
+        network_sensitive: Whether the predicate reads ``state.network``.
+            The packed fast-path engines (:mod:`repro.fastpath`) memoise
+            invariant verdicts per local-state vector, which is only sound
+            when the verdict ignores the in-flight messages; declaring
+            ``network_sensitive=False`` opts a predicate into that memo.
+            The conservative default keeps arbitrary predicates correct
+            (every bundled invariant reads locals only and declares False).
     """
 
     name: str
     predicate: PredicateFn
     description: str = ""
+    network_sensitive: bool = True
 
     def holds_in(self, state: GlobalState, protocol: Protocol) -> bool:
         """Evaluate the invariant in one state."""
@@ -48,6 +56,7 @@ class Invariant:
             name=name or f"not({self.name})",
             predicate=lambda state, protocol: not self.predicate(state, protocol),
             description=f"negation of: {self.description or self.name}",
+            network_sensitive=self.network_sensitive,
         )
 
 
@@ -62,13 +71,14 @@ def conjunction(name: str, invariants: Iterable[Invariant]) -> Invariant:
         name=name,
         predicate=predicate,
         description="conjunction of: " + ", ".join(part.name for part in parts),
+        network_sensitive=any(part.network_sensitive for part in parts),
     )
 
 
 def always_true(name: str = "true") -> Invariant:
     """An invariant that holds everywhere; useful for pure state-space measurement."""
     return Invariant(name=name, predicate=lambda _state, _protocol: True,
-                     description="trivially true")
+                     description="trivially true", network_sensitive=False)
 
 
 def local_state_invariant(
@@ -92,4 +102,5 @@ def local_state_invariant(
                 return False
         return True
 
-    return Invariant(name=name, predicate=check, description=description)
+    return Invariant(name=name, predicate=check, description=description,
+                     network_sensitive=False)

@@ -54,6 +54,13 @@ class SearchConfig:
             enabled-set and successor caches in stateless searches; ``None``
             keeps them unbounded (appropriate when the reachable set fits in
             memory, which holds for all bundled instances).
+        successor_engine: ``"object"`` runs the interned-object
+            :class:`~repro.mp.semantics.SuccessorEngine`; ``"fast"``
+            delegates to the packed table-compiled fast path
+            (:mod:`repro.fastpath`) with identical verdicts and visited
+            counts — the drop-in spelling for direct ``dfs_search`` /
+            ``bfs_search`` callers (plan users select it via the
+            ``successors`` axis instead).
     """
 
     stateful: bool = True
@@ -65,6 +72,7 @@ class SearchConfig:
     stop_at_first_violation: bool = True
     check_deadlocks: bool = False
     engine_cache_capacity: Optional[int] = None
+    successor_engine: str = "object"
 
 
 @dataclass
@@ -150,6 +158,26 @@ def _path_from_stack(stack: List[_Frame], final: Optional[Tuple[Execution, Globa
                           property_name=property_name)
 
 
+def _fastpath_requested(
+    config: SearchConfig, engine: Optional[SuccessorEngine], target: str
+) -> bool:
+    """Validate the ``successor_engine`` knob; True when the packed fast
+    path (:mod:`repro.fastpath`) should run instead of this module."""
+    if config.successor_engine == "object":
+        return False
+    if config.successor_engine != "fast":
+        raise ValueError(
+            f"unknown successor_engine {config.successor_engine!r} "
+            "(expected 'object' or 'fast')"
+        )
+    if engine is not None:
+        raise ValueError(
+            "successor_engine='fast' compiles its own engine; pass a "
+            f"FastSuccessorEngine to repro.fastpath.{target} instead"
+        )
+    return True
+
+
 def dfs_search(
     protocol: Protocol,
     invariant: Invariant,
@@ -175,6 +203,12 @@ def dfs_search(
         A :class:`SearchOutcome` with verdict, counterexample and statistics.
     """
     config = config or SearchConfig()
+    if _fastpath_requested(config, engine, "fast_dfs_search"):
+        # Imported lazily: repro.fastpath builds on this module.
+        from ..fastpath.search import fast_dfs_search
+
+        return fast_dfs_search(protocol, invariant, config, reducer=reducer,
+                               observer=observer)
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 
@@ -316,6 +350,11 @@ def bfs_search(
     plus ``violation-found`` events.
     """
     config = config or SearchConfig()
+    if _fastpath_requested(config, engine, "fast_bfs_search"):
+        # Imported lazily: repro.fastpath builds on this module.
+        from ..fastpath.search import fast_bfs_search
+
+        return fast_bfs_search(protocol, invariant, config, observer=observer)
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 

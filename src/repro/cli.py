@@ -6,7 +6,11 @@ Subcommands:
     List the catalog cells (Table-I rows) available at a scale.
 ``engines``
     List the registered engines with the plan-axis combinations each one
-    supports (shape × reduction × backend × workers × store).
+    supports (shape × reduction × backend × workers × store × successors).
+    With ``--plan`` plus axis options it becomes a *dry run*: it prints the
+    resolution decision — the chosen engine and the concretised backend, or
+    the structured ``UnsupportedPlanError`` diagnostic with the nearest
+    supported alternative — without running anything.
 ``check``
     Check one cell.  Either name a legacy ``--strategy`` or spell the plan
     axes out (``--shape`` / ``--reduction`` / ``--backend``); plan
@@ -50,7 +54,14 @@ from .analysis.aggregate import (
 )
 from .checker.statestore import STORE_KINDS
 from .engine.events import ProgressPrinter
-from .engine.plan import BACKENDS, REDUCTIONS, SHAPES, UnsupportedPlanError
+from .engine.plan import (
+    BACKENDS,
+    REDUCTIONS,
+    SHAPES,
+    SUCCESSOR_MODES,
+    CheckPlan,
+    UnsupportedPlanError,
+)
 from .engine.registry import default_registry
 from .parallel.cells import MODELS, CellSpec, run_cell_task, run_cells, specs_for_sweep
 from .protocols.catalog import default_catalog
@@ -103,18 +114,59 @@ def _command_cells(args, stream) -> int:
 
 
 def _command_engines(args, stream) -> int:
-    """List the registered engines and their declared capabilities."""
+    """List the registered engines, or dry-run one plan's resolution."""
+    if args.plan:
+        return _command_engines_plan(args, stream)
     for engine in default_registry().engines():
         caps = engine.capabilities
         stream.write(
-            f"{engine.name:<16} "
+            f"{engine.name:<18} "
             f"shape={'|'.join(caps.shapes)} "
             f"reduction={'|'.join(caps.reductions)} "
             f"backend={'|'.join(caps.backends)} "
             f"{caps.supported_description('workers')} "
-            f"store={'|'.join(caps.stores)}\n"
+            f"store={'|'.join(caps.stores)} "
+            f"successors={'|'.join(caps.successor_modes)}\n"
         )
-        stream.write(f"{'':<16} {engine.description}\n")
+        stream.write(f"{'':<18} {engine.description}\n")
+    return 0
+
+
+def _command_engines_plan(args, stream) -> int:
+    """Dry-run plan resolution: print the decision without running.
+
+    Exit code 0 when the plan resolves; 2 with the structured diagnostic
+    (offending axis, engine note, runnable nearest alternative) when no
+    registered engine supports the combination.
+    """
+    stateful = args.reduction != "dpor"
+    plan = CheckPlan(
+        shape=args.shape,
+        reduction=args.reduction,
+        store=args.store if stateful else "none",
+        backend=args.backend,
+        workers=max(1, args.workers),
+        stateful=stateful,
+        successors=args.successors,
+    )
+    registry = default_registry()
+    try:
+        engine, resolved = registry.resolve(plan)
+    except UnsupportedPlanError as error:
+        stream.write(f"plan {plan.describe()}: unsupported\n")
+        stream.write(f"  axis: {error.axis} = {error.value!r}\n")
+        stream.write(f"  {error}\n")
+        if isinstance(error.alternative, CheckPlan):
+            alt_engine, alt_resolved = registry.resolve(error.alternative)
+            stream.write(
+                f"  alternative {error.alternative.describe()} resolves to "
+                f"{alt_engine.name} (backend {alt_resolved.backend})\n"
+            )
+        return 2
+    stream.write(
+        f"plan {plan.describe()} -> engine {engine.name} "
+        f"(backend {resolved.backend}, workers {resolved.workers})\n"
+    )
     return 0
 
 
@@ -141,6 +193,7 @@ def _command_check(args, stream) -> int:
         shape=args.shape,
         reduction=args.reduction,
         backend=args.backend,
+        successors=args.successors,
     )
     observer = ProgressPrinter(stream) if args.progress else None
     record = run_cell_task(spec.to_task(), observer=observer)
@@ -164,6 +217,7 @@ def _command_sweep(args, stream) -> int:
         state_store=args.store,
         cell_workers=args.cell_workers,
         backend=args.backend,
+        successors=args.successors,
     )
     workers = 1 if args.serial else args.workers
     started = time.perf_counter()
@@ -277,6 +331,16 @@ def build_parser() -> argparse.ArgumentParser:
     engines = subparsers.add_parser(
         "engines", help="list the registered engines and their capabilities"
     )
+    engines.add_argument("--plan", action="store_true",
+                         help="dry-run: print the resolution decision for "
+                              "the axes below without running anything")
+    engines.add_argument("--shape", choices=SHAPES, default="dfs")
+    engines.add_argument("--reduction", choices=REDUCTIONS, default="none")
+    engines.add_argument("--backend", choices=BACKENDS, default="auto")
+    engines.add_argument("--workers", type=int, default=1)
+    engines.add_argument("--store", choices=STORE_KINDS, default="full")
+    engines.add_argument("--successors", choices=SUCCESSOR_MODES,
+                         default="object")
     engines.set_defaults(handler=_command_engines)
 
     check = subparsers.add_parser("check", help="check one cell")
@@ -294,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--backend", choices=BACKENDS, default="auto",
                        help="execution backend; 'auto' picks serial/"
                             "frontier/worksteal from shape and workers")
+    check.add_argument("--successors", choices=SUCCESSOR_MODES,
+                       default="object",
+                       help="successor-engine family: 'fast' opts into the "
+                            "packed table-compiled fast path")
     check.add_argument("--workers", type=int, default=1,
                        help="in-cell workers: frontier-parallel for bfs, "
                             "work-stealing DFS for dfs/stubborn/spor-net")
@@ -311,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--strategy", choices=STRATEGIES, default="spor")
     sweep.add_argument("--backend", choices=BACKENDS, default="auto",
                        help="execution backend for every cell's own search")
+    sweep.add_argument("--successors", choices=SUCCESSOR_MODES,
+                       default="object",
+                       help="successor-engine family for every cell "
+                            "('fast' = packed fast path)")
     sweep.add_argument("--workers", type=int, default=2,
                        help="cell-parallel pool size")
     sweep.add_argument("--cell-workers", type=int, default=1,

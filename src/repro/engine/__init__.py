@@ -18,6 +18,10 @@ from .capabilities import Capabilities
 from .engines import (
     DporEngine,
     Engine,
+    FastFrontierBfsEngine,
+    FastSerialBfsEngine,
+    FastSerialDfsEngine,
+    FastWorkstealDfsEngine,
     FrontierBfsEngine,
     SerialBfsEngine,
     SerialDfsEngine,
@@ -42,6 +46,7 @@ from .plan import (
     REDUCTIONS,
     SHAPES,
     STORES,
+    SUCCESSOR_MODES,
     CheckPlan,
     UnsupportedPlanError,
     strategy_label,
@@ -58,6 +63,10 @@ __all__ = [
     "Engine",
     "EngineEvent",
     "EngineRegistry",
+    "FastFrontierBfsEngine",
+    "FastSerialBfsEngine",
+    "FastSerialDfsEngine",
+    "FastWorkstealDfsEngine",
     "FrontierBfsEngine",
     "MultiObserver",
     "NullObserver",
@@ -68,6 +77,7 @@ __all__ = [
     "REDUCTIONS",
     "SHAPES",
     "STORES",
+    "SUCCESSOR_MODES",
     "SerialBfsEngine",
     "SerialDfsEngine",
     "UnsupportedPlanError",

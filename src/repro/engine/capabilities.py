@@ -26,6 +26,7 @@ _AXIS_WEIGHTS = {
     "shape": 16,
     "workers": 8,
     "stateful": 4,
+    "successors": 3,
     "backend": 2,
     "store": 1,
 }
@@ -38,6 +39,10 @@ class Capabilities:
     Attributes:
         shapes / reductions / backends / stores: Supported values per axis.
         statefulness: Supported values of the ``stateful`` axis.
+        successor_modes: Supported values of the ``successors`` axis; the
+            default keeps pre-existing engines object-graph-only, the fast
+            engines declare ``("fast",)``.  No engine family matches the
+            other's plans, so the successor choice is never downgraded.
         min_workers / max_workers: Inclusive worker-count range
             (``max_workers=None`` means unbounded).
         notes: Optional per-axis explanation of *why* a constraint exists;
@@ -49,6 +54,7 @@ class Capabilities:
     backends: Tuple[str, ...]
     stores: Tuple[str, ...]
     statefulness: Tuple[bool, ...] = (True, False)
+    successor_modes: Tuple[str, ...] = ("object",)
     min_workers: int = 1
     max_workers: Optional[int] = None
     notes: Dict[str, str] = field(default_factory=dict)
@@ -69,6 +75,8 @@ class Capabilities:
             return plan.store in self.stores
         if axis == "stateful":
             return plan.stateful in self.statefulness
+        if axis == "successors":
+            return plan.successors in self.successor_modes
         if axis == "workers":
             if plan.workers < self.min_workers:
                 return False
@@ -108,6 +116,7 @@ class Capabilities:
             "backend": self.backends,
             "store": self.stores,
             "stateful": self.statefulness,
+            "successors": self.successor_modes,
         }[axis]
         return f"{axis} in {{{', '.join(map(repr, values))}}}"
 
@@ -149,4 +158,6 @@ class Capabilities:
                     changes["store"] = next(
                         kind for kind in self.stores if kind != "none"
                     )
+            elif axis == "successors":
+                changes["successors"] = self.successor_modes[0]
         return replace(plan, **changes)

@@ -206,6 +206,169 @@ class WorkstealDfsEngine(Engine):
         )
 
 
+#: Shared phrasing for the fast engines' successor-axis note.
+_FAST_NOTE = (
+    "the packed fast path is an explicit opt-in (successors='fast'); "
+    "verdicts and visited counts are identical to the object engine"
+)
+
+
+class FastSerialDfsEngine(Engine):
+    """Packed-state serial DFS (the table-compiled fast path)."""
+
+    name = "serial-dfs-fast"
+    description = ("packed serial DFS; table-compiled transitions, "
+                   "object-identical counts, several-fold faster per state")
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("none", "spor", "spor-net"),
+        backends=("serial",),
+        stores=("full", "fingerprint", "sharded-fingerprint", "none"),
+        statefulness=(True, False),
+        successor_modes=("fast",),
+        min_workers=1,
+        max_workers=1,
+        notes={
+            "successors": _FAST_NOTE,
+            "workers": "the packed serial DFS runs in-process; request the "
+            "worksteal backend (or backend='auto') for workers > 1",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        # Imported lazily: repro.fastpath builds on the checker package.
+        from ..fastpath.search import fast_dfs_search
+
+        return fast_dfs_search(
+            protocol,
+            invariant,
+            plan.search_config(),
+            reducer=make_reducer(protocol, plan),
+            observer=observer,
+        )
+
+
+class FastSerialBfsEngine(Engine):
+    """Packed-state serial BFS (shortest counterexamples, fast path)."""
+
+    name = "serial-bfs-fast"
+    description = "packed serial BFS; stateful only, shortest counterexamples"
+    capabilities = Capabilities(
+        shapes=("bfs",),
+        reductions=("none",),
+        backends=("serial",),
+        stores=_STATEFUL_STORES,
+        statefulness=(True,),
+        successor_modes=("fast",),
+        min_workers=1,
+        max_workers=1,
+        notes={
+            "successors": _FAST_NOTE,
+            "reduction": "the stubborn-set cycle proviso needs a DFS stack, "
+            "so breadth-first search runs unreduced",
+            "stateful": "breadth-first search deduplicates per level and is "
+            "inherently stateful",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        from ..fastpath.search import fast_bfs_search
+
+        return fast_bfs_search(
+            protocol, invariant, plan.search_config(), observer=observer
+        )
+
+
+class FastFrontierBfsEngine(Engine):
+    """Fingerprint-native frontier-parallel BFS: level deltas are int
+    4-tuples, packed children never cross a process boundary."""
+
+    name = "frontier-bfs-fast"
+    description = ("packed frontier-parallel BFS; int-tuple deltas, "
+                   "fingerprint stores only, serial-exact counts")
+    capabilities = Capabilities(
+        shapes=("bfs",),
+        reductions=("none",),
+        backends=("frontier",),
+        stores=("fingerprint", "sharded-fingerprint"),
+        statefulness=(True,),
+        successor_modes=("fast",),
+        min_workers=2,
+        max_workers=None,
+        notes={
+            "successors": _FAST_NOTE,
+            "store": "the packed frontier exchanges fingerprints, not "
+            "states, so the exact 'full' store has no fast analogue; use "
+            "the object frontier engine (successors='object') for "
+            "exact-store level-parallel BFS",
+            "reduction": "the stubborn-set cycle proviso needs a DFS stack, "
+            "so breadth-first search runs unreduced",
+            "workers": "one worker has no frontier to share; backend='auto' "
+            "picks the packed serial BFS instead",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        # Imported lazily: repro.fastpath builds on the checker package.
+        from ..fastpath.parallel import fast_parallel_bfs_search
+
+        return fast_parallel_bfs_search(
+            protocol,
+            invariant,
+            plan.search_config(),
+            workers=plan.workers,
+            observer=observer,
+        )
+
+
+class FastWorkstealDfsEngine(Engine):
+    """Packed work-stealing parallel DFS: stolen frames are pure
+    int-tuples (path + pending indices), thieves replay paths through the
+    warm memo tables."""
+
+    name = "worksteal-dfs-fast"
+    description = ("packed work-stealing DFS; int-tuple stolen frames, "
+                   "drives the stubborn-set reductions")
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("none", "spor", "spor-net"),
+        backends=("worksteal",),
+        stores=_STATEFUL_STORES,
+        statefulness=(True,),
+        successor_modes=("fast",),
+        min_workers=2,
+        max_workers=None,
+        notes={
+            "successors": _FAST_NOTE,
+            "store": "the shared claim table arbitrating worker expansions "
+            "is fingerprint-based regardless of the store kind (the exact "
+            "store has no shared-memory analogue), so store='full' keeps "
+            "the legacy semantics but carries the standard bit-state "
+            "collision trade-off; run workers=1 for exact-store dedup",
+            "stateful": "the work-stealing DFS deduplicates via a shared "
+            "claim table, which has no stateless mode; run stateless "
+            "searches with workers=1",
+            "reduction": "dynamic POR mutates backtrack sets up the serial "
+            "DFS stack, so its subtrees cannot be donated to other workers",
+            "workers": "one worker has nothing to steal from; backend='auto' "
+            "picks the packed serial DFS instead",
+        },
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        # Imported lazily: repro.fastpath builds on the checker package.
+        from ..fastpath.parallel import fast_parallel_dfs_search
+
+        return fast_parallel_dfs_search(
+            protocol,
+            invariant,
+            plan.search_config(),
+            workers=plan.workers,
+            reducer=make_reducer(protocol, plan),
+            observer=observer,
+        )
+
+
 class DporEngine(Engine):
     """Stateless dynamic partial-order reduction (the Basset DPOR baseline)."""
 
@@ -238,11 +401,20 @@ class DporEngine(Engine):
 
 
 def builtin_engines():
-    """Fresh instances of every built-in engine, registration order."""
+    """Fresh instances of every built-in engine, registration order.
+
+    The object-graph engines come first, the packed fast-path engines after
+    them; the ``successors`` axis keeps the two families disjoint, so the
+    order only affects which family's engine explains a near-miss.
+    """
     return (
         SerialDfsEngine(),
         SerialBfsEngine(),
         FrontierBfsEngine(),
         WorkstealDfsEngine(),
         DporEngine(),
+        FastSerialDfsEngine(),
+        FastSerialBfsEngine(),
+        FastFrontierBfsEngine(),
+        FastWorkstealDfsEngine(),
     )

@@ -13,8 +13,11 @@ Event kinds (``EngineEvent.kind``):
     Emitted once by :func:`repro.engine.registry.run_plan` before the engine
     runs; payload carries the resolved plan axes and the engine name.
 ``progress``
-    Periodic states-visited tick from the serial engines (every
-    :data:`PROGRESS_INTERVAL` stored/expanded states).
+    Periodic states-visited tick: the serial engines emit one every
+    :data:`PROGRESS_INTERVAL` stored/expanded states, and the work-stealing
+    coordinators emit in-flight ticks from a shared claim counter the
+    workers flush in batches (so parallel DFS progress is live, not an
+    end-of-run report).
 ``level-completed``
     One BFS level finished; payload carries the depth, the level's newly
     discovered state count and (for the frontier-parallel engine) the

@@ -39,9 +39,18 @@ STORES = ("full", "fingerprint", "sharded-fingerprint", "none")
 #: shape and worker count (serial for 1 worker, frontier/worksteal above).
 BACKENDS = ("auto", "serial", "frontier", "worksteal")
 
+#: Successor-engine preference: the object-graph engine of
+#: :mod:`repro.mp.semantics` or the packed fast path of
+#: :mod:`repro.fastpath`.  An explicit axis (no "auto"): the fast path is
+#: an opt-in with its own store constraints, and the no-silent-downgrade
+#: contract means a plan asking for one engine family never silently runs
+#: on the other.
+SUCCESSOR_MODES = ("object", "fast")
+
 #: The orthogonal axes engine capabilities are declared over, in the order
 #: violations are reported (most identity-defining axis first).
-PLAN_AXES = ("reduction", "shape", "workers", "stateful", "backend", "store")
+PLAN_AXES = ("reduction", "shape", "workers", "stateful", "successors",
+             "backend", "store")
 
 
 class UnsupportedPlanError(ValueError):
@@ -102,6 +111,12 @@ class CheckPlan:
         stateful: Keep a visited-state store.  ``reduction="dpor"`` forces
             ``False`` — DPOR is unsound with stateful exploration
             (Section III-A of the paper).
+        successors: ``"object"`` (the interned-object successor engine) or
+            ``"fast"`` (the packed table-compiled fast path of
+            :mod:`repro.fastpath`).  Verdicts and visited counts are
+            identical between the two; the fast path trades generality
+            (e.g. the frontier variant is fingerprint-store only) for a
+            several-fold smaller per-state constant.
         seed_heuristic: Seed-transition heuristic for the stubborn-set
             reductions; ignored by the others.
         store_shards: Shard count of the ``"sharded-fingerprint"`` store in
@@ -121,6 +136,7 @@ class CheckPlan:
     backend: str = "auto"
     workers: int = 1
     stateful: bool = True
+    successors: str = "object"
     seed_heuristic: str = "opposite-transaction"
     store_shards: int = 8
     max_depth: Optional[int] = None
@@ -139,6 +155,8 @@ class CheckPlan:
             raise _unknown_axis_value("store", self.store, STORES)
         if self.backend not in BACKENDS:
             raise _unknown_axis_value("backend", self.backend, BACKENDS)
+        if self.successors not in SUCCESSOR_MODES:
+            raise _unknown_axis_value("successors", self.successors, SUCCESSOR_MODES)
         if not isinstance(self.workers, int) or self.workers < 1:
             raise UnsupportedPlanError(
                 "workers",
@@ -177,12 +195,18 @@ class CheckPlan:
             "backend": self.backend,
             "workers": self.workers,
             "stateful": self.stateful,
+            "successors": self.successors,
         }
 
     def describe(self) -> str:
-        """Compact one-line rendering: ``dfs/spor/full/worksteal x4``."""
+        """Compact one-line rendering: ``dfs/spor/full/worksteal+fast x4``.
+
+        The successor mode only appears when it departs from the default,
+        keeping existing object-engine renderings byte-stable.
+        """
         suffix = f" x{self.workers}" if self.workers > 1 else ""
-        return f"{self.shape}/{self.reduction}/{self.store}/{self.backend}{suffix}"
+        fast = "+fast" if self.successors == "fast" else ""
+        return f"{self.shape}/{self.reduction}/{self.store}/{self.backend}{fast}{suffix}"
 
     def search_config(self):
         """The :class:`repro.checker.search.SearchConfig` this plan implies."""
@@ -194,6 +218,7 @@ class CheckPlan:
             stateful=self.stateful,
             state_store=self.store if self.stateful else "full",
             state_store_shards=self.store_shards,
+            successor_engine=self.successors,
             max_depth=self.max_depth,
             max_states=self.max_states,
             max_seconds=self.max_seconds,

@@ -126,12 +126,15 @@ class EngineRegistry:
         self,
         worker_counts: Sequence[int] = (1, 2, 4),
         stores: Sequence[str] = ("full",),
+        successor_modes: Sequence[str] = ("object",),
     ) -> Iterator[Tuple[Engine, CheckPlan]]:
-        """Enumerate the (shape × reduction × backend × workers × store)
-        grid the registry reports as supported.
+        """Enumerate the (shape × reduction × backend × workers × store ×
+        successors) grid the registry reports as supported.
 
         This is what the conformance matrix iterates: every yielded plan is
-        guaranteed to resolve to the accompanying engine.
+        guaranteed to resolve to the accompanying engine.  The default
+        enumerates the object-graph family only; pass
+        ``successor_modes=("object", "fast")`` for the full grid.
         """
         from .plan import REDUCTIONS, SHAPES
 
@@ -140,24 +143,27 @@ class EngineRegistry:
             for reduction in REDUCTIONS:
                 for store in stores:
                     for workers in worker_counts:
-                        stateful = reduction != "dpor"
-                        try:
-                            plan = CheckPlan(
-                                shape=shape,
-                                reduction=reduction,
-                                store=store if stateful else "none",
-                                workers=workers,
-                                stateful=stateful,
-                            )
-                            engine, resolved = self.resolve(plan)
-                        except UnsupportedPlanError:
-                            continue
-                        # Stateless plans collapse the store axis to "none",
-                        # so several grid points can normalise to one plan.
-                        if resolved in seen:
-                            continue
-                        seen.add(resolved)
-                        yield engine, resolved
+                        for successors in successor_modes:
+                            stateful = reduction != "dpor"
+                            try:
+                                plan = CheckPlan(
+                                    shape=shape,
+                                    reduction=reduction,
+                                    store=store if stateful else "none",
+                                    workers=workers,
+                                    stateful=stateful,
+                                    successors=successors,
+                                )
+                                engine, resolved = self.resolve(plan)
+                            except UnsupportedPlanError:
+                                continue
+                            # Stateless plans collapse the store axis to
+                            # "none", so several grid points can normalise
+                            # to one plan.
+                            if resolved in seen:
+                                continue
+                            seen.add(resolved)
+                            yield engine, resolved
 
 
 #: The process-wide default registry, built lazily.

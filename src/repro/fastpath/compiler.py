@@ -1,0 +1,546 @@
+"""The protocol compiler: object-graph models lowered to table-driven form.
+
+The object-graph semantics (:mod:`repro.mp.semantics`) pays, per state, for
+attribute walks over :class:`~repro.mp.message.Message` objects, ``repr``
+-based sort keys, guard/action closure calls, :class:`ActionContext`
+construction and per-object hashing.  All of that work is a pure function
+of a small number of *distinct* inputs — a protocol has few local states
+and few message values compared to its (combinatorially large) set of
+global states — so the compiler interns those inputs to small integers once
+and replaces the per-state work with dictionary lookups on int keys:
+
+* **Interning tables.**  Local states and messages are interned to dense
+  ids as they are discovered (``id -> object`` lists, ``object -> id``
+  dicts).  Per message id the compiler precomputes the sort key and, per
+  transition, whether the message is a consumption candidate.
+* **Packed states.**  A global state becomes a flat tuple of machine words:
+  one local-state id per process followed by the network as ``(message id,
+  count)`` pairs sorted by id.  Alongside the words the engine carries the
+  two XOR accumulators of the PR-1 incremental hash — the locals
+  accumulator and the network accumulator — maintained word-incrementally,
+  and the combined fingerprint, which is *bit-identical* to
+  :meth:`repro.mp.state.GlobalState.fingerprint` of the decoded state.
+* **Table-compiled transitions.**  Enabled-set computation is memoised per
+  ``(local id, candidate ids)`` and action application per ``(local id,
+  consumed ids, spec-read ids)``; a guard or action closure runs at most
+  once per distinct input and every revisit is a dict hit.
+
+Enabled executions are produced in *exactly* the object engine's
+deterministic order (transition declaration order, candidates by message
+sort key, the same combination enumeration), so execution indices are
+interchangeable between the two engines — the parallel fast engines rely on
+this to ship pure int-tuples across process boundaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..mp.channel import Network, item_hash
+from ..mp.errors import MPError, TransitionExecutionError
+from ..mp.message import Message
+from ..mp.protocol import Protocol
+from ..mp.state import GlobalState, _entry_hash, combine_state_hash
+from ..mp.transition import ActionContext, Execution, QuorumKind, TransitionSpec
+
+#: A packed global state: ``(words, locals accumulator, network accumulator,
+#: fingerprint)``.  ``words`` is the flat word tuple — one local-state id
+#: per process, then the network as ``(message id, count)`` pairs sorted by
+#: id — and is the identity of the state (two packed states are equal iff
+#: their words are equal).  The fingerprint equals the decoded state's
+#: ``GlobalState.fingerprint()`` bit for bit.
+PackedState = Tuple[Tuple[int, ...], int, int, int]
+
+#: A packed execution: ``(transition index, consumed message ids)`` with the
+#: ids in the object engine's message order (sorted by message sort key).
+PackedExecution = Tuple[int, Tuple[int, ...]]
+
+
+class CompiledTransition:
+    """One transition lowered onto the interning tables."""
+
+    __slots__ = (
+        "spec",
+        "index",
+        "position",
+        "pid",
+        "message_type",
+        "senders",
+        "quorum_size",
+        "is_single",
+        "distinct_senders",
+        "peers",
+        "spec_positions",
+        "spec_pids",
+        "spec_reads",
+        "guard",
+        "action",
+        "enabled_memo",
+        "action_memo",
+        "candidate_flags",
+    )
+
+    def __init__(self, spec: TransitionSpec, index: int, position: int,
+                 spec_positions: Tuple[int, ...], spec_pids: Tuple[str, ...]) -> None:
+        self.spec = spec
+        self.index = index
+        self.position = position
+        self.pid = spec.process_id
+        self.message_type = spec.message_type
+        self.senders = spec.effective_senders()
+        self.quorum_size = spec.quorum.size
+        self.is_single = spec.quorum.kind is QuorumKind.SINGLE
+        self.distinct_senders = spec.quorum.distinct_senders
+        self.peers = spec.quorum_peers
+        self.spec_positions = spec_positions
+        self.spec_pids = spec_pids
+        self.spec_reads = spec.annotation.spec_reads
+        self.guard = spec.guard
+        self.action = spec.action
+        #: ``(local id, candidate ids) -> tuple of consumed-id tuples``.
+        self.enabled_memo: Dict[Tuple, Tuple[Tuple[int, ...], ...]] = {}
+        #: ``(local id, consumed ids, spec ids) -> (new local id, outbox)``.
+        self.action_memo: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+        #: Per message id: is the message a consumption candidate?  Grown
+        #: lazily in lockstep with the engine's message table.
+        self.candidate_flags: List[bool] = []
+
+
+class FastSuccessorEngine:
+    """Table-compiled drop-in for :class:`~repro.mp.semantics.SuccessorEngine`.
+
+    Compiled once per protocol (per check); the interning tables then grow
+    monotonically as the search discovers new local states and messages.
+    The packed API (``initial_packed`` / ``enabled_packed`` /
+    ``successor_packed``) is the hot path; ``encode`` / ``decode`` /
+    ``execution_of`` bridge to the object graph for counterexample replay,
+    reducers and invariants.
+
+    The engine is purely an optimisation: enabled executions, their order
+    and the successor states are identical to the object engine's, and
+    packed fingerprints equal :meth:`GlobalState.fingerprint` bit for bit
+    (so fingerprint stores and cross-process claim tables interoperate).
+    """
+
+    __slots__ = (
+        "protocol",
+        "_pids",
+        "_index",
+        "_num_processes",
+        "_transitions",
+        "_local_ids",
+        "_locals",
+        "_msg_ids",
+        "_msgs",
+        "_msg_sort",
+        "_consumers",
+        "_entry_hash_memo",
+        "_net_contrib_memo",
+        "_exec_memo",
+    )
+
+    def __init__(self, protocol: Protocol) -> None:
+        self.protocol = protocol
+        self._pids: Tuple[str, ...] = protocol.process_ids
+        self._index = protocol.process_index
+        self._num_processes = len(self._pids)
+        position_of = {pid: position for position, pid in enumerate(self._pids)}
+        transitions = []
+        for index, spec in enumerate(protocol.transitions):
+            spec_pids = tuple(sorted(spec.annotation.spec_reads))
+            spec_positions = tuple(position_of[pid] for pid in spec_pids)
+            transitions.append(
+                CompiledTransition(
+                    spec, index, position_of[spec.process_id],
+                    spec_positions, spec_pids,
+                )
+            )
+        self._transitions: Tuple[CompiledTransition, ...] = tuple(transitions)
+        self._local_ids: Dict[Any, int] = {}
+        self._locals: List[Any] = []
+        self._msg_ids: Dict[Message, int] = {}
+        self._msgs: List[Message] = []
+        self._msg_sort: List[Tuple] = []
+        #: Per message id: the transitions that may consume it.
+        self._consumers: List[Tuple[CompiledTransition, ...]] = []
+        #: Per process position: ``local id -> hash((position, pid, local))``.
+        self._entry_hash_memo: Tuple[Dict[int, int], ...] = tuple(
+            {} for _ in self._pids
+        )
+        #: ``(message id, count) -> item_hash(message, count)``.
+        self._net_contrib_memo: Dict[Tuple[int, int], int] = {}
+        #: Packed execution -> object-graph :class:`Execution`.
+        self._exec_memo: Dict[PackedExecution, Execution] = {}
+
+    # ------------------------------------------------------------------ #
+    # Interning
+    # ------------------------------------------------------------------ #
+    def _intern_local(self, local: Any) -> int:
+        local_id = self._local_ids.get(local)
+        if local_id is None:
+            local_id = len(self._locals)
+            self._local_ids[local] = local_id
+            self._locals.append(local)
+        return local_id
+
+    def _intern_message(self, message: Message) -> int:
+        message_id = self._msg_ids.get(message)
+        if message_id is None:
+            message_id = len(self._msgs)
+            self._msg_ids[message] = message_id
+            self._msgs.append(message)
+            self._msg_sort.append(message.sort_key())
+            consumers = []
+            for transition in self._transitions:
+                candidate = (
+                    message.recipient == transition.pid
+                    and message.mtype == transition.message_type
+                    and (
+                        transition.senders is None
+                        or message.sender in transition.senders
+                    )
+                )
+                transition.candidate_flags.append(candidate)
+                if candidate:
+                    consumers.append(transition)
+            self._consumers.append(tuple(consumers))
+        return message_id
+
+    def _entry_hash(self, position: int, local_id: int) -> int:
+        memo = self._entry_hash_memo[position]
+        value = memo.get(local_id)
+        if value is None:
+            value = _entry_hash(position, self._pids[position], self._locals[local_id])
+            memo[local_id] = value
+        return value
+
+    def _net_contrib(self, message_id: int, count: int) -> int:
+        key = (message_id, count)
+        value = self._net_contrib_memo.get(key)
+        if value is None:
+            value = item_hash(self._msgs[message_id], count)
+            self._net_contrib_memo[key] = value
+        return value
+
+    def table_sizes(self) -> Dict[str, int]:
+        """Sizes of the interning and memo tables, for diagnostics/tests."""
+        return {
+            "locals": len(self._locals),
+            "messages": len(self._msgs),
+            "enabled_entries": sum(
+                len(t.enabled_memo) for t in self._transitions
+            ),
+            "action_entries": sum(len(t.action_memo) for t in self._transitions),
+        }
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes; also the length of the locals word prefix."""
+        return self._num_processes
+
+    # ------------------------------------------------------------------ #
+    # Encode / decode
+    # ------------------------------------------------------------------ #
+    def encode(self, state: GlobalState) -> PackedState:
+        """Lower an object-graph state into packed form."""
+        pairs = state.locals
+        if tuple(pid for pid, _ in pairs) != self._pids:
+            raise MPError(
+                "state layout does not match the compiled protocol's process order"
+            )
+        lhash = 0
+        local_words = []
+        for position, (_pid, local) in enumerate(pairs):
+            local_id = self._intern_local(local)
+            local_words.append(local_id)
+            lhash ^= self._entry_hash(position, local_id)
+        net = sorted(
+            (self._intern_message(message), count)
+            for message, count in state.network.items
+        )
+        nethash = 0
+        words = local_words
+        for message_id, count in net:
+            nethash ^= self._net_contrib(message_id, count)
+            words.append(message_id)
+            words.append(count)
+        return tuple(words), lhash, nethash, combine_state_hash(lhash, nethash)
+
+    def decode(self, packed: PackedState) -> GlobalState:
+        """Materialise the object-graph state of a packed state.
+
+        Off the hot path by design: used for counterexample replay,
+        invariant-memo misses and the reducer bridge.  The precomputed
+        accumulators are reattached, so nothing is rehashed.
+        """
+        words, lhash, nethash, _fp = packed
+        count = self._num_processes
+        locals_list = self._locals
+        pairs = tuple(
+            (pid, locals_list[words[position]])
+            for position, pid in enumerate(self._pids)
+        )
+        msgs = self._msgs
+        items = [
+            (msgs[words[i]], words[i + 1]) for i in range(count, len(words), 2)
+        ]
+        items.sort(key=lambda item: item[0].sort_key())
+        network = Network._from_canonical(tuple(items), nethash)
+        return GlobalState._derive(pairs, network, self._index, lhash)
+
+    def initial_packed(self) -> PackedState:
+        """The protocol's initial state in packed form."""
+        return self.encode(self.protocol.initial_state())
+
+    def fingerprint(self, packed: PackedState) -> int:
+        """The packed fingerprint (equals the decoded state's)."""
+        return packed[3]
+
+    # ------------------------------------------------------------------ #
+    # Enabled executions
+    # ------------------------------------------------------------------ #
+    def enabled_packed(self, packed: PackedState) -> Tuple[PackedExecution, ...]:
+        """All enabled executions, in the object engine's exact order."""
+        words = packed[0]
+        count = self._num_processes
+        consumers = self._consumers
+        buckets: Dict[int, List[int]] = {}
+        for i in range(count, len(words), 2):
+            message_id = words[i]
+            for transition in consumers[message_id]:
+                bucket = buckets.get(transition.index)
+                if bucket is None:
+                    buckets[transition.index] = [message_id]
+                else:
+                    bucket.append(message_id)
+        if not buckets:
+            return ()
+        result: List[PackedExecution] = []
+        for transition in self._transitions:
+            candidate_ids = buckets.get(transition.index)
+            if candidate_ids is None:
+                continue
+            key = (words[transition.position], tuple(candidate_ids))
+            executions = transition.enabled_memo.get(key)
+            if executions is None:
+                executions = self._compute_enabled(transition, key[0], key[1])
+                transition.enabled_memo[key] = executions
+            index = transition.index
+            for consumed in executions:
+                result.append((index, consumed))
+        return tuple(result)
+
+    def _sorted_by_message(self, ids) -> List[int]:
+        sort_keys = self._msg_sort
+        return sorted(ids, key=lambda message_id: (sort_keys[message_id], message_id))
+
+    def _compute_enabled(
+        self, transition: CompiledTransition, local_id: int,
+        candidate_ids: Tuple[int, ...],
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Memo-miss path: replicate :mod:`repro.mp.semantics` exactly."""
+        order = self._sorted_by_message(candidate_ids)
+        local = self._locals[local_id]
+        msgs = self._msgs
+        guard = transition.guard
+        out: List[Tuple[int, ...]] = []
+        if transition.is_single:
+            for message_id in order:
+                if guard(local, (msgs[message_id],)):
+                    out.append((message_id,))
+            return tuple(out)
+        size = transition.quorum_size
+        if len(order) < size:
+            return ()
+        if transition.distinct_senders:
+            by_sender: Dict[str, List[int]] = {}
+            for message_id in order:
+                by_sender.setdefault(msgs[message_id].sender, []).append(message_id)
+            available = sorted(by_sender)
+            if len(available) < size:
+                return ()
+            if transition.peers is not None:
+                required = sorted(transition.peers)
+                if any(sender not in by_sender for sender in required):
+                    return ()
+                sender_combos = [tuple(required)]
+            else:
+                sender_combos = itertools.combinations(available, size)
+            for combo in sender_combos:
+                choices_per_sender = [by_sender[sender] for sender in combo]
+                for choice in itertools.product(*choices_per_sender):
+                    consumed = tuple(self._sorted_by_message(choice))
+                    if guard(local, tuple(msgs[mid] for mid in consumed)):
+                        out.append(consumed)
+            return tuple(out)
+        seen = set()
+        for combo in itertools.combinations(range(len(order)), size):
+            consumed = tuple(self._sorted_by_message(order[i] for i in combo))
+            if consumed in seen:
+                continue
+            seen.add(consumed)
+            if guard(local, tuple(msgs[mid] for mid in consumed)):
+                out.append(consumed)
+        return tuple(out)
+
+    # ------------------------------------------------------------------ #
+    # Successor application
+    # ------------------------------------------------------------------ #
+    def successor_packed(
+        self, packed: PackedState, execution: PackedExecution
+    ) -> PackedState:
+        """Apply a packed execution; pure word/accumulator arithmetic."""
+        words, lhash, nethash, _fp = packed
+        transition = self._transitions[execution[0]]
+        consumed = execution[1]
+        position = transition.position
+        local_id = words[position]
+        spec_ids = tuple(words[pos] for pos in transition.spec_positions)
+        key = (local_id, consumed, spec_ids)
+        cached = transition.action_memo.get(key)
+        if cached is None:
+            cached = self._apply_action(transition, local_id, consumed, spec_ids)
+            transition.action_memo[key] = cached
+        new_local_id, outbox = cached
+
+        count = self._num_processes
+        if new_local_id != local_id:
+            lhash ^= self._entry_hash(position, local_id) ^ self._entry_hash(
+                position, new_local_id
+            )
+            locals_part = (
+                words[:position] + (new_local_id,) + words[position + 1:count]
+            )
+        else:
+            locals_part = words[:count]
+
+        delta: Dict[int, int] = {}
+        for message_id in consumed:
+            delta[message_id] = delta.get(message_id, 0) - 1
+        for message_id in outbox:
+            delta[message_id] = delta.get(message_id, 0) + 1
+        delta = {message_id: d for message_id, d in delta.items() if d}
+        if not delta:
+            new_words = locals_part + words[count:]
+            return new_words, lhash, nethash, combine_state_hash(lhash, nethash)
+
+        contrib = self._net_contrib
+        delta_ids = sorted(delta)
+        out = list(locals_part)
+        di = 0
+        nd = len(delta_ids)
+        i = count
+        n = len(words)
+        while i < n or di < nd:
+            if di < nd and (i >= n or delta_ids[di] < words[i]):
+                message_id = delta_ids[di]
+                change = delta[message_id]
+                if change < 0:
+                    raise TransitionExecutionError(
+                        f"transition {transition.spec.name} consumed a message "
+                        "not present in the network"
+                    )
+                out.append(message_id)
+                out.append(change)
+                nethash ^= contrib(message_id, change)
+                di += 1
+            elif di < nd and delta_ids[di] == words[i]:
+                message_id = words[i]
+                old_count = words[i + 1]
+                new_count = old_count + delta[message_id]
+                if new_count < 0:
+                    raise TransitionExecutionError(
+                        f"transition {transition.spec.name} consumed more copies "
+                        "of a message than the network holds"
+                    )
+                nethash ^= contrib(message_id, old_count)
+                if new_count:
+                    out.append(message_id)
+                    out.append(new_count)
+                    nethash ^= contrib(message_id, new_count)
+                di += 1
+                i += 2
+            else:
+                out.append(words[i])
+                out.append(words[i + 1])
+                i += 2
+        return tuple(out), lhash, nethash, combine_state_hash(lhash, nethash)
+
+    def _apply_action(
+        self, transition: CompiledTransition, local_id: int,
+        consumed: Tuple[int, ...], spec_ids: Tuple[int, ...],
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """Memo-miss path: run the real action once, intern its results."""
+        local = self._locals[local_id]
+        messages = tuple(self._msgs[message_id] for message_id in consumed)
+        spec_view = {
+            pid: self._locals[spec_id]
+            for pid, spec_id in zip(transition.spec_pids, spec_ids)
+        }
+        context = ActionContext(
+            process_id=transition.pid,
+            spec_view=spec_view,
+            spec_reads=transition.spec_reads,
+        )
+        new_local = transition.action(local, messages, context)
+        if new_local is None:
+            new_local = local
+        try:
+            hash(new_local)
+        except TypeError as exc:
+            raise TransitionExecutionError(
+                f"transition {transition.spec.name} produced an unhashable local state"
+            ) from exc
+        outbox = tuple(
+            self._intern_message(message) for message in context.outbox
+        )
+        return self._intern_local(new_local), outbox
+
+    # ------------------------------------------------------------------ #
+    # Object-graph bridges
+    # ------------------------------------------------------------------ #
+    def execution_of(self, execution: PackedExecution) -> Execution:
+        """The object-graph :class:`Execution` of a packed execution."""
+        cached = self._exec_memo.get(execution)
+        if cached is None:
+            spec = self._transitions[execution[0]].spec
+            cached = Execution(
+                spec, tuple(self._msgs[message_id] for message_id in execution[1])
+            )
+            self._exec_memo[execution] = cached
+        return cached
+
+    def replay_path(self, path: Tuple[int, ...]) -> PackedState:
+        """Walk an execution-index path from the initial state.
+
+        The currency of the parallel fast engines: a frame or delta names
+        states by the indices (into the deterministic enabled orders) of
+        the executions reaching them, and any process replays the path
+        through its warm memo tables.
+        """
+        cursor = self.initial_packed()
+        for index in path:
+            cursor = self.successor_packed(cursor, self.enabled_packed(cursor)[index])
+        return cursor
+
+    # Convenience mirrors of the object engine's API (tests, exploration).
+    def initial_state(self) -> GlobalState:
+        """The protocol's initial state (object form)."""
+        return self.protocol.initial_state()
+
+    def enabled(self, state: GlobalState) -> Tuple[Execution, ...]:
+        """Object-level enabled set, computed through the tables."""
+        return tuple(
+            self.execution_of(execution)
+            for execution in self.enabled_packed(self.encode(state))
+        )
+
+    def successor(self, state: GlobalState, execution: Execution) -> GlobalState:
+        """Object-level successor, computed through the tables."""
+        packed = self.encode(state)
+        target = (
+            self.protocol.transitions.index(execution.transition),
+            tuple(self._intern_message(message) for message in execution.messages),
+        )
+        return self.decode(self.successor_packed(packed, target))

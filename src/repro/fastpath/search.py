@@ -1,0 +1,465 @@
+"""Serial fingerprint-native search loops over packed states.
+
+These mirror :func:`repro.checker.search.dfs_search` and
+:func:`~repro.checker.search.bfs_search` decision for decision — same
+statistics semantics, same budget handling, same observer events, same
+counterexamples — but the currency of the loop is the packed
+:data:`~repro.fastpath.compiler.PackedState` word tuple.  Object-graph
+states are materialised in exactly three places, all off the hot path:
+
+* **invariant evaluation misses** — verdicts of invariants declared
+  ``network_sensitive=False`` (all bundled properties) are memoised per
+  local-state word vector, which is tiny compared to the state count; a
+  network-sensitive invariant is evaluated per state via ``decode`` and
+  stays correct, just slower;
+* **the reducer bridge** — the stubborn-set reducers are object-graph
+  functions, so when a reduction is configured the expanded state and its
+  executions are decoded for the reducer's benefit while dedup, successor
+  application and hashing stay packed;
+* **counterexample replay** — only the violating path is decoded.
+
+Store semantics match the object engine's: ``"full"`` deduplicates exact
+packed words (interning is injective, so word equality is state equality),
+the fingerprint kinds deduplicate the packed fingerprint, which is
+bit-identical to ``GlobalState.fingerprint()``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..checker.counterexample import Counterexample, Step
+from ..checker.property import Invariant
+from ..checker.result import SearchStatistics
+from ..checker.search import ReductionContext, Reducer, SearchConfig, SearchOutcome
+from ..checker.statestore import ShardedFingerprintStore
+from ..engine.events import PROGRESS_INTERVAL, Observer, emit
+from ..mp.protocol import Protocol
+from ..mp.state import GlobalState
+from .compiler import FastSuccessorEngine, PackedExecution, PackedState
+
+
+class _PackedStore:
+    """Visited-set over packed states with the serial stores' semantics."""
+
+    __slots__ = ("kind", "_words", "_fingerprints", "_sharded")
+
+    def __init__(self, kind: str, shards: int) -> None:
+        self.kind = kind
+        self._words: Set[Tuple[int, ...]] = set()
+        self._fingerprints: Set[int] = set()
+        self._sharded: Optional[ShardedFingerprintStore] = None
+        if kind == "sharded-fingerprint":
+            self._sharded = ShardedFingerprintStore(num_shards=shards)
+        elif kind not in ("full", "fingerprint"):
+            raise ValueError(f"unknown packed store kind: {kind!r}")
+
+    def add(self, packed: PackedState) -> bool:
+        if self.kind == "full":
+            words = packed[0]
+            if words in self._words:
+                return False
+            self._words.add(words)
+            return True
+        if self._sharded is not None:
+            return self._sharded.add_fingerprint(packed[3])
+        fingerprint = packed[3]
+        if fingerprint in self._fingerprints:
+            return False
+        self._fingerprints.add(fingerprint)
+        return True
+
+    def __len__(self) -> int:
+        if self.kind == "full":
+            return len(self._words)
+        if self._sharded is not None:
+            return len(self._sharded)
+        return len(self._fingerprints)
+
+
+def make_invariant_checker(
+    engine: FastSuccessorEngine, invariant: Invariant, protocol: Protocol
+) -> Callable[[PackedState], bool]:
+    """Packed invariant evaluation, memoised per locals vector when sound.
+
+    Invariants declaring ``network_sensitive=False`` read process states
+    only, so their verdict is a pure function of the locals word prefix —
+    the memo turns per-state evaluation into one dict lookup.  Sensitive
+    (or undeclared, the safe default) invariants decode every state.
+    """
+    if getattr(invariant, "network_sensitive", True):
+        def check_sensitive(packed: PackedState) -> bool:
+            return invariant.holds_in(engine.decode(packed), protocol)
+
+        return check_sensitive
+
+    count = engine.num_processes
+    memo: Dict[Tuple[int, ...], bool] = {}
+
+    def check(packed: PackedState) -> bool:
+        key = packed[0][:count]
+        verdict = memo.get(key)
+        if verdict is None:
+            verdict = invariant.holds_in(engine.decode(packed), protocol)
+            memo[key] = verdict
+        return verdict
+
+    return check
+
+
+class _FastFrame:
+    """One entry of the packed DFS stack."""
+
+    __slots__ = ("packed", "pending", "next_index", "via", "successors")
+
+    def __init__(self, packed: PackedState, via: Optional[PackedExecution]) -> None:
+        self.packed = packed
+        self.pending: Tuple[PackedExecution, ...] = ()
+        self.next_index = 0
+        self.via = via
+        self.successors: Dict[PackedExecution, PackedState] = {}
+
+
+def make_reduction_bridge(
+    engine: FastSuccessorEngine,
+    protocol: Protocol,
+    reducer: Reducer,
+    make_on_stack: Callable[
+        [Dict[GlobalState, Tuple[int, ...]]], Callable[[GlobalState], bool]
+    ],
+):
+    """Adapter running an object-graph reducer over a packed frame.
+
+    Returns ``bridge(packed, enabled, successor_memo) -> reduced packed
+    executions``.  The expanded state and its executions are decoded once;
+    proviso successors computed for the reducer are kept in the frame's
+    packed memo so the search reuses them on expansion, mirroring the
+    object engine's per-frame memoisation.
+
+    ``make_on_stack`` builds the cycle-proviso predicate; it receives the
+    bridge's decoded-state -> packed-words map (filled as the reducer asks
+    for successors) so word-exact callers can avoid re-encoding, while the
+    fingerprint-based work-stealing caller ignores it.
+    """
+
+    def bridge(
+        packed: PackedState,
+        enabled: Tuple[PackedExecution, ...],
+        successor_memo: Dict[PackedExecution, PackedState],
+    ) -> Tuple[PackedExecution, ...]:
+        state = engine.decode(packed)
+        executions = tuple(engine.execution_of(p) for p in enabled)
+        packed_of = dict(zip(executions, enabled))
+        decoded: Dict[PackedExecution, GlobalState] = {}
+        words_of: Dict[GlobalState, Tuple[int, ...]] = {}
+
+        def successor_fn(execution):
+            target = packed_of[execution]
+            packed_successor = successor_memo.get(target)
+            if packed_successor is None:
+                packed_successor = engine.successor_packed(packed, target)
+                successor_memo[target] = packed_successor
+            child = decoded.get(target)
+            if child is None:
+                child = engine.decode(packed_successor)
+                decoded[target] = child
+                words_of[child] = packed_successor[0]
+            return child
+
+        context = ReductionContext(
+            state=state,
+            enabled=executions,
+            protocol=protocol,
+            successor=successor_fn,
+            on_stack=make_on_stack(words_of),
+            engine=None,
+        )
+        reduced = reducer(context)
+        if reduced is executions or len(reduced) == len(executions):
+            return enabled
+        return tuple(packed_of[execution] for execution in reduced)
+
+    return bridge
+
+
+def words_on_stack_factory(
+    engine: FastSuccessorEngine, on_stack_words: Set[Tuple[int, ...]]
+):
+    """Word-exact cycle-proviso predicate for :func:`make_reduction_bridge`
+    (the serial DFS: membership in the live packed-words stack set)."""
+
+    def make_on_stack(words_of: Dict[GlobalState, Tuple[int, ...]]):
+        def on_stack(candidate: GlobalState) -> bool:
+            words = words_of.get(candidate)
+            if words is None:
+                words = engine.encode(candidate)[0]
+            return words in on_stack_words
+
+        return on_stack
+
+    return make_on_stack
+
+
+def _path_from_stack(
+    engine: FastSuccessorEngine,
+    stack: List[_FastFrame],
+    final: Optional[Tuple[PackedExecution, PackedState]],
+    property_name: str,
+) -> Counterexample:
+    """Decode the violating path from the packed DFS stack."""
+    initial = engine.decode(stack[0].packed)
+    steps = []
+    for frame in stack[1:]:
+        steps.append(
+            Step(execution=engine.execution_of(frame.via),
+                 state=engine.decode(frame.packed))
+        )
+    if final is not None:
+        execution, packed = final
+        steps.append(
+            Step(execution=engine.execution_of(execution),
+                 state=engine.decode(packed))
+        )
+    return Counterexample(initial_state=initial, steps=tuple(steps),
+                          property_name=property_name)
+
+
+def fast_dfs_search(
+    protocol: Protocol,
+    invariant: Invariant,
+    config: Optional[SearchConfig] = None,
+    reducer: Optional[Reducer] = None,
+    observer: Optional[Observer] = None,
+    engine: Optional[FastSuccessorEngine] = None,
+) -> SearchOutcome:
+    """Packed-state depth-first search; semantics of ``dfs_search`` exactly."""
+    config = config or SearchConfig()
+    statistics = SearchStatistics()
+    start_time = time.perf_counter()
+
+    if engine is not None and engine.protocol is not protocol:
+        raise ValueError("fast successor engine was built for a different protocol")
+    engine = engine or FastSuccessorEngine(protocol)
+    holds = make_invariant_checker(engine, invariant, protocol)
+
+    store: Optional[_PackedStore] = None
+    if config.stateful:
+        store = _PackedStore(config.state_store, config.state_store_shards)
+
+    initial = engine.initial_packed()
+    if store is not None:
+        store.add(initial)
+    statistics.states_visited = 1
+
+    counterexample: Optional[Counterexample] = None
+    verified = True
+    complete = True
+    deadlock_states = 0
+
+    if not holds(initial):
+        counterexample = Counterexample(
+            initial_state=engine.decode(initial), steps=(),
+            property_name=invariant.name,
+        )
+        verified = False
+        emit(observer, "violation-found", states_visited=1, depth=0)
+        if config.stop_at_first_violation:
+            statistics.elapsed_seconds = time.perf_counter() - start_time
+            return SearchOutcome(False, False, counterexample, statistics)
+
+    on_stack_words: Set[Tuple[int, ...]] = {initial[0]}
+    bridge = None
+    if reducer is not None:
+        bridge = make_reduction_bridge(
+            engine, protocol, reducer,
+            words_on_stack_factory(engine, on_stack_words),
+        )
+
+    def expand(frame: _FastFrame) -> None:
+        nonlocal deadlock_states
+        enabled = engine.enabled_packed(frame.packed)
+        statistics.enabled_set_computations += 1
+        if config.check_deadlocks and not enabled:
+            deadlock_states += 1
+        if bridge is None or len(enabled) <= 1:
+            statistics.full_expansions += 1
+            frame.pending = enabled
+            return
+        reduced = bridge(frame.packed, enabled, frame.successors)
+        if len(reduced) < len(enabled):
+            statistics.reduced_expansions += 1
+        else:
+            statistics.full_expansions += 1
+        frame.pending = reduced
+
+    root = _FastFrame(initial, via=None)
+    expand(root)
+    stack: List[_FastFrame] = [root]
+
+    while stack:
+        if config.max_seconds is not None:
+            if time.perf_counter() - start_time > config.max_seconds:
+                complete = False
+                break
+        frame = stack[-1]
+        if frame.next_index >= len(frame.pending):
+            stack.pop()
+            on_stack_words.discard(frame.packed[0])
+            continue
+        execution = frame.pending[frame.next_index]
+        frame.next_index += 1
+
+        successor = frame.successors.get(execution)
+        if successor is None:
+            successor = engine.successor_packed(frame.packed, execution)
+        statistics.transitions_executed += 1
+
+        if store is not None:
+            if not store.add(successor):
+                statistics.revisits += 1
+                continue
+            statistics.states_visited = len(store)
+        else:
+            if successor[0] in on_stack_words:
+                statistics.revisits += 1
+                continue
+            statistics.states_visited += 1
+        if observer is not None and statistics.states_visited % PROGRESS_INTERVAL == 0:
+            emit(observer, "progress", states_visited=statistics.states_visited,
+                 transitions_executed=statistics.transitions_executed)
+
+        if not holds(successor):
+            verified = False
+            counterexample = _path_from_stack(
+                engine, stack, (execution, successor), invariant.name
+            )
+            emit(observer, "violation-found",
+                 states_visited=statistics.states_visited, depth=len(stack))
+            if config.stop_at_first_violation:
+                complete = False
+                break
+
+        if config.max_states is not None and statistics.states_visited >= config.max_states:
+            complete = False
+            break
+        if config.max_depth is not None and len(stack) > config.max_depth:
+            complete = False
+            continue
+
+        child = _FastFrame(successor, via=execution)
+        expand(child)
+        stack.append(child)
+        on_stack_words.add(successor[0])
+        statistics.max_depth = max(statistics.max_depth, len(stack) - 1)
+
+    statistics.elapsed_seconds = time.perf_counter() - start_time
+    return SearchOutcome(
+        verified=verified,
+        complete=complete and verified if config.stop_at_first_violation else complete,
+        counterexample=counterexample,
+        statistics=statistics,
+        deadlock_states=deadlock_states,
+    )
+
+
+def fast_bfs_search(
+    protocol: Protocol,
+    invariant: Invariant,
+    config: Optional[SearchConfig] = None,
+    observer: Optional[Observer] = None,
+    engine: Optional[FastSuccessorEngine] = None,
+) -> SearchOutcome:
+    """Packed-state breadth-first search; semantics of ``bfs_search`` exactly."""
+    config = config or SearchConfig()
+    statistics = SearchStatistics()
+    start_time = time.perf_counter()
+
+    if engine is not None and engine.protocol is not protocol:
+        raise ValueError("fast successor engine was built for a different protocol")
+    engine = engine or FastSuccessorEngine(protocol)
+    holds = make_invariant_checker(engine, invariant, protocol)
+
+    initial = engine.initial_packed()
+    store = _PackedStore(config.state_store, config.state_store_shards)
+    store.add(initial)
+    statistics.states_visited = 1
+
+    #: words -> None (initial) or (parent packed, packed execution).
+    parents: Dict[Tuple[int, ...], Optional[Tuple[PackedState, PackedExecution]]] = {
+        initial[0]: None
+    }
+    counterexample: Optional[Counterexample] = None
+    verified = True
+    complete = True
+
+    def rebuild(packed: PackedState) -> Counterexample:
+        steps = []
+        cursor = packed
+        while parents[cursor[0]] is not None:
+            predecessor, execution = parents[cursor[0]]
+            steps.append(
+                Step(execution=engine.execution_of(execution),
+                     state=engine.decode(cursor))
+            )
+            cursor = predecessor
+        steps.reverse()
+        return Counterexample(initial_state=engine.decode(initial),
+                              steps=tuple(steps), property_name=invariant.name)
+
+    if not holds(initial):
+        emit(observer, "violation-found", states_visited=1, depth=0)
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        return SearchOutcome(False, False, rebuild(initial), statistics)
+
+    frontier = [initial]
+    depth = 0
+    while frontier:
+        if config.max_seconds is not None:
+            if time.perf_counter() - start_time > config.max_seconds:
+                complete = False
+                break
+        if config.max_depth is not None and depth >= config.max_depth:
+            complete = False
+            break
+        next_frontier = []
+        for packed in frontier:
+            enabled = engine.enabled_packed(packed)
+            statistics.enabled_set_computations += 1
+            statistics.full_expansions += 1
+            for execution in enabled:
+                successor = engine.successor_packed(packed, execution)
+                statistics.transitions_executed += 1
+                if not store.add(successor):
+                    statistics.revisits += 1
+                    continue
+                statistics.states_visited = len(store)
+                parents[successor[0]] = (packed, execution)
+                if not holds(successor):
+                    verified = False
+                    counterexample = rebuild(successor)
+                    emit(observer, "violation-found",
+                         states_visited=statistics.states_visited, depth=depth + 1)
+                    if config.stop_at_first_violation:
+                        statistics.elapsed_seconds = time.perf_counter() - start_time
+                        return SearchOutcome(False, False, counterexample, statistics)
+                if config.max_states is not None and statistics.states_visited >= config.max_states:
+                    complete = False
+                    next_frontier = []
+                    statistics.max_depth = max(statistics.max_depth, depth + 1)
+                    break
+                next_frontier.append(successor)
+            else:
+                continue
+            break
+        frontier = next_frontier
+        depth += 1
+        if frontier:
+            statistics.max_depth = max(statistics.max_depth, depth)
+            emit(observer, "level-completed", depth=depth,
+                 new_states=len(frontier),
+                 states_visited=statistics.states_visited)
+
+    statistics.elapsed_seconds = time.perf_counter() - start_time
+    return SearchOutcome(verified=verified, complete=complete,
+                         counterexample=counterexample, statistics=statistics)

@@ -21,6 +21,28 @@ from .message import Message
 MultisetItems = Tuple[Tuple[Message, int], ...]
 
 
+def item_hash(message: Message, count: int) -> int:
+    """Hash contribution of one ``(message, count)`` entry of a network.
+
+    The network hash is the XOR of these contributions, which makes it both
+    order-independent (a multiset has no order) and *incrementally
+    maintainable*: adding or removing messages XORs out the contributions of
+    the changed entries and XORs the replacements in, instead of rehashing
+    the whole canonical tuple.  The packed fast-path engine
+    (:mod:`repro.fastpath`) reproduces the same accumulator over interned
+    message ids, so packed fingerprints equal object-graph fingerprints.
+    """
+    return hash((message, count))
+
+
+def _items_accumulator(items: MultisetItems) -> int:
+    """XOR-combine the contributions of a full canonical items tuple."""
+    accumulator = 0
+    for message, count in items:
+        accumulator ^= item_hash(message, count)
+    return accumulator
+
+
 class Network:
     """An immutable multiset of in-flight messages.
 
@@ -40,22 +62,28 @@ class Network:
             sorted(counts.items(), key=lambda item: item[0].sort_key())
         )
         self._items: MultisetItems = canonical
-        self._hash = hash(canonical)
+        self._hash = _items_accumulator(canonical)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
-    def _from_canonical(cls, items: MultisetItems) -> "Network":
+    def _from_canonical(
+        cls, items: MultisetItems, hash_value: Optional[int] = None
+    ) -> "Network":
         """Build a network from items already in canonical sorted form.
 
         Internal fast path for :meth:`add_all` / :meth:`remove_all`, which
-        maintain canonical order themselves and skip the full re-sort of
-        ``__init__``.
+        maintain canonical order *and* the XOR hash accumulator themselves
+        and skip both the full re-sort and the full rehash of ``__init__``.
+        ``hash_value`` must be the :func:`item_hash` XOR over ``items`` when
+        given; callers that cannot maintain it incrementally omit it.
         """
         network = object.__new__(cls)
         network._items = items
-        network._hash = hash(items)
+        network._hash = (
+            hash_value if hash_value is not None else _items_accumulator(items)
+        )
         return network
 
     @classmethod
@@ -152,12 +180,14 @@ class Network:
             added[message] = added.get(message, 0) + 1
         if not added:
             return self
-        # Merge the (few) sorted additions into the already-sorted items.
+        # Merge the (few) sorted additions into the already-sorted items,
+        # XOR-maintaining the hash: only changed entries touch it.
         pending = sorted(
             ((message.sort_key(), message, count) for message, count in added.items()),
             key=lambda triple: triple[0],
         )
         merged = []
+        new_hash = self._hash
         cursor = 0
         position = 0
         for position, (message, count) in enumerate(self._items):
@@ -168,6 +198,7 @@ class Network:
                 pending_key, pending_message, pending_count = pending[cursor]
                 if pending_key < key:
                     merged.append((pending_message, pending_count))
+                    new_hash ^= item_hash(pending_message, pending_count)
                     cursor += 1
                 elif pending_key == key and pending_message != message:
                     # Sort keys compare payloads through repr and are not
@@ -179,15 +210,19 @@ class Network:
                 else:
                     break
             if cursor < len(pending) and pending[cursor][1] == message:
-                merged.append((message, count + pending[cursor][2]))
+                new_count = count + pending[cursor][2]
+                merged.append((message, new_count))
+                new_hash ^= item_hash(message, count) ^ item_hash(message, new_count)
                 cursor += 1
             else:
                 merged.append((message, count))
         else:
             position = len(self._items)
         merged.extend(self._items[position:] if cursor == len(pending) else ())
-        merged.extend((m, c) for _, m, c in pending[cursor:])
-        return Network._from_canonical(tuple(merged))
+        for _, pending_message, pending_count in pending[cursor:]:
+            merged.append((pending_message, pending_count))
+            new_hash ^= item_hash(pending_message, pending_count)
+        return Network._from_canonical(tuple(merged), new_hash)
 
     def remove_all(self, messages: Iterable[Message]) -> "Network":
         """Return a new network with one occurrence of each message removed.
@@ -201,19 +236,24 @@ class Network:
         if not removals:
             return self
         # Removal keeps the canonical order, so the re-sorting constructor
-        # is bypassed.
+        # is bypassed; the XOR hash is adjusted for the changed entries only.
         items = []
+        new_hash = self._hash
         for message, count in self._items:
             to_remove = removals.pop(message, 0)
             if to_remove > count:
                 raise KeyError(f"cannot remove {to_remove} copies of {message.describe()}")
             remaining = count - to_remove
+            if to_remove:
+                new_hash ^= item_hash(message, count)
+                if remaining:
+                    new_hash ^= item_hash(message, remaining)
             if remaining:
                 items.append((message, remaining))
         if removals:
             missing = next(iter(removals))
             raise KeyError(f"message not in network: {missing.describe()}")
-        return Network._from_canonical(tuple(items))
+        return Network._from_canonical(tuple(items), new_hash)
 
     # ------------------------------------------------------------------ #
     # Dunder plumbing
@@ -228,7 +268,12 @@ class Network:
         return self._items == other._items
 
     def __hash__(self) -> int:
-        return self._hash
+        # CPython maps a Python-level ``__hash__`` returning -1 to -2; do it
+        # explicitly so ``hash(network)`` always equals what callers reading
+        # the raw accumulator (``GlobalState``, the packed fast path) expect.
+        # The accumulator itself stays raw: normalising it would break the
+        # XOR reversibility the incremental updates rely on.
+        return -2 if self._hash == -1 else self._hash
 
     def __reduce__(self):
         """Pickle the canonical items only; the cached hash is process-local

@@ -50,6 +50,32 @@ def _restore_state(pairs: Tuple[Tuple[str, Any], ...], network: Network) -> "Glo
     return GlobalState(pairs, network, index=index)
 
 
+_MASK64 = (1 << 64) - 1
+
+
+def combine_state_hash(locals_hash: int, network_hash: int) -> int:
+    """Mix the locals accumulator and the network accumulator into one hash.
+
+    A pure integer function (splitmix64-style finaliser over a weighted sum)
+    rather than ``hash((locals_hash, network))``, so the packed fast-path
+    engine (:mod:`repro.fastpath`) — which maintains both accumulators
+    word-incrementally over interned ids — produces *bit-identical*
+    fingerprints without ever materialising a state object.  The result is
+    kept inside the signed 64-bit ``Py_hash_t`` range and never -1, so
+    ``hash(state) == state.fingerprint()`` exactly.
+    """
+    z = (
+        (locals_hash & _MASK64) * 0x9E3779B97F4A7C15
+        + (network_hash & _MASK64) * 0xBF58476D1CE4E5B9
+    ) & _MASK64
+    z ^= z >> 30
+    z = (z * 0x94D049BB133111EB) & _MASK64
+    z ^= z >> 31
+    if z >= 1 << 63:
+        z -= 1 << 64
+    return -2 if z == -1 else z
+
+
 def _entry_hash(position: int, pid: str, local: Any) -> int:
     """Hash of one ``(position, pid, local state)`` entry of the vector.
 
@@ -106,7 +132,7 @@ class GlobalState:
         self._network = network
         self._index = index
         self._lhash = _locals_accumulator(pairs)
-        self._hash = hash((self._lhash, network))
+        self._hash = combine_state_hash(self._lhash, network._hash)
 
     @classmethod
     def _derive(
@@ -126,7 +152,7 @@ class GlobalState:
         state._network = network
         state._index = index
         state._lhash = lhash
-        state._hash = hash((lhash, network))
+        state._hash = combine_state_hash(lhash, network._hash)
         return state
 
     # ------------------------------------------------------------------ #

@@ -56,6 +56,8 @@ class CellSpec:
             precedence over ``strategy``.
         backend: Explicit execution backend (default ``"auto"`` lets the
             registry pick serial / frontier / worksteal).
+        successors: Successor-engine family: ``"object"`` (default) or
+            ``"fast"`` for the packed table-compiled fast path.
     """
 
     key: str
@@ -71,6 +73,7 @@ class CellSpec:
     shape: Optional[str] = None
     reduction: Optional[str] = None
     backend: str = "auto"
+    successors: str = "object"
 
     def to_task(self) -> Dict:
         """The picklable task form handed to pool workers."""
@@ -97,6 +100,8 @@ class CellSpec:
             plan = plan_for_strategy(Strategy(self.strategy), options)
             if self.backend != "auto":
                 plan = replace(plan, backend=self.backend)
+            if self.successors != "object":
+                plan = replace(plan, successors=self.successors)
             return plan
         # CheckPlan.__post_init__ owns the cross-axis normalisation (dpor is
         # stateless, stateless plans store nothing); pass the axes through.
@@ -109,6 +114,7 @@ class CellSpec:
             # (which gets the clamp through plan_for_strategy).
             workers=max(1, self.workers),
             stateful=self.stateful,
+            successors=self.successors,
             seed_heuristic=self.seed_heuristic,
             max_states=self.max_states,
             max_seconds=self.max_seconds,
@@ -201,6 +207,7 @@ def specs_for_sweep(
     state_store: str = "full",
     cell_workers: int = 1,
     backend: str = "auto",
+    successors: str = "object",
 ) -> List[CellSpec]:
     """Build the cell grid of a sweep: every requested key × model variant.
 
@@ -208,7 +215,8 @@ def specs_for_sweep(
     ``cell_workers`` sets the *inner* worker count of every cell (the
     strategy×workers axis); the pool size of :func:`run_cells` remains the
     outer, cell-level axis.  ``backend`` pins every cell's execution
-    backend (default ``"auto"`` lets plan resolution choose).
+    backend (default ``"auto"`` lets plan resolution choose);
+    ``successors`` pins the successor-engine family the same way.
     """
     if keys is None:
         resolved = [entry.key for entry in default_catalog(scale)]
@@ -230,6 +238,7 @@ def specs_for_sweep(
                     max_seconds=max_seconds,
                     workers=cell_workers,
                     backend=backend,
+                    successors=successors,
                 )
             )
     return specs

@@ -65,13 +65,19 @@ from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
 from ..checker.search import ReductionContext, Reducer, SearchConfig, SearchOutcome, dfs_search
 from ..checker.statestore import ShardedFingerprintStore
-from ..engine.events import Observer, emit
+from ..engine.events import PROGRESS_INTERVAL, Observer, emit
 from ..mp.protocol import Protocol
 from ..mp.semantics import SuccessorEngine
 from ..mp.state import GlobalState
 from .bfs import default_mp_context
 from .worker import collect_replies
-from .worksteal import StolenFrame, StripedClaimTable, WorkStealingDeques, pending_indices
+from .worksteal import (
+    BatchedCounter,
+    StolenFrame,
+    StripedClaimTable,
+    WorkStealingDeques,
+    pending_indices,
+)
 
 __all__ = ["parallel_dfs_search"]
 
@@ -113,13 +119,17 @@ def _worksteal_worker(
     deques: WorkStealingDeques,
     result_queue,
     start_time: float,
+    claims_counter,
 ) -> None:
     """Worker-process body: steal frames, explore subtrees depth-first.
 
     All heavyweight arguments arrive through ``fork`` (no pickling).  The
     worker reports ``("report", id, stats, violations, truncated)`` on exit,
     or ``("error", id, traceback)`` after setting the stop flag so its
-    siblings wind down too.
+    siblings wind down too.  Claims are additionally flushed (batched, to
+    keep lock traffic negligible) into ``claims_counter`` so the
+    coordinator can emit *in-flight* progress events instead of waiting for
+    the end-of-run worker reports.
     """
     try:
         engine = SuccessorEngine.for_search(protocol, stateful=True)
@@ -129,6 +139,7 @@ def _worksteal_worker(
         stats = {key: 0 for key in _STAT_KEYS}
         violations: List[Tuple[int, ...]] = []
         truncated = False
+        claims = BatchedCounter(claims_counter)
 
         def expand(frame: _LocalFrame, ancestor_fps: frozenset, stack_fps: Set[int]) -> None:
             """Compute a fresh frame's (possibly reduced) pending indices."""
@@ -256,6 +267,7 @@ def _worksteal_worker(
                     stats["revisits"] += 1
                     continue
                 stats["claimed"] += 1
+                claims.increment()
 
                 if not invariant.holds_in(successor, protocol):
                     violations.append(frame.path + (index,))
@@ -280,6 +292,7 @@ def _worksteal_worker(
         while not (deques.stop.is_set() or deques.done.is_set()):
             task = deques.next_task(worker_id)
             if task is None:
+                claims.flush()
                 # Resigned: spin on steal attempts until work or shutdown.
                 while not (deques.stop.is_set() or deques.done.is_set()):
                     task = deques.try_acquire(worker_id)
@@ -289,6 +302,7 @@ def _worksteal_worker(
                 if task is None:
                     break
             run_task(task)
+        claims.flush()
         result_queue.put(("report", worker_id, stats, violations, truncated))
     except BaseException:
         deques.stop.set()
@@ -409,6 +423,8 @@ def parallel_dfs_search(
     manager = context.Manager()
     processes = []
     deques = None
+    # Shared live-progress counter (1 = the pre-claimed initial state).
+    claims_counter = context.Value("l", 1)
     try:
         deques = WorkStealingDeques(workers, manager, mp_context=context)
         # Seeding the frame with its own fingerprint as "ancestor" mirrors
@@ -437,6 +453,7 @@ def parallel_dfs_search(
                     deques,
                     result_queue,
                     start_time,
+                    claims_counter,
                 ),
                 daemon=True,
             )
@@ -446,6 +463,7 @@ def parallel_dfs_search(
             process.start()
 
         deadline = None if worker_timeout is None else start_time + worker_timeout
+        last_progress = 1
         while not (deques.done.is_set() or deques.stop.is_set()):
             if deadline is not None and time.perf_counter() > deadline:
                 deques.stop.set()
@@ -461,6 +479,13 @@ def parallel_dfs_search(
                 # A worker died; collect_replies below drains its last
                 # words (an error reply) or raises.
                 break
+            if observer is not None:
+                # In-flight progress: the workers' batched claim flushes
+                # make this a live (slightly lagging) states-visited count.
+                claimed = claims_counter.value
+                if claimed - last_progress >= PROGRESS_INTERVAL:
+                    last_progress = claimed
+                    emit(observer, "progress", states_visited=claimed)
             deques.done.wait(0.05)
 
         # Hand collect_replies the *remaining* budget so worker_timeout is

@@ -46,10 +46,46 @@ from ..checker.statestore import mix_fingerprint, shard_of
 from ..mp.state import GlobalState
 
 __all__ = [
+    "BatchedCounter",
+    "CLAIM_FLUSH_BATCH",
     "StolenFrame",
     "StripedClaimTable",
     "WorkStealingDeques",
 ]
+
+#: Workers flush their shared progress counter every this many increments.
+CLAIM_FLUSH_BATCH = 32
+
+
+class BatchedCounter:
+    """Batches increments to a shared ``multiprocessing.Value`` counter.
+
+    The work-stealing coordinators (object-graph and fast-path) poll the
+    counter for in-flight ``progress`` events; batching keeps the per-claim
+    cost to one local integer add, with one lock acquisition per ``batch``
+    claims.  Callers flush explicitly at idle transitions and before the
+    final report so the coordinator's last reading is exact.
+    """
+
+    __slots__ = ("_counter", "_pending", "batch")
+
+    def __init__(self, counter, batch: int = CLAIM_FLUSH_BATCH) -> None:
+        self._counter = counter
+        self._pending = 0
+        self.batch = batch
+
+    def increment(self) -> None:
+        """Count one claim, flushing when the batch fills."""
+        self._pending += 1
+        if self._pending >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        """Publish any pending claims to the shared counter."""
+        if self._pending:
+            with self._counter.get_lock():
+                self._counter.value += self._pending
+            self._pending = 0
 
 
 @dataclass(frozen=True)

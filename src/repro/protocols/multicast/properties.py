@@ -35,6 +35,7 @@ def agreement_invariant() -> Invariant:
     return Invariant(
         name="agreement",
         predicate=predicate,
+        network_sensitive=False,
         description="honest receivers never deliver conflicting messages per initiator",
     )
 
@@ -60,6 +61,7 @@ def honest_delivery_integrity() -> Invariant:
     return Invariant(
         name="delivery-integrity",
         predicate=predicate,
+        network_sensitive=False,
         description="delivered values from honest initiators equal their multicast message",
     )
 
@@ -79,6 +81,7 @@ def echo_uniqueness() -> Invariant:
     return Invariant(
         name="echo-uniqueness",
         predicate=predicate,
+        network_sensitive=False,
         description="an honest receiver signs at most one message per initiator",
     )
 

@@ -31,6 +31,7 @@ def consensus_invariant() -> Invariant:
     return Invariant(
         name="consensus",
         predicate=predicate,
+        network_sensitive=False,
         description="no two learners (or the same learner over time) learn different values",
     )
 
@@ -48,6 +49,7 @@ def chosen_value_validity() -> Invariant:
     return Invariant(
         name="validity",
         predicate=predicate,
+        network_sensitive=False,
         description="learned values were actually proposed",
     )
 
@@ -69,6 +71,7 @@ def acceptor_consistency() -> Invariant:
     return Invariant(
         name="acceptor-consistency",
         predicate=predicate,
+        network_sensitive=False,
         description="accepted_no <= promised_no at every acceptor",
     )
 

@@ -31,6 +31,7 @@ def regularity_invariant() -> Invariant:
     return Invariant(
         name="regularity",
         predicate=predicate,
+        network_sensitive=False,
         description=(
             "a completed read returns a value not older than the latest write "
             "that completed before the read started"
@@ -59,6 +60,7 @@ def wrong_regularity_invariant() -> Invariant:
     return Invariant(
         name="wrong-regularity",
         predicate=predicate,
+        network_sensitive=False,
         description=(
             "(deliberately too strong) a read completing after the write must "
             "return the written value even when the operations overlap"
@@ -81,6 +83,7 @@ def base_object_monotonicity() -> Invariant:
     return Invariant(
         name="base-monotonicity",
         predicate=predicate,
+        network_sensitive=False,
         description="each base object's stored value matches its stored timestamp",
     )
 

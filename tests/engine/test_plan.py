@@ -36,6 +36,7 @@ class TestVocabularies:
     def test_plan_axes_cover_the_capability_surface(self):
         assert set(PLAN_AXES) == {
             "shape", "reduction", "store", "backend", "workers", "stateful",
+            "successors",
         }
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+from dataclasses import replace
 
 import pytest
 
@@ -225,6 +226,94 @@ class TestPlanApiConformance:
         )
         with pytest.raises(ValueError, match="backtrack sets"):
             checker.run(Strategy.DPOR)
+
+
+class TestFastpathTwinConformance:
+    """Every fast-path engine variant against its object-graph twin.
+
+    The ISSUE-5 acceptance contract: byte-identical verdicts and
+    visited-state counts across the conformance matrix for workers 1, 2
+    and 4.  Exhaustive fast runs must reproduce the pinned serial closures
+    exactly; reduced fast runs are verdict-checked and bounded, mirroring
+    the treatment of their object twins.
+    """
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("entry", VERIFIED_CELLS)
+    def test_fast_dfs_counts_identical_to_pinned_closure(self, entry, workers):
+        # workers=1 resolves to serial-dfs-fast, above to worksteal-dfs-fast.
+        result = run_plan(
+            entry.quorum_model(), entry.invariant,
+            CheckPlan(successors="fast", workers=workers),
+        )
+        assert result.engine == (
+            "serial-dfs-fast" if workers == 1 else "worksteal-dfs-fast"
+        )
+        assert result.verified
+        assert result.complete
+        assert result.statistics.states_visited == EXPECTED_STATES[entry.key]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("entry", VERIFIED_CELLS)
+    def test_fast_bfs_counts_identical_to_pinned_closure(self, entry, workers):
+        # workers=1 resolves to serial-bfs-fast, above to frontier-bfs-fast
+        # (fingerprint store — collision-free on these cells, so the
+        # fingerprint closure equals the exact closure).
+        result = run_plan(
+            entry.quorum_model(), entry.invariant,
+            CheckPlan(shape="bfs", store="fingerprint",
+                      successors="fast", workers=workers),
+        )
+        assert result.engine == (
+            "serial-bfs-fast" if workers == 1 else "frontier-bfs-fast"
+        )
+        assert result.verified
+        assert result.statistics.states_visited == EXPECTED_STATES[entry.key]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("entry", VERIFIED_CELLS)
+    def test_fast_spor_verdicts_agree_and_stay_bounded(self, entry, workers):
+        result = run_plan(
+            entry.quorum_model(), entry.invariant,
+            CheckPlan(reduction="spor", successors="fast", workers=workers),
+        )
+        assert result.verified
+        assert result.statistics.states_visited <= EXPECTED_STATES[entry.key]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("entry", VIOLATING_CELLS)
+    def test_fast_engines_find_the_violations(self, entry, workers):
+        for plan in (
+            CheckPlan(successors="fast", workers=workers),
+            CheckPlan(shape="bfs", store="fingerprint",
+                      successors="fast", workers=workers),
+        ):
+            result = run_plan(entry.quorum_model(), entry.invariant, plan)
+            assert not result.verified, f"{entry.key}: {plan.describe()}"
+            assert result.counterexample is not None
+            assert len(result.counterexample.steps) > 0
+
+    def test_every_supported_fast_combination_matches_its_object_twin(self):
+        """The full fast grid against the object grid, axis for axis."""
+        entry = multicast_entry(2, 1, 0, 1)
+        registry = default_registry()
+        fast_grid = list(registry.supported_plans(
+            worker_counts=WORKER_COUNTS,
+            stores=("fingerprint",),
+            successor_modes=("fast",),
+        ))
+        assert fast_grid
+        for engine, plan in fast_grid:
+            twin = replace(plan, successors="object", backend="auto")
+            fast_result = run_plan(entry.quorum_model(), entry.invariant, plan)
+            twin_result = run_plan(entry.quorum_model(), entry.invariant, twin)
+            assert fast_result.engine == engine.name
+            assert fast_result.verified == twin_result.verified, plan.describe()
+            if plan.reduction == "none":
+                assert (
+                    fast_result.statistics.states_visited
+                    == twin_result.statistics.states_visited
+                ), plan.describe()
 
 
 class TestDepthConsistency:

@@ -315,3 +315,33 @@ class TestCheckerAndCellPlumbing:
         )
         assert code == 0
         assert "Verified" in stream.getvalue()
+
+
+class TestLiveProgress:
+    """In-flight ``progress`` events from the shared claim counter."""
+
+    def test_progress_ticks_arrive_before_the_worker_reports(self):
+        from repro.engine.events import CollectingObserver
+
+        entry = storage_entry(3, 2, wrong_specification=True)
+        events = CollectingObserver()
+        outcome = parallel_dfs_search(
+            entry.quorum_model(),
+            entry.invariant,
+            # Exhaustive (no early stop), so the >10k-state cell is
+            # guaranteed to cross several PROGRESS_INTERVAL boundaries
+            # while the coordinator is still polling.
+            config=SearchConfig(stop_at_first_violation=False),
+            workers=2,
+            observer=events,
+        )
+        assert outcome.statistics.states_visited > 1000
+        kinds = events.kinds()
+        assert "progress" in kinds, "no in-flight progress tick was emitted"
+        # Every progress tick is live: emitted while workers were still
+        # running, i.e. strictly before the end-of-run worker reports.
+        assert kinds.index("progress") < kinds.index("worker-report")
+        ticks = [e.payload["states_visited"] for e in events.events
+                 if e.kind == "progress"]
+        assert ticks == sorted(ticks)
+        assert all(tick <= outcome.statistics.states_visited for tick in ticks)
