@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Checking liveness: nested DFS over the cyclic crash-recovery store.
+
+The crash-recovery storage model is the repository's first *cyclic*
+protocol family: a crash-prone replica's CRASH transition re-arms its own
+RECOVER trigger (and vice versa), so the protocol never terminates and the
+state graph contains genuine cycles.  That makes ◇-style questions
+meaningful — and reachability search insufficient to answer them.
+
+Three checks on the (2 replicas, 1 crash-prone) setting:
+
+1. Safety still works: the durability invariant (a completed write is
+   stored by a majority) is checked by plain DFS, cycles and all.
+2. The liveness property ◇(write done ∨ some replica crashed) holds:
+   every infinite run makes progress of one kind or the other.  The
+   nested-DFS engine certifies there is no acceptance cycle.
+3. The too-strong property ◇(write done) fails: a scheduler that only
+   ever alternates CRASH/RECOVER starves the write forever.  The engine
+   returns a *lasso* counterexample — a finite stem into a cycle that can
+   be repeated ad infinitum — which we replay step by step.
+
+Run with::
+
+    python examples/liveness_quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CheckPlan,
+    CrashRecoveryConfig,
+    build_crash_recovery_quorum,
+    durability_invariant,
+    eventually_done,
+    eventually_progress,
+    run_plan,
+)
+
+
+def main() -> None:
+    config = CrashRecoveryConfig(replicas=2, crash_prone=1)
+    print("=" * 72)
+    print(f"Crash-recovery storage {config.setting_label}: "
+          "safety and liveness on a cyclic state graph")
+    print("=" * 72)
+    protocol = build_crash_recovery_quorum(config)
+
+    # 1. Safety: the goal axis defaults to "invariant" — plain DFS.
+    safety = run_plan(protocol, durability_invariant(), CheckPlan())
+    print(f"\n[1] durability invariant ({safety.engine}): "
+          f"{safety.outcome_label()} — "
+          f"{safety.statistics.states_visited} states")
+
+    # 2. Liveness that holds: goal="liveness" resolves to nested DFS.
+    plan = CheckPlan(goal="liveness")
+    progress = run_plan(protocol, eventually_progress(), plan)
+    print(f"[2] {eventually_progress().name} ({progress.engine}): "
+          f"{progress.outcome_label()} — "
+          f"{progress.statistics.states_visited} states")
+
+    # 3. Liveness that fails: the verdict is a lasso counterexample.
+    starved = run_plan(protocol, eventually_done(), plan)
+    print(f"[3] {eventually_done().name} ({starved.engine}): "
+          f"{starved.outcome_label()} — "
+          f"{starved.statistics.states_visited} states")
+
+    cx = starved.counterexample
+    print(f"\nlasso: {cx.cycle_start}-step stem + "
+          f"{len(cx.cycle_steps)}-step cycle")
+    states = cx.replay(protocol)
+    for index, step in enumerate(cx.steps):
+        marker = "  <- cycle starts here" if index == cx.cycle_start else ""
+        rep = states[index + 1].local("rep1")
+        print(f"  {index + 1:2d}. {step.execution.transition.name:<18}"
+              f" rep1 {'up' if rep.up else 'down'}{marker}")
+    print("\nThe cycle repeats CRASH/RECOVER forever; the writer never "
+          "reaches phase='done'.")
+    print("Replay confirms the cycle closes: "
+          f"states[{len(cx.steps)}] == states[{cx.cycle_start}] is "
+          f"{states[-1] == states[cx.cycle_start]}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,8 +17,10 @@ DSN 2011).  The library provides:
   dynamic POR baseline;
 * :mod:`repro.refine` — transition refinement: quorum-split, reply-split and
   combined-split;
-* :mod:`repro.protocols` — Paxos, regular storage and Echo Multicast models
-  in quorum and single-message variants, with fault-injected versions;
+* :mod:`repro.protocols` — Paxos, regular storage, Echo Multicast and
+  crash-recovery storage models in quorum and single-message variants, with
+  fault-injected versions (the crash-recovery family is cyclic and carries
+  liveness properties);
 * :mod:`repro.analysis` — blow-up formulas, reduction metrics and table
   rendering for the benchmark harness.
 
@@ -38,6 +40,7 @@ from .checker import (
     CheckResult,
     CheckerOptions,
     Counterexample,
+    Eventually,
     Invariant,
     ModelChecker,
     SearchConfig,
@@ -45,6 +48,7 @@ from .checker import (
     Strategy,
     check_plan,
     check_protocol,
+    goal_of,
     plan_for_strategy,
 )
 from .engine import (
@@ -76,10 +80,13 @@ from .mp import (
 from .parallel import CellSpec, parallel_bfs_search, run_cells
 from .por import DependenceRelation, DporSearch, StubbornSetProvider
 from .protocols import (
+    CrashRecoveryConfig,
     MulticastConfig,
     PaxosConfig,
     StorageConfig,
     agreement_invariant,
+    build_crash_recovery_quorum,
+    build_crash_recovery_single,
     build_faulty_paxos_quorum,
     build_faulty_paxos_single,
     build_multicast_quorum,
@@ -90,6 +97,9 @@ from .protocols import (
     build_storage_single,
     consensus_invariant,
     default_catalog,
+    durability_invariant,
+    eventually_done,
+    eventually_progress,
     regularity_invariant,
     wrong_regularity_invariant,
 )
@@ -111,7 +121,9 @@ __all__ = [
     "CheckerOptions",
     "CollectingObserver",
     "Counterexample",
+    "CrashRecoveryConfig",
     "EngineRegistry",
+    "Eventually",
     "Observer",
     "ProgressPrinter",
     "UnsupportedPlanError",
@@ -141,6 +153,8 @@ __all__ = [
     "Strategy",
     "TransitionSpec",
     "agreement_invariant",
+    "build_crash_recovery_quorum",
+    "build_crash_recovery_single",
     "build_faulty_paxos_quorum",
     "build_faulty_paxos_single",
     "build_multicast_quorum",
@@ -154,7 +168,11 @@ __all__ = [
     "compare_state_graphs",
     "consensus_invariant",
     "default_catalog",
+    "durability_invariant",
+    "eventually_done",
+    "eventually_progress",
     "exact_quorum",
+    "goal_of",
     "is_transition_refinement",
     "majority_of",
     "parallel_bfs_search",

@@ -63,6 +63,7 @@ def result_record(result: CheckResult, **extra) -> Dict:
             reduction=result.plan.reduction,
             backend=result.plan.backend,
             successors=result.plan.successors,
+            goal=result.plan.goal,
         )
     if result.engine is not None:
         record["engine"] = result.engine

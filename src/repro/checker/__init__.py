@@ -17,7 +17,14 @@ from .checker import (
     plan_for_strategy,
 )
 from .counterexample import Counterexample, Step
-from .property import Invariant, always_true, conjunction, local_state_invariant
+from .property import (
+    Eventually,
+    Invariant,
+    always_true,
+    conjunction,
+    goal_of,
+    local_state_invariant,
+)
 from .result import CheckResult, SearchStatistics
 from .search import (
     ReductionContext,
@@ -26,6 +33,7 @@ from .search import (
     SearchOutcome,
     bfs_search,
     dfs_search,
+    ndfs_search,
 )
 from .statestore import (
     STORE_KINDS,
@@ -46,6 +54,7 @@ __all__ = [
     "STRATEGY_ALIASES",
     "check_plan",
     "plan_for_strategy",
+    "Eventually",
     "FingerprintStore",
     "FullStateStore",
     "Invariant",
@@ -66,7 +75,9 @@ __all__ = [
     "check_protocol",
     "conjunction",
     "dfs_search",
+    "goal_of",
     "local_state_invariant",
+    "ndfs_search",
     "make_state_store",
     "mix_fingerprint",
     "shard_of",

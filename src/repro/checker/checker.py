@@ -56,14 +56,37 @@ STRATEGY_ALIASES = {
 }
 
 
-class Strategy(enum.Enum):
+class _StrategyMeta(enum.EnumMeta):
+    """Metaclass making subscript lookup honour the alias table.
+
+    ``Strategy["DFS"]`` regressed to a ``KeyError`` when the value-aliased
+    members were replaced by post-body attribute aliases (plain attributes
+    are invisible to ``EnumMeta.__getitem__``).  Route failed subscript
+    lookups through :data:`STRATEGY_ALIASES` (case-insensitively, matching
+    attribute-alias spelling) so ``Strategy["DFS"] is Strategy.UNREDUCED``
+    again, without value-aliasing the members themselves.
+    """
+
+    def __getitem__(cls, name):
+        try:
+            return super().__getitem__(name)
+        except KeyError:
+            canonical = STRATEGY_ALIASES.get(str(name).lower())
+            if canonical is not None:
+                return cls(canonical)
+            raise
+
+
+class Strategy(enum.Enum, metaclass=_StrategyMeta):
     """Available search strategies (the legacy, pre-plan API).
 
     ``DFS`` and ``STUBBORN`` are attribute aliases assigned after the class
     body (``Strategy.DFS is Strategy.UNREDUCED``, ``Strategy.STUBBORN is
     Strategy.SPOR``) so call sites can name the search shape the parallel
     backends care about; the strings ``"dfs"`` and ``"stubborn"`` are
-    resolved through :data:`STRATEGY_ALIASES` by the constructor.
+    resolved through :data:`STRATEGY_ALIASES` by the constructor, and the
+    names ``"DFS"`` and ``"STUBBORN"`` by subscript lookup
+    (``Strategy["DFS"]``).
     """
 
     UNREDUCED = "unreduced"
@@ -153,6 +176,7 @@ def plan_for_strategy(
         stop_at_first_violation=search.stop_at_first_violation,
         check_deadlocks=search.check_deadlocks,
         engine_cache_capacity=search.engine_cache_capacity,
+        fastpath_memo_capacity=search.fastpath_memo_capacity,
     )
 
 

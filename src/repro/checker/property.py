@@ -60,6 +60,75 @@ class Invariant:
         )
 
 
+@dataclass(frozen=True)
+class Eventually:
+    """A liveness goal: every maximal run must eventually satisfy ``predicate``.
+
+    A counterexample is a *lasso* — a finite stem followed by a cycle (or a
+    terminal state, interpreted under stutter-extension semantics as an
+    infinite self-loop) along which the goal predicate never holds.  The
+    nested-DFS engines (:func:`repro.checker.search.ndfs_search` and its
+    packed twin) search for exactly those accepting cycles.
+
+    Attributes:
+        name: Human-readable property name (e.g. ``"eventually-done"``).
+        predicate: The *goal* predicate; a run satisfies the property once it
+            reaches a state where this returns True.
+        description: Optional longer explanation, used in reports.
+        network_sensitive: Whether the predicate reads ``state.network``;
+            same memoisation contract as :class:`Invariant`.
+
+    The monitor-automaton view: the negation ``◇p`` is a one-state Büchi
+    automaton accepting runs on which ``p`` never holds.  States satisfying
+    the goal kill the monitor (their subtrees need no exploration —
+    :meth:`prunes`), and every surviving state is accepting
+    (:meth:`accepting`).  The two hooks are split so generic acceptance
+    predicates (where only *some* non-goal states are accepting) can reuse
+    the same nested-DFS machinery.
+    """
+
+    name: str
+    predicate: PredicateFn
+    description: str = ""
+    network_sensitive: bool = True
+
+    def holds_in(self, state: GlobalState, protocol: Protocol) -> bool:
+        """Whether the goal predicate holds in one state.
+
+        Shares the :class:`Invariant` evaluation signature so the fast-path
+        verdict memo (:func:`repro.fastpath.search.make_invariant_checker`)
+        works unchanged for liveness goals.
+        """
+        return bool(self.predicate(state, protocol))
+
+    def prunes(self, state: GlobalState, protocol: Protocol) -> bool:
+        """Whether the monitor dies in ``state`` (goal reached; subtree moot)."""
+        return self.holds_in(state, protocol)
+
+    def accepting(self, state: GlobalState, protocol: Protocol) -> bool:
+        """Whether ``state`` is accepting (goal not yet reached).
+
+        For ``Eventually`` this is simply the complement of :meth:`prunes`;
+        duck-typed properties may declare a strict subset of non-pruned
+        states accepting, which is what exercises the red phase of the
+        nested DFS.
+        """
+        return not self.holds_in(state, protocol)
+
+
+def goal_of(prop: object) -> str:
+    """Return the :class:`~repro.engine.plan.CheckPlan` goal axis value
+    matching a property object: ``"liveness"`` for acceptance-cycle
+    properties (anything exposing ``prunes``/``accepting`` hooks, i.e.
+    :class:`Eventually` and duck-typed equivalents), ``"invariant"``
+    otherwise."""
+    if isinstance(prop, Eventually):
+        return "liveness"
+    if hasattr(prop, "prunes") and hasattr(prop, "accepting"):
+        return "liveness"
+    return "invariant"
+
+
 def conjunction(name: str, invariants: Iterable[Invariant]) -> Invariant:
     """Return the conjunction of several invariants as a single invariant."""
     parts: Tuple[Invariant, ...] = tuple(invariants)

@@ -61,6 +61,13 @@ class SearchConfig:
             counts — the drop-in spelling for direct ``dfs_search`` /
             ``bfs_search`` callers (plan users select it via the
             ``successors`` axis instead).
+        fastpath_memo_capacity: LRU bound for the packed fast path's
+            per-transition guard/action memo tables and its property-verdict
+            memo (per table; the fast-path analogue of
+            ``engine_cache_capacity``).  ``None`` keeps them unbounded,
+            which is fine for the bundled protocols' small local-state
+            spaces; bound it when checking protocols whose local-state
+            spaces grow with the exploration.
     """
 
     stateful: bool = True
@@ -73,6 +80,7 @@ class SearchConfig:
     check_deadlocks: bool = False
     engine_cache_capacity: Optional[int] = None
     successor_engine: str = "object"
+    fastpath_memo_capacity: Optional[int] = None
 
 
 @dataclass
@@ -441,3 +449,260 @@ def bfs_search(
     statistics.elapsed_seconds = time.perf_counter() - start_time
     return SearchOutcome(verified=verified, complete=complete,
                          counterexample=counterexample, statistics=statistics)
+
+
+def ndfs_search(
+    protocol: Protocol,
+    prop,
+    config: Optional[SearchConfig] = None,
+    reducer: Optional[Reducer] = None,
+    engine: Optional[SuccessorEngine] = None,
+    observer: Optional[Observer] = None,
+) -> SearchOutcome:
+    """Nested depth-first search for acceptance cycles (liveness checking).
+
+    Checks an :class:`~repro.checker.property.Eventually` goal (or any
+    duck-typed property exposing ``prunes``/``accepting`` hooks) with the
+    classic CVWY nested DFS as refined by Schwoon–Esparza: a *blue* DFS
+    explores the reachable graph, keeping the current stack *cyan*; when an
+    accepting state is about to be popped (postorder), a *red* DFS searches
+    its closure for a cyan state, which closes an accepting cycle through
+    the stack.  The blue phase additionally reports a violation early when
+    an edge hits a cyan state and either endpoint is accepting — for
+    ``Eventually`` goals (where every non-pruned state is accepting) that
+    early check alone finds every cycle, and the red phase only fires for
+    generic acceptance predicates.
+
+    Semantics of a violation: a *lasso* (stem + cycle) along which the goal
+    never holds, or — under stutter-extension semantics — a terminal
+    accepting state (the run ends without reaching the goal; encoded as an
+    empty cycle).  States satisfying the goal prune their subtrees: the
+    monitor automaton for ``not eventually p`` dies at a ``p``-state.
+
+    Partial-order reduction is not supported: the stubborn-set cycle
+    proviso is a property of one DFS stack, and the nested search walks the
+    graph twice with different stacks — pass ``reducer=None`` (anything
+    else raises).  The search is stateful by construction (blue/red marks
+    are the algorithm), so ``config.stateful`` must be True; the store kind
+    chooses between exact state keys (``"full"``) and fingerprint keys
+    (``"fingerprint"`` / ``"sharded-fingerprint"``, the usual collision
+    trade-off).
+
+    Always stops at the first violation (one lasso is a complete refutation;
+    ``stop_at_first_violation=False`` does not change that).
+    """
+    config = config or SearchConfig()
+    if reducer is not None:
+        raise ValueError(
+            "nested DFS does not support partial-order reduction: the "
+            "stubborn-set cycle proviso is defined over a single DFS "
+            "stack, which the nested search does not have; run the "
+            "liveness check unreduced"
+        )
+    if not config.stateful:
+        raise ValueError(
+            "nested DFS is stateful by construction (the blue/red marks "
+            "are the algorithm); config.stateful must be True"
+        )
+    if config.state_store not in ("full", "fingerprint", "sharded-fingerprint"):
+        raise ValueError(
+            f"nested DFS needs a real visited-state store, got "
+            f"state_store={config.state_store!r}"
+        )
+    if _fastpath_requested(config, engine, "fast_ndfs_search"):
+        # Imported lazily: repro.fastpath builds on this module.
+        from ..fastpath.search import fast_ndfs_search
+
+        return fast_ndfs_search(protocol, prop, config, observer=observer)
+
+    statistics = SearchStatistics()
+    start_time = time.perf_counter()
+
+    if engine is not None and engine.protocol is not protocol:
+        raise ValueError("successor engine was built for a different protocol")
+    engine = engine or SuccessorEngine.for_search(
+        protocol, config.stateful, max_cache_entries=config.engine_cache_capacity
+    )
+
+    exact = config.state_store == "full"
+
+    def key(state: GlobalState):
+        return state if exact else state.fingerprint()
+
+    def prunes(state: GlobalState) -> bool:
+        return bool(prop.prunes(state, protocol))
+
+    def accepting(state: GlobalState) -> bool:
+        return bool(prop.accepting(state, protocol))
+
+    def expand(state: GlobalState) -> Tuple[Execution, ...]:
+        enabled = engine.enabled(state)
+        statistics.enabled_set_computations += 1
+        statistics.full_expansions += 1
+        return enabled
+
+    initial = engine.initial_state()
+    discovered = {key(initial)}
+    statistics.states_visited = 1
+
+    if prunes(initial):
+        # The goal already holds initially; every run satisfies it.
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        return SearchOutcome(True, True, None, statistics)
+
+    cyan = {key(initial)}
+    blue = set()
+    red = set()
+    complete = True
+
+    def lasso(stack: List[_Frame], final: Tuple[Execution, GlobalState],
+              extra: List[_Frame], cycle_key) -> Counterexample:
+        """Build a lasso counterexample: blue-stack stem (+ optional red-path
+        frames) + the closing edge; the cycle starts where ``cycle_key``
+        first appears on the blue stack."""
+        steps = [Step(execution=frame.via, state=frame.state)
+                 for frame in stack[1:]]
+        steps.extend(Step(execution=frame.via, state=frame.state)
+                     for frame in extra)
+        execution, state = final
+        steps.append(Step(execution=execution, state=state))
+        path_states = [stack[0].state] + [frame.state for frame in stack[1:]]
+        cycle_start = next(
+            index for index, path_state in enumerate(path_states)
+            if key(path_state) == cycle_key
+        )
+        return Counterexample(
+            initial_state=stack[0].state, steps=tuple(steps),
+            property_name=prop.name, cycle_start=cycle_start,
+        )
+
+    def stutter(stack: List[_Frame],
+                final: Optional[Tuple[Execution, GlobalState]]) -> Counterexample:
+        """A terminal accepting state: a lasso with an empty cycle."""
+        steps = [Step(execution=frame.via, state=frame.state)
+                 for frame in stack[1:]]
+        if final is not None:
+            execution, state = final
+            steps.append(Step(execution=execution, state=state))
+        return Counterexample(
+            initial_state=stack[0].state, steps=tuple(steps),
+            property_name=prop.name, cycle_start=len(steps),
+        )
+
+    def red_search(stack: List[_Frame]) -> Optional[Counterexample]:
+        """Red DFS from the accepting seed at the top of the blue stack,
+        looking for any cyan state (which closes a cycle through the
+        stack).  Red marks persist across seeds, keeping the nested search
+        linear overall."""
+        seed = stack[-1]
+        red_stack = [_Frame(state=seed.state, pending=expand(seed.state))]
+        while red_stack:
+            if config.max_seconds is not None:
+                if time.perf_counter() - start_time > config.max_seconds:
+                    return None  # caller notices the elapsed budget
+            frame = red_stack[-1]
+            if frame.next_index >= len(frame.pending):
+                red_stack.pop()
+                continue
+            execution = frame.pending[frame.next_index]
+            frame.next_index += 1
+            successor = engine.successor(frame.state, execution)
+            statistics.transitions_executed += 1
+            skey = key(successor)
+            if skey in cyan:
+                return lasso(stack, (execution, successor),
+                             red_stack[1:], skey)
+            if skey in red:
+                continue
+            if skey not in discovered:
+                discovered.add(skey)
+                statistics.states_visited = len(discovered)
+            if prunes(successor):
+                # Dead monitor: no accepting run continues through here.
+                red.add(skey)
+                continue
+            red.add(skey)
+            child = _Frame(state=successor, pending=expand(successor),
+                           via=execution)
+            red_stack.append(child)
+        red.add(key(seed.state))
+        return None
+
+    def finish(verified: bool, is_complete: bool,
+               counterexample: Optional[Counterexample]) -> SearchOutcome:
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        return SearchOutcome(verified, is_complete, counterexample, statistics)
+
+    root = _Frame(state=initial, pending=expand(initial))
+    stack: List[_Frame] = [root]
+    if not root.pending and accepting(initial):
+        emit(observer, "violation-found", states_visited=1, depth=0)
+        return finish(False, False, stutter(stack, None))
+
+    while stack:
+        if config.max_seconds is not None:
+            if time.perf_counter() - start_time > config.max_seconds:
+                return finish(True, False, None)
+        frame = stack[-1]
+        if frame.next_index >= len(frame.pending):
+            if accepting(frame.state):
+                counterexample = red_search(stack)
+                if counterexample is not None:
+                    emit(observer, "violation-found",
+                         states_visited=statistics.states_visited,
+                         depth=len(stack))
+                    return finish(False, False, counterexample)
+                if config.max_seconds is not None:
+                    if time.perf_counter() - start_time > config.max_seconds:
+                        return finish(True, False, None)
+            stack.pop()
+            cyan.discard(key(frame.state))
+            blue.add(key(frame.state))
+            continue
+        execution = frame.pending[frame.next_index]
+        frame.next_index += 1
+
+        successor = engine.successor(frame.state, execution)
+        statistics.transitions_executed += 1
+        skey = key(successor)
+
+        if skey in cyan and (accepting(frame.state) or accepting(successor)):
+            # Early (blue-phase) detection: the edge closes a cycle through
+            # the cyan stack and the cycle contains an accepting state.
+            emit(observer, "violation-found",
+                 states_visited=statistics.states_visited, depth=len(stack))
+            return finish(False, False,
+                          lasso(stack, (execution, successor), [], skey))
+        if skey in blue or skey in cyan:
+            statistics.revisits += 1
+            continue
+        if skey not in discovered:
+            discovered.add(skey)
+            statistics.states_visited = len(discovered)
+            if observer is not None and statistics.states_visited % PROGRESS_INTERVAL == 0:
+                emit(observer, "progress",
+                     states_visited=statistics.states_visited,
+                     transitions_executed=statistics.transitions_executed)
+        if prunes(successor):
+            # Goal reached: the monitor dies, the subtree needs no visit.
+            blue.add(skey)
+            continue
+        if config.max_states is not None and statistics.states_visited >= config.max_states:
+            return finish(True, False, None)
+        if config.max_depth is not None and len(stack) > config.max_depth:
+            complete = False
+            continue
+
+        child = _Frame(state=successor, pending=(), via=execution)
+        child.pending = expand(successor)
+        if not child.pending and accepting(successor):
+            # Terminal state that never reached the goal: under
+            # stutter-extension semantics the run loops here forever.
+            emit(observer, "violation-found",
+                 states_visited=statistics.states_visited, depth=len(stack))
+            return finish(False, False, stutter(stack, (execution, successor)))
+        stack.append(child)
+        cyan.add(skey)
+        statistics.max_depth = max(statistics.max_depth, len(stack) - 1)
+
+    return finish(True, complete, None)

@@ -16,6 +16,8 @@ Subcommands:
     axes out (``--shape`` / ``--reduction`` / ``--backend``); plan
     resolution picks the backend for ``--workers N`` automatically
     (frontier-parallel BFS for bfs shapes, work-stealing DFS otherwise).
+    ``--goal liveness`` checks the cell's liveness property with the
+    nested-DFS engines instead of its invariant.
     ``--progress`` streams the engine's event feed while it runs.
 ``sweep``
     Run a grid of cells, optionally farming independent cells across a
@@ -56,6 +58,7 @@ from .checker.statestore import STORE_KINDS
 from .engine.events import ProgressPrinter
 from .engine.plan import (
     BACKENDS,
+    GOALS,
     REDUCTIONS,
     SHAPES,
     SUCCESSOR_MODES,
@@ -109,7 +112,11 @@ def _print_records(records: Sequence[dict], stream) -> None:
 def _command_cells(args, stream) -> int:
     for entry in default_catalog(args.scale):
         expected = "CE" if entry.expect_violation else "Verified"
-        stream.write(f"{entry.key:<24} {entry.description:<32} expected: {expected}\n")
+        line = f"{entry.key:<24} {entry.description:<32} expected: {expected}"
+        if entry.liveness is not None:
+            liveness_expected = "CE" if entry.expect_liveness_violation else "Verified"
+            line += f"  liveness[{entry.liveness.name}]: {liveness_expected}"
+        stream.write(line + "\n")
     return 0
 
 
@@ -126,7 +133,8 @@ def _command_engines(args, stream) -> int:
             f"backend={'|'.join(caps.backends)} "
             f"{caps.supported_description('workers')} "
             f"store={'|'.join(caps.stores)} "
-            f"successors={'|'.join(caps.successor_modes)}\n"
+            f"successors={'|'.join(caps.successor_modes)} "
+            f"goal={'|'.join(caps.goals)}\n"
         )
         stream.write(f"{'':<18} {engine.description}\n")
     return 0
@@ -148,6 +156,7 @@ def _command_engines_plan(args, stream) -> int:
         workers=max(1, args.workers),
         stateful=stateful,
         successors=args.successors,
+        goal=args.goal,
     )
     registry = default_registry()
     try:
@@ -181,6 +190,12 @@ def _command_check(args, stream) -> int:
             "--shape dfs --reduction spor)\n"
         )
         return 2
+    shape, reduction = args.shape, args.reduction
+    if args.goal == "liveness" and args.strategy is None and shape is None and reduction is None:
+        # Liveness defaults to the one supported configuration — serial
+        # nested DFS without reduction — instead of the invariant default
+        # (spor), which no liveness engine could run.
+        shape, reduction = "dfs", "none"
     spec = CellSpec(
         key=args.cell,
         model=args.model,
@@ -190,10 +205,11 @@ def _command_check(args, stream) -> int:
         max_states=args.max_states,
         max_seconds=args.max_seconds,
         workers=args.workers,
-        shape=args.shape,
-        reduction=args.reduction,
+        shape=shape,
+        reduction=reduction,
         backend=args.backend,
         successors=args.successors,
+        goal=args.goal,
     )
     observer = ProgressPrinter(stream) if args.progress else None
     record = run_cell_task(spec.to_task(), observer=observer)
@@ -218,6 +234,7 @@ def _command_sweep(args, stream) -> int:
         cell_workers=args.cell_workers,
         backend=args.backend,
         successors=args.successors,
+        goal=args.goal,
     )
     workers = 1 if args.serial else args.workers
     started = time.perf_counter()
@@ -341,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     engines.add_argument("--store", choices=STORE_KINDS, default="full")
     engines.add_argument("--successors", choices=SUCCESSOR_MODES,
                          default="object")
+    engines.add_argument("--goal", choices=GOALS, default="invariant")
     engines.set_defaults(handler=_command_engines)
 
     check = subparsers.add_parser("check", help="check one cell")
@@ -365,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--workers", type=int, default=1,
                        help="in-cell workers: frontier-parallel for bfs, "
                             "work-stealing DFS for dfs/stubborn/spor-net")
+    check.add_argument("--goal", choices=GOALS, default="invariant",
+                       help="check the cell's invariant (default) or its "
+                            "liveness property (nested DFS; defaults to "
+                            "--shape dfs --reduction none)")
     check.add_argument("--progress", action="store_true",
                        help="stream the engine's event feed while it runs")
     check.add_argument("--json", default=None, help="write the result payload here")
@@ -383,6 +405,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="object",
                        help="successor-engine family for every cell "
                             "('fast' = packed fast path)")
+    sweep.add_argument("--goal", choices=GOALS, default="invariant",
+                       help="sweep the invariants (default) or the liveness "
+                            "properties of the cells that carry one")
     sweep.add_argument("--workers", type=int, default=2,
                        help="cell-parallel pool size")
     sweep.add_argument("--cell-workers", type=int, default=1,

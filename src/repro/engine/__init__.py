@@ -21,10 +21,12 @@ from .engines import (
     FastFrontierBfsEngine,
     FastSerialBfsEngine,
     FastSerialDfsEngine,
+    FastSerialNdfsEngine,
     FastWorkstealDfsEngine,
     FrontierBfsEngine,
     SerialBfsEngine,
     SerialDfsEngine,
+    SerialNdfsEngine,
     WorkstealDfsEngine,
     builtin_engines,
     make_reducer,
@@ -42,6 +44,7 @@ from .events import (
 )
 from .plan import (
     BACKENDS,
+    GOALS,
     PLAN_AXES,
     REDUCTIONS,
     SHAPES,
@@ -66,8 +69,10 @@ __all__ = [
     "FastFrontierBfsEngine",
     "FastSerialBfsEngine",
     "FastSerialDfsEngine",
+    "FastSerialNdfsEngine",
     "FastWorkstealDfsEngine",
     "FrontierBfsEngine",
+    "GOALS",
     "MultiObserver",
     "NullObserver",
     "Observer",
@@ -80,6 +85,7 @@ __all__ = [
     "SUCCESSOR_MODES",
     "SerialBfsEngine",
     "SerialDfsEngine",
+    "SerialNdfsEngine",
     "UnsupportedPlanError",
     "WorkstealDfsEngine",
     "builtin_engines",

@@ -22,6 +22,7 @@ from .plan import PLAN_AXES, CheckPlan
 #: (suggesting ``workers=1`` to someone who asked for parallelism would be
 #: the silent downgrade this layer exists to prevent).
 _AXIS_WEIGHTS = {
+    "goal": 64,
     "reduction": 32,
     "shape": 16,
     "workers": 8,
@@ -38,6 +39,9 @@ class Capabilities:
 
     Attributes:
         shapes / reductions / backends / stores: Supported values per axis.
+        goals: Supported checking goals; the default keeps pre-existing
+            engines invariant-only, the nested-DFS engines declare
+            ``("liveness",)``.
         statefulness: Supported values of the ``stateful`` axis.
         successor_modes: Supported values of the ``successors`` axis; the
             default keeps pre-existing engines object-graph-only, the fast
@@ -53,6 +57,7 @@ class Capabilities:
     reductions: Tuple[str, ...]
     backends: Tuple[str, ...]
     stores: Tuple[str, ...]
+    goals: Tuple[str, ...] = ("invariant",)
     statefulness: Tuple[bool, ...] = (True, False)
     successor_modes: Tuple[str, ...] = ("object",)
     min_workers: int = 1
@@ -77,6 +82,8 @@ class Capabilities:
             return plan.stateful in self.statefulness
         if axis == "successors":
             return plan.successors in self.successor_modes
+        if axis == "goal":
+            return plan.goal in self.goals
         if axis == "workers":
             if plan.workers < self.min_workers:
                 return False
@@ -117,6 +124,7 @@ class Capabilities:
             "store": self.stores,
             "stateful": self.statefulness,
             "successors": self.successor_modes,
+            "goal": self.goals,
         }[axis]
         return f"{axis} in {{{', '.join(map(repr, values))}}}"
 
@@ -160,4 +168,6 @@ class Capabilities:
                     )
             elif axis == "successors":
                 changes["successors"] = self.successor_modes[0]
+            elif axis == "goal":
+                changes["goal"] = self.goals[0]
         return replace(plan, **changes)

@@ -10,17 +10,57 @@ the actual exploration in :mod:`repro.checker.search`,
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from ..checker.property import Invariant
-from ..checker.search import Reducer, SearchOutcome, bfs_search, dfs_search
+from ..checker.search import (
+    Reducer,
+    SearchOutcome,
+    bfs_search,
+    dfs_search,
+    ndfs_search,
+)
 from ..mp.protocol import Protocol
 from .capabilities import Capabilities
 from .events import Observer
-from .plan import CheckPlan
+from .plan import CheckPlan, UnsupportedPlanError
 
 #: Store kinds a genuinely stateful engine can use.
 _STATEFUL_STORES = ("full", "fingerprint", "sharded-fingerprint")
+
+
+def _reject_cyclic_worksteal_reduction(protocol: Protocol, plan: CheckPlan) -> None:
+    """Refuse stubborn-set reduction on protocols with cyclic state graphs.
+
+    The serial cycle proviso (por/stubborn.py) is a property of one DFS
+    stack: on any cycle of the reduced graph, the first state popped saw a
+    cycle successor still on its stack and expanded fully.  The
+    work-stealing search has no such stack — a stolen frame's ancestor
+    fingerprints cover only its own access path, and a cycle whose states
+    are claimed by *different* workers is on no worker's path, so the
+    ignoring problem could silently drop behaviours.  Protocols whose
+    builders declare ``cyclic_state_graph=True`` in their metadata are
+    therefore rejected (no silent unsoundness); unreduced work-stealing
+    exploration is fine on cycles — the claim table deduplicates globally —
+    which is exactly the alternative raised here.
+    """
+    if plan.reduction not in ("spor", "spor-net"):
+        return
+    if not protocol.metadata.get("cyclic_state_graph"):
+        return
+    raise UnsupportedPlanError(
+        "reduction",
+        plan.reduction,
+        f"protocol {protocol.name!r} declares a cyclic state graph "
+        "(metadata cyclic_state_graph=True), and the work-stealing DFS "
+        "cannot enforce the stubborn-set ignoring-prevention proviso "
+        "across workers (a cycle claimed by several workers is on no "
+        "worker's stack); run the reduction serially (workers=1) or "
+        "explore unreduced in parallel; nearest supported alternative: "
+        "reduction='none'",
+        alternative=replace(plan, reduction="none"),
+    )
 
 
 def make_reducer(protocol: Protocol, plan: CheckPlan) -> Optional[Reducer]:
@@ -186,13 +226,17 @@ class WorkstealDfsEngine(Engine):
             "claim table, which has no stateless mode; run stateless "
             "searches with workers=1",
             "reduction": "dynamic POR mutates backtrack sets up the serial "
-            "DFS stack, so its subtrees cannot be donated to other workers",
+            "DFS stack, so its subtrees cannot be donated to other workers; "
+            "stubborn-set reductions are additionally refused on protocols "
+            "declaring cyclic_state_graph=True (the cross-worker ignoring "
+            "problem) — explore those unreduced or serially",
             "workers": "one worker has nothing to steal from; backend='auto' "
             "picks the serial DFS instead",
         },
     )
 
     def run(self, protocol, invariant, plan, observer=None):
+        _reject_cyclic_worksteal_reduction(protocol, plan)
         # Imported lazily: repro.parallel builds on the checker package.
         from ..parallel.dfs import parallel_dfs_search
 
@@ -349,13 +393,17 @@ class FastWorkstealDfsEngine(Engine):
             "claim table, which has no stateless mode; run stateless "
             "searches with workers=1",
             "reduction": "dynamic POR mutates backtrack sets up the serial "
-            "DFS stack, so its subtrees cannot be donated to other workers",
+            "DFS stack, so its subtrees cannot be donated to other workers; "
+            "stubborn-set reductions are additionally refused on protocols "
+            "declaring cyclic_state_graph=True (the cross-worker ignoring "
+            "problem) — explore those unreduced or serially",
             "workers": "one worker has nothing to steal from; backend='auto' "
             "picks the packed serial DFS instead",
         },
     )
 
     def run(self, protocol, invariant, plan, observer=None):
+        _reject_cyclic_worksteal_reduction(protocol, plan)
         # Imported lazily: repro.fastpath builds on the checker package.
         from ..fastpath.parallel import fast_parallel_dfs_search
 
@@ -400,6 +448,76 @@ class DporEngine(Engine):
         return search.run(invariant, observer=observer)
 
 
+#: Shared phrasing for the nested-DFS engines' liveness constraints.
+_NDFS_NOTES = {
+    "goal": "nested DFS checks acceptance-cycle (liveness) properties; "
+    "invariant plans are served by the plain DFS/BFS engines",
+    "reduction": "the stubborn-set cycle proviso is defined over a single "
+    "DFS stack, and the nested search walks the graph twice with different "
+    "stacks, so liveness checking runs unreduced",
+    "shape": "acceptance-cycle detection is a depth-first algorithm (the "
+    "cyan stack *is* the candidate cycle)",
+    "workers": "the blue/red phases share their colouring, which has no "
+    "sound work-stealing split; nested DFS runs serially",
+    "stateful": "the blue/red marks are the algorithm — nested DFS is "
+    "stateful by construction",
+}
+
+
+class SerialNdfsEngine(Engine):
+    """Nested-DFS acceptance-cycle detection over the object graph (CVWY
+    with Schwoon–Esparza early detection); lasso counterexamples."""
+
+    name = "serial-ndfs"
+    description = ("serial nested DFS for liveness goals; lasso (stem + "
+                   "cycle) counterexamples, unreduced")
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("none",),
+        backends=("serial",),
+        stores=_STATEFUL_STORES,
+        goals=("liveness",),
+        statefulness=(True,),
+        min_workers=1,
+        max_workers=1,
+        notes=_NDFS_NOTES,
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        return ndfs_search(
+            protocol, invariant, plan.search_config(), observer=observer
+        )
+
+
+class FastSerialNdfsEngine(Engine):
+    """Fingerprint-native nested DFS over packed words; identical verdicts
+    and trace lengths to the object-graph nested DFS."""
+
+    name = "serial-ndfs-fast"
+    description = ("packed nested DFS for liveness goals; blue/red marks "
+                   "over packed keys, object-identical lassos")
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("none",),
+        backends=("serial",),
+        stores=_STATEFUL_STORES,
+        goals=("liveness",),
+        statefulness=(True,),
+        successor_modes=("fast",),
+        min_workers=1,
+        max_workers=1,
+        notes=dict(_NDFS_NOTES, successors=_FAST_NOTE),
+    )
+
+    def run(self, protocol, invariant, plan, observer=None):
+        # Imported lazily: repro.fastpath builds on the checker package.
+        from ..fastpath.search import fast_ndfs_search
+
+        return fast_ndfs_search(
+            protocol, invariant, plan.search_config(), observer=observer
+        )
+
+
 def builtin_engines():
     """Fresh instances of every built-in engine, registration order.
 
@@ -413,8 +531,10 @@ def builtin_engines():
         FrontierBfsEngine(),
         WorkstealDfsEngine(),
         DporEngine(),
+        SerialNdfsEngine(),
         FastSerialDfsEngine(),
         FastSerialBfsEngine(),
         FastFrontierBfsEngine(),
         FastWorkstealDfsEngine(),
+        FastSerialNdfsEngine(),
     )

@@ -47,10 +47,16 @@ BACKENDS = ("auto", "serial", "frontier", "worksteal")
 #: on the other.
 SUCCESSOR_MODES = ("object", "fast")
 
+#: Checking goals: ``"invariant"`` (a predicate must hold in every reachable
+#: state) or ``"liveness"`` (an :class:`~repro.checker.property.Eventually`
+#: goal must be reached on every maximal run; violations are accepting
+#: cycles found by nested DFS).
+GOALS = ("invariant", "liveness")
+
 #: The orthogonal axes engine capabilities are declared over, in the order
 #: violations are reported (most identity-defining axis first).
-PLAN_AXES = ("reduction", "shape", "workers", "stateful", "successors",
-             "backend", "store")
+PLAN_AXES = ("goal", "reduction", "shape", "workers", "stateful",
+             "successors", "backend", "store")
 
 
 class UnsupportedPlanError(ValueError):
@@ -128,6 +134,16 @@ class CheckPlan:
         check_deadlocks: Treat states without enabled transitions as
             violations.
         engine_cache_capacity: LRU bound for the successor-engine caches.
+        fastpath_memo_capacity: LRU bound for the packed fast path's
+            per-transition guard/action memo tables and the property-verdict
+            memo (per memo table; ``None`` keeps them unbounded, which is
+            fine for the bundled protocols' small local-state spaces).
+        goal: ``"invariant"`` or ``"liveness"`` — what kind of property the
+            run checks.  Liveness plans are served by the nested-DFS
+            engines; the goal must match the property object handed to
+            :func:`repro.engine.registry.run_plan` (mismatches raise a
+            structured error rather than silently checking the wrong
+            semantics).
     """
 
     shape: str = "dfs"
@@ -145,8 +161,12 @@ class CheckPlan:
     stop_at_first_violation: bool = True
     check_deadlocks: bool = False
     engine_cache_capacity: Optional[int] = None
+    fastpath_memo_capacity: Optional[int] = None
+    goal: str = "invariant"
 
     def __post_init__(self) -> None:
+        if self.goal not in GOALS:
+            raise _unknown_axis_value("goal", self.goal, GOALS)
         if self.shape not in SHAPES:
             raise _unknown_axis_value("shape", self.shape, SHAPES)
         if self.reduction not in REDUCTIONS:
@@ -196,17 +216,22 @@ class CheckPlan:
             "workers": self.workers,
             "stateful": self.stateful,
             "successors": self.successors,
+            "goal": self.goal,
         }
 
     def describe(self) -> str:
         """Compact one-line rendering: ``dfs/spor/full/worksteal+fast x4``.
 
-        The successor mode only appears when it departs from the default,
-        keeping existing object-engine renderings byte-stable.
+        The successor mode and goal only appear when they depart from the
+        defaults, keeping existing invariant/object renderings byte-stable.
         """
         suffix = f" x{self.workers}" if self.workers > 1 else ""
         fast = "+fast" if self.successors == "fast" else ""
-        return f"{self.shape}/{self.reduction}/{self.store}/{self.backend}{fast}{suffix}"
+        live = "+liveness" if self.goal == "liveness" else ""
+        return (
+            f"{self.shape}/{self.reduction}/{self.store}/{self.backend}"
+            f"{fast}{live}{suffix}"
+        )
 
     def search_config(self):
         """The :class:`repro.checker.search.SearchConfig` this plan implies."""
@@ -225,6 +250,7 @@ class CheckPlan:
             stop_at_first_violation=self.stop_at_first_violation,
             check_deadlocks=self.check_deadlocks,
             engine_cache_capacity=self.engine_cache_capacity,
+            fastpath_memo_capacity=self.fastpath_memo_capacity,
         )
 
 
@@ -234,8 +260,11 @@ def strategy_label(plan: CheckPlan) -> str:
     Keeps the records emitted through the new API byte-compatible with the
     ones the ``Strategy``-enum facade produced: ``"bfs"`` for breadth-first
     runs, otherwise the reduction name with ``"none"`` spelled
-    ``"unreduced"``.
+    ``"unreduced"``.  Liveness runs (which the facade never produced) are
+    labelled by their algorithm, ``"ndfs"``.
     """
+    if plan.goal == "liveness":
+        return "ndfs"
     if plan.shape == "bfs":
         return "bfs"
     return "unreduced" if plan.reduction == "none" else plan.reduction

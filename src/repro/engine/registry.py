@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..checker.property import Invariant
+from ..checker.property import Invariant, goal_of
 from ..checker.result import CheckResult
 from ..mp.protocol import Protocol
 from .engines import Engine, builtin_engines
@@ -127,43 +127,47 @@ class EngineRegistry:
         worker_counts: Sequence[int] = (1, 2, 4),
         stores: Sequence[str] = ("full",),
         successor_modes: Sequence[str] = ("object",),
+        goals: Sequence[str] = ("invariant",),
     ) -> Iterator[Tuple[Engine, CheckPlan]]:
-        """Enumerate the (shape × reduction × backend × workers × store ×
-        successors) grid the registry reports as supported.
+        """Enumerate the (goal × shape × reduction × backend × workers ×
+        store × successors) grid the registry reports as supported.
 
         This is what the conformance matrix iterates: every yielded plan is
         guaranteed to resolve to the accompanying engine.  The default
-        enumerates the object-graph family only; pass
-        ``successor_modes=("object", "fast")`` for the full grid.
+        enumerates the invariant-checking object-graph family only; pass
+        ``successor_modes=("object", "fast")`` and/or
+        ``goals=("invariant", "liveness")`` for the full grid.
         """
         from .plan import REDUCTIONS, SHAPES
 
         seen = set()
-        for shape in SHAPES:
-            for reduction in REDUCTIONS:
-                for store in stores:
-                    for workers in worker_counts:
-                        for successors in successor_modes:
-                            stateful = reduction != "dpor"
-                            try:
-                                plan = CheckPlan(
-                                    shape=shape,
-                                    reduction=reduction,
-                                    store=store if stateful else "none",
-                                    workers=workers,
-                                    stateful=stateful,
-                                    successors=successors,
-                                )
-                                engine, resolved = self.resolve(plan)
-                            except UnsupportedPlanError:
-                                continue
-                            # Stateless plans collapse the store axis to
-                            # "none", so several grid points can normalise
-                            # to one plan.
-                            if resolved in seen:
-                                continue
-                            seen.add(resolved)
-                            yield engine, resolved
+        for goal in goals:
+            for shape in SHAPES:
+                for reduction in REDUCTIONS:
+                    for store in stores:
+                        for workers in worker_counts:
+                            for successors in successor_modes:
+                                stateful = reduction != "dpor"
+                                try:
+                                    plan = CheckPlan(
+                                        shape=shape,
+                                        reduction=reduction,
+                                        store=store if stateful else "none",
+                                        workers=workers,
+                                        stateful=stateful,
+                                        successors=successors,
+                                        goal=goal,
+                                    )
+                                    engine, resolved = self.resolve(plan)
+                                except UnsupportedPlanError:
+                                    continue
+                                # Stateless plans collapse the store axis to
+                                # "none", so several grid points can
+                                # normalise to one plan.
+                                if resolved in seen:
+                                    continue
+                                seen.add(resolved)
+                                yield engine, resolved
 
 
 #: The process-wide default registry, built lazily.
@@ -199,6 +203,17 @@ def run_plan(
     receives the uniform event stream documented in
     :mod:`repro.engine.events`.
     """
+    required = goal_of(invariant)
+    if plan.goal != required:
+        raise UnsupportedPlanError(
+            "goal",
+            plan.goal,
+            f"property {invariant.name!r} is a {required} property but the "
+            f"plan requests goal={plan.goal!r}; liveness properties need a "
+            "cycle-aware engine (and invariants a reachability engine), so "
+            "the mismatch is refused rather than silently reinterpreted",
+            alternative=replace(plan, goal=required),
+        )
     engine, resolved = resolve(plan, registry)
     emit(
         observer,

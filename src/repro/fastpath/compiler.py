@@ -35,6 +35,7 @@ this to ship pure int-tuples across process boundaries.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..mp.channel import Network, item_hash
@@ -99,9 +100,11 @@ class CompiledTransition:
         self.guard = spec.guard
         self.action = spec.action
         #: ``(local id, candidate ids) -> tuple of consumed-id tuples``.
-        self.enabled_memo: Dict[Tuple, Tuple[Tuple[int, ...], ...]] = {}
+        #: An ``OrderedDict`` so the engine can run it as an LRU when a
+        #: ``memo_capacity`` is configured (plain-dict cost when unbounded).
+        self.enabled_memo: "OrderedDict[Tuple, Tuple[Tuple[int, ...], ...]]" = OrderedDict()
         #: ``(local id, consumed ids, spec ids) -> (new local id, outbox)``.
-        self.action_memo: Dict[Tuple, Tuple[int, Tuple[int, ...]]] = {}
+        self.action_memo: "OrderedDict[Tuple, Tuple[int, Tuple[int, ...]]]" = OrderedDict()
         #: Per message id: is the message a consumption candidate?  Grown
         #: lazily in lockstep with the engine's message table.
         self.candidate_flags: List[bool] = []
@@ -138,9 +141,22 @@ class FastSuccessorEngine:
         "_entry_hash_memo",
         "_net_contrib_memo",
         "_exec_memo",
+        "memo_capacity",
+        "memo_evictions",
     )
 
-    def __init__(self, protocol: Protocol) -> None:
+    def __init__(self, protocol: Protocol,
+                 memo_capacity: Optional[int] = None) -> None:
+        if memo_capacity is not None and memo_capacity < 1:
+            raise ValueError("memo_capacity must be at least 1 (or None)")
+        #: LRU bound applied to each per-transition guard/action memo table
+        #: (``None`` keeps them unbounded).  The interning tables themselves
+        #: are never evicted — packed words reference ids forever — but the
+        #: derived memo tables may grow with the product of local states and
+        #: in-flight message combinations, which is what the bound caps.
+        self.memo_capacity = memo_capacity
+        #: Total entries evicted across all memo tables (diagnostics/tests).
+        self.memo_evictions = 0
         self.protocol = protocol
         self._pids: Tuple[str, ...] = protocol.process_ids
         self._index = protocol.process_index
@@ -326,6 +342,14 @@ class FastSuccessorEngine:
             if executions is None:
                 executions = self._compute_enabled(transition, key[0], key[1])
                 transition.enabled_memo[key] = executions
+                if (
+                    self.memo_capacity is not None
+                    and len(transition.enabled_memo) > self.memo_capacity
+                ):
+                    transition.enabled_memo.popitem(last=False)
+                    self.memo_evictions += 1
+            elif self.memo_capacity is not None:
+                transition.enabled_memo.move_to_end(key)
             index = transition.index
             for consumed in executions:
                 result.append((index, consumed))
@@ -402,6 +426,14 @@ class FastSuccessorEngine:
         if cached is None:
             cached = self._apply_action(transition, local_id, consumed, spec_ids)
             transition.action_memo[key] = cached
+            if (
+                self.memo_capacity is not None
+                and len(transition.action_memo) > self.memo_capacity
+            ):
+                transition.action_memo.popitem(last=False)
+                self.memo_evictions += 1
+        elif self.memo_capacity is not None:
+            transition.action_memo.move_to_end(key)
         new_local_id, outbox = cached
 
         count = self._num_processes

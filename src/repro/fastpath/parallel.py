@@ -147,7 +147,8 @@ def _fast_worksteal_worker(
     """Worker body: replay stolen paths, explore subtrees packed."""
     try:
         protocol = engine.protocol
-        holds = make_invariant_checker(engine, invariant, protocol)
+        holds = make_invariant_checker(engine, invariant, protocol,
+                                       capacity=engine.memo_capacity)
         seen = ShardedFingerprintStore(num_shards=8)
         stats = {key: 0 for key in _STAT_KEYS}
         violations: List[Tuple[int, ...]] = []
@@ -348,10 +349,13 @@ def fast_parallel_dfs_search(
     start_time = time.perf_counter()
 
     # Compile before forking so every worker inherits the warm tables.
-    engine = engine or FastSuccessorEngine(protocol)
+    engine = engine or FastSuccessorEngine(
+        protocol, memo_capacity=config.fastpath_memo_capacity
+    )
     initial = engine.initial_packed()
     statistics.states_visited = 1
-    holds = make_invariant_checker(engine, invariant, protocol)
+    holds = make_invariant_checker(engine, invariant, protocol,
+                                   capacity=engine.memo_capacity)
     if not holds(initial):
         emit(observer, "violation-found", states_visited=1, depth=0)
         statistics.elapsed_seconds = time.perf_counter() - start_time
@@ -500,7 +504,8 @@ def _fast_frontier_worker(
     """
     try:
         protocol = engine.protocol
-        holds = make_invariant_checker(engine, invariant, protocol)
+        holds = make_invariant_checker(engine, invariant, protocol,
+                                       capacity=engine.memo_capacity)
         shard: Set[int] = set()
         frontier: List[PackedState] = []
         pending_children: Dict[int, PackedState] = {}
@@ -606,10 +611,13 @@ def fast_parallel_bfs_search(
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 
-    engine = engine or FastSuccessorEngine(protocol)
+    engine = engine or FastSuccessorEngine(
+        protocol, memo_capacity=config.fastpath_memo_capacity
+    )
     initial = engine.initial_packed()
     statistics.states_visited = 1
-    holds = make_invariant_checker(engine, invariant, protocol)
+    holds = make_invariant_checker(engine, invariant, protocol,
+                                   capacity=engine.memo_capacity)
     if not holds(initial):
         emit(observer, "violation-found", states_visited=1, depth=0)
         statistics.elapsed_seconds = time.perf_counter() - start_time

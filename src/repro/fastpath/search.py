@@ -78,8 +78,45 @@ class _PackedStore:
         return len(self._fingerprints)
 
 
+def _memoised_predicate(
+    engine: FastSuccessorEngine,
+    evaluate: Callable[[GlobalState], bool],
+    network_sensitive: bool,
+    capacity: Optional[int] = None,
+) -> Callable[[PackedState], bool]:
+    """Packed evaluation of a state predicate, memoised per locals vector
+    when sound (``network_sensitive=False``), optionally LRU-bounded."""
+    if network_sensitive:
+        def check_sensitive(packed: PackedState) -> bool:
+            return bool(evaluate(engine.decode(packed)))
+
+        return check_sensitive
+
+    if capacity is not None and capacity < 1:
+        raise ValueError("memo capacity must be at least 1 (or None)")
+    count = engine.num_processes
+    from collections import OrderedDict
+
+    memo: "OrderedDict[Tuple[int, ...], bool]" = OrderedDict()
+
+    def check(packed: PackedState) -> bool:
+        key = packed[0][:count]
+        verdict = memo.get(key)
+        if verdict is None:
+            verdict = bool(evaluate(engine.decode(packed)))
+            memo[key] = verdict
+            if capacity is not None and len(memo) > capacity:
+                memo.popitem(last=False)
+        elif capacity is not None:
+            memo.move_to_end(key)
+        return verdict
+
+    return check
+
+
 def make_invariant_checker(
-    engine: FastSuccessorEngine, invariant: Invariant, protocol: Protocol
+    engine: FastSuccessorEngine, invariant: Invariant, protocol: Protocol,
+    capacity: Optional[int] = None,
 ) -> Callable[[PackedState], bool]:
     """Packed invariant evaluation, memoised per locals vector when sound.
 
@@ -87,25 +124,16 @@ def make_invariant_checker(
     only, so their verdict is a pure function of the locals word prefix —
     the memo turns per-state evaluation into one dict lookup.  Sensitive
     (or undeclared, the safe default) invariants decode every state.
+    ``capacity`` LRU-bounds the memo (``None`` keeps it unbounded).  Works
+    for any property exposing ``holds_in``/``network_sensitive`` — liveness
+    goals (:class:`~repro.checker.property.Eventually`) reuse it.
     """
-    if getattr(invariant, "network_sensitive", True):
-        def check_sensitive(packed: PackedState) -> bool:
-            return invariant.holds_in(engine.decode(packed), protocol)
-
-        return check_sensitive
-
-    count = engine.num_processes
-    memo: Dict[Tuple[int, ...], bool] = {}
-
-    def check(packed: PackedState) -> bool:
-        key = packed[0][:count]
-        verdict = memo.get(key)
-        if verdict is None:
-            verdict = invariant.holds_in(engine.decode(packed), protocol)
-            memo[key] = verdict
-        return verdict
-
-    return check
+    return _memoised_predicate(
+        engine,
+        lambda state: invariant.holds_in(state, protocol),
+        getattr(invariant, "network_sensitive", True),
+        capacity,
+    )
 
 
 class _FastFrame:
@@ -240,8 +268,11 @@ def fast_dfs_search(
 
     if engine is not None and engine.protocol is not protocol:
         raise ValueError("fast successor engine was built for a different protocol")
-    engine = engine or FastSuccessorEngine(protocol)
-    holds = make_invariant_checker(engine, invariant, protocol)
+    engine = engine or FastSuccessorEngine(
+        protocol, memo_capacity=config.fastpath_memo_capacity
+    )
+    holds = make_invariant_checker(engine, invariant, protocol,
+                                   capacity=config.fastpath_memo_capacity)
 
     store: Optional[_PackedStore] = None
     if config.stateful:
@@ -377,8 +408,11 @@ def fast_bfs_search(
 
     if engine is not None and engine.protocol is not protocol:
         raise ValueError("fast successor engine was built for a different protocol")
-    engine = engine or FastSuccessorEngine(protocol)
-    holds = make_invariant_checker(engine, invariant, protocol)
+    engine = engine or FastSuccessorEngine(
+        protocol, memo_capacity=config.fastpath_memo_capacity
+    )
+    holds = make_invariant_checker(engine, invariant, protocol,
+                                   capacity=config.fastpath_memo_capacity)
 
     initial = engine.initial_packed()
     store = _PackedStore(config.state_store, config.state_store_shards)
@@ -463,3 +497,225 @@ def fast_bfs_search(
     statistics.elapsed_seconds = time.perf_counter() - start_time
     return SearchOutcome(verified=verified, complete=complete,
                          counterexample=counterexample, statistics=statistics)
+
+
+def fast_ndfs_search(
+    protocol: Protocol,
+    prop,
+    config: Optional[SearchConfig] = None,
+    observer: Optional[Observer] = None,
+    engine: Optional[FastSuccessorEngine] = None,
+) -> SearchOutcome:
+    """Packed-state nested DFS; mirrors
+    :func:`repro.checker.search.ndfs_search` decision for decision.
+
+    The blue/cyan/red marks are kept over packed keys — exact word tuples
+    for the ``"full"`` store, fingerprints for the fingerprint kinds — and
+    only the violating lasso is decoded.  Verdicts, visited counts and
+    trace lengths are identical to the object-graph nested DFS.
+    """
+    config = config or SearchConfig()
+    if not config.stateful:
+        raise ValueError(
+            "nested DFS is stateful by construction (the blue/red marks "
+            "are the algorithm); config.stateful must be True"
+        )
+    if config.state_store not in ("full", "fingerprint", "sharded-fingerprint"):
+        raise ValueError(
+            f"nested DFS needs a real visited-state store, got "
+            f"state_store={config.state_store!r}"
+        )
+    statistics = SearchStatistics()
+    start_time = time.perf_counter()
+
+    if engine is not None and engine.protocol is not protocol:
+        raise ValueError("fast successor engine was built for a different protocol")
+    engine = engine or FastSuccessorEngine(
+        protocol, memo_capacity=config.fastpath_memo_capacity
+    )
+    network_sensitive = getattr(prop, "network_sensitive", True)
+    prunes = _memoised_predicate(
+        engine, lambda state: prop.prunes(state, protocol),
+        network_sensitive, config.fastpath_memo_capacity,
+    )
+    accepting = _memoised_predicate(
+        engine, lambda state: prop.accepting(state, protocol),
+        network_sensitive, config.fastpath_memo_capacity,
+    )
+
+    exact = config.state_store == "full"
+
+    def key(packed: PackedState):
+        return packed[0] if exact else packed[3]
+
+    def expand(packed: PackedState) -> Tuple[PackedExecution, ...]:
+        enabled = engine.enabled_packed(packed)
+        statistics.enabled_set_computations += 1
+        statistics.full_expansions += 1
+        return enabled
+
+    initial = engine.initial_packed()
+    discovered = {key(initial)}
+    statistics.states_visited = 1
+
+    if prunes(initial):
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        return SearchOutcome(True, True, None, statistics)
+
+    cyan = {key(initial)}
+    blue = set()
+    red = set()
+    complete = True
+
+    def lasso(stack: List[_FastFrame],
+              final: Tuple[PackedExecution, PackedState],
+              extra: List[_FastFrame], cycle_key) -> Counterexample:
+        steps = [
+            Step(execution=engine.execution_of(frame.via),
+                 state=engine.decode(frame.packed))
+            for frame in stack[1:]
+        ]
+        steps.extend(
+            Step(execution=engine.execution_of(frame.via),
+                 state=engine.decode(frame.packed))
+            for frame in extra
+        )
+        execution, packed = final
+        steps.append(Step(execution=engine.execution_of(execution),
+                          state=engine.decode(packed)))
+        path_packed = [stack[0].packed] + [frame.packed for frame in stack[1:]]
+        cycle_start = next(
+            index for index, entry in enumerate(path_packed)
+            if key(entry) == cycle_key
+        )
+        return Counterexample(
+            initial_state=engine.decode(stack[0].packed), steps=tuple(steps),
+            property_name=prop.name, cycle_start=cycle_start,
+        )
+
+    def stutter(stack: List[_FastFrame],
+                final: Optional[Tuple[PackedExecution, PackedState]]) -> Counterexample:
+        steps = [
+            Step(execution=engine.execution_of(frame.via),
+                 state=engine.decode(frame.packed))
+            for frame in stack[1:]
+        ]
+        if final is not None:
+            execution, packed = final
+            steps.append(Step(execution=engine.execution_of(execution),
+                              state=engine.decode(packed)))
+        return Counterexample(
+            initial_state=engine.decode(stack[0].packed), steps=tuple(steps),
+            property_name=prop.name, cycle_start=len(steps),
+        )
+
+    def red_search(stack: List[_FastFrame]) -> Optional[Counterexample]:
+        seed = stack[-1]
+        root = _FastFrame(seed.packed, via=None)
+        root.pending = expand(seed.packed)
+        red_stack = [root]
+        while red_stack:
+            if config.max_seconds is not None:
+                if time.perf_counter() - start_time > config.max_seconds:
+                    return None
+            frame = red_stack[-1]
+            if frame.next_index >= len(frame.pending):
+                red_stack.pop()
+                continue
+            execution = frame.pending[frame.next_index]
+            frame.next_index += 1
+            successor = engine.successor_packed(frame.packed, execution)
+            statistics.transitions_executed += 1
+            skey = key(successor)
+            if skey in cyan:
+                return lasso(stack, (execution, successor),
+                             red_stack[1:], skey)
+            if skey in red:
+                continue
+            if skey not in discovered:
+                discovered.add(skey)
+                statistics.states_visited = len(discovered)
+            if prunes(successor):
+                red.add(skey)
+                continue
+            red.add(skey)
+            child = _FastFrame(successor, via=execution)
+            child.pending = expand(successor)
+            red_stack.append(child)
+        red.add(key(seed.packed))
+        return None
+
+    def finish(verified: bool, is_complete: bool,
+               counterexample: Optional[Counterexample]) -> SearchOutcome:
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        return SearchOutcome(verified, is_complete, counterexample, statistics)
+
+    root = _FastFrame(initial, via=None)
+    root.pending = expand(initial)
+    stack: List[_FastFrame] = [root]
+    if not root.pending and accepting(initial):
+        emit(observer, "violation-found", states_visited=1, depth=0)
+        return finish(False, False, stutter(stack, None))
+
+    while stack:
+        if config.max_seconds is not None:
+            if time.perf_counter() - start_time > config.max_seconds:
+                return finish(True, False, None)
+        frame = stack[-1]
+        if frame.next_index >= len(frame.pending):
+            if accepting(frame.packed):
+                counterexample = red_search(stack)
+                if counterexample is not None:
+                    emit(observer, "violation-found",
+                         states_visited=statistics.states_visited,
+                         depth=len(stack))
+                    return finish(False, False, counterexample)
+                if config.max_seconds is not None:
+                    if time.perf_counter() - start_time > config.max_seconds:
+                        return finish(True, False, None)
+            stack.pop()
+            cyan.discard(key(frame.packed))
+            blue.add(key(frame.packed))
+            continue
+        execution = frame.pending[frame.next_index]
+        frame.next_index += 1
+
+        successor = engine.successor_packed(frame.packed, execution)
+        statistics.transitions_executed += 1
+        skey = key(successor)
+
+        if skey in cyan and (accepting(frame.packed) or accepting(successor)):
+            emit(observer, "violation-found",
+                 states_visited=statistics.states_visited, depth=len(stack))
+            return finish(False, False,
+                          lasso(stack, (execution, successor), [], skey))
+        if skey in blue or skey in cyan:
+            statistics.revisits += 1
+            continue
+        if skey not in discovered:
+            discovered.add(skey)
+            statistics.states_visited = len(discovered)
+            if observer is not None and statistics.states_visited % PROGRESS_INTERVAL == 0:
+                emit(observer, "progress",
+                     states_visited=statistics.states_visited,
+                     transitions_executed=statistics.transitions_executed)
+        if prunes(successor):
+            blue.add(skey)
+            continue
+        if config.max_states is not None and statistics.states_visited >= config.max_states:
+            return finish(True, False, None)
+        if config.max_depth is not None and len(stack) > config.max_depth:
+            complete = False
+            continue
+
+        child = _FastFrame(successor, via=execution)
+        child.pending = expand(successor)
+        if not child.pending and accepting(successor):
+            emit(observer, "violation-found",
+                 states_visited=statistics.states_visited, depth=len(stack))
+            return finish(False, False, stutter(stack, (execution, successor)))
+        stack.append(child)
+        cyan.add(skey)
+        statistics.max_depth = max(statistics.max_depth, len(stack) - 1)
+
+    return finish(True, complete, None)

@@ -58,6 +58,9 @@ class CellSpec:
             registry pick serial / frontier / worksteal).
         successors: Successor-engine family: ``"object"`` (default) or
             ``"fast"`` for the packed table-compiled fast path.
+        goal: ``"invariant"`` (default) checks the entry's invariant;
+            ``"liveness"`` checks its :class:`Eventually` property with a
+            nested-DFS plan (entries without one raise).
     """
 
     key: str
@@ -74,6 +77,7 @@ class CellSpec:
     reduction: Optional[str] = None
     backend: str = "auto"
     successors: str = "object"
+    goal: str = "invariant"
 
     def to_task(self) -> Dict:
         """The picklable task form handed to pool workers."""
@@ -102,6 +106,8 @@ class CellSpec:
                 plan = replace(plan, backend=self.backend)
             if self.successors != "object":
                 plan = replace(plan, successors=self.successors)
+            if self.goal != "invariant":
+                plan = replace(plan, goal=self.goal)
             return plan
         # CheckPlan.__post_init__ owns the cross-axis normalisation (dpor is
         # stateless, stateless plans store nothing); pass the axes through.
@@ -118,6 +124,7 @@ class CellSpec:
             seed_heuristic=self.seed_heuristic,
             max_states=self.max_states,
             max_seconds=self.max_seconds,
+            goal=self.goal,
         )
 
 
@@ -142,8 +149,19 @@ def run_cell_task(task: Dict, observer: Optional[Observer] = None) -> Dict:
     if spec.model not in MODELS:
         raise ValueError(f"unknown model variant {spec.model!r} (expected one of {MODELS})")
     protocol = entry.quorum_model() if spec.model == "quorum" else entry.single_model()
+    if spec.goal == "liveness":
+        if entry.liveness is None:
+            raise ValueError(
+                f"catalog entry {spec.key!r} carries no liveness property; "
+                "only the crash-recovery family does"
+            )
+        prop = entry.liveness
+        expect_violation = entry.expect_liveness_violation
+    else:
+        prop = entry.invariant
+        expect_violation = entry.expect_violation
     started = time.perf_counter()
-    result = run_plan(protocol, entry.invariant, spec.to_plan(), observer=observer)
+    result = run_plan(protocol, prop, spec.to_plan(), observer=observer)
     wall_seconds = time.perf_counter() - started
     # A truncated search that found no counterexample proves nothing, so it
     # must not count as agreeing with the paper's expected outcome; a found
@@ -157,8 +175,8 @@ def run_cell_task(task: Dict, observer: Optional[Observer] = None) -> Dict:
         scale=spec.scale,
         workers=spec.workers,
         store=spec.state_store,
-        expect_violation=entry.expect_violation,
-        ok=conclusive and result.found_counterexample == entry.expect_violation,
+        expect_violation=expect_violation,
+        ok=conclusive and result.found_counterexample == expect_violation,
         wall_seconds=wall_seconds,
     )
 
@@ -208,18 +226,27 @@ def specs_for_sweep(
     cell_workers: int = 1,
     backend: str = "auto",
     successors: str = "object",
+    goal: str = "invariant",
 ) -> List[CellSpec]:
     """Build the cell grid of a sweep: every requested key × model variant.
 
-    ``keys=None`` sweeps the whole catalog at the given scale.
+    ``keys=None`` sweeps the whole catalog at the given scale — restricted
+    to the entries that carry a liveness property when ``goal="liveness"``.
     ``cell_workers`` sets the *inner* worker count of every cell (the
     strategy×workers axis); the pool size of :func:`run_cells` remains the
     outer, cell-level axis.  ``backend`` pins every cell's execution
     backend (default ``"auto"`` lets plan resolution choose);
     ``successors`` pins the successor-engine family the same way.
+    Liveness cells always run the serial nested-DFS plan (``shape="dfs"``,
+    ``reduction="none"``, one worker), which is the only supported liveness
+    configuration.
     """
     if keys is None:
-        resolved = [entry.key for entry in default_catalog(scale)]
+        resolved = [
+            entry.key
+            for entry in default_catalog(scale)
+            if goal != "liveness" or entry.liveness is not None
+        ]
     else:
         resolved = [key for key in keys]
         for key in resolved:
@@ -227,8 +254,22 @@ def specs_for_sweep(
     specs = []
     for key in resolved:
         for model in models:
-            specs.append(
-                CellSpec(
+            if goal == "liveness":
+                spec = CellSpec(
+                    key=key,
+                    model=model,
+                    scale=scale,
+                    state_store=state_store,
+                    max_states=max_states,
+                    max_seconds=max_seconds,
+                    shape="dfs",
+                    reduction="none",
+                    backend=backend,
+                    successors=successors,
+                    goal="liveness",
+                )
+            else:
+                spec = CellSpec(
                     key=key,
                     model=model,
                     strategy=strategy,
@@ -240,5 +281,5 @@ def specs_for_sweep(
                     backend=backend,
                     successors=successors,
                 )
-            )
+            specs.append(spec)
     return specs

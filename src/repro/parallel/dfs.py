@@ -36,11 +36,16 @@ Equivalence to the serial search:
   path claims a state first is scheduling-dependent, so visited counts may
   vary across runs while verdict soundness is preserved; stubborn sets
   carry no sleep sets or other cross-subtree state, which is what makes
-  subtree stealing sound here.  (All bundled protocols have acyclic state
-  graphs — transitions strictly consume trigger messages — so the per-path
-  proviso degenerates to the serial behaviour; a cyclic protocol whose
-  cycles span workers would, like any distributed stubborn-set DFS, need a
-  stronger ignoring-prevention condition.)
+  subtree stealing sound here.  (The per-path proviso is only sound when no
+  cycle spans workers: a cyclic protocol whose cycles cross subtree
+  boundaries would, like any distributed stubborn-set DFS, need a stronger
+  ignoring-prevention condition.  Protocols that declare
+  ``cyclic_state_graph=True`` in their metadata — the crash-recovery family
+  — are therefore *refused* by the worksteal engines when combined with a
+  stubborn-set reduction: the registry raises a structured
+  ``UnsupportedPlanError`` pointing at the unreduced alternative instead of
+  silently risking ignored transitions.  Acyclic protocols — transitions
+  strictly consume trigger messages — are unaffected.)
 * **DPOR is excluded by design.**  Its backtrack sets are mutated up the
   *serial* stack as race reversals are discovered; donating a subtree would
   detach frames from the stack their backtrack semantics refer to.  The

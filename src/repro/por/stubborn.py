@@ -36,6 +36,22 @@ Construction (weak stubborn-set closure, specialised to message passing):
 4. Apply the visibility condition and the cycle (stack) proviso; if either
    fails, fall back to full expansion for this state, which keeps invariant
    checking sound.
+
+   The proviso implemented here is the *strong* stack proviso: a strictly
+   reduced set is only kept when **no** explored execution leads back to a
+   state on the current DFS stack.  Ignoring-prevention argument: suppose a
+   transition ``t`` enabled somewhere on a cycle were ignored forever.  Every
+   state of the cycle would then have been expanded with a strict subset, so
+   each one had a successor off the stack at the time it was expanded — but
+   the state of the cycle that the DFS *pops first* has, at pop time, all of
+   its cycle-successors already on the stack (they are its DFS ancestors),
+   which the proviso forbids: that state was fully expanded, contradicting
+   the assumption.  Hence along every cycle at least one state is fully
+   expanded and every enabled transition is eventually explored.  On acyclic
+   state graphs no successor can sit on the stack, so the strong proviso
+   degenerates to a no-op and reduction is exactly what the weak proviso
+   gave; on cyclic graphs (e.g. the crash-recovery protocols) it is what
+   makes serial SPOR sound.
 """
 
 from __future__ import annotations
@@ -177,11 +193,16 @@ class StubbornSetProvider:
             self.fallback_states += 1
             return enabled
 
-        # Cycle (stack) proviso (condition C3): at least one explored
-        # execution must leave the current DFS stack.  ``context.successor``
-        # is engine-backed and memoised, so the states computed here are
-        # reused when the DFS expands them.
-        if all(context.on_stack(context.successor(execution)) for execution in reduced):
+        # Cycle (stack) proviso (condition C3): if any explored execution
+        # closes a cycle back onto the current DFS stack, expand the state
+        # fully.  This is the strong stack proviso — sound on cyclic state
+        # graphs, not just acyclic ones; see the module docstring for the
+        # ignoring-prevention argument.  On acyclic graphs no successor is
+        # ever on the stack, so the check never fires and reduction counts
+        # are unchanged.  ``context.successor`` is engine-backed and
+        # memoised, so the states computed here are reused when the DFS
+        # expands them.
+        if any(context.on_stack(context.successor(execution)) for execution in reduced):
             self.fallback_states += 1
             return enabled
 

@@ -1,18 +1,28 @@
 """Fault-tolerant protocol models used in the paper's evaluation.
 
-Three protocols, each in a quorum-transition and a single-message variant:
-Paxos consensus, a single-writer regular storage protocol, and Echo
-Multicast with explicit Byzantine attack behaviours, plus a catalog that
-wires instances and properties together for the benchmarks.
+Four protocol families, each in a quorum-transition and a single-message
+variant: Paxos consensus, a single-writer regular storage protocol, Echo
+Multicast with explicit Byzantine attack behaviours, and a crash-recovery
+storage protocol (the cyclic family, carrying liveness properties), plus a
+catalog that wires instances and properties together for the benchmarks.
 """
 
 from .catalog import (
     CatalogEntry,
+    crash_recovery_entry,
     default_catalog,
     entry_by_key,
     multicast_entry,
     paxos_entry,
     storage_entry,
+)
+from .crashrecovery import (
+    CrashRecoveryConfig,
+    build_crash_recovery_quorum,
+    build_crash_recovery_single,
+    durability_invariant,
+    eventually_done,
+    eventually_progress,
 )
 from .multicast import MulticastConfig, agreement_invariant, build_multicast_quorum, build_multicast_single
 from .paxos import (
@@ -33,10 +43,13 @@ from .storage import (
 
 __all__ = [
     "CatalogEntry",
+    "CrashRecoveryConfig",
     "MulticastConfig",
     "PaxosConfig",
     "StorageConfig",
     "agreement_invariant",
+    "build_crash_recovery_quorum",
+    "build_crash_recovery_single",
     "build_faulty_paxos_quorum",
     "build_faulty_paxos_single",
     "build_multicast_quorum",
@@ -46,8 +59,12 @@ __all__ = [
     "build_storage_quorum",
     "build_storage_single",
     "consensus_invariant",
+    "crash_recovery_entry",
     "default_catalog",
+    "durability_invariant",
     "entry_by_key",
+    "eventually_done",
+    "eventually_progress",
     "multicast_entry",
     "paxos_entry",
     "regularity_invariant",

@@ -11,8 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
-from ..checker.property import Invariant
+from ..checker.property import Eventually, Invariant
 from ..mp.protocol import Protocol
+from .crashrecovery import (
+    CrashRecoveryConfig,
+    build_crash_recovery_quorum,
+    build_crash_recovery_single,
+    durability_invariant,
+    eventually_done,
+    eventually_progress,
+)
 from .multicast import MulticastConfig, agreement_invariant, build_multicast_quorum, build_multicast_single
 from .paxos import (
     PaxosConfig,
@@ -44,6 +52,10 @@ class CatalogEntry:
         invariant: The property to check.
         expect_violation: True if the paper reports a counterexample for
             this row (the debugging experiments).
+        liveness: Optional :class:`Eventually` property for the liveness
+            sweeps; ``None`` for the purely safety-checked workloads.
+        expect_liveness_violation: True when the liveness property has an
+            acceptance-cycle counterexample (a lasso).
     """
 
     key: str
@@ -52,6 +64,8 @@ class CatalogEntry:
     single_model: Callable[[], Protocol]
     invariant: Invariant
     expect_violation: bool
+    liveness: Optional[Eventually] = None
+    expect_liveness_violation: bool = False
 
 
 def paxos_entry(
@@ -127,6 +141,33 @@ def multicast_entry(
     )
 
 
+def crash_recovery_entry(
+    replicas: int, crash_prone: int, starved: bool = False
+) -> CatalogEntry:
+    """Catalog entry for a crash-recovery storage setting (the cyclic family).
+
+    The durability invariant holds in both variants.  The default liveness
+    property ◇(done ∨ crashed) also holds; with ``starved`` the too-strong
+    ◇done is checked instead, which the crash/recover loop violates with a
+    lasso-shaped counterexample.
+    """
+    config = CrashRecoveryConfig(replicas=replicas, crash_prone=crash_prone)
+    liveness = eventually_done() if starved else eventually_progress()
+    return CatalogEntry(
+        key=(
+            f"crashrecovery-{replicas}-{crash_prone}"
+            + ("-starved" if starved else "")
+        ),
+        description=f"Crash-recovery storage {config.setting_label}",
+        quorum_model=lambda: build_crash_recovery_quorum(config),
+        single_model=lambda: build_crash_recovery_single(config),
+        invariant=durability_invariant(),
+        expect_violation=False,
+        liveness=liveness,
+        expect_liveness_violation=starved,
+    )
+
+
 def default_catalog(scale: str = "small") -> Tuple[CatalogEntry, ...]:
     """The workloads used by the bundled benchmarks.
 
@@ -145,6 +186,8 @@ def default_catalog(scale: str = "small") -> Tuple[CatalogEntry, ...]:
             multicast_entry(2, 1, 2, 1),
             storage_entry(3, 1),
             storage_entry(3, 2, wrong_specification=True),
+            crash_recovery_entry(2, 1),
+            crash_recovery_entry(2, 1, starved=True),
         )
     if scale == "small":
         return (
@@ -155,6 +198,8 @@ def default_catalog(scale: str = "small") -> Tuple[CatalogEntry, ...]:
             multicast_entry(2, 1, 2, 1),
             storage_entry(3, 1),
             storage_entry(3, 2, wrong_specification=True),
+            crash_recovery_entry(2, 1),
+            crash_recovery_entry(2, 1, starved=True),
         )
     raise ValueError(f"unknown catalog scale: {scale!r} (expected 'small' or 'paper')")
 

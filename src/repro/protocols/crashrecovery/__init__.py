@@ -1,0 +1,36 @@
+"""Crash-recovery storage models — the first cyclic protocol family.
+
+A single-writer durable store over crash-*recovery* replicas, in
+quorum-transition and single-message variants.  The crash/recover transition
+pair re-arms its own triggers, so the state graph contains genuine cycles;
+the builders declare ``cyclic_state_graph=True`` metadata, which gates the
+reductions that are only sound on acyclic graphs.  Ships a durability
+invariant plus two liveness (:class:`~repro.checker.property.Eventually`)
+properties — one that holds and one violated by a crash/recover lasso.
+"""
+
+from .config import (
+    STORED_VALUE,
+    CrWriterState,
+    CrashRecoveryConfig,
+    ReplicaState,
+)
+from .properties import (
+    durability_invariant,
+    eventually_done,
+    eventually_progress,
+)
+from .quorum import build_crash_recovery_quorum
+from .single import build_crash_recovery_single
+
+__all__ = [
+    "CrWriterState",
+    "CrashRecoveryConfig",
+    "ReplicaState",
+    "STORED_VALUE",
+    "build_crash_recovery_quorum",
+    "build_crash_recovery_single",
+    "durability_invariant",
+    "eventually_done",
+    "eventually_progress",
+]

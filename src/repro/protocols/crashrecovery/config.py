@@ -1,0 +1,100 @@
+"""Configuration and local states of the crash-recovery storage models.
+
+The protocol is a single-writer durable store over crash-*recovery* replicas
+(the crash-recovery failure model of the fault-tolerance literature, in
+contrast to the crash-stop base objects of :mod:`repro.protocols.storage`):
+one writer replicates a value to ``R`` replicas and completes once a
+majority acknowledged, while the first ``F`` replicas may crash and later
+recover, any number of times.
+
+The recover transition *re-arms* the crash trigger it consumed (and vice
+versa), so the crash/recover pair forms a genuine cycle in the state graph —
+this is the repository's first cyclic protocol family, exercising the
+cycle-aware stubborn-set proviso and the nested-DFS liveness engines.
+Builders mark it with ``cyclic_state_graph=True`` metadata, which the
+worksteal engines consult to refuse unsound reduced parallel runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...mp.process import LocalState
+from ...mp.transition import majority_of
+
+#: The value replicated by the (single) write operation.
+STORED_VALUE = "v1"
+
+
+@dataclass(frozen=True)
+class CrashRecoveryConfig:
+    """A crash-recovery storage setting.
+
+    Attributes:
+        replicas: Number of storage replicas.
+        crash_prone: How many of them (the first ``crash_prone``) may crash
+            and recover.
+    """
+
+    replicas: int = 2
+    crash_prone: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("a crash-recovery setting needs at least one replica")
+        if not (0 <= self.crash_prone <= self.replicas):
+            raise ValueError(
+                "crash_prone must be between 0 and the number of replicas"
+            )
+
+    @property
+    def majority(self) -> int:
+        """The replica majority threshold the write quorum collects."""
+        return majority_of(self.replicas)
+
+    @property
+    def setting_label(self) -> str:
+        """``(R,F)`` notation: replicas and crash-prone replicas."""
+        return f"({self.replicas},{self.crash_prone})"
+
+    def writer_id(self) -> str:
+        return "writer"
+
+    def replica_ids(self) -> Tuple[str, ...]:
+        return tuple(f"rep{i + 1}" for i in range(self.replicas))
+
+    def crash_prone_ids(self) -> Tuple[str, ...]:
+        return self.replica_ids()[: self.crash_prone]
+
+
+@dataclass(frozen=True)
+class CrWriterState(LocalState):
+    """Local state of the writer.
+
+    Attributes:
+        phase: ``"idle"`` before the write, ``"writing"`` while collecting
+            acknowledgements, ``"done"`` once a majority acknowledged.
+        ack_count: Acknowledgements counted so far (single-message model).
+    """
+
+    phase: str = "idle"
+    ack_count: int = 0
+
+
+@dataclass(frozen=True)
+class ReplicaState(LocalState):
+    """Local state of a replica.
+
+    Attributes:
+        up: Whether the replica is currently running.  A down replica
+            processes no STORE messages until it recovers.
+        stored: Whether the written value has been persisted.  Persistence
+            survives crashes (stable storage).
+        ever_crashed: Ghost flag — has this replica crashed at least once?
+            Read by the liveness properties.
+    """
+
+    up: bool = True
+    stored: bool = False
+    ever_crashed: bool = False

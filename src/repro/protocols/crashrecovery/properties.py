@@ -1,0 +1,99 @@
+"""Properties of the crash-recovery storage models.
+
+One invariant and two liveness properties:
+
+* :func:`durability_invariant` — safety, holds in both models: a completed
+  write implies a majority of replicas persisted the value (persistence is
+  stable storage, so crashes cannot un-persist it).
+* :func:`eventually_progress` — ◇(write done ∨ some replica crashed), holds:
+  every cycle of the state graph goes through a crash, and every crash-free
+  run is finite and can only stutter after the write completed... except it
+  cannot stutter at all: a crash-prone replica always has CRASH or RECOVER
+  armed, so the only accepting cycles would need ``ever_crashed`` to stay
+  false around a crash — impossible.
+* :func:`eventually_done` — ◇(write done), violated: the crash/recover pair
+  can spin forever while every STORE message stays in flight, a genuine
+  lasso-shaped counterexample (stem into the loop, crash→recover cycle).
+"""
+
+from __future__ import annotations
+
+from ...checker.property import Eventually, Invariant
+from ...mp.protocol import Protocol
+from ...mp.state import GlobalState
+
+
+def _write_done(state: GlobalState, protocol: Protocol) -> bool:
+    for writer in protocol.processes_of_type("writer"):
+        if state.local(writer.pid).phase != "done":
+            return False
+    return True
+
+
+def _any_crashed(state: GlobalState, protocol: Protocol) -> bool:
+    return any(
+        state.local(replica.pid).ever_crashed
+        for replica in protocol.processes_of_type("replica")
+    )
+
+
+def durability_invariant() -> Invariant:
+    """A completed write implies a majority of replicas persisted the value."""
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        if not _write_done(state, protocol):
+            return True
+        replicas = protocol.processes_of_type("replica")
+        stored = sum(1 for replica in replicas if state.local(replica.pid).stored)
+        majority = protocol.metadata.get("majority", len(replicas) // 2 + 1)
+        return stored >= majority
+
+    return Invariant(
+        name="durability",
+        predicate=predicate,
+        network_sensitive=False,
+        description=(
+            "once the write completed, a majority of replicas hold the value "
+            "in stable storage"
+        ),
+    )
+
+
+def eventually_progress() -> Eventually:
+    """◇(write done ∨ some replica ever crashed) — holds in both models."""
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        return _write_done(state, protocol) or _any_crashed(state, protocol)
+
+    return Eventually(
+        name="eventually-progress",
+        predicate=predicate,
+        network_sensitive=False,
+        description=(
+            "every run eventually completes the write or observes a crash"
+        ),
+    )
+
+
+def eventually_done() -> Eventually:
+    """◇(write done) — violated: the crash/recover loop can starve the write."""
+
+    def predicate(state: GlobalState, protocol: Protocol) -> bool:
+        return _write_done(state, protocol)
+
+    return Eventually(
+        name="eventually-done",
+        predicate=predicate,
+        network_sensitive=False,
+        description=(
+            "(deliberately too strong under unfair scheduling) every run "
+            "eventually completes the write"
+        ),
+    )
+
+
+__all__ = [
+    "durability_invariant",
+    "eventually_done",
+    "eventually_progress",
+]

@@ -1,0 +1,197 @@
+"""Crash-recovery storage modelled with quorum transitions.
+
+The writer stores the value at every replica and completes once a majority
+acknowledged (one quorum transition).  Each crash-prone replica carries a
+crash/recover transition pair whose actions re-arm each other's trigger
+message: CRASH consumes its trigger and sends RECOVER to itself, RECOVER
+consumes that and sends CRASH back.  Exactly one of the two is always
+pending, so the pair never deadlocks and the state graph contains genuine
+cycles (crash → recover → crash revisits the pre-crash state whenever
+nothing else moved in between, modulo the sticky ``ever_crashed`` flag —
+after the first crash the cycle is exact).
+"""
+
+from __future__ import annotations
+
+from ...mp.builder import ProtocolBuilder
+from ...mp.message import DRIVER
+from ...mp.protocol import Protocol
+from ...mp.transition import ActionContext, LporAnnotation, SendSpec, exact_quorum
+from .config import (
+    STORED_VALUE,
+    CrWriterState,
+    CrashRecoveryConfig,
+    ReplicaState,
+)
+
+
+def _write_start_action(replica_ids):
+    """Writer WRITE_START: send the value to every replica."""
+
+    def action(local: CrWriterState, _messages, ctx: ActionContext) -> CrWriterState:
+        for replica in replica_ids:
+            ctx.send(replica, "STORE", value=STORED_VALUE)
+        return local.update(phase="writing")
+
+    return action
+
+
+def _write_start_guard(local: CrWriterState, _messages) -> bool:
+    return local.phase == "idle"
+
+
+def _store_guard(local: ReplicaState, _messages) -> bool:
+    return local.up
+
+
+def _store_action(local: ReplicaState, messages, ctx: ActionContext) -> ReplicaState:
+    """Replica STORE: persist to stable storage, then acknowledge."""
+    (message,) = messages
+    ctx.send(message.sender, "STORE_ACK")
+    return local.update(stored=True)
+
+
+def _store_ack_guard(local: CrWriterState, _messages) -> bool:
+    return local.phase == "writing"
+
+
+def _store_ack_action(local: CrWriterState, _messages, _ctx: ActionContext) -> CrWriterState:
+    """Writer STORE_ACK quorum: the write operation completes."""
+    return local.update(phase="done")
+
+
+def _crash_guard(local: ReplicaState, _messages) -> bool:
+    return local.up
+
+
+def _crash_action(pid: str):
+    """Replica CRASH: go down and arm the matching RECOVER trigger."""
+
+    def action(local: ReplicaState, _messages, ctx: ActionContext) -> ReplicaState:
+        ctx.send(pid, "RECOVER")
+        return local.update(up=False, ever_crashed=True)
+
+    return action
+
+
+def _recover_guard(local: ReplicaState, _messages) -> bool:
+    return not local.up
+
+def _recover_action(pid: str):
+    """Replica RECOVER: come back up and re-arm the CRASH trigger.
+
+    Re-arming the consumed trigger is what makes the state graph cyclic:
+    every other transition in the repository's protocols strictly consumes
+    its trigger message, which is why their state graphs are acyclic.
+    """
+
+    def action(local: ReplicaState, _messages, ctx: ActionContext) -> ReplicaState:
+        ctx.send(pid, "CRASH")
+        return local.update(up=True)
+
+    return action
+
+
+def _add_crash_recover(builder: ProtocolBuilder, pid: str) -> None:
+    """Register the crash/recover pair (shared by both model variants)."""
+    self_set = frozenset({pid})
+    builder.add_transition(
+        name=f"CRASH@{pid}",
+        process_id=pid,
+        message_type="CRASH",
+        guard=_crash_guard,
+        action=_crash_action(pid),
+        annotation=LporAnnotation(
+            sends=(SendSpec("RECOVER", recipients=self_set),),
+            possible_senders=frozenset({DRIVER, pid}),
+            priority=2,
+        ),
+    )
+    builder.add_transition(
+        name=f"RECOVER@{pid}",
+        process_id=pid,
+        message_type="RECOVER",
+        guard=_recover_guard,
+        action=_recover_action(pid),
+        annotation=LporAnnotation(
+            sends=(SendSpec("CRASH", recipients=self_set),),
+            possible_senders=self_set,
+            priority=2,
+        ),
+    )
+    builder.trigger("CRASH", pid)
+
+
+def build_crash_recovery_quorum(config: CrashRecoveryConfig) -> Protocol:
+    """Build the quorum-transition crash-recovery storage model."""
+    builder = ProtocolBuilder(
+        f"crash-recovery storage {config.setting_label} quorum"
+    )
+    writer = config.writer_id()
+    replicas = config.replica_ids()
+    replica_set = frozenset(replicas)
+    writer_set = frozenset({writer})
+
+    builder.add_process(writer, "writer", CrWriterState())
+    for pid in replicas:
+        builder.add_process(pid, "replica", ReplicaState())
+
+    # Writer ----------------------------------------------------------------
+    builder.add_transition(
+        name=f"WRITE_START@{writer}",
+        process_id=writer,
+        message_type="WRITE_START",
+        guard=_write_start_guard,
+        action=_write_start_action(replicas),
+        annotation=LporAnnotation(
+            sends=(SendSpec("STORE", recipients=replica_set),),
+            possible_senders=frozenset({DRIVER}),
+            starts_instance=True,
+            priority=3,
+        ),
+    )
+    builder.add_transition(
+        name=f"STORE_ACK@{writer}",
+        process_id=writer,
+        message_type="STORE_ACK",
+        quorum=exact_quorum(config.majority),
+        guard=_store_ack_guard,
+        action=_store_ack_action,
+        annotation=LporAnnotation(
+            possible_senders=replica_set,
+            visible=True,
+            finishes_instance=True,
+            priority=1,
+        ),
+    )
+    builder.trigger("WRITE_START", writer)
+
+    # Replicas ----------------------------------------------------------------
+    for pid in replicas:
+        builder.add_transition(
+            name=f"STORE@{pid}",
+            process_id=pid,
+            message_type="STORE",
+            guard=_store_guard,
+            action=_store_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("STORE_ACK", to_senders_only=True),),
+                possible_senders=writer_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+    for pid in config.crash_prone_ids():
+        _add_crash_recover(builder, pid)
+
+    builder.set_metadata(
+        protocol="crash-recovery storage",
+        model="quorum",
+        setting=config.setting_label,
+        majority=config.majority,
+        cyclic_state_graph=True,
+    )
+    return builder.build()
+
+
+__all__ = ["build_crash_recovery_quorum"]

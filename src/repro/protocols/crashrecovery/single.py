@@ -1,0 +1,107 @@
+"""Crash-recovery storage modelled with single-message transitions only.
+
+Quorum collection is simulated with a per-message counting transition, as in
+the "no quorum" baseline models: the writer counts STORE_ACK messages one at
+a time and completes once the counter reaches the majority threshold.  The
+crash/recover machinery is identical to the quorum model.
+"""
+
+from __future__ import annotations
+
+from ...mp.builder import ProtocolBuilder
+from ...mp.message import DRIVER
+from ...mp.protocol import Protocol
+from ...mp.transition import ActionContext, LporAnnotation, SendSpec
+from .config import CrWriterState, CrashRecoveryConfig, ReplicaState
+from .quorum import (
+    _add_crash_recover,
+    _store_action,
+    _store_guard,
+    _write_start_action,
+    _write_start_guard,
+)
+
+
+def _store_ack_single_action(majority: int):
+    """Writer STORE_ACK, one acknowledgement at a time."""
+
+    def action(local: CrWriterState, _messages, _ctx: ActionContext) -> CrWriterState:
+        if local.phase != "writing":
+            return local
+        count = local.ack_count + 1
+        if count >= majority:
+            return local.update(phase="done", ack_count=0)
+        return local.update(ack_count=count)
+
+    return action
+
+
+def build_crash_recovery_single(config: CrashRecoveryConfig) -> Protocol:
+    """Build the single-message ("no quorum") crash-recovery storage model."""
+    builder = ProtocolBuilder(
+        f"crash-recovery storage {config.setting_label} single-message"
+    )
+    writer = config.writer_id()
+    replicas = config.replica_ids()
+    replica_set = frozenset(replicas)
+    writer_set = frozenset({writer})
+
+    builder.add_process(writer, "writer", CrWriterState())
+    for pid in replicas:
+        builder.add_process(pid, "replica", ReplicaState())
+
+    builder.add_transition(
+        name=f"WRITE_START@{writer}",
+        process_id=writer,
+        message_type="WRITE_START",
+        guard=_write_start_guard,
+        action=_write_start_action(replicas),
+        annotation=LporAnnotation(
+            sends=(SendSpec("STORE", recipients=replica_set),),
+            possible_senders=frozenset({DRIVER}),
+            starts_instance=True,
+            priority=3,
+        ),
+    )
+    builder.add_transition(
+        name=f"STORE_ACK@{writer}",
+        process_id=writer,
+        message_type="STORE_ACK",
+        action=_store_ack_single_action(config.majority),
+        annotation=LporAnnotation(
+            possible_senders=replica_set,
+            visible=True,
+            finishes_instance=True,
+            priority=1,
+        ),
+    )
+    builder.trigger("WRITE_START", writer)
+
+    for pid in replicas:
+        builder.add_transition(
+            name=f"STORE@{pid}",
+            process_id=pid,
+            message_type="STORE",
+            guard=_store_guard,
+            action=_store_action,
+            annotation=LporAnnotation(
+                sends=(SendSpec("STORE_ACK", to_senders_only=True),),
+                possible_senders=writer_set,
+                is_reply=True,
+                priority=2,
+            ),
+        )
+    for pid in config.crash_prone_ids():
+        _add_crash_recover(builder, pid)
+
+    builder.set_metadata(
+        protocol="crash-recovery storage",
+        model="single",
+        setting=config.setting_label,
+        majority=config.majority,
+        cyclic_state_graph=True,
+    )
+    return builder.build()
+
+
+__all__ = ["build_crash_recovery_single"]

@@ -8,6 +8,7 @@ import pytest
 
 from repro.engine.plan import (
     BACKENDS,
+    GOALS,
     PLAN_AXES,
     REDUCTIONS,
     SHAPES,
@@ -24,6 +25,7 @@ class TestVocabularies:
         assert REDUCTIONS == ("none", "spor", "spor-net", "dpor")
         assert set(STORES) == {"full", "fingerprint", "sharded-fingerprint", "none"}
         assert "auto" in BACKENDS
+        assert GOALS == ("invariant", "liveness")
 
     def test_store_vocabulary_stays_in_lockstep_with_the_store_factory(self):
         # STORES is a literal (importing STORE_KINDS would cycle through
@@ -36,7 +38,7 @@ class TestVocabularies:
     def test_plan_axes_cover_the_capability_surface(self):
         assert set(PLAN_AXES) == {
             "shape", "reduction", "store", "backend", "workers", "stateful",
-            "successors",
+            "successors", "goal",
         }
 
 
@@ -61,6 +63,7 @@ class TestConstruction:
         ("reduction", "magic"),
         ("store", "cloud"),
         ("backend", "gpu"),
+        ("goal", "fairness"),
     ])
     def test_unknown_axis_values_raise_structured_errors(self, axis, value):
         with pytest.raises(UnsupportedPlanError) as excinfo:
@@ -157,11 +160,22 @@ class TestDerivedViews:
         assert plan.describe() == "dfs/spor/full/worksteal x4"
         assert CheckPlan().describe() == "dfs/none/full/auto"
 
+    def test_describe_marks_liveness_plans(self):
+        # Invariant renderings stay byte-identical; liveness plans carry an
+        # explicit marker so logs and diagnostics distinguish the goal.
+        assert CheckPlan(goal="liveness").describe() == "dfs/none/full/auto+liveness"
+
+    def test_fastpath_memo_capacity_reaches_the_search_config(self):
+        config = CheckPlan(fastpath_memo_capacity=64).search_config()
+        assert config.fastpath_memo_capacity == 64
+        assert CheckPlan().search_config().fastpath_memo_capacity is None
+
     def test_axes_round_trip(self):
         plan = CheckPlan(shape="bfs", workers=2)
         axes = plan.axes()
         assert axes["shape"] == "bfs"
         assert axes["workers"] == 2
+        assert axes["goal"] == "invariant"
         assert replace(plan) == plan
 
 
@@ -172,6 +186,7 @@ class TestStrategyLabel:
         (CheckPlan(reduction="spor-net"), "spor-net"),
         (CheckPlan(reduction="dpor"), "dpor"),
         (CheckPlan(shape="bfs"), "bfs"),
+        (CheckPlan(goal="liveness"), "ndfs"),
     ])
     def test_labels_match_the_legacy_strategy_strings(self, plan, label):
         assert strategy_label(plan) == label

@@ -21,8 +21,9 @@ class TestRegistryBasics:
         names = [engine.name for engine in default_registry().engines()]
         assert names == [
             "serial-dfs", "serial-bfs", "frontier-bfs", "worksteal-dfs", "dpor",
+            "serial-ndfs",
             "serial-dfs-fast", "serial-bfs-fast", "frontier-bfs-fast",
-            "worksteal-dfs-fast",
+            "worksteal-dfs-fast", "serial-ndfs-fast",
         ]
 
     def test_default_registry_is_shared(self):

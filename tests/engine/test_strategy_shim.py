@@ -67,6 +67,22 @@ class TestStrategyAliases:
     def test_constructor_accepts_members(self):
         assert Strategy(Strategy.DFS) is Strategy.UNREDUCED
 
+    def test_subscript_lookup_resolves_aliases(self):
+        # Regression: plain attribute aliases are invisible to
+        # EnumMeta.__getitem__, so Strategy["DFS"] raised KeyError until the
+        # metaclass routed failed lookups through the alias table.
+        assert Strategy["DFS"] is Strategy.UNREDUCED
+        assert Strategy["STUBBORN"] is Strategy.SPOR
+
+    def test_subscript_lookup_keeps_canonical_names(self):
+        assert Strategy["UNREDUCED"] is Strategy.UNREDUCED
+        assert Strategy["SPOR"] is Strategy.SPOR
+        assert Strategy["SPOR_NET"] is Strategy.SPOR_NET
+
+    def test_subscript_lookup_still_raises_on_unknown_names(self):
+        with pytest.raises(KeyError):
+            Strategy["NOPE"]
+
 
 class TestCheckerOptionsDefaults:
     def test_search_defaults_to_a_fresh_config(self):
@@ -140,6 +156,7 @@ class TestPlanForStrategy:
                 stop_at_first_violation=False,
                 check_deadlocks=True,
                 engine_cache_capacity=64,
+                fastpath_memo_capacity=16,
             ),
             seed_heuristic="first",
             workers=3,
@@ -153,6 +170,7 @@ class TestPlanForStrategy:
         assert not plan.stop_at_first_violation
         assert plan.check_deadlocks
         assert plan.engine_cache_capacity == 64
+        assert plan.fastpath_memo_capacity == 16
         assert plan.seed_heuristic == "first"
         assert plan.workers == 3
 

@@ -1,0 +1,196 @@
+"""Tests of the crash-recovery storage models — the first *cyclic* family.
+
+CRASH consumes its trigger and re-arms RECOVER (and vice versa), so exactly
+one of the pair is always pending and the state graph has genuine cycles:
+the protocol never terminates.  That makes this family the canonical input
+for the liveness engines and the reason it carries the
+``cyclic_state_graph`` metadata flag.
+"""
+
+import pytest
+
+from repro.checker import dfs_search, ndfs_search
+from repro.fastpath.search import fast_ndfs_search
+from repro.mp.semantics import apply_execution, enabled_executions
+from repro.protocols.crashrecovery import (
+    STORED_VALUE,
+    CrashRecoveryConfig,
+    build_crash_recovery_quorum,
+    build_crash_recovery_single,
+    durability_invariant,
+    eventually_done,
+    eventually_progress,
+)
+
+
+class TestConfig:
+    def test_setting_label(self):
+        assert CrashRecoveryConfig(2, 1).setting_label == "(2,1)"
+
+    @pytest.mark.parametrize("replicas, majority", [(1, 1), (2, 2), (3, 2), (5, 3)])
+    def test_majority(self, replicas, majority):
+        assert CrashRecoveryConfig(replicas, min(1, replicas)).majority == majority
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValueError):
+            CrashRecoveryConfig(0, 0)
+        with pytest.raises(ValueError):
+            CrashRecoveryConfig(2, 3)
+
+    def test_process_ids(self):
+        config = CrashRecoveryConfig(3, 2)
+        assert config.writer_id() == "writer"
+        assert config.replica_ids() == ("rep1", "rep2", "rep3")
+        assert config.crash_prone_ids() == ("rep1", "rep2")
+
+
+class TestModelStructure:
+    def test_quorum_model_quorum_transitions(self):
+        protocol = build_crash_recovery_quorum(CrashRecoveryConfig(2, 1))
+        assert protocol.transition("STORE_ACK@writer").is_quorum_transition
+        assert protocol.transition("STORE@rep1").annotation.is_reply
+
+    def test_single_model_is_single_message_only(self):
+        protocol = build_crash_recovery_single(CrashRecoveryConfig(2, 1))
+        assert all(t.is_single_message for t in protocol.transitions)
+
+    @pytest.mark.parametrize(
+        "builder", [build_crash_recovery_quorum, build_crash_recovery_single]
+    )
+    def test_metadata_declares_the_cyclic_state_graph(self, builder):
+        protocol = builder(CrashRecoveryConfig(2, 1))
+        assert protocol.metadata.get("cyclic_state_graph") is True
+
+    @pytest.mark.parametrize(
+        "builder", [build_crash_recovery_quorum, build_crash_recovery_single]
+    )
+    def test_crash_and_recover_re_arm_each_other(self, builder):
+        # Fire CRASH@rep1, then RECOVER@rep1: the replica is back up and a
+        # fresh CRASH is pending — the device that closes the state cycle.
+        protocol = builder(CrashRecoveryConfig(2, 1))
+        state = protocol.initial_state()
+        crash = next(
+            e for e in enabled_executions(state, protocol)
+            if e.transition.name == "CRASH@rep1"
+        )
+        crashed = apply_execution(state, crash)
+        assert not crashed.local("rep1").up
+        assert crashed.local("rep1").ever_crashed
+        recover = next(
+            e for e in enabled_executions(crashed, protocol)
+            if e.transition.name == "RECOVER@rep1"
+        )
+        recovered = apply_execution(crashed, recover)
+        assert recovered.local("rep1").up
+        assert any(
+            e.transition.name == "CRASH@rep1"
+            for e in enabled_executions(recovered, protocol)
+        )
+
+    def test_down_replicas_hold_stores_until_recovery(self):
+        # A down replica's STORE is guard-disabled: the message stays
+        # pending and is processed only after the replica recovers.
+        protocol = build_crash_recovery_single(CrashRecoveryConfig(2, 1))
+        state = protocol.initial_state()
+        crash = next(
+            e for e in enabled_executions(state, protocol)
+            if e.transition.name == "CRASH@rep1"
+        )
+        state = apply_execution(state, crash)
+        start = next(
+            e for e in enabled_executions(state, protocol)
+            if e.transition.name == "WRITE_START@writer"
+        )
+        state = apply_execution(state, start)
+        names = {e.transition.name for e in enabled_executions(state, protocol)}
+        assert "STORE@rep1" not in names
+        assert "STORE@rep2" in names
+        recover = next(
+            e for e in enabled_executions(state, protocol)
+            if e.transition.name == "RECOVER@rep1"
+        )
+        state = apply_execution(state, recover)
+        names = {e.transition.name for e in enabled_executions(state, protocol)}
+        assert "STORE@rep1" in names
+
+
+class TestVerdicts:
+    """Pinned verdicts and state counts for the (2,1) scale."""
+
+    def test_durability_invariant_holds_quorum(self):
+        result = dfs_search(
+            build_crash_recovery_quorum(CrashRecoveryConfig(2, 1)),
+            durability_invariant(),
+        )
+        assert result.verified
+        assert result.statistics.states_visited == 18
+
+    def test_durability_invariant_holds_single(self):
+        result = dfs_search(
+            build_crash_recovery_single(CrashRecoveryConfig(2, 1)),
+            durability_invariant(),
+        )
+        assert result.verified
+        assert result.statistics.states_visited == 30
+
+    @pytest.mark.liveness
+    @pytest.mark.parametrize("search", [ndfs_search, fast_ndfs_search])
+    def test_progress_liveness_holds_quorum(self, search):
+        outcome = search(
+            build_crash_recovery_quorum(CrashRecoveryConfig(2, 1)),
+            eventually_progress(),
+        )
+        assert outcome.verified
+        assert outcome.statistics.states_visited == 11
+
+    @pytest.mark.liveness
+    @pytest.mark.parametrize("search", [ndfs_search, fast_ndfs_search])
+    def test_progress_liveness_holds_single(self, search):
+        outcome = search(
+            build_crash_recovery_single(CrashRecoveryConfig(2, 1)),
+            eventually_progress(),
+        )
+        assert outcome.verified
+        assert outcome.statistics.states_visited == 19
+
+    @pytest.mark.liveness
+    @pytest.mark.parametrize("search", [ndfs_search, fast_ndfs_search])
+    def test_done_liveness_fails_with_a_lasso_quorum(self, search):
+        # A scheduler that only ever alternates CRASH/RECOVER starves the
+        # write forever; ◇done has a lasso counterexample.
+        outcome = search(
+            build_crash_recovery_quorum(CrashRecoveryConfig(2, 1)),
+            eventually_done(),
+        )
+        assert not outcome.verified
+        cx = outcome.counterexample
+        assert cx.is_lasso
+        assert cx.cycle_start == 4
+        assert len(cx.steps) == 6
+
+    @pytest.mark.liveness
+    @pytest.mark.parametrize("search", [ndfs_search, fast_ndfs_search])
+    def test_done_liveness_fails_with_a_lasso_single(self, search):
+        outcome = search(
+            build_crash_recovery_single(CrashRecoveryConfig(2, 1)),
+            eventually_done(),
+        )
+        assert not outcome.verified
+        cx = outcome.counterexample
+        assert cx.is_lasso
+        assert cx.cycle_start == 5
+        assert len(cx.steps) == 7
+
+    @pytest.mark.liveness
+    @pytest.mark.parametrize("search", [ndfs_search, fast_ndfs_search])
+    def test_lasso_replay_is_deterministic(self, search):
+        # Replay must use the protocol instance the search ran on (the
+        # recorded Executions hold that build's TransitionSpecs).
+        protocol = build_crash_recovery_quorum(CrashRecoveryConfig(2, 1))
+        cx = search(protocol, eventually_done()).counterexample
+        first = cx.replay(protocol)
+        second = cx.replay(protocol)
+        assert first == second
+        assert first[-1] == first[cx.cycle_start]
+        # No state on the lasso satisfies the goal.
+        assert all(not state.local("writer").phase == "done" for state in first)
