@@ -1,0 +1,181 @@
+"""Benchmark — telemetry cost with no sink attached, and the run report.
+
+The observability layer promises near-zero overhead when nobody listens:
+recorders fire at phase boundaries only, ``emit`` early-outs on
+``observer is None``, and span brackets reduce to one ``nullcontext``.
+This benchmark measures serial fast-path DFS states/second with and
+without a :class:`~repro.obs.telemetry.RunTelemetry` attached and asserts
+the telemetry run keeps at least 98% of the bare throughput (the ISSUE-7
+<=2% acceptance bar).
+
+It also exercises the report side: the run's memo hit/miss/eviction
+counters (PR 6's bounded-memo instrumentation) travel through the
+telemetry snapshot into the ``BENCH_telemetry_*.json`` record via
+:func:`~repro.analysis.aggregate.telemetry_block`.
+
+Honesty rules, mirroring the fastpath benchmark:
+
+* both runs must produce identical verdicts and closures — telemetry
+  must observe the search, never perturb it;
+* the overhead bar is *asserted* on machines with four or more usable
+  cores or when forced via ``REPRO_REQUIRE_TELEMETRY_OVERHEAD`` ("1"
+  forces, "0" disables, "auto" decides by core count); the measured
+  ratio is always recorded in the payload either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.aggregate import bench_payload, telemetry_block, write_bench_file
+from repro.engine import CheckPlan, run_plan
+from repro.fastpath.search import fast_dfs_search
+from repro.obs.telemetry import RunTelemetry
+from repro.protocols.catalog import paxos_entry, storage_entry
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Minimum accumulated wall clock per variant before a ratio is trusted.
+MIN_MEASURE_SECONDS = float(os.environ.get("REPRO_TELEMETRY_MIN_SECONDS", "0.4"))
+
+#: The ISSUE-7 acceptance bar: telemetry-on throughput over bare throughput.
+OVERHEAD_BAR = 0.98
+
+REQUIRE_OVERHEAD = os.environ.get("REPRO_REQUIRE_TELEMETRY_OVERHEAD", "auto")
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _overhead_bar_active() -> bool:
+    if REQUIRE_OVERHEAD == "1":
+        return True
+    if REQUIRE_OVERHEAD == "0":
+        return False
+    return _usable_cores() >= 4
+
+
+def _bench_cell(scale: str):
+    if scale == "paper":
+        return paxos_entry(2, 3, 1)
+    return storage_entry(3, 1)
+
+
+def _measure(entry, with_telemetry: bool):
+    """Best states/second over repeated fresh-model runs of one variant."""
+    outcome = None
+    best = 0.0
+    total = 0.0
+    rounds = 0
+    while total < MIN_MEASURE_SECONDS or rounds < 2:
+        protocol = entry.quorum_model()
+        telemetry = RunTelemetry() if with_telemetry else None
+        started = time.perf_counter()
+        outcome = fast_dfs_search(
+            protocol, entry.invariant, telemetry=telemetry
+        )
+        elapsed = time.perf_counter() - started
+        total += elapsed
+        rounds += 1
+        if elapsed > 0:
+            best = max(best, outcome.statistics.states_visited / elapsed)
+        if rounds >= 25:  # pragma: no cover - pathological timer
+            break
+    return outcome, best, rounds
+
+
+def test_telemetry_overhead_is_bounded(benchmark, bench_scale):
+    """Fast serial DFS with vs. without an attached RunTelemetry."""
+    entry = _bench_cell(bench_scale)
+
+    # Interleave a warmup of each variant, then measure bare first so any
+    # machine-wide slowdown mid-benchmark penalises the baseline, not the
+    # telemetry run.
+    _measure(entry, with_telemetry=True)
+    bare_outcome, bare_rate, bare_rounds = benchmark.pedantic(
+        lambda: _measure(entry, with_telemetry=False), rounds=1, iterations=1
+    )
+    telemetry_outcome, telemetry_rate, telemetry_rounds = _measure(
+        entry, with_telemetry=True
+    )
+
+    # Telemetry observes the search; it must never perturb it.
+    assert telemetry_outcome.verified == bare_outcome.verified
+    assert (
+        telemetry_outcome.statistics.states_visited
+        == bare_outcome.statistics.states_visited
+    )
+    assert (
+        telemetry_outcome.statistics.transitions_executed
+        == bare_outcome.statistics.transitions_executed
+    )
+
+    ratio = telemetry_rate / bare_rate if bare_rate > 0 else float("inf")
+    benchmark.extra_info["states"] = bare_outcome.statistics.states_visited
+    benchmark.extra_info["bare_states_per_sec"] = round(bare_rate)
+    benchmark.extra_info["telemetry_states_per_sec"] = round(telemetry_rate)
+    benchmark.extra_info["throughput_ratio"] = round(ratio, 4)
+    benchmark.extra_info["usable_cores"] = _usable_cores()
+
+    # One full run through the plan layer for the report side: the record
+    # carries the telemetry block, memo counters included.
+    result = run_plan(
+        entry.quorum_model(),
+        entry.invariant,
+        CheckPlan(store="fingerprint", successors="fast"),
+    )
+    block = telemetry_block(result.telemetry)
+    assert block is not None
+    assert "fastpath_memo_hits" in block
+    assert "fastpath_memo_misses" in block
+    assert "fastpath_memo_evictions" in block
+    assert "span_seconds" in block and "search" in block["span_seconds"]
+
+    records = [
+        {
+            "cell": entry.key,
+            "model": "quorum",
+            "strategy": "dfs",
+            "successors": "fast",
+            "workers": 1,
+            "telemetry_attached": attached,
+            "verified": outcome.verified,
+            "states_visited": outcome.statistics.states_visited,
+            "states_per_second": rate,
+            "measure_rounds": rounds,
+            "batch_mode": "telemetry",
+        }
+        for attached, outcome, rate, rounds in (
+            (False, bare_outcome, bare_rate, bare_rounds),
+            (True, telemetry_outcome, telemetry_rate, telemetry_rounds),
+        )
+    ]
+    records[1]["telemetry"] = block
+    payload = bench_payload(
+        "telemetry",
+        records,
+        scale=bench_scale,
+        usable_cores=_usable_cores(),
+        bare_states_per_sec=bare_rate,
+        telemetry_states_per_sec=telemetry_rate,
+        throughput_ratio=ratio,
+        overhead_bar=OVERHEAD_BAR,
+        overhead_bar_asserted=_overhead_bar_active(),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = write_bench_file(RESULTS_DIR, "telemetry", payload, label=bench_scale)
+    assert json.loads(path.read_text())["kind"] == "telemetry"
+
+    if _overhead_bar_active():
+        assert ratio >= OVERHEAD_BAR, (
+            f"telemetry-attached fast DFS keeps only {ratio:.1%} of bare "
+            f"throughput on {entry.key} (bar: {OVERHEAD_BAR:.0%}; payload "
+            f"recorded at {path})"
+        )

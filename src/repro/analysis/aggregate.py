@@ -6,12 +6,16 @@ offline.  This module owns the payload schema end to end:
 
 * :func:`result_record` — flatten one :class:`CheckResult` into the
   JSON-able per-cell record the CLI and the cell-parallel runner emit;
+* :func:`telemetry_block` — the compact telemetry subset those records
+  carry (throughput, memo behaviour, peak RSS, per-phase span seconds);
 * :func:`bench_payload` / :func:`write_bench_file` — wrap records into a
   self-describing payload and write it as ``BENCH_<kind>_<label>.json``;
 * :func:`load_bench_files` — read payloads back from files or directories;
 * :func:`aggregate_records` / :func:`render_aggregate` — merge payloads
   into per-cell rows (best time per mode, serial-vs-parallel speedups) and
-  render them as a plain-text table.
+  render them as a plain-text table;
+* :func:`render_telemetry` — the companion table over the telemetry
+  blocks (``python -m repro report --telemetry``).
 """
 
 from __future__ import annotations
@@ -67,8 +71,72 @@ def result_record(result: CheckResult, **extra) -> Dict:
         )
     if result.engine is not None:
         record["engine"] = result.engine
+    if result.telemetry is not None:
+        block = telemetry_block(result.telemetry)
+        if block:
+            record["telemetry"] = block
     record.update(extra)
     return record
+
+
+#: Metric names carried (when present) into every record's telemetry block.
+TELEMETRY_BLOCK_METRICS = (
+    "states_per_second",
+    "reduction_ratio",
+    "frontier_peak",
+    "state_store_size",
+    "fastpath_memo_hits",
+    "fastpath_memo_misses",
+    "fastpath_memo_evictions",
+    "worksteal_steals",
+    "worksteal_publishes",
+)
+
+
+def telemetry_block(snapshot: Optional[Dict]) -> Optional[Dict]:
+    """Compact, record-friendly subset of a ``CheckResult.telemetry`` snapshot.
+
+    The full snapshot is deep (every labelled series of every instrument);
+    bench records only need the scalars worth comparing across runs:
+    throughput, the reduction ratio, fast-path memo behaviour, steal
+    traffic, peak RSS and the per-phase span totals.  Counters use their
+    cross-label total; gauges are included only when single-valued (a
+    per-shard gauge has no meaningful scalar).  Returns ``None`` when
+    nothing qualifies.
+    """
+    if not snapshot:
+        return None
+    metrics = snapshot.get("metrics", {})
+
+    def scalar(name: str):
+        metric = metrics.get(name)
+        if not metric:
+            return None
+        if metric.get("kind") == "counter":
+            return metric.get("total", 0)
+        values = metric.get("values", ())
+        if len(values) == 1:
+            return values[0]["value"]
+        return None
+
+    block: Dict = {}
+    for name in TELEMETRY_BLOCK_METRICS:
+        value = scalar(name)
+        if value is not None:
+            block[name] = value
+    for key in ("peak_rss_kb", "tracemalloc_peak_kb"):
+        if key in snapshot:
+            block[key] = snapshot[key]
+    finished = snapshot.get("spans", {}).get("finished", ())
+    if finished:
+        totals: Dict[str, float] = {}
+        for span in finished:
+            name = span["span"]
+            totals[name] = totals.get(name, 0.0) + span["elapsed_seconds"]
+        block["span_seconds"] = {
+            name: round(seconds, 6) for name, seconds in sorted(totals.items())
+        }
+    return block or None
 
 
 def bench_payload(kind: str, results: Sequence[Dict], **meta) -> Dict:
@@ -258,4 +326,56 @@ def render_aggregate(summary: AggregateSummary) -> str:
     rendered.append(
         f"({summary.record_count} records from {summary.payload_count} payloads)"
     )
+    return "\n".join(rendered)
+
+
+def render_telemetry(payloads: Sequence[Dict]) -> str:
+    """Render the telemetry blocks of bench payloads as a plain-text table.
+
+    One row per record carrying a ``telemetry`` block (records from before
+    the observability layer simply have none and are skipped); columns are
+    the cross-run comparables: throughput, memo hit rate and evictions,
+    peak RSS and the measured search-span seconds.
+    """
+    header = ("cell", "model", "engine", "states/s", "memo hit%",
+              "evictions", "peak RSS", "search s")
+    lines: List[Tuple[str, ...]] = [header]
+    skipped = 0
+    for payload in payloads:
+        for record in payload.get("results", ()):
+            block = record.get("telemetry")
+            if not block:
+                skipped += 1
+                continue
+            hits = block.get("fastpath_memo_hits")
+            misses = block.get("fastpath_memo_misses")
+            hit_rate = "-"
+            if hits is not None and misses is not None and hits + misses:
+                hit_rate = f"{100.0 * hits / (hits + misses):.1f}%"
+            throughput = block.get("states_per_second")
+            rss = block.get("peak_rss_kb")
+            search_seconds = (block.get("span_seconds") or {}).get("search")
+            evictions = block.get("fastpath_memo_evictions")
+            lines.append(
+                (
+                    str(record.get("cell") or record.get("protocol") or "?"),
+                    str(record.get("model", "-")),
+                    str(record.get("engine", "-")),
+                    f"{throughput:,.0f}" if throughput else "-",
+                    hit_rate,
+                    f"{evictions:,}" if evictions is not None else "-",
+                    f"{rss:,} KiB" if rss else "-",
+                    f"{search_seconds:.3f}" if search_seconds is not None else "-",
+                )
+            )
+    if len(lines) == 1:
+        return "(no telemetry blocks in the given payloads)"
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    rendered = []
+    for index, line in enumerate(lines):
+        rendered.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)).rstrip())
+        if index == 0:
+            rendered.append("  ".join("-" * widths[i] for i in range(len(header))))
+    if skipped:
+        rendered.append(f"({skipped} records without telemetry omitted)")
     return "\n".join(rendered)

@@ -77,6 +77,9 @@ class CheckResult:
         plan: The resolved :class:`~repro.engine.plan.CheckPlan` the run
             executed (None for results built outside the plan layer).
         engine: Registry name of the engine that ran the plan.
+        telemetry: JSON-able run report (metric snapshot, finished phase
+            spans, peak RSS) produced by the observability layer; None for
+            results built outside the plan layer.
     """
 
     protocol_name: str
@@ -89,6 +92,7 @@ class CheckResult:
     stateful: bool = True
     plan: Optional["CheckPlan"] = None
     engine: Optional[str] = None
+    telemetry: Optional[dict] = None
 
     @property
     def found_counterexample(self) -> bool:

@@ -18,6 +18,7 @@ DFS stack so the reducer can apply the cycle (stack) proviso.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -186,6 +187,18 @@ def _fastpath_requested(
     return True
 
 
+def _maybe_span(telemetry, name: str, **attrs):
+    """Phase span when telemetry is attached, else a no-op context.
+
+    Local twin of :func:`repro.obs.telemetry.maybe_span`: the search
+    engines must not import :mod:`repro.obs` at module scope (the engine
+    package imports this module while initialising).
+    """
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.span(name, **attrs)
+
+
 def dfs_search(
     protocol: Protocol,
     invariant: Invariant,
@@ -193,6 +206,7 @@ def dfs_search(
     reducer: Optional[Reducer] = None,
     engine: Optional[SuccessorEngine] = None,
     observer: Optional[Observer] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Explore the state space depth-first and check an invariant.
 
@@ -206,6 +220,9 @@ def dfs_search(
             across several searches of the same protocol).
         observer: Optional event observer; receives periodic ``progress``
             ticks and ``violation-found`` events.
+        telemetry: Optional :class:`~repro.obs.telemetry.RunTelemetry`;
+            receives store-occupancy metrics at phase boundaries (never
+            written per state).
 
     Returns:
         A :class:`SearchOutcome` with verdict, counterexample and statistics.
@@ -216,7 +233,7 @@ def dfs_search(
         from ..fastpath.search import fast_dfs_search
 
         return fast_dfs_search(protocol, invariant, config, reducer=reducer,
-                               observer=observer)
+                               observer=observer, telemetry=telemetry)
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 
@@ -245,6 +262,8 @@ def dfs_search(
         emit(observer, "violation-found", states_visited=1, depth=0)
         if config.stop_at_first_violation:
             statistics.elapsed_seconds = time.perf_counter() - start_time
+            if telemetry is not None:
+                telemetry.record_store(store)
             return SearchOutcome(False, False, counterexample, statistics)
 
     on_stack_states = {initial}
@@ -333,6 +352,8 @@ def dfs_search(
         statistics.max_depth = max(statistics.max_depth, len(stack) - 1)
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
+    if telemetry is not None:
+        telemetry.record_store(store)
     return SearchOutcome(
         verified=verified,
         complete=complete and verified if config.stop_at_first_violation else complete,
@@ -348,6 +369,7 @@ def bfs_search(
     config: Optional[SearchConfig] = None,
     engine: Optional[SuccessorEngine] = None,
     observer: Optional[Observer] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Breadth-first stateful search; finds shortest counterexamples.
 
@@ -362,7 +384,8 @@ def bfs_search(
         # Imported lazily: repro.fastpath builds on this module.
         from ..fastpath.search import fast_bfs_search
 
-        return fast_bfs_search(protocol, invariant, config, observer=observer)
+        return fast_bfs_search(protocol, invariant, config, observer=observer,
+                               telemetry=telemetry)
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 
@@ -378,6 +401,15 @@ def bfs_search(
     counterexample: Optional[Counterexample] = None
     verified = True
     complete = True
+    peak_frontier = 1
+
+    def record_telemetry() -> None:
+        if telemetry is None:
+            return
+        telemetry.record_store(store)
+        telemetry.metrics.gauge(
+            "frontier_peak", "largest BFS frontier level"
+        ).set(peak_frontier)
 
     def rebuild(state: GlobalState) -> Counterexample:
         steps = []
@@ -393,6 +425,7 @@ def bfs_search(
     if not invariant.holds_in(initial, protocol):
         emit(observer, "violation-found", states_visited=1, depth=0)
         statistics.elapsed_seconds = time.perf_counter() - start_time
+        record_telemetry()
         return SearchOutcome(False, False, rebuild(initial), statistics)
 
     frontier = [initial]
@@ -425,6 +458,7 @@ def bfs_search(
                          states_visited=statistics.states_visited, depth=depth + 1)
                     if config.stop_at_first_violation:
                         statistics.elapsed_seconds = time.perf_counter() - start_time
+                        record_telemetry()
                         return SearchOutcome(False, False, counterexample, statistics)
                 if config.max_states is not None and statistics.states_visited >= config.max_states:
                     complete = False
@@ -436,6 +470,7 @@ def bfs_search(
                 continue
             break
         frontier = next_frontier
+        peak_frontier = max(peak_frontier, len(frontier))
         depth += 1
         # Count only levels that discovered states: ``max_depth`` is the
         # depth (in edges) of the deepest state found, matching the DFS
@@ -447,6 +482,7 @@ def bfs_search(
                  states_visited=statistics.states_visited)
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
+    record_telemetry()
     return SearchOutcome(verified=verified, complete=complete,
                          counterexample=counterexample, statistics=statistics)
 
@@ -458,6 +494,7 @@ def ndfs_search(
     reducer: Optional[Reducer] = None,
     engine: Optional[SuccessorEngine] = None,
     observer: Optional[Observer] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Nested depth-first search for acceptance cycles (liveness checking).
 
@@ -513,7 +550,8 @@ def ndfs_search(
         # Imported lazily: repro.fastpath builds on this module.
         from ..fastpath.search import fast_ndfs_search
 
-        return fast_ndfs_search(protocol, prop, config, observer=observer)
+        return fast_ndfs_search(protocol, prop, config, observer=observer,
+                                telemetry=telemetry)
 
     statistics = SearchStatistics()
     start_time = time.perf_counter()
@@ -631,6 +669,13 @@ def ndfs_search(
     def finish(verified: bool, is_complete: bool,
                counterexample: Optional[Counterexample]) -> SearchOutcome:
         statistics.elapsed_seconds = time.perf_counter() - start_time
+        if telemetry is not None:
+            telemetry.metrics.gauge(
+                "state_store_size", "visited states/fingerprints held"
+            ).set(len(discovered))
+            telemetry.metrics.gauge(
+                "ndfs_red_states", "states marked red by the nested search"
+            ).set(len(red))
         return SearchOutcome(verified, is_complete, counterexample, statistics)
 
     root = _Frame(state=initial, pending=expand(initial))
@@ -646,7 +691,8 @@ def ndfs_search(
         frame = stack[-1]
         if frame.next_index >= len(frame.pending):
             if accepting(frame.state):
-                counterexample = red_search(stack)
+                with _maybe_span(telemetry, "red-phase", stack_depth=len(stack)):
+                    counterexample = red_search(stack)
                 if counterexample is not None:
                     emit(observer, "violation-found",
                          states_visited=statistics.states_visited,

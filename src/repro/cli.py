@@ -29,9 +29,16 @@ Subcommands:
     cell-parallel pool and (optionally) per-cell serial vs parallel runs
     of the in-cell engines — frontier-parallel BFS and, for DFS-shaped
     strategies, work-stealing DFS; writes a ``BENCH_*.json`` payload.
+``trace``
+    Convert a ``--trace-out`` JSONL event capture into Chrome trace-event
+    JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``: phase spans as slices, progress/frontier/worker
+    counters as counter tracks, violations and stalls as instants.
 ``report``
     Aggregate any number of ``BENCH_*.json`` files/directories into one
-    table with per-cell speedups.
+    table with per-cell speedups; ``--telemetry`` adds the companion
+    table over the records' telemetry blocks (throughput, memo hit
+    rates, peak RSS, search-span seconds).
 
 All machine-readable output follows the ``repro-bench/1`` schema of
 :mod:`repro.analysis.aggregate`.
@@ -52,10 +59,12 @@ from .analysis.aggregate import (
     bench_payload,
     load_bench_files,
     render_aggregate,
+    render_telemetry,
     write_bench_file,
 )
 from .checker.statestore import STORE_KINDS
-from .engine.events import ProgressPrinter
+from .engine.events import MultiObserver, ProgressPrinter
+from .obs import JsonlSink, convert_file
 from .engine.plan import (
     BACKENDS,
     GOALS,
@@ -211,8 +220,28 @@ def _command_check(args, stream) -> int:
         successors=args.successors,
         goal=args.goal,
     )
-    observer = ProgressPrinter(stream) if args.progress else None
-    record = run_cell_task(spec.to_task(), observer=observer)
+    observers = []
+    if args.progress:
+        observers.append(ProgressPrinter(stream))
+    sink = None
+    if args.trace_out:
+        sink = JsonlSink(args.trace_out)
+        observers.append(sink)
+    observer = None
+    if len(observers) == 1:
+        observer = observers[0]
+    elif observers:
+        observer = MultiObserver(observers)
+    try:
+        record = run_cell_task(spec.to_task(), observer=observer)
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        stream.write(
+            f"wrote {sink.events_written} events to {args.trace_out} "
+            f"(render with: python -m repro trace {args.trace_out})\n"
+        )
     _print_records([record], stream)
     if args.json:
         payload = bench_payload("check", [record], workers=args.workers)
@@ -327,10 +356,24 @@ def _command_bench(args, stream) -> int:
     return 0 if all(record["ok"] for record in results) else 1
 
 
+def _command_trace(args, stream) -> int:
+    """Convert a JSONL event capture into Chrome trace-event JSON."""
+    source = Path(args.events)
+    destination = Path(args.output) if args.output else source.with_suffix(".trace.json")
+    count = convert_file(source, destination)
+    stream.write(
+        f"wrote {destination} ({count} trace events; open in "
+        "https://ui.perfetto.dev or chrome://tracing)\n"
+    )
+    return 0
+
+
 def _command_report(args, stream) -> int:
     payloads = load_bench_files(args.paths)
     summary = aggregate_records(payloads)
     stream.write(render_aggregate(summary) + "\n")
+    if args.telemetry:
+        stream.write("\n" + render_telemetry(payloads) + "\n")
     return 0
 
 
@@ -389,6 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "--shape dfs --reduction none)")
     check.add_argument("--progress", action="store_true",
                        help="stream the engine's event feed while it runs")
+    check.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="capture the engine event stream as JSONL "
+                            "(render with 'python -m repro trace PATH')")
     check.add_argument("--json", default=None, help="write the result payload here")
     _add_budget_arguments(check)
     check.set_defaults(handler=_command_check)
@@ -437,9 +483,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_arguments(bench)
     bench.set_defaults(handler=_command_bench)
 
+    trace = subparsers.add_parser(
+        "trace", help="convert a --trace-out JSONL capture to Chrome trace JSON"
+    )
+    trace.add_argument("events", help="JSONL event capture written by --trace-out")
+    trace.add_argument("-o", "--output", default=None,
+                       help="destination .trace.json (default: alongside input)")
+    trace.set_defaults(handler=_command_trace)
+
     report = subparsers.add_parser("report", help="aggregate BENCH_*.json payloads")
     report.add_argument("paths", nargs="+",
                         help="BENCH_*.json files and/or directories holding them")
+    report.add_argument("--telemetry", action="store_true",
+                        help="also render the telemetry table (throughput, "
+                             "memo hit rates, peak RSS, span seconds)")
     report.set_defaults(handler=_command_report)
 
     return parser

@@ -33,6 +33,7 @@ from .engines import (
 )
 from .events import (
     EVENT_KINDS,
+    EVENT_VALIDATION_ENV,
     PROGRESS_INTERVAL,
     CollectingObserver,
     EngineEvent,
@@ -41,6 +42,8 @@ from .events import (
     Observer,
     ProgressPrinter,
     emit,
+    known_event_kinds,
+    register_event_kind,
 )
 from .plan import (
     BACKENDS,
@@ -63,6 +66,7 @@ __all__ = [
     "CollectingObserver",
     "DporEngine",
     "EVENT_KINDS",
+    "EVENT_VALIDATION_ENV",
     "Engine",
     "EngineEvent",
     "EngineRegistry",
@@ -91,7 +95,9 @@ __all__ = [
     "builtin_engines",
     "default_registry",
     "emit",
+    "known_event_kinds",
     "make_reducer",
+    "register_event_kind",
     "resolve",
     "run_plan",
     "strategy_label",

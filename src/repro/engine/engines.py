@@ -104,8 +104,16 @@ class Engine:
         invariant: Invariant,
         plan: CheckPlan,
         observer: Optional[Observer] = None,
+        telemetry=None,
     ) -> SearchOutcome:
-        """Execute ``plan`` (already validated against ``capabilities``)."""
+        """Execute ``plan`` (already validated against ``capabilities``).
+
+        ``telemetry`` is an optional
+        :class:`~repro.obs.telemetry.RunTelemetry`; engines forward it to
+        their search so phase spans and engine-specific metrics (store
+        occupancy, memo behaviour, worker counters) are recorded.  ``None``
+        costs nothing.
+        """
         raise NotImplementedError
 
 
@@ -129,13 +137,14 @@ class SerialDfsEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         return dfs_search(
             protocol,
             invariant,
             plan.search_config(),
             reducer=make_reducer(protocol, plan),
             observer=observer,
+            telemetry=telemetry,
         )
 
 
@@ -160,9 +169,10 @@ class SerialBfsEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         return bfs_search(
-            protocol, invariant, plan.search_config(), observer=observer
+            protocol, invariant, plan.search_config(), observer=observer,
+            telemetry=telemetry
         )
 
 
@@ -188,7 +198,7 @@ class FrontierBfsEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         # Imported lazily: repro.parallel builds on the checker package.
         from ..parallel.bfs import parallel_bfs_search
 
@@ -198,6 +208,7 @@ class FrontierBfsEngine(Engine):
             plan.search_config(),
             workers=plan.workers,
             observer=observer,
+            telemetry=telemetry,
         )
 
 
@@ -235,7 +246,7 @@ class WorkstealDfsEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         _reject_cyclic_worksteal_reduction(protocol, plan)
         # Imported lazily: repro.parallel builds on the checker package.
         from ..parallel.dfs import parallel_dfs_search
@@ -247,6 +258,7 @@ class WorkstealDfsEngine(Engine):
             workers=plan.workers,
             reducer=make_reducer(protocol, plan),
             observer=observer,
+            telemetry=telemetry,
         )
 
 
@@ -279,7 +291,7 @@ class FastSerialDfsEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         # Imported lazily: repro.fastpath builds on the checker package.
         from ..fastpath.search import fast_dfs_search
 
@@ -289,6 +301,7 @@ class FastSerialDfsEngine(Engine):
             plan.search_config(),
             reducer=make_reducer(protocol, plan),
             observer=observer,
+            telemetry=telemetry,
         )
 
 
@@ -315,11 +328,12 @@ class FastSerialBfsEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         from ..fastpath.search import fast_bfs_search
 
         return fast_bfs_search(
-            protocol, invariant, plan.search_config(), observer=observer
+            protocol, invariant, plan.search_config(), observer=observer,
+            telemetry=telemetry
         )
 
 
@@ -352,7 +366,7 @@ class FastFrontierBfsEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         # Imported lazily: repro.fastpath builds on the checker package.
         from ..fastpath.parallel import fast_parallel_bfs_search
 
@@ -362,6 +376,7 @@ class FastFrontierBfsEngine(Engine):
             plan.search_config(),
             workers=plan.workers,
             observer=observer,
+            telemetry=telemetry,
         )
 
 
@@ -402,7 +417,7 @@ class FastWorkstealDfsEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         _reject_cyclic_worksteal_reduction(protocol, plan)
         # Imported lazily: repro.fastpath builds on the checker package.
         from ..fastpath.parallel import fast_parallel_dfs_search
@@ -414,6 +429,7 @@ class FastWorkstealDfsEngine(Engine):
             workers=plan.workers,
             reducer=make_reducer(protocol, plan),
             observer=observer,
+            telemetry=telemetry,
         )
 
 
@@ -440,12 +456,12 @@ class DporEngine(Engine):
         },
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         # Imported lazily to keep the layering acyclic.
         from ..por.dpor import DporSearch
 
         search = DporSearch(protocol, config=plan.search_config())
-        return search.run(invariant, observer=observer)
+        return search.run(invariant, observer=observer, telemetry=telemetry)
 
 
 #: Shared phrasing for the nested-DFS engines' liveness constraints.
@@ -483,9 +499,10 @@ class SerialNdfsEngine(Engine):
         notes=_NDFS_NOTES,
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         return ndfs_search(
-            protocol, invariant, plan.search_config(), observer=observer
+            protocol, invariant, plan.search_config(), observer=observer,
+            telemetry=telemetry
         )
 
 
@@ -509,12 +526,13 @@ class FastSerialNdfsEngine(Engine):
         notes=dict(_NDFS_NOTES, successors=_FAST_NOTE),
     )
 
-    def run(self, protocol, invariant, plan, observer=None):
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
         # Imported lazily: repro.fastpath builds on the checker package.
         from ..fastpath.search import fast_ndfs_search
 
         return fast_ndfs_search(
-            protocol, invariant, plan.search_config(), observer=observer
+            protocol, invariant, plan.search_config(), observer=observer,
+            telemetry=telemetry
         )
 
 

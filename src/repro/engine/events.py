@@ -30,13 +30,33 @@ Event kinds (``EngineEvent.kind``):
 ``search-finished``
     Emitted once by ``run_plan`` after the engine returns; payload carries
     the verdict and final statistics.
+``span-started`` / ``span-finished``
+    A named phase (compile / search / red-phase / ce-replay) began or
+    ended; emitted by :class:`repro.obs.spans.SpanTracer`.  The finish
+    payload carries ``start_ts`` and ``elapsed_seconds`` so trace
+    exporters build complete slices from finishes alone.
+``worker-telemetry``
+    Live per-worker gauge flush from a parallel coordinator: the worker's
+    current claimed/transitions/revisits counters read off the shared
+    telemetry channel mid-run (distinct from the final ``worker-report``).
+``worker-stalled``
+    A parallel worker's heartbeat went silent for longer than the stall
+    threshold; payload names the worker and the silent interval.
 
 Parallel engines emit coordinator-side events only: observers are plain
 Python objects and do not cross process boundaries.
+
+``emit`` validates event kinds against :data:`EVENT_KINDS` (plus any
+kinds added through :func:`register_event_kind`): unknown kinds raise by
+default so typos fail loudly under test, while production embedders can
+set ``REPRO_EVENT_VALIDATION=warn`` (or ``off``) to tolerate streams from
+newer emitters.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -49,9 +69,35 @@ EVENT_KINDS = (
     "progress",
     "level-completed",
     "worker-report",
+    "worker-telemetry",
+    "worker-stalled",
+    "span-started",
+    "span-finished",
     "violation-found",
     "search-finished",
 )
+
+#: Environment knob for unknown-kind handling: ``strict`` (default,
+#: raise), ``warn`` (``warnings.warn`` and deliver) or ``off`` (deliver).
+EVENT_VALIDATION_ENV = "REPRO_EVENT_VALIDATION"
+
+_known_kinds = set(EVENT_KINDS)
+
+
+def register_event_kind(kind: str) -> None:
+    """Allow an extension event kind through :func:`emit` validation.
+
+    Custom engines registered from outside the package can extend the
+    stream without patching :data:`EVENT_KINDS`.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError("event kind must be a non-empty string")
+    _known_kinds.add(kind)
+
+
+def known_event_kinds() -> frozenset:
+    """The currently accepted event kinds (built-in + registered)."""
+    return frozenset(_known_kinds)
 
 
 @dataclass(frozen=True)
@@ -129,7 +175,9 @@ class ProgressPrinter(Observer):
             plan = payload.get("plan", {})
             axes = "/".join(
                 str(plan.get(axis, "?"))
-                for axis in ("shape", "reduction", "store", "backend")
+                for axis in (
+                    "shape", "reduction", "store", "backend", "successors", "goal",
+                )
             )
             workers = plan.get("workers", 1)
             suffix = f" x{workers}" if isinstance(workers, int) and workers > 1 else ""
@@ -151,6 +199,15 @@ class ProgressPrinter(Observer):
                 f"  worker {payload.get('worker', '?')}: "
                 f"{payload.get('claimed', 0):,} states claimed\n"
             )
+        elif event.kind == "worker-stalled":
+            self.stream.write(
+                f"  !! worker {payload.get('worker', '?')} stalled "
+                f"({payload.get('idle_seconds', 0.0):.1f}s without heartbeat)\n"
+            )
+        elif event.kind in ("span-started", "span-finished", "worker-telemetry"):
+            # High-frequency telemetry kinds stay silent on the human
+            # printer; JSONL sinks and trace export consume them.
+            pass
         elif event.kind == "violation-found":
             self.stream.write("  violation found\n")
         elif event.kind == "search-finished":
@@ -163,6 +220,29 @@ class ProgressPrinter(Observer):
 
 
 def emit(observer: Optional[Observer], kind: str, **payload) -> None:
-    """Deliver one event, tolerating ``observer=None`` (the common case)."""
-    if observer is not None:
-        observer.on_event(EngineEvent(kind=kind, payload=payload))
+    """Deliver one event, tolerating ``observer=None`` (the common case).
+
+    Unknown kinds raise :class:`ValueError` unless the
+    :data:`EVENT_VALIDATION_ENV` environment variable says ``warn`` or
+    ``off``.  The ``observer is None`` early-out stays first: the no-sink
+    fast path costs one comparison, validation only runs when someone is
+    listening.
+    """
+    if observer is None:
+        return
+    if kind not in _known_kinds:
+        mode = os.environ.get(EVENT_VALIDATION_ENV, "strict").lower()
+        if mode not in ("warn", "off", "0", "false"):
+            raise ValueError(
+                f"unknown event kind {kind!r}; known kinds: "
+                f"{', '.join(sorted(_known_kinds))} "
+                f"(register_event_kind() adds extensions, "
+                f"{EVENT_VALIDATION_ENV}=warn tolerates)"
+            )
+        if mode == "warn":
+            warnings.warn(
+                f"unknown event kind {kind!r} delivered unvalidated",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    observer.on_event(EngineEvent(kind=kind, payload=payload))

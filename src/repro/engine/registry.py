@@ -23,6 +23,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..checker.property import Invariant, goal_of
 from ..checker.result import CheckResult
 from ..mp.protocol import Protocol
+from ..obs.telemetry import RunTelemetry
 from .engines import Engine, builtin_engines
 from .events import Observer, emit
 from .plan import CheckPlan, UnsupportedPlanError, strategy_label
@@ -195,6 +196,7 @@ def run_plan(
     plan: CheckPlan,
     observer: Optional[Observer] = None,
     registry: Optional[EngineRegistry] = None,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> CheckResult:
     """Resolve ``plan``, run it, and wrap the outcome as a CheckResult.
 
@@ -202,6 +204,13 @@ def run_plan(
     facade, the cells runner, the CLI) funnels through; the ``observer``
     receives the uniform event stream documented in
     :mod:`repro.engine.events`.
+
+    Every run carries a :class:`~repro.obs.telemetry.RunTelemetry` (one is
+    created here when the caller does not pass its own): the engine records
+    its metrics and phase spans through it, and the resulting snapshot is
+    attached as :attr:`CheckResult.telemetry`.  Span events reach the
+    ``observer``; with no observer the tracer emits nothing and the
+    end-of-run recorders are the only cost (a few dict writes per run).
     """
     required = goal_of(invariant)
     if plan.goal != required:
@@ -215,6 +224,8 @@ def run_plan(
             alternative=replace(plan, goal=required),
         )
     engine, resolved = resolve(plan, registry)
+    if telemetry is None:
+        telemetry = RunTelemetry(observer=observer)
     emit(
         observer,
         "search-started",
@@ -223,7 +234,11 @@ def run_plan(
         protocol=protocol.name,
         invariant=invariant.name,
     )
-    outcome = engine.run(protocol, invariant, resolved, observer=observer)
+    with telemetry.span("search", engine=engine.name):
+        outcome = engine.run(
+            protocol, invariant, resolved, observer=observer, telemetry=telemetry
+        )
+    telemetry.record_statistics(outcome.statistics, engine=engine.name)
     emit(
         observer,
         "search-finished",
@@ -244,4 +259,5 @@ def run_plan(
         stateful=resolved.stateful,
         plan=resolved,
         engine=engine.name,
+        telemetry=telemetry.snapshot(),
     )

@@ -143,6 +143,8 @@ class FastSuccessorEngine:
         "_exec_memo",
         "memo_capacity",
         "memo_evictions",
+        "memo_hits",
+        "memo_misses",
     )
 
     def __init__(self, protocol: Protocol,
@@ -157,6 +159,9 @@ class FastSuccessorEngine:
         self.memo_capacity = memo_capacity
         #: Total entries evicted across all memo tables (diagnostics/tests).
         self.memo_evictions = 0
+        #: Guard/action memo lookups served from the tables vs computed.
+        self.memo_hits = 0
+        self.memo_misses = 0
         self.protocol = protocol
         self._pids: Tuple[str, ...] = protocol.process_ids
         self._index = protocol.process_index
@@ -250,6 +255,24 @@ class FastSuccessorEngine:
             "action_entries": sum(len(t.action_memo) for t in self._transitions),
         }
 
+    def memo_stats(self) -> Dict[str, int]:
+        """Guard/action memo behaviour over this engine's lifetime.
+
+        ``hits``/``misses`` count lookups across both the enabled-set and
+        action memos; ``evictions`` counts LRU drops when
+        ``memo_capacity`` bounds the tables; ``entries`` is the current
+        resident total.  Surfaced through the metrics registry into
+        ``BENCH_*.json`` records so memo behaviour is part of the
+        recorded perf trajectory.
+        """
+        sizes = self.table_sizes()
+        return {
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "evictions": self.memo_evictions,
+            "entries": sizes["enabled_entries"] + sizes["action_entries"],
+        }
+
     @property
     def num_processes(self) -> int:
         """Number of processes; also the length of the locals word prefix."""
@@ -340,6 +363,7 @@ class FastSuccessorEngine:
             key = (words[transition.position], tuple(candidate_ids))
             executions = transition.enabled_memo.get(key)
             if executions is None:
+                self.memo_misses += 1
                 executions = self._compute_enabled(transition, key[0], key[1])
                 transition.enabled_memo[key] = executions
                 if (
@@ -348,8 +372,10 @@ class FastSuccessorEngine:
                 ):
                     transition.enabled_memo.popitem(last=False)
                     self.memo_evictions += 1
-            elif self.memo_capacity is not None:
-                transition.enabled_memo.move_to_end(key)
+            else:
+                self.memo_hits += 1
+                if self.memo_capacity is not None:
+                    transition.enabled_memo.move_to_end(key)
             index = transition.index
             for consumed in executions:
                 result.append((index, consumed))
@@ -424,6 +450,7 @@ class FastSuccessorEngine:
         key = (local_id, consumed, spec_ids)
         cached = transition.action_memo.get(key)
         if cached is None:
+            self.memo_misses += 1
             cached = self._apply_action(transition, local_id, consumed, spec_ids)
             transition.action_memo[key] = cached
             if (
@@ -432,8 +459,10 @@ class FastSuccessorEngine:
             ):
                 transition.action_memo.popitem(last=False)
                 self.memo_evictions += 1
-        elif self.memo_capacity is not None:
-            transition.action_memo.move_to_end(key)
+        else:
+            self.memo_hits += 1
+            if self.memo_capacity is not None:
+                transition.action_memo.move_to_end(key)
         new_local_id, outbox = cached
 
         count = self._num_processes

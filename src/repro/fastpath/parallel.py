@@ -42,15 +42,18 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..checker.counterexample import Counterexample, Step
 from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
-from ..checker.search import Reducer, SearchConfig, SearchOutcome
+from ..checker.search import Reducer, SearchConfig, SearchOutcome, _maybe_span
 from ..checker.statestore import ShardedFingerprintStore, shard_of
 from ..engine.events import PROGRESS_INTERVAL, Observer, emit
 from ..mp.protocol import Protocol
 from ..parallel.bfs import default_mp_context
 from ..parallel.worker import collect_replies
 from ..parallel.worksteal import (
+    HEARTBEAT_EVERY,
     BatchedCounter,
+    StallDetector,
     StripedClaimTable,
+    WorkerTelemetryChannel,
     WorkStealingDeques,
     pending_indices,
 )
@@ -143,8 +146,13 @@ def _fast_worksteal_worker(
     result_queue,
     start_time: float,
     claims_counter,
+    channel: Optional[WorkerTelemetryChannel] = None,
 ) -> None:
-    """Worker body: replay stolen paths, explore subtrees packed."""
+    """Worker body: replay stolen paths, explore subtrees packed.
+
+    Live per-worker counters and heartbeats flow through ``channel`` on the
+    same batched cadence as the claim counter.
+    """
     try:
         protocol = engine.protocol
         holds = make_invariant_checker(engine, invariant, protocol,
@@ -154,6 +162,13 @@ def _fast_worksteal_worker(
         violations: List[Tuple[int, ...]] = []
         truncated = False
         claims = BatchedCounter(claims_counter)
+        beats = 0
+
+        def publish_telemetry() -> None:
+            if channel is not None:
+                channel.publish(worker_id, stats["claimed"],
+                                stats["transitions_executed"],
+                                stats["revisits"])
 
         def expand(frame: _FastLocalFrame, bridge) -> None:
             enabled = engine.enabled_packed(frame.packed)
@@ -205,7 +220,7 @@ def _fast_worksteal_worker(
                 return
 
         def run_task(task: FastStolenFrame) -> None:
-            nonlocal truncated
+            nonlocal truncated, beats
             ancestor_fps = frozenset(task.ancestors)
             root = _FastLocalFrame(engine.replay_path(task.path), task.path)
             stack = [root]
@@ -238,6 +253,9 @@ def _fast_worksteal_worker(
             while stack:
                 if deques.stop.is_set():
                     return
+                beats += 1
+                if not beats & (HEARTBEAT_EVERY - 1):
+                    publish_telemetry()
                 if config.max_seconds is not None:
                     if time.perf_counter() - start_time > config.max_seconds:
                         truncated = True
@@ -292,15 +310,19 @@ def _fast_worksteal_worker(
             task = deques.next_task(worker_id)
             if task is None:
                 claims.flush()
+                publish_telemetry()
                 while not (deques.stop.is_set() or deques.done.is_set()):
                     task = deques.try_acquire(worker_id)
                     if task is not None:
                         break
+                    if channel is not None:
+                        channel.beat(worker_id)
                     time.sleep(WorkStealingDeques.IDLE_SLEEP_SECONDS)
                 if task is None:
                     break
             run_task(task)
         claims.flush()
+        publish_telemetry()
         result_queue.put(("report", worker_id, stats, violations, truncated))
     except BaseException:
         deques.stop.set()
@@ -319,6 +341,7 @@ def fast_parallel_dfs_search(
     claim_stripes: Optional[int] = None,
     observer: Optional[Observer] = None,
     engine: Optional[FastSuccessorEngine] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Packed work-stealing DFS; coordination as in
     :func:`repro.parallel.dfs.parallel_dfs_search`, frames as int-tuples.
@@ -326,14 +349,18 @@ def fast_parallel_dfs_search(
     ``workers <= 1`` (or a platform without ``fork``) delegates to
     :func:`~repro.fastpath.search.fast_dfs_search`.  Claims are
     fingerprint-based for every store kind, exactly like the object-graph
-    work-stealing engine.
+    work-stealing engine.  With an observer attached the coordinator also
+    relays live ``worker-telemetry`` rows and ``worker-stalled`` warnings;
+    with ``telemetry`` attached it records per-worker counters, steal
+    traffic and the coordinator engine's memo behaviour.
     """
     config = config or SearchConfig()
     if engine is not None and engine.protocol is not protocol:
         raise ValueError("fast successor engine was built for a different protocol")
     if workers <= 1:
         return fast_dfs_search(protocol, invariant, config, reducer=reducer,
-                               observer=observer, engine=engine)
+                               observer=observer, engine=engine,
+                               telemetry=telemetry)
     context = mp_context if mp_context is not None else default_mp_context()
     if context is None:
         warnings.warn(
@@ -343,15 +370,18 @@ def fast_parallel_dfs_search(
             stacklevel=2,
         )
         return fast_dfs_search(protocol, invariant, config, reducer=reducer,
-                               observer=observer, engine=engine)
+                               observer=observer, engine=engine,
+                               telemetry=telemetry)
 
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 
     # Compile before forking so every worker inherits the warm tables.
-    engine = engine or FastSuccessorEngine(
-        protocol, memo_capacity=config.fastpath_memo_capacity
-    )
+    if engine is None:
+        with _maybe_span(telemetry, "compile", protocol=protocol.name):
+            engine = FastSuccessorEngine(
+                protocol, memo_capacity=config.fastpath_memo_capacity
+            )
     initial = engine.initial_packed()
     statistics.states_visited = 1
     holds = make_invariant_checker(engine, invariant, protocol,
@@ -383,6 +413,8 @@ def fast_parallel_dfs_search(
     processes = []
     deques = None
     claims_counter = context.Value("l", 1)
+    channel = WorkerTelemetryChannel(workers, mp_context=context)
+    stall_detector = StallDetector(workers)
     try:
         deques = WorkStealingDeques(workers, manager, mp_context=context)
         deques.publish(
@@ -404,6 +436,7 @@ def fast_parallel_dfs_search(
                     result_queue,
                     start_time,
                     claims_counter,
+                    channel,
                 ),
                 daemon=True,
             )
@@ -414,6 +447,7 @@ def fast_parallel_dfs_search(
 
         deadline = None if worker_timeout is None else start_time + worker_timeout
         last_progress = 1
+        last_rows = [None] * workers
         while not (deques.done.is_set() or deques.stop.is_set()):
             if deadline is not None and time.perf_counter() > deadline:
                 deques.stop.set()
@@ -432,6 +466,15 @@ def fast_parallel_dfs_search(
                 if claimed - last_progress >= PROGRESS_INTERVAL:
                     last_progress = claimed
                     emit(observer, "progress", states_visited=claimed)
+                for worker_id, row in enumerate(channel.read_all()):
+                    if row != last_rows[worker_id]:
+                        last_rows[worker_id] = row
+                        emit(observer, "worker-telemetry", worker=worker_id,
+                             claimed=row[0], transitions_executed=row[1],
+                             revisits=row[2])
+                for worker_id, idle in stall_detector.check(channel.heartbeats()):
+                    emit(observer, "worker-stalled", worker=worker_id,
+                         idle_seconds=idle)
             deques.done.wait(0.05)
 
         remaining = None
@@ -452,15 +495,25 @@ def fast_parallel_dfs_search(
             statistics.max_depth = max(statistics.max_depth, stats["max_depth"])
             violations.extend(tuple(path) for path in worker_violations)
             truncated = truncated or worker_truncated
+            if telemetry is not None:
+                telemetry.record_worker(worker_id, stats)
         statistics.states_visited = len(table)
         deadlock_states = sum(reply[1]["deadlock_states"] for reply in replies)
+        if telemetry is not None:
+            telemetry.record_worksteal(
+                steals=deques.steal_count(),
+                publishes=deques.publish_count(),
+                claim_table=table,
+            )
+            telemetry.record_fastpath(engine)
 
         if violations:
             verified = False
             best = min(violations, key=lambda path: (len(path), path))
             emit(observer, "violation-found",
                  states_visited=statistics.states_visited, depth=len(best))
-            counterexample = replay_counterexample(engine, invariant, best)
+            with _maybe_span(telemetry, "ce-replay", path_length=len(best)):
+                counterexample = replay_counterexample(engine, invariant, best)
         if truncated or (not verified and config.stop_at_first_violation):
             complete = False
     finally:
@@ -581,6 +634,7 @@ def fast_parallel_bfs_search(
     worker_timeout: Optional[float] = None,
     observer: Optional[Observer] = None,
     engine: Optional[FastSuccessorEngine] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Level-synchronous packed frontier BFS with int-tuple deltas.
 
@@ -589,14 +643,17 @@ def fast_parallel_bfs_search(
     never whether a state is expanded).  Deduplication is fingerprint-based
     by construction, which is why the registry only offers this engine for
     the fingerprint store kinds.  ``workers <= 1`` (or no ``fork``)
-    delegates to :func:`~repro.fastpath.search.fast_bfs_search`.
+    delegates to :func:`~repro.fastpath.search.fast_bfs_search`.  With an
+    observer attached, every expand barrier additionally relays one
+    ``worker-telemetry`` event per worker (cumulative expansions and
+    transitions) — no extra IPC, the counts ride the existing replies.
     """
     config = config or SearchConfig()
     if engine is not None and engine.protocol is not protocol:
         raise ValueError("fast successor engine was built for a different protocol")
     if workers <= 1:
         return fast_bfs_search(protocol, invariant, config, observer=observer,
-                               engine=engine)
+                               engine=engine, telemetry=telemetry)
     context = mp_context if mp_context is not None else default_mp_context()
     if context is None:
         warnings.warn(
@@ -606,14 +663,16 @@ def fast_parallel_bfs_search(
             stacklevel=2,
         )
         return fast_bfs_search(protocol, invariant, config, observer=observer,
-                               engine=engine)
+                               engine=engine, telemetry=telemetry)
 
     statistics = SearchStatistics()
     start_time = time.perf_counter()
 
-    engine = engine or FastSuccessorEngine(
-        protocol, memo_capacity=config.fastpath_memo_capacity
-    )
+    if engine is None:
+        with _maybe_span(telemetry, "compile", protocol=protocol.name):
+            engine = FastSuccessorEngine(
+                protocol, memo_capacity=config.fastpath_memo_capacity
+            )
     initial = engine.initial_packed()
     statistics.states_visited = 1
     holds = make_invariant_checker(engine, invariant, protocol,
@@ -661,6 +720,8 @@ def fast_parallel_bfs_search(
     verified = True
     complete = True
     counterexample: Optional[Counterexample] = None
+    peak_frontier = 1
+    worker_totals = [[0, 0] for _ in range(workers)]  # expansions, transitions
     try:
         for process in processes:
             process.start()
@@ -684,10 +745,16 @@ def fast_parallel_bfs_search(
             expanded = collect_replies(
                 result_queue, workers, "expanded", worker_timeout, processes
             )
-            for _worker_id, outgoing, expansions, transitions in expanded:
+            for reply_worker, outgoing, expansions, transitions in expanded:
                 statistics.enabled_set_computations += expansions
                 statistics.full_expansions += expansions
                 statistics.transitions_executed += transitions
+                totals = worker_totals[reply_worker]
+                totals[0] += expansions
+                totals[1] += transitions
+                if observer is not None and expansions:
+                    emit(observer, "worker-telemetry", worker=reply_worker,
+                         expansions=totals[0], transitions_executed=totals[1])
 
             level_deltas = 0
             for destination in range(workers):
@@ -740,6 +807,7 @@ def fast_parallel_bfs_search(
                      new_states=level_new, deltas=level_deltas,
                      states_visited=statistics.states_visited)
             frontier_total = level_new
+            peak_frontier = max(peak_frontier, frontier_total)
             depth += 1
             if frontier_total:
                 statistics.max_depth = max(statistics.max_depth, depth)
@@ -756,6 +824,15 @@ def fast_parallel_bfs_search(
                 process.terminate()
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
+    if telemetry is not None:
+        telemetry.metrics.gauge(
+            "frontier_peak", "widest BFS level explored"
+        ).set(peak_frontier)
+        telemetry.record_store(parents)
+        telemetry.record_fastpath(engine)
+        for worker_id, (_expansions, transitions) in enumerate(worker_totals):
+            telemetry.record_worker(worker_id,
+                                    {"transitions_executed": transitions})
     return SearchOutcome(
         verified=verified,
         complete=complete,

@@ -32,7 +32,13 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ..checker.counterexample import Counterexample, Step
 from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
-from ..checker.search import ReductionContext, Reducer, SearchConfig, SearchOutcome
+from ..checker.search import (
+    ReductionContext,
+    Reducer,
+    SearchConfig,
+    SearchOutcome,
+    _maybe_span,
+)
 from ..checker.statestore import ShardedFingerprintStore
 from ..engine.events import PROGRESS_INTERVAL, Observer, emit
 from ..mp.protocol import Protocol
@@ -76,6 +82,13 @@ class _PackedStore:
         if self._sharded is not None:
             return len(self._sharded)
         return len(self._fingerprints)
+
+    def shard_sizes(self):
+        """Per-shard occupancy when sharded, else None (duck-typed to match
+        :meth:`ShardedFingerprintStore.shard_sizes` for telemetry)."""
+        if self._sharded is not None:
+            return self._sharded.shard_sizes()
+        return None
 
 
 def _memoised_predicate(
@@ -260,6 +273,7 @@ def fast_dfs_search(
     reducer: Optional[Reducer] = None,
     observer: Optional[Observer] = None,
     engine: Optional[FastSuccessorEngine] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Packed-state depth-first search; semantics of ``dfs_search`` exactly."""
     config = config or SearchConfig()
@@ -268,11 +282,19 @@ def fast_dfs_search(
 
     if engine is not None and engine.protocol is not protocol:
         raise ValueError("fast successor engine was built for a different protocol")
-    engine = engine or FastSuccessorEngine(
-        protocol, memo_capacity=config.fastpath_memo_capacity
-    )
+    if engine is None:
+        with _maybe_span(telemetry, "compile", protocol=protocol.name):
+            engine = FastSuccessorEngine(
+                protocol, memo_capacity=config.fastpath_memo_capacity
+            )
     holds = make_invariant_checker(engine, invariant, protocol,
                                    capacity=config.fastpath_memo_capacity)
+
+    def record_telemetry() -> None:
+        if telemetry is None:
+            return
+        telemetry.record_store(store)
+        telemetry.record_fastpath(engine)
 
     store: Optional[_PackedStore] = None
     if config.stateful:
@@ -297,6 +319,7 @@ def fast_dfs_search(
         emit(observer, "violation-found", states_visited=1, depth=0)
         if config.stop_at_first_violation:
             statistics.elapsed_seconds = time.perf_counter() - start_time
+            record_telemetry()
             return SearchOutcome(False, False, counterexample, statistics)
 
     on_stack_words: Set[Tuple[int, ...]] = {initial[0]}
@@ -385,6 +408,7 @@ def fast_dfs_search(
         statistics.max_depth = max(statistics.max_depth, len(stack) - 1)
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
+    record_telemetry()
     return SearchOutcome(
         verified=verified,
         complete=complete and verified if config.stop_at_first_violation else complete,
@@ -400,6 +424,7 @@ def fast_bfs_search(
     config: Optional[SearchConfig] = None,
     observer: Optional[Observer] = None,
     engine: Optional[FastSuccessorEngine] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Packed-state breadth-first search; semantics of ``bfs_search`` exactly."""
     config = config or SearchConfig()
@@ -408,9 +433,11 @@ def fast_bfs_search(
 
     if engine is not None and engine.protocol is not protocol:
         raise ValueError("fast successor engine was built for a different protocol")
-    engine = engine or FastSuccessorEngine(
-        protocol, memo_capacity=config.fastpath_memo_capacity
-    )
+    if engine is None:
+        with _maybe_span(telemetry, "compile", protocol=protocol.name):
+            engine = FastSuccessorEngine(
+                protocol, memo_capacity=config.fastpath_memo_capacity
+            )
     holds = make_invariant_checker(engine, invariant, protocol,
                                    capacity=config.fastpath_memo_capacity)
 
@@ -418,6 +445,16 @@ def fast_bfs_search(
     store = _PackedStore(config.state_store, config.state_store_shards)
     store.add(initial)
     statistics.states_visited = 1
+    peak_frontier = 1
+
+    def record_telemetry() -> None:
+        if telemetry is None:
+            return
+        telemetry.record_store(store)
+        telemetry.record_fastpath(engine)
+        telemetry.metrics.gauge(
+            "frontier_peak", "largest BFS frontier level"
+        ).set(peak_frontier)
 
     #: words -> None (initial) or (parent packed, packed execution).
     parents: Dict[Tuple[int, ...], Optional[Tuple[PackedState, PackedExecution]]] = {
@@ -444,6 +481,7 @@ def fast_bfs_search(
     if not holds(initial):
         emit(observer, "violation-found", states_visited=1, depth=0)
         statistics.elapsed_seconds = time.perf_counter() - start_time
+        record_telemetry()
         return SearchOutcome(False, False, rebuild(initial), statistics)
 
     frontier = [initial]
@@ -476,6 +514,7 @@ def fast_bfs_search(
                          states_visited=statistics.states_visited, depth=depth + 1)
                     if config.stop_at_first_violation:
                         statistics.elapsed_seconds = time.perf_counter() - start_time
+                        record_telemetry()
                         return SearchOutcome(False, False, counterexample, statistics)
                 if config.max_states is not None and statistics.states_visited >= config.max_states:
                     complete = False
@@ -487,6 +526,7 @@ def fast_bfs_search(
                 continue
             break
         frontier = next_frontier
+        peak_frontier = max(peak_frontier, len(frontier))
         depth += 1
         if frontier:
             statistics.max_depth = max(statistics.max_depth, depth)
@@ -495,6 +535,7 @@ def fast_bfs_search(
                  states_visited=statistics.states_visited)
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
+    record_telemetry()
     return SearchOutcome(verified=verified, complete=complete,
                          counterexample=counterexample, statistics=statistics)
 
@@ -505,6 +546,7 @@ def fast_ndfs_search(
     config: Optional[SearchConfig] = None,
     observer: Optional[Observer] = None,
     engine: Optional[FastSuccessorEngine] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Packed-state nested DFS; mirrors
     :func:`repro.checker.search.ndfs_search` decision for decision.
@@ -530,9 +572,11 @@ def fast_ndfs_search(
 
     if engine is not None and engine.protocol is not protocol:
         raise ValueError("fast successor engine was built for a different protocol")
-    engine = engine or FastSuccessorEngine(
-        protocol, memo_capacity=config.fastpath_memo_capacity
-    )
+    if engine is None:
+        with _maybe_span(telemetry, "compile", protocol=protocol.name):
+            engine = FastSuccessorEngine(
+                protocol, memo_capacity=config.fastpath_memo_capacity
+            )
     network_sensitive = getattr(prop, "network_sensitive", True)
     prunes = _memoised_predicate(
         engine, lambda state: prop.prunes(state, protocol),
@@ -648,6 +692,14 @@ def fast_ndfs_search(
     def finish(verified: bool, is_complete: bool,
                counterexample: Optional[Counterexample]) -> SearchOutcome:
         statistics.elapsed_seconds = time.perf_counter() - start_time
+        if telemetry is not None:
+            telemetry.record_fastpath(engine)
+            telemetry.metrics.gauge(
+                "state_store_size", "visited states/fingerprints held"
+            ).set(len(discovered))
+            telemetry.metrics.gauge(
+                "ndfs_red_states", "states marked red by the nested search"
+            ).set(len(red))
         return SearchOutcome(verified, is_complete, counterexample, statistics)
 
     root = _FastFrame(initial, via=None)
@@ -664,7 +716,8 @@ def fast_ndfs_search(
         frame = stack[-1]
         if frame.next_index >= len(frame.pending):
             if accepting(frame.packed):
-                counterexample = red_search(stack)
+                with _maybe_span(telemetry, "red-phase", stack_depth=len(stack)):
+                    counterexample = red_search(stack)
                 if counterexample is not None:
                     emit(observer, "violation-found",
                          states_visited=statistics.states_visited,

@@ -1,0 +1,35 @@
+"""Observability layer: metrics, phase spans, event sinks, trace export.
+
+Grown on top of the engine observer/event spine (PR 4): every engine
+already emits one stream of :class:`~repro.engine.events.EngineEvent`;
+this package adds the instruments that make a run explainable —
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with labels;
+* :mod:`repro.obs.spans` — nested phase spans over the event stream;
+* :mod:`repro.obs.sinks` — JSONL capture of the event stream;
+* :mod:`repro.obs.trace` — Chrome trace-event export (Perfetto-loadable);
+* :mod:`repro.obs.telemetry` — the per-run bundle engines write through.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import JsonlSink, read_events, validate_event_record
+from .spans import SPAN_RECORD_CAP, SpanTracer
+from .telemetry import RunTelemetry, maybe_span
+from .trace import chrome_trace, convert_file, validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "JsonlSink",
+    "read_events",
+    "validate_event_record",
+    "SPAN_RECORD_CAP",
+    "SpanTracer",
+    "RunTelemetry",
+    "maybe_span",
+    "chrome_trace",
+    "convert_file",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,110 @@
+"""Event sinks: durable captures of the engine observer stream.
+
+:class:`JsonlSink` is an observer that appends one JSON object per event
+to a file (or any writable stream), stamping each with the wall-clock
+receive time.  The resulting ``.jsonl`` capture is the interchange format
+of the observability layer: ``python -m repro trace`` converts it to a
+Chrome trace-event file, and :func:`read_events` loads (and validates) it
+back for programmatic analysis.
+
+Record schema, one per line::
+
+    {"kind": "<event kind>", "ts": <unix seconds>, "payload": {...}}
+
+Payload values that are not JSON-native (counterexample states, packed
+tuples) are stringified rather than dropped, so a capture never fails
+mid-run because an engine put something rich in a payload.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = ["JsonlSink", "read_events", "validate_event_record"]
+
+
+class JsonlSink:
+    """An observer writing every event as one JSON line.
+
+    Accepts a path (opened and owned, closed by :meth:`close`) or an
+    already-open text stream (borrowed, flushed but never closed).  Usable
+    as a context manager.
+    """
+
+    def __init__(self, target: Union[str, Path, io.TextIOBase]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.path = str(target) if isinstance(target, (str, Path)) else None
+        self.events_written = 0
+        self.closed = False
+
+    def on_event(self, event) -> None:
+        if self.closed:
+            return
+        record = {"kind": event.kind, "ts": time.time(), "payload": event.payload}
+        self._stream.write(json.dumps(record, default=str) + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        if not self.closed:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+        self.closed = True
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def validate_event_record(record: Dict, line_number: int = 0) -> Dict:
+    """Check one decoded JSONL record against the sink schema."""
+    where = f"line {line_number}: " if line_number else ""
+    if not isinstance(record, dict):
+        raise ValueError(f"{where}event record is not an object")
+    kind = record.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise ValueError(f"{where}event record has no string 'kind'")
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)):
+        raise ValueError(f"{where}event record has no numeric 'ts'")
+    payload = record.get("payload")
+    if not isinstance(payload, dict):
+        raise ValueError(f"{where}event record has no object 'payload'")
+    return record
+
+
+def read_events(path: Union[str, Path]) -> List[Dict]:
+    """Load a JSONL event capture, validating every record.
+
+    Raises:
+        FileNotFoundError: If the capture does not exist.
+        ValueError: On malformed JSON or schema violations, naming the line.
+    """
+    events: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"line {number}: invalid JSON: {error}") from error
+            events.append(validate_event_record(record, number))
+    return events

@@ -1,0 +1,109 @@
+"""Phase-span tracing over the engine event stream.
+
+A :class:`SpanTracer` wraps the existing observer spine: entering a span
+emits a ``span-started`` event, leaving it emits ``span-finished`` with
+the wall-clock start and the measured duration, and the tracer keeps an
+in-memory record of finished spans for the run report.  The Chrome
+trace-event exporter (:mod:`repro.obs.trace`) builds its ``"X"`` slices
+from ``span-finished`` payloads alone, so a JSONL event capture is a
+complete trace without any tracer state surviving the run.
+
+Spans nest (compile → search → red-phase → CE-replay); the tracer tracks
+the current depth so renderers can indent without re-deriving nesting
+from timestamps.  The in-memory record is capped — red-phase spans fire
+once per accepting state in nested DFS — and the cap is reported as a
+``dropped`` count rather than silently truncating.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from ..engine.events import emit
+
+__all__ = ["SpanTracer", "SPAN_RECORD_CAP"]
+
+#: Finished spans kept in memory per tracer; the event stream still sees
+#: every span regardless.
+SPAN_RECORD_CAP = 1024
+
+
+class SpanTracer:
+    """Nested phase spans, emitted as events and recorded for reports."""
+
+    def __init__(
+        self,
+        observer=None,
+        max_records: int = SPAN_RECORD_CAP,
+    ) -> None:
+        self.observer = observer
+        self.max_records = max_records
+        self.finished: List[Dict] = []
+        self.dropped = 0
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Context manager bracketing one phase.
+
+        Emits ``span-started`` on entry and ``span-finished`` on exit
+        (also on exceptional exit, so a crashing phase still closes its
+        slice).  Yields the attribute dict so the body can attach results
+        discovered mid-phase (``attrs["states"] = n``).
+        """
+        start_ts = time.time()
+        start = time.perf_counter()
+        depth = self._depth
+        self._depth += 1
+        emit(self.observer, "span-started", span=name, ts=start_ts, depth=depth, **attrs)
+        try:
+            yield attrs
+        finally:
+            self._depth -= 1
+            elapsed = time.perf_counter() - start
+            self.record(name, start_ts, elapsed, depth=depth, **attrs)
+
+    def record(
+        self,
+        name: str,
+        start_ts: float,
+        elapsed_seconds: float,
+        depth: int = 0,
+        **attrs,
+    ) -> None:
+        """Record (and emit) an already-measured span.
+
+        Used by the context manager and by sites that time a phase with
+        their own clocks (worker lifetimes reconstructed coordinator-side).
+        """
+        emit(
+            self.observer,
+            "span-finished",
+            span=name,
+            start_ts=start_ts,
+            elapsed_seconds=elapsed_seconds,
+            depth=depth,
+            **attrs,
+        )
+        if len(self.finished) < self.max_records:
+            record = {
+                "span": name,
+                "start_ts": start_ts,
+                "elapsed_seconds": elapsed_seconds,
+                "depth": depth,
+            }
+            if attrs:
+                record["attrs"] = dict(attrs)
+            self.finished.append(record)
+        else:
+            self.dropped += 1
+
+    def elapsed(self, name: str) -> Optional[float]:
+        """Total recorded seconds spent in spans called ``name``."""
+        matching = [r["elapsed_seconds"] for r in self.finished if r["span"] == name]
+        return sum(matching) if matching else None
+
+    def snapshot(self) -> Dict:
+        return {"finished": list(self.finished), "dropped": self.dropped}

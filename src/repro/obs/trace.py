@@ -1,0 +1,295 @@
+"""Chrome trace-event export for JSONL event captures.
+
+Converts a capture written by :class:`repro.obs.sinks.JsonlSink` into the
+Chrome trace-event JSON format (the ``{"traceEvents": [...]}`` flavour),
+loadable in ``chrome://tracing`` and Perfetto.  The mapping:
+
+========================  =============================================
+event kind                trace event
+========================  =============================================
+``span-finished``         ``"X"`` complete slice (phase spans)
+``progress``              ``"C"`` counter on the coordinator track
+``level-completed``       ``"C"`` counter (frontier depth/new states)
+``worker-telemetry``      ``"C"`` counter on that worker's track
+``worker-report``         ``"X"`` worker-lifetime slice + final counters
+``violation-found``       ``"i"`` instant (global scope)
+``worker-stalled``        ``"i"`` instant on that worker's track
+``search-started``        ``"M"`` metadata + run clock zero candidate
+========================  =============================================
+
+All timestamps are microseconds relative to the earliest wall-clock time
+in the capture, so traces start at t=0 regardless of when the run
+happened.  Worker tracks get thread ids ``worker id + 1``; the
+coordinator (and every serial engine) is thread 0.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "chrome_trace",
+    "convert_file",
+    "validate_chrome_trace",
+    "COORDINATOR_TID",
+    "TRACE_PID",
+]
+
+TRACE_PID = 1
+COORDINATOR_TID = 0
+
+_VALID_PHASES = {"X", "C", "i", "M", "B", "E"}
+
+
+def _numeric_args(payload: Dict) -> Dict:
+    return {
+        key: value
+        for key, value in payload.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def _worker_tid(payload: Dict) -> int:
+    worker = payload.get("worker")
+    if isinstance(worker, int):
+        return worker + 1
+    return COORDINATOR_TID
+
+
+def chrome_trace(events: Iterable[Dict]) -> Dict:
+    """Convert JSONL event records into a Chrome trace-event document."""
+    records = list(events)
+
+    # Clock zero: earliest wall time seen anywhere in the capture,
+    # including span starts (which precede their span-finished record).
+    candidates: List[float] = []
+    for record in records:
+        candidates.append(float(record["ts"]))
+        payload = record.get("payload", {})
+        start_ts = payload.get("start_ts")
+        if isinstance(start_ts, (int, float)):
+            candidates.append(float(start_ts))
+    t0 = min(candidates) if candidates else 0.0
+
+    def us(ts: float) -> int:
+        return max(0, int(round((ts - t0) * 1e6)))
+
+    trace_events: List[Dict] = []
+    tids = {COORDINATOR_TID}
+    search_started_ts: Optional[float] = None
+    run_name = "repro"
+
+    for record in records:
+        kind = record["kind"]
+        ts = float(record["ts"])
+        payload = record.get("payload", {})
+
+        if kind == "search-started":
+            search_started_ts = ts
+            engine = payload.get("engine")
+            protocol = payload.get("protocol")
+            if engine:
+                run_name = f"repro check [{engine}]"
+            trace_events.append(
+                {
+                    "name": "search-started",
+                    "ph": "i",
+                    "ts": us(ts),
+                    "pid": TRACE_PID,
+                    "tid": COORDINATOR_TID,
+                    "s": "g",
+                    "args": {
+                        k: v
+                        for k, v in payload.items()
+                        if isinstance(v, (str, int, float, bool, dict))
+                    },
+                }
+            )
+            if protocol:
+                run_name += f" {protocol}"
+        elif kind == "span-finished":
+            start_ts = float(payload.get("start_ts", ts))
+            elapsed = float(payload.get("elapsed_seconds", 0.0))
+            tid = _worker_tid(payload)
+            tids.add(tid)
+            args = {
+                k: v
+                for k, v in payload.items()
+                if k not in ("span", "start_ts", "elapsed_seconds")
+                and isinstance(v, (str, int, float, bool))
+            }
+            trace_events.append(
+                {
+                    "name": str(payload.get("span", "span")),
+                    "ph": "X",
+                    "ts": us(start_ts),
+                    "dur": max(0, int(round(elapsed * 1e6))),
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        elif kind == "span-started":
+            # Slices are built from span-finished alone; starts only
+            # contribute to the clock zero above.
+            continue
+        elif kind in ("progress", "level-completed"):
+            name = "states" if kind == "progress" else "frontier"
+            args = _numeric_args(payload)
+            if args:
+                trace_events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": us(ts),
+                        "pid": TRACE_PID,
+                        "tid": COORDINATOR_TID,
+                        "args": args,
+                    }
+                )
+        elif kind == "worker-telemetry":
+            tid = _worker_tid(payload)
+            tids.add(tid)
+            args = {
+                k: v for k, v in _numeric_args(payload).items() if k != "worker"
+            }
+            if args:
+                trace_events.append(
+                    {
+                        "name": f"worker-{payload.get('worker', '?')}",
+                        "ph": "C",
+                        "ts": us(ts),
+                        "pid": TRACE_PID,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+        elif kind == "worker-report":
+            tid = _worker_tid(payload)
+            tids.add(tid)
+            start = search_started_ts if search_started_ts is not None else ts
+            trace_events.append(
+                {
+                    "name": f"worker-{payload.get('worker', '?')} active",
+                    "ph": "X",
+                    "ts": us(start),
+                    "dur": max(0, int(round((ts - start) * 1e6))),
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": _numeric_args(payload),
+                }
+            )
+        elif kind in ("violation-found", "worker-stalled", "search-finished"):
+            tid = _worker_tid(payload)
+            tids.add(tid)
+            trace_events.append(
+                {
+                    "name": kind,
+                    "ph": "i",
+                    "ts": us(ts),
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "s": "g" if kind != "worker-stalled" else "t",
+                    "args": _numeric_args(payload),
+                }
+            )
+        else:
+            # Unknown/future kinds degrade to instants rather than being
+            # dropped, so a newer capture still renders on an older tool.
+            trace_events.append(
+                {
+                    "name": kind,
+                    "ph": "i",
+                    "ts": us(ts),
+                    "pid": TRACE_PID,
+                    "tid": COORDINATOR_TID,
+                    "s": "t",
+                    "args": _numeric_args(payload),
+                }
+            )
+
+    metadata: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": COORDINATOR_TID,
+            "args": {"name": run_name},
+        }
+    ]
+    for tid in sorted(tids):
+        label = "coordinator" if tid == COORDINATOR_TID else f"worker-{tid - 1}"
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": "repro-trace/1", "source_events": len(records)},
+    }
+
+
+def validate_chrome_trace(document: Dict) -> int:
+    """Validate a converted document; returns the trace-event count.
+
+    Checks the structural invariants Perfetto/chrome://tracing rely on:
+    a ``traceEvents`` list whose entries carry a phase, name, pid and
+    tid, with numeric non-negative ``ts``/``dur`` where the phase
+    requires them.
+
+    Raises:
+        ValueError: Naming the first offending event.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document is not an object")
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list) or not trace_events:
+        raise ValueError("trace document has no traceEvents list")
+    for index, event in enumerate(trace_events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ValueError(f"{where} has invalid phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"{where} has no string name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"{where} has no integer {field}")
+        if phase in ("X", "C", "i", "B", "E"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"{where} has invalid ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where} has invalid dur {dur!r}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            raise ValueError(f"{where} has non-object args")
+    return len(trace_events)
+
+
+def convert_file(
+    source: Union[str, Path], destination: Union[str, Path]
+) -> int:
+    """Convert a JSONL capture file into a Chrome trace file.
+
+    Returns the validated trace-event count.
+    """
+    from .sinks import read_events
+
+    document = chrome_trace(read_events(source))
+    count = validate_chrome_trace(document)
+    Path(destination).write_text(json.dumps(document, indent=1) + "\n")
+    return count

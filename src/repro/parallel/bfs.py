@@ -64,6 +64,7 @@ def parallel_bfs_search(
     track_parents: bool = True,
     worker_timeout: Optional[float] = None,
     observer: Optional[Observer] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Breadth-first search of one cell across ``workers`` processes.
 
@@ -89,14 +90,21 @@ def parallel_bfs_search(
             the search as a whole.
         observer: Optional coordinator-side event observer; receives one
             ``level-completed`` event per level barrier (including the
-            exchanged delta count) plus ``violation-found`` events.
+            exchanged delta count), one ``worker-telemetry`` event per
+            worker per expand barrier (cumulative expansions/transitions,
+            riding the existing replies — no extra IPC) plus
+            ``violation-found`` events.
+        telemetry: Optional :class:`~repro.obs.telemetry.RunTelemetry`;
+            receives frontier-peak and per-worker transition counters at
+            the end of the run.
 
     Returns:
         A :class:`SearchOutcome`, shaped exactly like the serial one.
     """
     config = config or SearchConfig()
     if workers <= 1:
-        return bfs_search(protocol, invariant, config, observer=observer)
+        return bfs_search(protocol, invariant, config, observer=observer,
+                          telemetry=telemetry)
     context = mp_context if mp_context is not None else default_mp_context()
     if context is None:
         warnings.warn(
@@ -105,7 +113,8 @@ def parallel_bfs_search(
             RuntimeWarning,
             stacklevel=2,
         )
-        return bfs_search(protocol, invariant, config, observer=observer)
+        return bfs_search(protocol, invariant, config, observer=observer,
+                          telemetry=telemetry)
 
     statistics = SearchStatistics()
     start_time = time.perf_counter()
@@ -167,6 +176,8 @@ def parallel_bfs_search(
     verified = True
     complete = True
     counterexample: Optional[Counterexample] = None
+    peak_frontier = 1
+    worker_totals = [[0, 0] for _ in range(workers)]  # expansions, transitions
     try:
         for process in processes:
             process.start()
@@ -190,10 +201,16 @@ def parallel_bfs_search(
             expanded = collect_replies(
                 result_queue, workers, "expanded", worker_timeout, processes
             )
-            for _worker_id, outgoing, expansions, transitions in expanded:
+            for reply_worker, outgoing, expansions, transitions in expanded:
                 statistics.enabled_set_computations += expansions
                 statistics.full_expansions += expansions
                 statistics.transitions_executed += transitions
+                totals = worker_totals[reply_worker]
+                totals[0] += expansions
+                totals[1] += transitions
+                if observer is not None and expansions:
+                    emit(observer, "worker-telemetry", worker=reply_worker,
+                         expansions=totals[0], transitions_executed=totals[1])
 
             # Exchange deltas: candidates routed to each owner shard, in
             # worker-id order so the absorb order is deterministic.
@@ -248,6 +265,7 @@ def parallel_bfs_search(
                      new_states=level_new, deltas=level_deltas,
                      states_visited=statistics.states_visited)
             frontier_total = level_new
+            peak_frontier = max(peak_frontier, frontier_total)
             depth += 1
             # Mirror the serial engines: ``max_depth`` counts the edges to
             # the deepest *discovered* state, not the final empty level.
@@ -266,6 +284,15 @@ def parallel_bfs_search(
                 process.terminate()
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
+    if telemetry is not None:
+        telemetry.metrics.gauge(
+            "frontier_peak", "widest BFS level explored"
+        ).set(peak_frontier)
+        if parents is not None:
+            telemetry.record_store(parents)
+        for worker_id, (_expansions, transitions) in enumerate(worker_totals):
+            telemetry.record_worker(worker_id,
+                                    {"transitions_executed": transitions})
     return SearchOutcome(
         verified=verified,
         complete=complete,

@@ -68,7 +68,14 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..checker.counterexample import Counterexample, Step
 from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
-from ..checker.search import ReductionContext, Reducer, SearchConfig, SearchOutcome, dfs_search
+from ..checker.search import (
+    ReductionContext,
+    Reducer,
+    SearchConfig,
+    SearchOutcome,
+    _maybe_span,
+    dfs_search,
+)
 from ..checker.statestore import ShardedFingerprintStore
 from ..engine.events import PROGRESS_INTERVAL, Observer, emit
 from ..mp.protocol import Protocol
@@ -77,9 +84,12 @@ from ..mp.state import GlobalState
 from .bfs import default_mp_context
 from .worker import collect_replies
 from .worksteal import (
+    HEARTBEAT_EVERY,
     BatchedCounter,
+    StallDetector,
     StolenFrame,
     StripedClaimTable,
+    WorkerTelemetryChannel,
     WorkStealingDeques,
     pending_indices,
 )
@@ -125,6 +135,7 @@ def _worksteal_worker(
     result_queue,
     start_time: float,
     claims_counter,
+    channel: Optional[WorkerTelemetryChannel] = None,
 ) -> None:
     """Worker-process body: steal frames, explore subtrees depth-first.
 
@@ -134,7 +145,8 @@ def _worksteal_worker(
     siblings wind down too.  Claims are additionally flushed (batched, to
     keep lock traffic negligible) into ``claims_counter`` so the
     coordinator can emit *in-flight* progress events instead of waiting for
-    the end-of-run worker reports.
+    the end-of-run worker reports; live per-worker counters and heartbeats
+    flow the same batched way through ``channel``.
     """
     try:
         engine = SuccessorEngine.for_search(protocol, stateful=True)
@@ -145,6 +157,16 @@ def _worksteal_worker(
         violations: List[Tuple[int, ...]] = []
         truncated = False
         claims = BatchedCounter(claims_counter)
+        beats = 0
+
+        def publish_telemetry() -> None:
+            if channel is not None:
+                channel.publish(
+                    worker_id,
+                    stats["claimed"],
+                    stats["transitions_executed"],
+                    stats["revisits"],
+                )
 
         def expand(frame: _LocalFrame, ancestor_fps: frozenset, stack_fps: Set[int]) -> None:
             """Compute a fresh frame's (possibly reduced) pending indices."""
@@ -225,7 +247,7 @@ def _worksteal_worker(
                 return
 
         def run_task(task: StolenFrame) -> None:
-            nonlocal truncated
+            nonlocal truncated, beats
             ancestor_fps = frozenset(task.ancestors)
             root = _LocalFrame(task.state, task.state.fingerprint(), task.path)
             stack = [root]
@@ -244,6 +266,9 @@ def _worksteal_worker(
             while stack:
                 if deques.stop.is_set():
                     return
+                beats += 1
+                if not beats & (HEARTBEAT_EVERY - 1):
+                    publish_telemetry()
                 if config.max_seconds is not None:
                     if time.perf_counter() - start_time > config.max_seconds:
                         truncated = True
@@ -298,16 +323,20 @@ def _worksteal_worker(
             task = deques.next_task(worker_id)
             if task is None:
                 claims.flush()
+                publish_telemetry()
                 # Resigned: spin on steal attempts until work or shutdown.
                 while not (deques.stop.is_set() or deques.done.is_set()):
                     task = deques.try_acquire(worker_id)
                     if task is not None:
                         break
+                    if channel is not None:
+                        channel.beat(worker_id)
                     time.sleep(WorkStealingDeques.IDLE_SLEEP_SECONDS)
                 if task is None:
                     break
             run_task(task)
         claims.flush()
+        publish_telemetry()
         result_queue.put(("report", worker_id, stats, violations, truncated))
     except BaseException:
         deques.stop.set()
@@ -347,6 +376,7 @@ def parallel_dfs_search(
     claim_capacity: Optional[int] = None,
     claim_stripes: Optional[int] = None,
     observer: Optional[Observer] = None,
+    telemetry=None,
 ) -> SearchOutcome:
     """Depth-first search of one cell across ``workers`` stealing processes.
 
@@ -374,7 +404,13 @@ def parallel_dfs_search(
             the worker count).
         observer: Optional coordinator-side event observer; receives one
             ``worker-report`` event per worker (claimed states, steals-side
-            counters) plus ``violation-found`` events.
+            counters) plus ``violation-found`` events.  When attached, the
+            coordinator also relays live ``worker-telemetry`` gauges (from
+            the workers' shared counter rows) and ``worker-stalled``
+            warnings (heartbeat silence beyond the stall threshold).
+        telemetry: Optional :class:`~repro.obs.telemetry.RunTelemetry`;
+            receives per-worker counters, steal/publish totals, and claim
+            table stripe occupancy at the end of the run.
 
     Returns:
         A :class:`SearchOutcome` shaped exactly like the serial one.  When
@@ -386,7 +422,7 @@ def parallel_dfs_search(
     config = config or SearchConfig()
     if workers <= 1:
         return dfs_search(protocol, invariant, config, reducer=reducer,
-                          observer=observer)
+                          observer=observer, telemetry=telemetry)
     context = mp_context if mp_context is not None else default_mp_context()
     if context is None:
         warnings.warn(
@@ -396,7 +432,7 @@ def parallel_dfs_search(
             stacklevel=2,
         )
         return dfs_search(protocol, invariant, config, reducer=reducer,
-                          observer=observer)
+                          observer=observer, telemetry=telemetry)
 
     statistics = SearchStatistics()
     start_time = time.perf_counter()
@@ -430,6 +466,10 @@ def parallel_dfs_search(
     deques = None
     # Shared live-progress counter (1 = the pre-claimed initial state).
     claims_counter = context.Value("l", 1)
+    # Live per-worker counters + heartbeats; workers flush them on the
+    # same batched cadence as the claim counter, so the cost is amortised.
+    channel = WorkerTelemetryChannel(workers, mp_context=context)
+    stall_detector = StallDetector(workers)
     try:
         deques = WorkStealingDeques(workers, manager, mp_context=context)
         # Seeding the frame with its own fingerprint as "ancestor" mirrors
@@ -459,6 +499,7 @@ def parallel_dfs_search(
                     result_queue,
                     start_time,
                     claims_counter,
+                    channel,
                 ),
                 daemon=True,
             )
@@ -469,6 +510,7 @@ def parallel_dfs_search(
 
         deadline = None if worker_timeout is None else start_time + worker_timeout
         last_progress = 1
+        last_rows = [None] * workers
         while not (deques.done.is_set() or deques.stop.is_set()):
             if deadline is not None and time.perf_counter() > deadline:
                 deques.stop.set()
@@ -491,6 +533,17 @@ def parallel_dfs_search(
                 if claimed - last_progress >= PROGRESS_INTERVAL:
                     last_progress = claimed
                     emit(observer, "progress", states_visited=claimed)
+                # Live per-worker gauges: relay a worker's shared counter
+                # row only when it changed since the last poll.
+                for worker_id, row in enumerate(channel.read_all()):
+                    if row != last_rows[worker_id]:
+                        last_rows[worker_id] = row
+                        emit(observer, "worker-telemetry", worker=worker_id,
+                             claimed=row[0], transitions_executed=row[1],
+                             revisits=row[2])
+                for worker_id, idle in stall_detector.check(channel.heartbeats()):
+                    emit(observer, "worker-stalled", worker=worker_id,
+                         idle_seconds=idle)
             deques.done.wait(0.05)
 
         # Hand collect_replies the *remaining* budget so worker_timeout is
@@ -513,15 +566,24 @@ def parallel_dfs_search(
             statistics.max_depth = max(statistics.max_depth, stats["max_depth"])
             violations.extend(tuple(path) for path in worker_violations)
             truncated = truncated or worker_truncated
+            if telemetry is not None:
+                telemetry.record_worker(worker_id, stats)
         statistics.states_visited = len(table)
         deadlock_states = sum(reply[1]["deadlock_states"] for reply in replies)
+        if telemetry is not None:
+            telemetry.record_worksteal(
+                steals=deques.steal_count(),
+                publishes=deques.publish_count(),
+                claim_table=table,
+            )
 
         if violations:
             verified = False
             best = min(violations, key=lambda path: (len(path), path))
             emit(observer, "violation-found",
                  states_visited=statistics.states_visited, depth=len(best))
-            counterexample = _replay_counterexample(protocol, invariant, best)
+            with _maybe_span(telemetry, "ce-replay", path_length=len(best)):
+                counterexample = _replay_counterexample(protocol, invariant, best)
         if truncated or (not verified and config.stop_at_first_violation):
             complete = False
     finally:

@@ -39,8 +39,9 @@ table — won or lost — is a guaranteed revisit and needs no lock at all.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..checker.statestore import mix_fingerprint, shard_of
 from ..mp.state import GlobalState
@@ -48,13 +49,28 @@ from ..mp.state import GlobalState
 __all__ = [
     "BatchedCounter",
     "CLAIM_FLUSH_BATCH",
+    "HEARTBEAT_EVERY",
+    "StallDetector",
     "StolenFrame",
     "StripedClaimTable",
+    "WORKER_STALL_SECONDS",
+    "WORKER_TELEMETRY_FIELDS",
+    "WorkerTelemetryChannel",
     "WorkStealingDeques",
 ]
 
 #: Workers flush their shared progress counter every this many increments.
 CLAIM_FLUSH_BATCH = 32
+
+#: Workers refresh their telemetry row/heartbeat every this many inner-loop
+#: iterations (a power of two so the check is one bitwise AND).
+HEARTBEAT_EVERY = 64
+
+#: Seconds of heartbeat silence before a worker counts as stalled.
+WORKER_STALL_SECONDS = 5.0
+
+#: Counters each worker publishes through the telemetry channel, in order.
+WORKER_TELEMETRY_FIELDS = ("claimed", "transitions_executed", "revisits")
 
 
 class BatchedCounter:
@@ -363,6 +379,106 @@ class WorkStealingDeques:
     def busy_workers(self) -> int:
         """Number of workers currently holding private work."""
         return self._busy.value
+
+
+class WorkerTelemetryChannel:
+    """Live per-worker telemetry over shared memory, without locks.
+
+    One row of absolute counters (:data:`WORKER_TELEMETRY_FIELDS`) and one
+    heartbeat timestamp per worker.  Each row is written *only* by its
+    owning worker and read by the coordinator's poll loop, so plain
+    (lock-free) shared arrays are race-free by ownership; the coordinator
+    may read a row mid-update and see counters one beat apart, which is
+    fine for gauges.  Heartbeats use ``time.monotonic()`` — under the
+    ``fork`` start method all workers share the clock's epoch, so the
+    coordinator can subtract.
+
+    This rides the same batched-flush cadence as the claim counter: the
+    worker loops call :meth:`publish` every :data:`HEARTBEAT_EVERY`
+    iterations (one AND + a few array stores), not per state.
+    """
+
+    def __init__(self, workers: int, mp_context=None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        context = mp_context if mp_context is not None else multiprocessing
+        self.workers = workers
+        self._fields = len(WORKER_TELEMETRY_FIELDS)
+        self._values = context.Array("l", workers * self._fields, lock=False)
+        self._heartbeats = context.Array("d", workers, lock=False)
+
+    # Worker side (owner-only writes) ---------------------------------- #
+    def publish(
+        self, worker_id: int, claimed: int, transitions: int, revisits: int
+    ) -> None:
+        """Refresh this worker's counter row and heartbeat."""
+        base = worker_id * self._fields
+        values = self._values
+        values[base] = claimed
+        values[base + 1] = transitions
+        values[base + 2] = revisits
+        self._heartbeats[worker_id] = time.monotonic()
+
+    def beat(self, worker_id: int) -> None:
+        """Heartbeat only (idle spins: alive, but no new counters)."""
+        self._heartbeats[worker_id] = time.monotonic()
+
+    # Coordinator side (reads) ----------------------------------------- #
+    def read(self, worker_id: int) -> Tuple[int, ...]:
+        """This worker's current counter row, ordered like
+        :data:`WORKER_TELEMETRY_FIELDS`."""
+        base = worker_id * self._fields
+        return tuple(self._values[base:base + self._fields])
+
+    def read_all(self) -> List[Tuple[int, ...]]:
+        """All counter rows (index = worker id)."""
+        return [self.read(worker) for worker in range(self.workers)]
+
+    def heartbeats(self) -> Tuple[float, ...]:
+        """Last heartbeat per worker; 0.0 means never beaten (not started)."""
+        return tuple(self._heartbeats)
+
+
+class StallDetector:
+    """Flags workers whose heartbeat went silent past a threshold.
+
+    Pure bookkeeping (no shared state of its own) so it unit-tests with
+    injected clocks.  Each stall episode is reported once: a worker that
+    resumes beating re-arms its flag, a worker that stays silent does not
+    repeat-fire every poll.  Workers that never beat (0.0 heartbeat) are
+    skipped — they have not started, which at coordinator startup is
+    scheduling latency, not a stall.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        threshold_seconds: float = WORKER_STALL_SECONDS,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold_seconds <= 0:
+            raise ValueError("threshold_seconds must be positive")
+        self.threshold_seconds = threshold_seconds
+        self._clock = clock
+        self._flagged = [False] * workers
+
+    def check(
+        self, heartbeats: Sequence[float], now: Optional[float] = None
+    ) -> List[Tuple[int, float]]:
+        """Newly stalled workers as ``(worker, idle_seconds)`` pairs."""
+        current = self._clock() if now is None else now
+        stalled: List[Tuple[int, float]] = []
+        for worker, beat in enumerate(heartbeats):
+            if beat <= 0.0:
+                continue
+            idle = current - beat
+            if idle >= self.threshold_seconds:
+                if not self._flagged[worker]:
+                    self._flagged[worker] = True
+                    stalled.append((worker, idle))
+            else:
+                self._flagged[worker] = False
+        return stalled
 
 
 def pending_indices(

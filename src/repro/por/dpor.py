@@ -92,12 +92,15 @@ class DporSearch:
     # Public API
     # ------------------------------------------------------------------ #
     def run(self, invariant: Invariant,
-            observer: Optional[Observer] = None) -> SearchOutcome:
+            observer: Optional[Observer] = None,
+            telemetry=None) -> SearchOutcome:
         """Explore the protocol and check ``invariant`` in every visited state.
 
         The optional ``observer`` receives periodic ``progress`` ticks
         (every :data:`~repro.engine.events.PROGRESS_INTERVAL` expanded
-        states) plus ``violation-found`` events.
+        states) plus ``violation-found`` events.  The optional
+        ``telemetry`` (a :class:`~repro.obs.telemetry.RunTelemetry`)
+        receives end-of-run reduction counters.
         """
         self._invariant = invariant
         self._observer = observer
@@ -130,6 +133,8 @@ class DporSearch:
         if self._counterexample is not None:
             verified = False
         self._statistics.elapsed_seconds = time.perf_counter() - self._start_time
+        if telemetry is not None:
+            telemetry.record_reduction(self._statistics)
         return SearchOutcome(
             verified=verified,
             complete=self._complete and verified,

@@ -1,0 +1,133 @@
+"""The metrics registry: counters, gauges, histograms, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("states_visited")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value() == 42
+        assert counter.total() == 42
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("worker_claimed")
+        counter.inc(10, worker=0)
+        counter.inc(20, worker=1)
+        counter.inc(5, worker=0)
+        assert counter.value(worker=0) == 15
+        assert counter.value(worker=1) == 20
+        assert counter.total() == 35
+
+    def test_label_order_is_irrelevant(self):
+        counter = Counter("c")
+        counter.inc(1, a="x", b="y")
+        assert counter.value(b="y", a="x") == 1
+
+    def test_unknown_series_reads_zero(self):
+        assert Counter("c").value(worker=7) == 0
+
+    def test_snapshot_carries_total_and_sorted_series(self):
+        counter = Counter("c", description="a count", unit="1")
+        counter.inc(2, worker=1)
+        counter.inc(1, worker=0)
+        snapshot = counter.snapshot()
+        assert snapshot["kind"] == "counter"
+        assert snapshot["description"] == "a count"
+        assert snapshot["total"] == 3
+        assert [entry["labels"]["worker"] for entry in snapshot["values"]] \
+            == ["0", "1"]
+
+
+class TestGauge:
+    def test_set_and_value(self):
+        gauge = Gauge("frontier_peak")
+        gauge.set(17)
+        gauge.set(23)
+        assert gauge.value() == 23
+
+    def test_inc_accumulates(self):
+        gauge = Gauge("g")
+        gauge.inc(1.5)
+        gauge.inc(0.5)
+        assert gauge.value() == 2.0
+
+    def test_unset_series_reads_none(self):
+        assert Gauge("g").value(shard=3) is None
+
+    def test_labelled_snapshot(self):
+        gauge = Gauge("state_store_shard_size")
+        for shard, size in enumerate((10, 20, 30)):
+            gauge.set(size, shard=shard)
+        values = gauge.snapshot()["values"]
+        assert len(values) == 3
+        assert {entry["value"] for entry in values} == {10, 20, 30}
+        assert "total" not in gauge.snapshot()
+
+
+class TestHistogram:
+    def test_observe_tracks_count_sum_extremes(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        series = histogram.series()
+        assert series.count == 3
+        assert series.total == 55.5
+        assert series.minimum == 0.5
+        assert series.maximum == 50.0
+
+    def test_bucket_assignment_including_overflow(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()["values"][0]
+        by_bound = {entry["le"]: entry["count"] for entry in snapshot["buckets"]}
+        assert by_bound[1.0] == 2       # 0.5 and the boundary value 1.0
+        assert by_bound[10.0] == 1      # 5.0
+        assert by_bound["inf"] == 1     # 100.0 overflows
+        assert snapshot["mean"] == pytest.approx(106.5 / 4)
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("states_visited", "described once")
+        second = registry.counter("states_visited", "described differently")
+        assert first is second
+        assert second.description == "described once"
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("states_visited")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("states_visited")
+
+    def test_names_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 2
+        assert registry.get("a") is not None
+        assert registry.get("missing") is None
+
+    def test_snapshot_is_json_roundtrippable(self):
+        registry = MetricsRegistry()
+        registry.counter("states_visited").inc(45, engine="serial-dfs")
+        registry.gauge("reduction_ratio").set(0.4)
+        registry.histogram("level_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["states_visited"]["total"] == 45
+        assert snapshot["reduction_ratio"]["values"][0]["value"] == 0.4

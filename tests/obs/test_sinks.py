@@ -1,0 +1,95 @@
+"""JSONL event sinks: capture, schema validation, round-trips."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.engine.events import EngineEvent
+from repro.obs.sinks import JsonlSink, read_events, validate_event_record
+
+
+def event(kind="progress", **payload):
+    return EngineEvent(kind=kind, payload=payload)
+
+
+class TestJsonlSink:
+    def test_round_trip_through_a_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.on_event(event("search-started", engine="serial-dfs"))
+            sink.on_event(event("progress", states_visited=1000))
+        assert sink.events_written == 2
+        records = read_events(path)
+        assert [r["kind"] for r in records] == ["search-started", "progress"]
+        assert records[1]["payload"]["states_visited"] == 1000
+        assert all(isinstance(r["ts"], float) for r in records)
+
+    def test_timestamps_are_monotonic_in_the_capture(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            for _ in range(5):
+                sink.on_event(event())
+        stamps = [r["ts"] for r in read_events(path)]
+        assert stamps == sorted(stamps)
+
+    def test_non_json_payload_values_are_stringified(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.on_event(event("violation-found", state=frozenset({1, 2})))
+        (record,) = read_events(path)
+        assert isinstance(record["payload"]["state"], str)
+
+    def test_borrowed_stream_is_flushed_but_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.on_event(event())
+        sink.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["kind"] == "progress"
+        assert sink.path is None
+
+    def test_events_after_close_are_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        sink.on_event(event())
+        sink.close()
+        sink.on_event(event())
+        sink.close()  # idempotent
+        assert sink.events_written == 1
+        assert len(read_events(path)) == 1
+
+
+class TestValidation:
+    def test_accepts_a_well_formed_record(self):
+        record = {"kind": "progress", "ts": 1.0, "payload": {}}
+        assert validate_event_record(record) is record
+
+    @pytest.mark.parametrize("record, message", [
+        ([], "not an object"),
+        ({"ts": 1.0, "payload": {}}, "no string 'kind'"),
+        ({"kind": "", "ts": 1.0, "payload": {}}, "no string 'kind'"),
+        ({"kind": "progress", "payload": {}}, "no numeric 'ts'"),
+        ({"kind": "progress", "ts": 1.0}, "no object 'payload'"),
+        ({"kind": "progress", "ts": 1.0, "payload": []}, "no object 'payload'"),
+    ])
+    def test_rejects_schema_violations(self, record, message):
+        with pytest.raises(ValueError, match=message):
+            validate_event_record(record, line_number=3)
+
+    def test_read_events_names_the_offending_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "progress", "ts": 1.0, "payload": {}}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_read_events_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('\n{"kind": "progress", "ts": 1.0, "payload": {}}\n\n')
+        assert len(read_events(path)) == 1
+
+    def test_read_events_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_events(tmp_path / "absent.jsonl")

@@ -1,0 +1,102 @@
+"""Phase-span tracing: nesting, emission pairing, record cap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.events import CollectingObserver
+from repro.obs.spans import SPAN_RECORD_CAP, SpanTracer
+
+
+class TestSpanEmission:
+    def test_span_emits_started_and_finished(self):
+        observer = CollectingObserver()
+        tracer = SpanTracer(observer=observer)
+        with tracer.span("compile", protocol="demo"):
+            pass
+        assert observer.kinds() == ["span-started", "span-finished"]
+        started = observer.events[0].payload
+        assert started["span"] == "compile"
+        assert started["protocol"] == "demo"
+        assert started["depth"] == 0
+        finished = observer.events[1].payload
+        assert finished["span"] == "compile"
+        assert finished["elapsed_seconds"] >= 0.0
+        assert finished["start_ts"] == started["ts"]
+
+    def test_spans_nest_with_depth(self):
+        observer = CollectingObserver()
+        tracer = SpanTracer(observer=observer)
+        with tracer.span("search"):
+            with tracer.span("red-phase"):
+                pass
+            with tracer.span("red-phase"):
+                pass
+        starts = [e.payload for e in observer.events if e.kind == "span-started"]
+        assert [(p["span"], p["depth"]) for p in starts] \
+            == [("search", 0), ("red-phase", 1), ("red-phase", 1)]
+        # Inner spans finish before the outer one.
+        finishes = [e.payload["span"] for e in observer.events
+                    if e.kind == "span-finished"]
+        assert finishes == ["red-phase", "red-phase", "search"]
+
+    def test_exceptional_exit_still_closes_the_span(self):
+        observer = CollectingObserver()
+        tracer = SpanTracer(observer=observer)
+        with pytest.raises(RuntimeError):
+            with tracer.span("search"):
+                raise RuntimeError("engine crashed")
+        assert observer.counts() == {"span-started": 1, "span-finished": 1}
+        assert tracer._depth == 0
+
+    def test_body_can_attach_attrs_mid_phase(self):
+        observer = CollectingObserver()
+        tracer = SpanTracer(observer=observer)
+        with tracer.span("ce-replay") as attrs:
+            attrs["path_length"] = 7
+        assert observer.last("span-finished").payload["path_length"] == 7
+
+    def test_no_observer_records_without_emitting(self):
+        tracer = SpanTracer()
+        with tracer.span("search"):
+            pass
+        assert len(tracer.finished) == 1
+
+
+class TestSpanRecords:
+    def test_record_shape(self):
+        tracer = SpanTracer()
+        tracer.record("search", start_ts=100.0, elapsed_seconds=0.5, engine="x")
+        (record,) = tracer.finished
+        assert record == {
+            "span": "search",
+            "start_ts": 100.0,
+            "elapsed_seconds": 0.5,
+            "depth": 0,
+            "attrs": {"engine": "x"},
+        }
+
+    def test_elapsed_sums_by_name(self):
+        tracer = SpanTracer()
+        tracer.record("red-phase", 0.0, 0.25)
+        tracer.record("red-phase", 1.0, 0.75)
+        tracer.record("search", 0.0, 2.0)
+        assert tracer.elapsed("red-phase") == 1.0
+        assert tracer.elapsed("search") == 2.0
+        assert tracer.elapsed("missing") is None
+
+    def test_cap_reports_dropped_instead_of_truncating_silently(self):
+        observer = CollectingObserver()
+        tracer = SpanTracer(observer=observer, max_records=2)
+        for index in range(5):
+            tracer.record("red-phase", float(index), 0.1)
+        assert len(tracer.finished) == 2
+        assert tracer.dropped == 3
+        # The event stream still saw every span.
+        assert observer.counts()["span-finished"] == 5
+        snapshot = tracer.snapshot()
+        assert snapshot["dropped"] == 3
+        assert len(snapshot["finished"]) == 2
+
+    def test_default_cap_is_the_module_constant(self):
+        assert SpanTracer().max_records == SPAN_RECORD_CAP

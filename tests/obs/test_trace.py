@@ -1,0 +1,175 @@
+"""Chrome trace-event export: kind mapping, validation, file conversion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    COORDINATOR_TID,
+    TRACE_PID,
+    chrome_trace,
+    convert_file,
+    validate_chrome_trace,
+)
+
+T0 = 1_000_000.0
+
+
+def record(kind, ts, **payload):
+    return {"kind": kind, "ts": T0 + ts, "payload": payload}
+
+
+def slices(document, phase):
+    return [e for e in document["traceEvents"] if e["ph"] == phase]
+
+
+def named(document, name):
+    return [e for e in document["traceEvents"] if e["name"] == name]
+
+
+class TestKindMapping:
+    def test_span_finished_becomes_a_complete_slice(self):
+        document = chrome_trace([
+            record("span-finished", 1.5, span="search", start_ts=T0 + 0.5,
+                   elapsed_seconds=1.0, depth=0, engine="serial-dfs"),
+        ])
+        (x,) = slices(document, "X")
+        assert x["name"] == "search"
+        assert x["ts"] == 0  # start_ts is the earliest time → clock zero
+        assert x["dur"] == 1_000_000  # 1s in microseconds
+        assert x["tid"] == COORDINATOR_TID
+        assert x["args"] == {"depth": 0, "engine": "serial-dfs"}
+
+    def test_span_started_contributes_only_clock_zero(self):
+        document = chrome_trace([
+            record("span-started", 0.0, span="search", depth=0),
+            record("search-finished", 2.0, verified=True),
+        ])
+        assert not named(document, "span-started")
+        (instant,) = named(document, "search-finished")
+        assert instant["ts"] == 2_000_000
+
+    def test_progress_and_levels_become_counters(self):
+        document = chrome_trace([
+            record("progress", 1.0, states_visited=1000),
+            record("level-completed", 2.0, depth=3, new_states=40),
+        ])
+        counters = slices(document, "C")
+        assert [c["name"] for c in counters] == ["states", "frontier"]
+        assert counters[0]["args"] == {"states_visited": 1000}
+        assert all(c["tid"] == COORDINATOR_TID for c in counters)
+
+    def test_worker_telemetry_counts_on_the_worker_track(self):
+        document = chrome_trace([
+            record("worker-telemetry", 1.0, worker=2, claimed=10,
+                   transitions_executed=25, revisits=3),
+        ])
+        (counter,) = slices(document, "C")
+        assert counter["name"] == "worker-2"
+        assert counter["tid"] == 3  # worker id + 1
+        assert "worker" not in counter["args"]
+        assert counter["args"]["claimed"] == 10
+
+    def test_worker_report_spans_the_run_from_search_started(self):
+        document = chrome_trace([
+            record("search-started", 0.0, engine="worksteal-dfs", protocol="p"),
+            record("worker-report", 2.0, worker=0, claimed=20),
+        ])
+        (x,) = slices(document, "X")
+        assert x["name"] == "worker-0 active"
+        assert x["ts"] == 0
+        assert x["dur"] == 2_000_000
+        assert x["tid"] == 1
+
+    def test_instants_and_scopes(self):
+        document = chrome_trace([
+            record("violation-found", 1.0, depth=4),
+            record("worker-stalled", 2.0, worker=1, idle_seconds=6.0),
+        ])
+        instants = slices(document, "i")
+        by_name = {e["name"]: e for e in instants}
+        assert by_name["violation-found"]["s"] == "g"
+        assert by_name["worker-stalled"]["s"] == "t"
+        assert by_name["worker-stalled"]["tid"] == 2
+
+    def test_unknown_kinds_degrade_to_instants(self):
+        document = chrome_trace([record("future-kind", 1.0, value=3)])
+        (instant,) = slices(document, "i")
+        assert instant["name"] == "future-kind"
+
+    def test_metadata_names_process_and_threads(self):
+        document = chrome_trace([
+            record("search-started", 0.0, engine="worksteal-dfs", protocol="paxos"),
+            record("worker-report", 1.0, worker=0, claimed=5),
+            record("worker-report", 1.0, worker=1, claimed=5),
+        ])
+        metadata = slices(document, "M")
+        process = [m for m in metadata if m["name"] == "process_name"]
+        assert process[0]["args"]["name"] == "repro check [worksteal-dfs] paxos"
+        threads = {m["tid"]: m["args"]["name"] for m in metadata
+                   if m["name"] == "thread_name"}
+        assert threads == {0: "coordinator", 1: "worker-0", 2: "worker-1"}
+
+    def test_document_is_json_roundtrippable_and_valid(self):
+        document = chrome_trace([
+            record("search-started", 0.0, engine="serial-dfs", protocol="p"),
+            record("progress", 0.5, states_visited=1000),
+            record("span-finished", 1.0, span="search", start_ts=T0,
+                   elapsed_seconds=1.0, depth=0),
+            record("search-finished", 1.0, verified=True, states_visited=1234),
+        ])
+        assert json.loads(json.dumps(document)) == document
+        assert validate_chrome_trace(document) == len(document["traceEvents"])
+        assert document["otherData"]["source_events"] == 4
+
+
+class TestValidateChromeTrace:
+    def well_formed(self):
+        return chrome_trace([record("progress", 0.0, states_visited=1)])
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda d: d.clear(), "no traceEvents"),
+        (lambda d: d.update(traceEvents=[]), "no traceEvents"),
+        (lambda d: d["traceEvents"].append("nope"), "not an object"),
+        (lambda d: d["traceEvents"][-1].update(ph="Z"), "invalid phase"),
+        (lambda d: d["traceEvents"][-1].pop("name"), "no string name"),
+        (lambda d: d["traceEvents"][-1].update(pid="x"), "no integer pid"),
+        (lambda d: d["traceEvents"][-1].update(ts=-5), "invalid ts"),
+        (lambda d: d["traceEvents"][-1].update(args=[1]), "non-object args"),
+    ])
+    def test_rejections(self, mutate, message):
+        document = self.well_formed()
+        mutate(document)
+        with pytest.raises(ValueError, match=message):
+            validate_chrome_trace(document)
+
+    def test_x_slices_need_a_duration(self):
+        document = self.well_formed()
+        document["traceEvents"].append(
+            {"name": "s", "ph": "X", "ts": 0, "pid": TRACE_PID, "tid": 0}
+        )
+        with pytest.raises(ValueError, match="invalid dur"):
+            validate_chrome_trace(document)
+
+    def test_not_a_dict(self):
+        with pytest.raises(ValueError, match="not an object"):
+            validate_chrome_trace([])
+
+
+class TestConvertFile:
+    def test_jsonl_to_trace_json(self, tmp_path):
+        source = tmp_path / "run.jsonl"
+        lines = [
+            record("search-started", 0.0, engine="serial-dfs", protocol="p"),
+            record("span-finished", 1.0, span="search", start_ts=T0,
+                   elapsed_seconds=1.0, depth=0),
+            record("search-finished", 1.0, verified=True),
+        ]
+        source.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        destination = tmp_path / "run.trace.json"
+        count = convert_file(source, destination)
+        document = json.loads(destination.read_text())
+        assert validate_chrome_trace(document) == count
+        assert document["otherData"]["source_events"] == 3

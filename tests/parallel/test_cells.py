@@ -7,8 +7,9 @@ import pytest
 from repro.parallel.cells import CellSpec, run_cell_task, run_cells, specs_for_sweep
 from repro.protocols.catalog import default_catalog
 
-#: Timing fields that legitimately differ between runs of the same cell.
-TIMING_FIELDS = ("elapsed_seconds", "wall_seconds")
+#: Fields that legitimately differ between runs of the same cell: wall
+#: clocks, and the telemetry block (throughput, RSS, span timings).
+TIMING_FIELDS = ("elapsed_seconds", "wall_seconds", "telemetry")
 
 
 def stable(record):

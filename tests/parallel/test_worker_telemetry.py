@@ -1,0 +1,99 @@
+"""Worker-side telemetry primitives: shared channel and stall detection.
+
+Both are exercised in-process (the channel's shared arrays work without
+fork), so these tests run on every platform; the cross-process behaviour
+is covered by the parallel run-report tests in ``tests/obs``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.worksteal import (
+    HEARTBEAT_EVERY,
+    WORKER_STALL_SECONDS,
+    WORKER_TELEMETRY_FIELDS,
+    StallDetector,
+    WorkerTelemetryChannel,
+)
+
+
+class TestWorkerTelemetryChannel:
+    def test_rows_start_zeroed_and_unbeaten(self):
+        channel = WorkerTelemetryChannel(3)
+        assert channel.read_all() == [(0, 0, 0)] * 3
+        assert channel.heartbeats() == (0.0, 0.0, 0.0)
+
+    def test_publish_updates_only_the_owning_row(self):
+        channel = WorkerTelemetryChannel(3)
+        channel.publish(1, claimed=10, transitions=25, revisits=3)
+        assert channel.read(1) == (10, 25, 3)
+        assert channel.read(0) == (0, 0, 0)
+        assert channel.read(2) == (0, 0, 0)
+        beats = channel.heartbeats()
+        assert beats[1] > 0.0 and beats[0] == beats[2] == 0.0
+
+    def test_publish_overwrites_with_absolute_counters(self):
+        channel = WorkerTelemetryChannel(1)
+        channel.publish(0, claimed=5, transitions=10, revisits=0)
+        channel.publish(0, claimed=7, transitions=12, revisits=1)
+        assert channel.read(0) == (7, 12, 1)
+
+    def test_beat_refreshes_the_heartbeat_without_counters(self):
+        channel = WorkerTelemetryChannel(2)
+        channel.beat(0)
+        assert channel.heartbeats()[0] > 0.0
+        assert channel.read(0) == (0, 0, 0)
+
+    def test_row_layout_matches_the_field_tuple(self):
+        assert WORKER_TELEMETRY_FIELDS == ("claimed", "transitions_executed",
+                                           "revisits")
+        channel = WorkerTelemetryChannel(1)
+        channel.publish(0, claimed=1, transitions=2, revisits=3)
+        assert dict(zip(WORKER_TELEMETRY_FIELDS, channel.read(0))) == {
+            "claimed": 1, "transitions_executed": 2, "revisits": 3,
+        }
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerTelemetryChannel(0)
+
+    def test_heartbeat_cadence_is_a_power_of_two(self):
+        # The workers gate publishes with ``not beats & (EVERY - 1)``,
+        # which only counts correctly for powers of two.
+        assert HEARTBEAT_EVERY > 0
+        assert HEARTBEAT_EVERY & (HEARTBEAT_EVERY - 1) == 0
+
+
+class TestStallDetector:
+    def make(self, workers=2, threshold=5.0):
+        return StallDetector(workers, threshold_seconds=threshold,
+                             clock=lambda: 0.0)
+
+    def test_silent_worker_fires_once_per_episode(self):
+        detector = self.make()
+        beats = (100.0, 100.0)
+        assert detector.check(beats, now=102.0) == []
+        assert detector.check(beats, now=106.0) == [(0, 6.0), (1, 6.0)]
+        # Still silent: the episode was already reported.
+        assert detector.check(beats, now=110.0) == []
+
+    def test_resumed_worker_rearms(self):
+        detector = self.make(workers=1)
+        assert detector.check((100.0,), now=106.0) == [(0, 6.0)]
+        assert detector.check((107.0,), now=108.0) == []  # beating again
+        assert detector.check((107.0,), now=113.0) == [(0, 6.0)]
+
+    def test_unstarted_workers_are_not_stalls(self):
+        detector = self.make()
+        assert detector.check((0.0, 0.0), now=1000.0) == []
+
+    def test_threshold_is_inclusive(self):
+        detector = self.make(threshold=5.0)
+        assert detector.check((100.0, 100.0), now=105.0) \
+            == [(0, 5.0), (1, 5.0)]
+
+    def test_default_threshold_and_validation(self):
+        assert StallDetector(1).threshold_seconds == WORKER_STALL_SECONDS
+        with pytest.raises(ValueError):
+            StallDetector(1, threshold_seconds=0.0)
