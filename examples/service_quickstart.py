@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Checking as a service: jobs, budgets, honest partial verdicts, caching.
+
+The service layer (:mod:`repro.service`) turns the plan-layer entry point
+into a job server: submissions go through a bounded queue to a concurrent
+worker pool, every job streams its own engine events, verdicts are
+memoized in a cache that only ever admits *complete* results, and budget-
+truncated runs come back as honest ``inconclusive`` verdicts — never as
+"Verified".
+
+Four steps, in-process (the same machinery serves TCP under
+``python -m repro serve`` / ``python -m repro submit``):
+
+1. Run a batch of jobs through :func:`repro.service.run_jobs`.
+2. See a budget-truncated job report ``inconclusive`` with its statistics
+   and telemetry intact.
+3. Resubmit an identical job and watch it come back from the verdict
+   cache without an engine re-run.
+4. Drive the asyncio :class:`CheckService` directly: health probe,
+   cache statistics, explicit invalidation.
+
+Run with::
+
+    python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service import (
+    CheckService,
+    JobBudgets,
+    JobRequest,
+    ResultCache,
+    run_jobs,
+)
+
+CELL = "multicast-2-1-0-1"
+
+
+def step_1_and_2_batch_with_budgets(cache: ResultCache) -> None:
+    print("== 1+2: a batch with and without budgets")
+    jobs = run_jobs(
+        [
+            JobRequest(cell=CELL),
+            JobRequest(cell=CELL, budgets=JobBudgets(max_states=10)),
+        ],
+        workers=2,
+        cache=cache,
+    )
+    for job in jobs:
+        result = job.result
+        print(
+            f"  {job.id}: {result.outcome():<12} "
+            f"({result.statistics.states_visited} states, "
+            f"complete={result.complete}, "
+            f"telemetry={'yes' if result.telemetry else 'no'})"
+        )
+    assert jobs[0].outcome() == "verified"
+    # The truncated run saw no violation — but covering 10 of 45 states
+    # proves nothing, and the service says so instead of "Verified".
+    assert jobs[1].outcome() == "inconclusive"
+    assert jobs[1].result.outcome_label() == "Inconclusive (budget hit)"
+
+
+def step_3_cache_hit(cache: ResultCache) -> None:
+    print("== 3: identical resubmission is a cache hit")
+    (job,) = run_jobs([JobRequest(cell=CELL)], workers=1, cache=cache)
+    print(f"  {job.id}: {job.outcome()} cache_hit={job.cache_hit}")
+    print(f"  job stream: {', '.join(job.events.kinds())}")
+    assert job.cache_hit
+    assert "job-cache-hit" in job.events.kinds()
+    assert "search-started" not in job.events.kinds()  # no engine ran
+    # Only the complete run was admitted; the truncated one never is.
+    stats = cache.stats()
+    print(f"  cache: {stats['entries']} entries, "
+          f"{stats['hits']} hits, {stats['rejected_incomplete']} "
+          f"incomplete result(s) refused")
+    assert stats["rejected_incomplete"] >= 1
+
+
+def step_4_service_health() -> None:
+    print("== 4: the asyncio service directly — health and invalidation")
+
+    async def scenario() -> None:
+        async with CheckService(workers=2, queue_limit=8) as service:
+            await service.check(JobRequest(cell=CELL))
+            cached = await service.check(JobRequest(cell=CELL))
+            assert cached.cache_hit
+            health = service.health()
+            print(f"  status={health['status']} "
+                  f"engine_runs={health['engine_runs']} "
+                  f"jobs={health['jobs']}")
+            removed = service.cache.clear()
+            rerun = await service.check(JobRequest(cell=CELL))
+            print(f"  invalidated {removed} entries -> "
+                  f"rerun cache_hit={rerun.cache_hit}")
+            assert not rerun.cache_hit
+
+    asyncio.run(scenario())
+
+
+def main() -> None:
+    cache = ResultCache()
+    step_1_and_2_batch_with_budgets(cache)
+    step_3_cache_hit(cache)
+    step_4_service_health()
+    print("service quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,10 +27,46 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..checker.result import CheckResult
+from ..checker.result import OUTCOME_LABELS, CheckResult, outcome_of
 
 #: Filename prefix of every machine-readable benchmark artifact.
 BENCH_PREFIX = "BENCH_"
+
+
+def safe_ratio(numerator, denominator) -> Optional[float]:
+    """``numerator / denominator`` or None for degenerate denominators.
+
+    Sub-millisecond cells legitimately record ``elapsed_seconds == 0.0``
+    and empty runs record zero hits+misses; every derived rate in this
+    module funnels through here so those records render as "-" instead of
+    raising ``ZeroDivisionError`` or leaking ``inf``/``nan`` into payloads.
+    """
+    try:
+        if numerator is None or denominator is None or denominator <= 0:
+            return None
+    except TypeError:  # non-numeric garbage from a hand-edited payload
+        return None
+    return numerator / denominator
+
+
+def record_outcome(record: Dict) -> str:
+    """The rendered outcome label of one result record.
+
+    Reads the record's own ``outcome`` field when present and falls back
+    to deriving it from the ``verified``/``complete`` flags, so payloads
+    written before the three-valued outcome existed still render honestly
+    (a truncated clean run shows as inconclusive, never ``Verified``).
+    """
+    outcome = record.get("outcome")
+    if outcome in OUTCOME_LABELS:
+        return OUTCOME_LABELS[outcome]
+    return OUTCOME_LABELS[
+        outcome_of(
+            bool(record.get("verified")),
+            bool(record.get("complete", True)),
+            record.get("counterexample_steps") is not None,
+        )
+    ]
 
 
 def result_record(result: CheckResult, **extra) -> Dict:
@@ -50,6 +86,7 @@ def result_record(result: CheckResult, **extra) -> Dict:
         "strategy": result.strategy,
         "verified": result.verified,
         "complete": result.complete,
+        "outcome": result.outcome(),
         "stateful": result.stateful,
         "counterexample_steps": (
             len(result.counterexample.steps) if result.counterexample else None
@@ -210,7 +247,8 @@ class AggregateRow:
         cell: Catalog key (falls back to the protocol name for ad-hoc runs).
         model: ``"quorum"`` or ``"single"``.
         strategy: Search strategy string.
-        outcome: ``"Verified"`` / ``"CE"`` / ``"mixed"`` across observations.
+        outcome: ``"Verified"`` / ``"CE"`` / ``"Inconclusive (budget hit)"``
+            when all observations agree, ``"mixed"`` otherwise.
         states_visited: State count (the paper's primary column); ``None``
             until observed, ``-1`` if observations disagree.
         best_seconds: Mode name -> fastest observed wall clock.
@@ -226,15 +264,18 @@ class AggregateRow:
     runs: Dict[str, int] = field(default_factory=dict)
 
     def speedup(self) -> Optional[float]:
-        """Best serial time over best parallel time, when both exist."""
+        """Best serial time over best parallel time, when both exist.
+
+        None when either mode is unobserved or the parallel best is a
+        zero-elapsed (sub-millisecond) record: a ratio against a zero
+        denominator is noise, not a speedup.
+        """
         serial = self.best_seconds.get("serial")
         parallel = min(
             (value for mode, value in self.best_seconds.items() if mode != "serial"),
             default=None,
         )
-        if serial is None or parallel is None or parallel <= 0:
-            return None
-        return serial / parallel
+        return safe_ratio(serial, parallel)
 
 
 @dataclass
@@ -274,7 +315,7 @@ def aggregate_records(payloads: Sequence[Dict]) -> AggregateSummary:
             if best is None or elapsed < best:
                 row.best_seconds[mode] = elapsed
             row.runs[mode] = row.runs.get(mode, 0) + 1
-            outcome = "Verified" if record.get("verified") else "CE"
+            outcome = record_outcome(record)
             if row.outcome == "-":
                 row.outcome = outcome
             elif row.outcome != outcome:
@@ -349,10 +390,19 @@ def render_telemetry(payloads: Sequence[Dict]) -> str:
                 continue
             hits = block.get("fastpath_memo_hits")
             misses = block.get("fastpath_memo_misses")
-            hit_rate = "-"
-            if hits is not None and misses is not None and hits + misses:
-                hit_rate = f"{100.0 * hits / (hits + misses):.1f}%"
+            ratio = (
+                safe_ratio(hits, hits + misses)
+                if hits is not None and misses is not None
+                else None
+            )
+            hit_rate = f"{100.0 * ratio:.1f}%" if ratio is not None else "-"
             throughput = block.get("states_per_second")
+            if throughput is None:
+                # Older records carry no telemetry throughput; derive it,
+                # guarding against zero-elapsed sub-millisecond runs.
+                throughput = safe_ratio(
+                    record.get("states_visited"), record.get("elapsed_seconds")
+                )
             rss = block.get("peak_rss_kb")
             search_seconds = (block.get("span_seconds") or {}).get("search")
             evictions = block.get("fastpath_memo_evictions")

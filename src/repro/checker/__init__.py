@@ -25,7 +25,13 @@ from .property import (
     goal_of,
     local_state_invariant,
 )
-from .result import CheckResult, SearchStatistics
+from .result import (
+    OUTCOME_LABELS,
+    OUTCOMES,
+    CheckResult,
+    SearchStatistics,
+    outcome_of,
+)
 from .search import (
     ReductionContext,
     Reducer,
@@ -49,6 +55,9 @@ from .statestore import (
 
 __all__ = [
     "CheckResult",
+    "OUTCOMES",
+    "OUTCOME_LABELS",
+    "outcome_of",
     "CheckerOptions",
     "Counterexample",
     "STRATEGY_ALIASES",

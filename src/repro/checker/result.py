@@ -10,6 +10,38 @@ from .counterexample import Counterexample
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.plan import CheckPlan
 
+#: The three honest verdicts a check run can reach.  ``"verified"`` means
+#: the whole (possibly reduced) state space was explored and no violation
+#: exists; ``"violated"`` means a counterexample was found (conclusive even
+#: when the search stopped at it); ``"inconclusive"`` means the search was
+#: truncated by a budget before covering the space — the absence of a
+#: counterexample proves nothing.
+OUTCOMES = ("verified", "violated", "inconclusive")
+
+#: Rendered labels per outcome, shared by every consumer (CLI check/sweep/
+#: bench lines, reports, bench records) so a truncated run can never
+#: stringify as a proof anywhere.
+OUTCOME_LABELS = {
+    "verified": "Verified",
+    "violated": "CE",
+    "inconclusive": "Inconclusive (budget hit)",
+}
+
+
+def outcome_of(verified: bool, complete: bool, found_counterexample: bool) -> str:
+    """Derive the three-valued outcome from the raw verdict flags.
+
+    A found counterexample is conclusive evidence regardless of
+    completeness (stop-at-first-violation always reports
+    ``complete=False``); a clean *and complete* search is a proof; a clean
+    but truncated search is honest about proving nothing.
+    """
+    if found_counterexample or not verified:
+        return "violated"
+    if complete:
+        return "verified"
+    return "inconclusive"
+
 
 @dataclass
 class SearchStatistics:
@@ -99,9 +131,28 @@ class CheckResult:
         """True if a property violation was found."""
         return self.counterexample is not None
 
+    def outcome(self) -> str:
+        """Three-valued verdict: ``verified`` / ``violated`` / ``inconclusive``.
+
+        ``verified`` requires ``complete=True``: a run truncated by a
+        ``max_states``/``max_seconds``/``max_depth`` budget that found no
+        violation is ``inconclusive``, never a proof.
+        """
+        return outcome_of(self.verified, self.complete, self.found_counterexample)
+
+    @property
+    def conclusive(self) -> bool:
+        """True when the verdict is a proof or a counterexample."""
+        return self.outcome() != "inconclusive"
+
     def outcome_label(self) -> str:
-        """Short label matching the paper's tables: ``Verified`` or ``CE``."""
-        return "CE" if self.found_counterexample else "Verified"
+        """Rendered label: ``Verified``, ``CE`` or ``Inconclusive (budget hit)``.
+
+        Matches the paper's tables for conclusive runs; a budget-truncated
+        clean run is labelled honestly instead of masquerading as
+        ``Verified``.
+        """
+        return OUTCOME_LABELS[self.outcome()]
 
     def summary(self) -> str:
         """Return a one-line human-readable summary."""

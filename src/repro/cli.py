@@ -29,6 +29,14 @@ Subcommands:
     cell-parallel pool and (optionally) per-cell serial vs parallel runs
     of the in-cell engines — frontier-parallel BFS and, for DFS-shaped
     strategies, work-stealing DFS; writes a ``BENCH_*.json`` payload.
+``serve``
+    Run the checking service: a JSON-lines-over-TCP job server with a
+    bounded queue, a concurrent worker pool, per-job event streams, a
+    verdict cache (complete results only) and a heartbeat health probe.
+``submit``
+    Thin client of ``serve``: submit one cell/plan/budget job, wait for
+    the verdict, exit 0 (verified) / 1 (violated) / 2 (error) /
+    3 (inconclusive — the budget ran out before the verdict).
 ``trace``
     Convert a ``--trace-out`` JSONL event capture into Chrome trace-event
     JSON, loadable in Perfetto (https://ui.perfetto.dev) or
@@ -58,7 +66,9 @@ from .analysis.aggregate import (
     aggregate_records,
     bench_payload,
     load_bench_files,
+    record_outcome,
     render_aggregate,
+    safe_ratio,
     render_telemetry,
     write_bench_file,
 )
@@ -105,9 +115,9 @@ def _parse_cells(value: Optional[str], scale: str) -> Optional[List[str]]:
 
 def _print_records(records: Sequence[dict], stream) -> None:
     for record in records:
-        outcome = "Verified" if record["verified"] else "CE"
-        if record["verified"] and not record.get("complete", True):
-            outcome = "Inconclusive (budget hit)"
+        # One shared derivation (checker.result outcome -> label) for
+        # check/sweep/bench lines, reports and bench records alike.
+        outcome = record_outcome(record)
         flag = "" if record.get("ok", True) else "  [UNEXPECTED]"
         stream.write(
             f"{record.get('cell', record['protocol'])} | {record.get('model', '-')} | "
@@ -313,11 +323,15 @@ def _command_bench(args, stream) -> int:
     results.extend(parallel_records)
     meta["sweep_serial_seconds"] = serial_wall
     meta["sweep_parallel_seconds"] = parallel_wall
-    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("nan")
+    # safe_ratio, not a bare division: a sub-resolution parallel wall (tiny
+    # grids on coarse clocks) yields an honest None/n-a, never NaN/inf in
+    # the payload.
+    speedup = safe_ratio(serial_wall, parallel_wall)
     meta["sweep_speedup"] = speedup
+    rendered = f"{speedup:.2f}x" if speedup is not None else "n/a"
     stream.write(
         f"cell-parallel sweep: serial loop {serial_wall:.2f}s vs "
-        f"{args.workers}-process pool {parallel_wall:.2f}s ({speedup:.2f}x)\n"
+        f"{args.workers}-process pool {parallel_wall:.2f}s ({rendered})\n"
     )
 
     # Axis 2: serial BFS vs. frontier-parallel BFS on each cell.
@@ -354,6 +368,94 @@ def _command_bench(args, stream) -> int:
     path = write_bench_file(Path(args.output), "bench", payload, label=args.label)
     stream.write(f"wrote {path}\n")
     return 0 if all(record["ok"] for record in results) else 1
+
+
+def _command_serve(args, stream) -> int:
+    """Run the checking service until a ``shutdown`` op (or Ctrl-C)."""
+    import asyncio
+
+    from .service import CheckService, ResultCache, serve
+
+    def announce(host, port):
+        # Written (and flushed) before the first job so scripted callers
+        # can scrape the bound port when --port 0 picked a free one.
+        stream.write(f"repro service {host}:{port} "
+                     f"({args.workers} workers, queue {args.queue_limit})\n")
+        getattr(stream, "flush", lambda: None)()
+
+    service = CheckService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache=ResultCache(capacity=args.cache_capacity),
+    )
+    try:
+        asyncio.run(
+            serve(host=args.host, port=args.port, service=service, announce=announce)
+        )
+    except KeyboardInterrupt:
+        stream.write("service interrupted\n")
+    return 0
+
+
+#: ``repro submit`` exit codes, one per verdict: 0 verified, 1 violated,
+#: 2 error/unsupported plan (matching the top-level handler), 3 honest
+#: "the budget ran out" — scripts can branch on partiality explicitly.
+SUBMIT_EXIT_CODES = {"verified": 0, "violated": 1, "inconclusive": 3}
+
+
+def _command_submit(args, stream) -> int:
+    """Submit one job to a running service and render its verdict."""
+    from .service.client import ServiceClient, ServiceClientError
+
+    plan = {
+        "shape": args.shape,
+        "reduction": args.reduction,
+        "backend": args.backend,
+        "successors": args.successors,
+        "workers": args.workers,
+        "goal": args.goal,
+    }
+    budgets = {
+        knob: value
+        for knob, value in (
+            ("max_states", args.max_states),
+            ("max_seconds", args.max_seconds),
+            ("max_depth", args.max_depth),
+        )
+        if value is not None
+    }
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            record = client.submit(
+                args.cell,
+                model=args.model,
+                scale=args.scale,
+                plan=plan,
+                budgets=budgets,
+                wait=True,
+            )
+            if args.shutdown:
+                client.shutdown()
+    except ServiceClientError as error:
+        stream.write(f"error: {error}\n")
+        if error.alternative:
+            stream.write(f"nearest supported alternative: {error.alternative}\n")
+        return 2
+    except OSError as error:
+        stream.write(
+            f"error: cannot reach service at {args.host}:{args.port} ({error}); "
+            "start one with 'python -m repro serve'\n"
+        )
+        return 2
+    if args.json:
+        Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+    if record["status"] == "failed":
+        stream.write(f"error: job {record['job']} failed: {record.get('error')}\n")
+        return 2
+    cached = " [cached]" if record.get("cache_hit") else ""
+    _print_records([record], stream)
+    stream.write(f"job {record['job']}: {record['outcome']}{cached}\n")
+    return SUBMIT_EXIT_CODES[record["outcome"]]
 
 
 def _command_trace(args, stream) -> int:
@@ -482,6 +584,48 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--label", default=None, help="label in the BENCH filename")
     _add_budget_arguments(bench)
     bench.set_defaults(handler=_command_bench)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the checking service (JSON-lines over TCP)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7463,
+                              help="bind port; 0 picks a free one (printed "
+                                   "on the announcement line)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="concurrent job slots")
+    serve_parser.add_argument("--queue-limit", type=int, default=16,
+                              help="bounded submission queue; full means "
+                                   "submissions are refused, not buffered")
+    serve_parser.add_argument("--cache-capacity", type=int, default=256,
+                              help="LRU bound of the verdict cache")
+    serve_parser.set_defaults(handler=_command_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one job to a running service"
+    )
+    submit.add_argument("cell", help="catalog key, e.g. paxos-2-2-1")
+    submit.add_argument("--model", choices=MODELS, default="quorum")
+    submit.add_argument("--scale", choices=("small", "paper"), default="small")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7463)
+    submit.add_argument("--shape", choices=SHAPES, default="dfs")
+    submit.add_argument("--reduction", choices=REDUCTIONS, default="none")
+    submit.add_argument("--backend", choices=BACKENDS, default="auto")
+    submit.add_argument("--successors", choices=SUCCESSOR_MODES, default="object")
+    submit.add_argument("--goal", choices=GOALS, default="invariant")
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument("--max-states", type=int, default=None,
+                        help="per-job budget: truncated runs come back "
+                             "'inconclusive' (exit code 3), never 'Verified'")
+    submit.add_argument("--max-seconds", type=float, default=None)
+    submit.add_argument("--max-depth", type=int, default=None)
+    submit.add_argument("--json", default=None,
+                        help="write the job record payload here")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the server to stop after this job "
+                             "(scripted smoke tests)")
+    submit.set_defaults(handler=_command_submit)
 
     trace = subparsers.add_parser(
         "trace", help="convert a --trace-out JSONL capture to Chrome trace JSON"

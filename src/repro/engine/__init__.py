@@ -14,7 +14,7 @@ The legacy ``ModelChecker.run(Strategy.X)`` facade is a thin shim over this
 layer (see :func:`repro.checker.checker.plan_for_strategy`).
 """
 
-from .capabilities import Capabilities
+from .capabilities import REQUIREMENT_TOKENS, Capabilities, platform_requirements
 from .engines import (
     DporEngine,
     Engine,
@@ -83,6 +83,8 @@ __all__ = [
     "PLAN_AXES",
     "PROGRESS_INTERVAL",
     "ProgressPrinter",
+    "REQUIREMENT_TOKENS",
+    "platform_requirements",
     "REDUCTIONS",
     "SHAPES",
     "STORES",

@@ -10,10 +10,33 @@ instead of scattered ``raise ValueError`` sites inside the engines.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .plan import PLAN_AXES, CheckPlan
+
+#: Requirement tokens an engine may declare beyond the plan axes.  Today
+#: the only one is ``"fork"``: the multi-process backends inherit the
+#: (unpicklable) protocol object and the parent's hash seed through the
+#: ``fork`` start method, so they cannot run on spawn-only platforms.
+REQUIREMENT_TOKENS = ("fork",)
+
+
+def platform_requirements() -> FrozenSet[str]:
+    """The requirement tokens the current platform satisfies.
+
+    Consulted by plan resolution so that a plan needing an unavailable
+    platform feature fails with a structured
+    :class:`~repro.engine.plan.UnsupportedPlanError` (carrying a runnable
+    serial alternative) at resolve time, instead of a raw error or a
+    silent serial fallback deep inside the parallel search at run time.
+    Tests monkeypatch this to simulate spawn-only platforms.
+    """
+    available = set()
+    if "fork" in multiprocessing.get_all_start_methods():
+        available.add("fork")
+    return frozenset(available)
 
 #: Weight of each axis when ranking "nearest" engines for diagnostics.  The
 #: most identity-defining axes dominate: an engine matching the requested
@@ -49,6 +72,13 @@ class Capabilities:
             other's plans, so the successor choice is never downgraded.
         min_workers / max_workers: Inclusive worker-count range
             (``max_workers=None`` means unbounded).
+        requirements: Platform features the engine needs at run time
+            (tokens from :data:`REQUIREMENT_TOKENS`, e.g. ``"fork"`` for
+            the multi-process backends).  Checked by plan resolution
+            against :func:`platform_requirements`, *after* axis matching:
+            an engine whose axes match but whose requirements are unmet
+            produces a structured error with a runnable serial
+            alternative, never a silent downgrade.
         notes: Optional per-axis explanation of *why* a constraint exists;
             surfaced verbatim in the :class:`UnsupportedPlanError` message.
     """
@@ -62,7 +92,16 @@ class Capabilities:
     successor_modes: Tuple[str, ...] = ("object",)
     min_workers: int = 1
     max_workers: Optional[int] = None
+    requirements: Tuple[str, ...] = ()
     notes: Dict[str, str] = field(default_factory=dict)
+
+    def missing_requirements(
+        self, available: Optional[FrozenSet[str]] = None
+    ) -> Tuple[str, ...]:
+        """Declared requirement tokens the platform does not satisfy."""
+        if available is None:
+            available = platform_requirements()
+        return tuple(token for token in self.requirements if token not in available)
 
     # ------------------------------------------------------------------ #
     # Axis checks

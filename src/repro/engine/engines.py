@@ -190,6 +190,7 @@ class FrontierBfsEngine(Engine):
         statefulness=(True,),
         min_workers=2,
         max_workers=None,
+        requirements=("fork",),
         notes={
             "reduction": "the stubborn-set cycle proviso needs a DFS stack, "
             "so breadth-first search runs unreduced",
@@ -227,6 +228,7 @@ class WorkstealDfsEngine(Engine):
         statefulness=(True,),
         min_workers=2,
         max_workers=None,
+        requirements=("fork",),
         notes={
             "store": "the shared claim table arbitrating worker expansions "
             "is fingerprint-based regardless of the store kind (the exact "
@@ -353,6 +355,7 @@ class FastFrontierBfsEngine(Engine):
         successor_modes=("fast",),
         min_workers=2,
         max_workers=None,
+        requirements=("fork",),
         notes={
             "successors": _FAST_NOTE,
             "store": "the packed frontier exchanges fingerprints, not "
@@ -397,6 +400,7 @@ class FastWorkstealDfsEngine(Engine):
         successor_modes=("fast",),
         min_workers=2,
         max_workers=None,
+        requirements=("fork",),
         notes={
             "successors": _FAST_NOTE,
             "store": "the shared claim table arbitrating worker expansions "

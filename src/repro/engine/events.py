@@ -211,7 +211,12 @@ class ProgressPrinter(Observer):
         elif event.kind == "violation-found":
             self.stream.write("  violation found\n")
         elif event.kind == "search-finished":
-            verdict = "Verified" if payload.get("verified") else "CE"
+            if not payload.get("verified"):
+                verdict = "CE"
+            elif payload.get("complete", True):
+                verdict = "Verified"
+            else:
+                verdict = "Inconclusive (budget hit)"
             self.stream.write(
                 f"[{payload.get('engine', '?')}] {verdict} — "
                 f"{payload.get('states_visited', 0):,} states, "

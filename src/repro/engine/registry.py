@@ -24,6 +24,7 @@ from ..checker.property import Invariant, goal_of
 from ..checker.result import CheckResult
 from ..mp.protocol import Protocol
 from ..obs.telemetry import RunTelemetry
+from .capabilities import platform_requirements
 from .engines import Engine, builtin_engines
 from .events import Observer, emit
 from .plan import CheckPlan, UnsupportedPlanError, strategy_label
@@ -97,12 +98,37 @@ class EngineRegistry:
             for engine in self._engines.values()
             if engine.capabilities.supports(plan)
         ]
-        if supporting:
-            engine = supporting[0]
+        available = platform_requirements()
+        runnable = [
+            engine
+            for engine in supporting
+            if not engine.capabilities.missing_requirements(available)
+        ]
+        if runnable:
+            engine = runnable[0]
             resolved = plan
             if plan.backend == "auto":
                 resolved = replace(plan, backend=engine.capabilities.backends[0])
             return engine, resolved
+        if supporting:
+            # The axes are fine; the platform is not (e.g. a multi-process
+            # backend on a spawn-only interpreter).  Refusing here, with a
+            # runnable serial alternative, replaces the raw runtime error /
+            # silent serial fallback the parallel searches used to produce.
+            engine = supporting[0]
+            missing = engine.capabilities.missing_requirements(available)
+            alternative = replace(plan, workers=1, backend="auto")
+            raise UnsupportedPlanError(
+                "backend",
+                plan.backend,
+                f"plan {plan.describe()} resolves to engine {engine.name}, "
+                f"which requires platform feature(s) "
+                f"{', '.join(map(repr, missing))} that this interpreter "
+                "does not provide (the multi-process backends inherit the "
+                "protocol and hash seed via the 'fork' start method); "
+                f"nearest supported alternative: {alternative.describe()}",
+                alternative=alternative,
+            )
 
         nearest = max(
             self._engines.values(), key=lambda e: e.capabilities.match_score(plan)

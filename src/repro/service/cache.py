@@ -1,0 +1,147 @@
+"""Verdict cache of the checking service.
+
+A verdict is reusable only when three things are pinned down exactly: the
+protocol instance (its transitions, fault model and parameters), the
+property, and the plan that produced it — including its exploration
+budgets, since a truncated run answers a different question than an
+exhaustive one.  The cache key is therefore
+``(protocol fingerprint, property name, CheckPlan)`` with the full frozen
+plan (budgets included), not just its capability axes.
+
+Honesty rule: only ``complete=True`` results are admitted.  An
+``inconclusive`` verdict means "the budget ran out", which a later, larger
+budget may overturn — memoizing it would serve stale uncertainty forever.
+(A budget-truncated run that *found* a counterexample is ``complete=False``
+too and is likewise re-run; counterexamples are cheap to reconfirm and the
+rule stays one line.)  Invalidation is explicit: nothing here watches
+protocol definitions for drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..checker.result import CheckResult
+from ..engine.plan import CheckPlan
+from ..mp.protocol import Protocol
+
+#: Cache key: (protocol fingerprint, property name, frozen plan).
+CacheKey = Tuple[str, str, CheckPlan]
+
+
+def protocol_fingerprint(protocol: Protocol) -> str:
+    """Content hash of a protocol instance, stable across processes.
+
+    Hashes the protocol's deterministic :meth:`~repro.mp.protocol.Protocol.describe`
+    summary (name, processes, transitions, fault budget) plus its sorted
+    metadata, so two independently constructed instances of the same
+    parameterisation share a fingerprint while any change to the
+    configuration produces a new one.
+    """
+    digest = hashlib.sha256()
+    digest.update(protocol.describe().encode("utf-8"))
+    metadata = getattr(protocol, "metadata", None) or {}
+    for key in sorted(metadata, key=str):
+        digest.update(f"\x00{key}={metadata[key]!r}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """LRU verdict cache keyed on (fingerprint, property, plan).
+
+    Thread-safe: service worker threads look up and admit results while
+    the event loop reads statistics and handles invalidation requests.
+    """
+
+    def __init__(self, capacity: Optional[int] = 256) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CheckResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.rejected_incomplete = 0
+
+    @staticmethod
+    def key_for(
+        protocol: Protocol, property_name: str, plan: CheckPlan
+    ) -> CacheKey:
+        """The cache key of one (protocol, property, plan) combination."""
+        return (protocol_fingerprint(protocol), property_name, plan)
+
+    def get(self, key: CacheKey) -> Optional[CheckResult]:
+        """The memoized result for ``key``, or None (counts hit/miss)."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: CacheKey, result: CheckResult) -> bool:
+        """Admit ``result`` under ``key``; refuse incomplete results.
+
+        Returns:
+            True when the result was cached, False when it was refused
+            because ``result.complete`` is False (partial verdicts are
+            never memoized).
+        """
+        if not result.complete:
+            with self._lock:
+                self.rejected_incomplete += 1
+            return False
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            return True
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one entry; True when something was removed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def invalidate_protocol(self, fingerprint: str) -> int:
+        """Drop every entry of one protocol fingerprint; returns the count.
+
+        This is the hook a caller uses after changing a protocol definition:
+        the new instance fingerprints differently anyway, but stale entries
+        of the old fingerprint stop occupying capacity.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == fingerprint]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able counters (for health probes and the ``stats`` op)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else None,
+                "rejected_incomplete": self.rejected_incomplete,
+            }

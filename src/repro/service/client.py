@@ -1,0 +1,112 @@
+"""Thin synchronous client of the checking server.
+
+The wire protocol is JSON lines over TCP (see
+:mod:`repro.service.server`), so the client is deliberately small: open a
+socket, write one line, read one line.  ``repro submit`` and the CI smoke
+test drive the server through this class; anything asyncio stays on the
+server side.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional
+
+
+class ServiceClientError(RuntimeError):
+    """The server answered ``ok: false``; carries the server's error."""
+
+    def __init__(self, response: Dict) -> None:
+        super().__init__(response.get("error", "service request failed"))
+        self.response = response
+        self.kind = response.get("kind")
+        self.axis = response.get("axis")
+        self.alternative = response.get("alternative")
+
+
+class ServiceClient:
+    """One connection to a running checking server."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Wire
+    # ------------------------------------------------------------------ #
+    def request(self, op: str, **fields) -> Dict:
+        """Send one op, return the decoded response; raise on ``ok: false``."""
+        payload = {"op": op, **fields}
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceClientError(
+                {"error": "server closed the connection", "kind": "ConnectionError"}
+            )
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceClientError(response)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Convenience ops
+    # ------------------------------------------------------------------ #
+    def ping(self) -> str:
+        return self.request("ping")["pong"]
+
+    def submit(
+        self,
+        cell: str,
+        model: str = "quorum",
+        scale: str = "small",
+        plan: Optional[Dict] = None,
+        budgets: Optional[Dict] = None,
+        wait: bool = True,
+    ) -> Dict:
+        """Submit one job; with ``wait`` (default) returns the verdict record."""
+        return self.request(
+            "submit",
+            cell=cell,
+            model=model,
+            scale=scale,
+            plan=plan or {},
+            budgets=budgets or {},
+            wait=wait,
+        )
+
+    def status(self, job: str) -> Dict:
+        return self.request("status", job=job)
+
+    def result(self, job: str, timeout: Optional[float] = None) -> Dict:
+        return self.request("result", job=job, timeout=timeout)
+
+    def events(self, job: str) -> List[Dict]:
+        return self.request("events", job=job)["events"]
+
+    def health(self) -> Dict:
+        return self.request("health")
+
+    def invalidate(self, fingerprint: Optional[str] = None) -> int:
+        return self.request("invalidate", fingerprint=fingerprint)["removed"]
+
+    def shutdown(self) -> None:
+        self.request("shutdown")

@@ -1,0 +1,206 @@
+"""JSON-lines TCP front door of the checking service.
+
+One request per line, one response per line; a connection may issue any
+number of requests.  Every request is ``{"op": ..., ...}`` and every
+response ``{"ok": true, ...}`` or ``{"ok": false, "error": ...,
+"kind": ...}`` — errors are answers, never dropped connections, so a thin
+synchronous client (:mod:`repro.service.client`) stays a loop of
+``sendline`` / ``readline``.
+
+Operations:
+
+``ping``
+    Liveness check; echoes the service banner.
+``submit``
+    Enqueue a job from a wire-format :class:`JobRequest` dict.  With
+    ``"wait": true`` the response carries the finished job record
+    (including the three-valued outcome); otherwise the queued record.
+``status`` / ``result``
+    Job record by id; ``result`` waits for the verdict first.
+``events``
+    The job's private event stream (kind + payload per event).
+``health``
+    The service health snapshot (queue depth, stalled slots, cache).
+``invalidate``
+    Explicit cache invalidation: everything, or one protocol fingerprint.
+``shutdown``
+    Stop accepting connections and let ``serve`` return.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+from ..engine.plan import UnsupportedPlanError
+from .jobs import JobRequest
+from .service import CheckService, ServiceError
+
+#: Protocol banner echoed by ``ping`` (bump on wire-format changes).
+WIRE_VERSION = "repro-service/1"
+
+
+def _json_default(value: object) -> str:
+    # Event payloads may carry non-JSON values (plans, tuples, protocol
+    # objects); the wire renders them as their repr rather than failing.
+    return repr(value)
+
+
+def encode_response(response: Dict) -> bytes:
+    return (json.dumps(response, default=_json_default) + "\n").encode("utf-8")
+
+
+class CheckServer:
+    """Asyncio TCP server wrapping one :class:`CheckService`."""
+
+    def __init__(
+        self,
+        service: CheckService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> None:
+        """Bind and start serving; ``self.port`` becomes the bound port."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` op arrives, then stop cleanly."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Wire handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                    response = await self._dispatch(request)
+                except Exception as exc:
+                    response = {
+                        "ok": False,
+                        "error": str(exc),
+                        "kind": type(exc).__name__,
+                    }
+                    if isinstance(exc, UnsupportedPlanError):
+                        response["axis"] = exc.axis
+                        response["requested"] = repr(exc.value)
+                        if exc.alternative is not None:
+                            alternative = exc.alternative
+                            response["alternative"] = (
+                                alternative.axes()
+                                if hasattr(alternative, "axes")
+                                else repr(alternative)
+                            )
+                writer.write(encode_response(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Dict) -> Dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": WIRE_VERSION}
+        if op == "submit":
+            job_request = JobRequest.from_dict(request)
+            self.service.validate(job_request)
+            job = await self.service.submit(job_request)
+            if request.get("wait"):
+                job = await self.service.wait(job.id)
+            return {"ok": True, **job.record()}
+        if op == "status":
+            job = self.service.job(request["job"])
+            return {"ok": True, **job.record()}
+        if op == "result":
+            job = await self.service.wait(
+                request["job"], timeout=request.get("timeout")
+            )
+            return {"ok": True, **job.record()}
+        if op == "events":
+            job = self.service.job(request["job"])
+            return {
+                "ok": True,
+                "job": job.id,
+                "events": [
+                    {"kind": event.kind, "payload": dict(event.payload)}
+                    for event in job.events.events
+                ],
+            }
+        if op == "health":
+            return {"ok": True, **self.service.health()}
+        if op == "invalidate":
+            fingerprint = request.get("fingerprint")
+            if fingerprint:
+                removed = self.service.cache.invalidate_protocol(fingerprint)
+            else:
+                removed = self.service.cache.clear()
+            return {"ok": True, "removed": removed}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "stopping": True}
+        raise ServiceError(
+            f"unknown op {op!r} (expected ping/submit/status/result/"
+            "events/health/invalidate/shutdown)"
+        )
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[CheckService] = None,
+    ready: Optional[asyncio.Event] = None,
+    announce=None,
+    **service_kwargs,
+) -> None:
+    """Run a checking server until shutdown (the ``repro serve`` command).
+
+    Args:
+        host / port: Bind address; port 0 picks a free port.
+        service: An existing service to expose; a fresh one otherwise.
+        ready: Optional event set once the socket is bound (tests).
+        announce: Optional callable receiving the bound ``(host, port)``.
+        service_kwargs: Forwarded to :class:`CheckService` when building one.
+    """
+    server = CheckServer(
+        service or CheckService(**service_kwargs), host=host, port=port
+    )
+    await server.start()
+    if announce is not None:
+        announce(server.host, server.port)
+    if ready is not None:
+        ready.set()
+    await server.serve_until_shutdown()

@@ -1,0 +1,101 @@
+"""Degenerate-record arithmetic: no ZeroDivisionError, no NaN, no lies.
+
+Sub-resolution timer reads (0.0 elapsed), zero-denominator hit rates and
+missing fields must yield honest ``None``s in payloads and "n/a" in
+renderings — never a crash or an infinite "speedup".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.aggregate import (
+    AggregateRow,
+    aggregate_records,
+    bench_payload,
+    render_aggregate,
+    render_telemetry,
+    result_record,
+    safe_ratio,
+)
+from repro.checker.result import CheckResult, SearchStatistics
+
+
+def make_record(states=100, seconds=1.0, complete=True, verified=True, **extra):
+    result = CheckResult(
+        protocol_name="p",
+        property_name="inv",
+        strategy="unreduced",
+        verified=verified,
+        complete=complete,
+        statistics=SearchStatistics(
+            states_visited=states, elapsed_seconds=seconds
+        ),
+    )
+    record = result_record(result)
+    record.update(extra)
+    return record
+
+
+class TestSafeRatio:
+    def test_normal_division(self):
+        assert safe_ratio(10, 4) == 2.5
+
+    @pytest.mark.parametrize("numerator, denominator", [
+        (10, 0), (10, 0.0), (10, -1.0), (10, None), (None, 4), (None, None),
+        ("oops", "nope"),
+    ])
+    def test_degenerate_inputs_yield_none(self, numerator, denominator):
+        assert safe_ratio(numerator, denominator) is None
+
+
+class TestAggregateRowSpeedup:
+    def test_zero_parallel_seconds_yields_none_not_inf(self):
+        row = AggregateRow(cell="c", model="quorum", strategy="s")
+        row.best_seconds["serial"] = 1.0
+        row.best_seconds["parallel[4]"] = 0.0
+        assert row.speedup() is None
+
+    def test_missing_sides_yield_none(self):
+        row = AggregateRow(cell="c", model="quorum", strategy="s")
+        assert row.speedup() is None
+        row.best_seconds["serial"] = 1.0
+        assert row.speedup() is None
+
+
+class TestZeroElapsedRecords:
+    def test_aggregate_and_render_survive_zero_elapsed(self):
+        payloads = [
+            bench_payload(
+                "sweep",
+                [
+                    make_record(seconds=0.0, workers=1),
+                    make_record(seconds=0.0, workers=4),
+                ],
+            )
+        ]
+        summary = aggregate_records(payloads)
+        text = render_aggregate(summary)
+        assert "inf" not in text and "nan" not in text
+        # Zero-elapsed parallel best: the speedup column degrades to "-".
+        (row,) = summary.rows
+        assert row.speedup() is None
+
+    def test_render_telemetry_survives_degenerate_records(self):
+        # No telemetry block, zero elapsed, zero states: every derived
+        # rate must degrade to n/a instead of dividing by zero.
+        payloads = [
+            bench_payload(
+                "sweep",
+                [make_record(states=0, seconds=0.0, workers=1)],
+            )
+        ]
+        text = render_telemetry(payloads)
+        assert text  # rendered something, did not raise
+
+    def test_incomplete_record_aggregates_as_inconclusive(self):
+        payloads = [
+            bench_payload("sweep", [make_record(complete=False, workers=1)])
+        ]
+        text = render_aggregate(aggregate_records(payloads))
+        assert "Inconclusive" in text

@@ -212,3 +212,56 @@ class TestSupportedPlans:
             )
         ]
         assert len(plans) == len(set(plans))
+
+
+class TestPlatformRequirements:
+    """Satellite of the honest-verdicts PR: multi-process engines declare a
+    'fork' platform requirement, and resolution refuses (structured error,
+    runnable serial alternative) instead of raising a raw runtime error or
+    silently downgrading on spawn-only interpreters."""
+
+    def test_parallel_engines_declare_the_fork_requirement(self):
+        for engine in builtin_engines():
+            if {"frontier", "worksteal"} & set(engine.capabilities.backends):
+                assert "fork" in engine.capabilities.requirements, engine.name
+            else:
+                assert "fork" not in engine.capabilities.requirements, engine.name
+
+    def test_missing_requirements_reads_the_platform(self):
+        capabilities = Capabilities(
+            shapes=("dfs",), reductions=("none",), backends=("serial",),
+            stores=("full",), requirements=("fork",),
+        )
+        assert capabilities.missing_requirements(frozenset()) == ("fork",)
+        assert capabilities.missing_requirements(frozenset({"fork"})) == ()
+
+    def test_spawn_only_platform_refuses_parallel_plans(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.registry.platform_requirements", frozenset
+        )
+        with pytest.raises(UnsupportedPlanError) as excinfo:
+            resolve(CheckPlan(workers=4))
+        error = excinfo.value
+        assert error.axis == "backend"
+        assert "fork" in str(error)
+        assert "nearest supported alternative" in str(error)
+        # The alternative is runnable on the very platform that refused.
+        alternative = error.alternative
+        assert alternative.workers == 1
+        engine, resolved = resolve(alternative)
+        assert resolved.backend == "serial"
+
+    def test_spawn_only_platform_still_resolves_serial_plans(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.registry.platform_requirements", frozenset
+        )
+        engine, resolved = resolve(CheckPlan())
+        assert resolved.backend == "serial"
+
+    def test_fork_platform_resolves_parallel_plans(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.registry.platform_requirements",
+            lambda: frozenset({"fork"}),
+        )
+        engine, resolved = resolve(CheckPlan(workers=4))
+        assert resolved.backend == "worksteal"

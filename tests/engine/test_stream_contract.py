@@ -156,3 +156,40 @@ class TestPayloadSchemas:
             assert current >= previous
             by_worker[payload["worker"]] = current
         assert by_worker, "no live worker telemetry reached the coordinator"
+
+
+class TestJobScopedStreams:
+    """The service layer wraps each engine stream in a per-job log; the
+    job-lifecycle kinds are registered extensions and each job's log obeys
+    the same grammar as a direct engine stream."""
+
+    def test_job_event_kinds_are_registered(self):
+        from repro.service import JOB_EVENT_KINDS
+
+        assert set(JOB_EVENT_KINDS) <= known_event_kinds()
+
+    def test_job_stream_wraps_one_engine_stream(self):
+        from repro.service import JobRequest, run_jobs
+
+        (job,) = run_jobs([JobRequest(cell="multicast-2-1-0-1")], workers=1)
+        kinds = job.events.kinds()
+        assert set(kinds) <= known_event_kinds()
+        # Lifecycle brackets around exactly one engine bracket.
+        assert kinds[0] == "job-submitted"
+        assert kinds[-1] == "job-finished"
+        engine_kinds = [k for k in kinds if not k.startswith("job-")]
+        assert engine_kinds[0] == "search-started"
+        assert engine_kinds[-1] == "search-finished"
+        assert kinds.count("search-started") == 1
+
+    def test_cache_hit_stream_has_no_engine_bracket(self):
+        from repro.service import JobRequest, ResultCache, run_jobs
+
+        cache = ResultCache()
+        request = JobRequest(cell="multicast-2-1-0-1")
+        run_jobs([request], workers=1, cache=cache)
+        (job,) = run_jobs([request], workers=1, cache=cache)
+        kinds = job.events.kinds()
+        assert "job-cache-hit" in kinds
+        assert "search-started" not in kinds
+        assert kinds[-1] == "job-finished"

@@ -1,0 +1,113 @@
+"""Verdict-cache semantics: keying, honesty, LRU, explicit invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker.result import CheckResult, SearchStatistics
+from repro.engine.plan import CheckPlan
+from repro.protocols.catalog import multicast_entry, paxos_entry
+from repro.service import ResultCache, protocol_fingerprint
+
+
+def make_result(complete=True, verified=True):
+    return CheckResult(
+        protocol_name="p",
+        property_name="inv",
+        strategy="unreduced",
+        verified=verified,
+        complete=complete,
+        statistics=SearchStatistics(states_visited=7, elapsed_seconds=0.1),
+    )
+
+
+class TestProtocolFingerprint:
+    def test_same_parameterisation_same_fingerprint(self):
+        entry = multicast_entry(2, 1, 0, 1)
+        first = protocol_fingerprint(entry.quorum_model())
+        second = protocol_fingerprint(entry.quorum_model())
+        assert first == second
+
+    def test_different_protocols_differ(self):
+        multicast = multicast_entry(2, 1, 0, 1).quorum_model()
+        paxos = paxos_entry(2, 2, 1).quorum_model()
+        assert protocol_fingerprint(multicast) != protocol_fingerprint(paxos)
+
+    def test_different_parameters_differ(self):
+        small = multicast_entry(2, 1, 0, 1).quorum_model()
+        larger = multicast_entry(3, 0, 1, 1).quorum_model()
+        assert protocol_fingerprint(small) != protocol_fingerprint(larger)
+
+
+class TestAdmission:
+    def test_complete_results_are_cached(self):
+        cache = ResultCache()
+        key = ("fp", "inv", CheckPlan())
+        assert cache.put(key, make_result(complete=True))
+        assert cache.get(key) is not None
+        assert cache.stats()["hits"] == 1
+
+    def test_incomplete_results_are_never_cached(self):
+        cache = ResultCache()
+        key = ("fp", "inv", CheckPlan(max_states=10))
+        assert not cache.put(key, make_result(complete=False))
+        assert cache.get(key) is None
+        assert len(cache) == 0
+        assert cache.stats()["rejected_incomplete"] == 1
+
+    def test_budgeted_and_unbudgeted_plans_key_separately(self):
+        # The budget is part of the question: a full-run verdict must not
+        # answer a budgeted submission or vice versa.
+        cache = ResultCache()
+        full = ("fp", "inv", CheckPlan())
+        budgeted = ("fp", "inv", CheckPlan(max_states=10))
+        cache.put(full, make_result())
+        assert cache.get(budgeted) is None
+
+
+class TestEvictionAndInvalidation:
+    def test_lru_eviction_respects_capacity(self):
+        cache = ResultCache(capacity=2)
+        keys = [(f"fp{i}", "inv", CheckPlan()) for i in range(3)]
+        for key in keys:
+            cache.put(key, make_result())
+        assert len(cache) == 2
+        assert cache.get(keys[0]) is None  # the oldest fell out
+        assert cache.get(keys[2]) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        keys = [(f"fp{i}", "inv", CheckPlan()) for i in range(3)]
+        cache.put(keys[0], make_result())
+        cache.put(keys[1], make_result())
+        cache.get(keys[0])  # touch: keys[1] becomes the eviction victim
+        cache.put(keys[2], make_result())
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+
+    def test_invalidate_single_key(self):
+        cache = ResultCache()
+        key = ("fp", "inv", CheckPlan())
+        cache.put(key, make_result())
+        assert cache.invalidate(key)
+        assert not cache.invalidate(key)
+        assert cache.get(key) is None
+
+    def test_invalidate_protocol_drops_every_property_and_plan(self):
+        cache = ResultCache()
+        cache.put(("fpA", "inv", CheckPlan()), make_result())
+        cache.put(("fpA", "agreement", CheckPlan(shape="bfs")), make_result())
+        cache.put(("fpB", "inv", CheckPlan()), make_result())
+        assert cache.invalidate_protocol("fpA") == 2
+        assert len(cache) == 1
+        assert cache.get(("fpB", "inv", CheckPlan())) is not None
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put(("fp", "inv", CheckPlan()), make_result())
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)

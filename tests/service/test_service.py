@@ -1,0 +1,266 @@
+"""CheckService behaviour: caching, budgets, isolation, overload, health."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    DONE,
+    FAILED,
+    CheckService,
+    Job,
+    JobBudgets,
+    JobRequest,
+    ResultCache,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownJobError,
+    run_jobs,
+)
+
+#: The fastest catalog cell (45 states) — every test workload uses it.
+CELL = "multicast-2-1-0-1"
+
+
+def run_service(requests, **kwargs):
+    return run_jobs(list(requests), **kwargs)
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestCaching:
+    def test_repeated_job_is_served_from_cache_without_engine_rerun(self):
+        cache = ResultCache()
+
+        async def scenario():
+            async with CheckService(workers=1, cache=cache) as service:
+                first = await service.check(JobRequest(cell=CELL))
+                second = await service.check(JobRequest(cell=CELL))
+                return service.engine_runs, first, second
+
+        engine_runs, first, second = asyncio.run(scenario())
+        assert engine_runs == 1
+        assert not first.cache_hit
+        assert second.cache_hit
+        # The memoized CheckResult object itself is returned — no engine
+        # re-run, no re-derived verdict.
+        assert second.result is first.result
+        assert "job-cache-hit" in second.events.kinds()
+        assert "job-cache-hit" not in first.events.kinds()
+
+    def test_budget_truncated_results_are_not_cached(self):
+        cache = ResultCache()
+        request = JobRequest(cell=CELL, budgets=JobBudgets(max_states=10))
+        first, second = run_service([request, request], workers=1, cache=cache)
+        assert first.outcome() == "inconclusive"
+        assert second.outcome() == "inconclusive"
+        assert not first.cache_hit and not second.cache_hit
+        assert len(cache) == 0
+        assert cache.stats()["rejected_incomplete"] == 2
+
+    def test_explicit_invalidation_forces_a_rerun(self):
+        cache = ResultCache()
+
+        async def scenario():
+            async with CheckService(workers=1, cache=cache) as service:
+                await service.check(JobRequest(cell=CELL))
+                cache.clear()
+                rerun = await service.check(JobRequest(cell=CELL))
+                return service.engine_runs, rerun
+
+        engine_runs, rerun = asyncio.run(scenario())
+        assert engine_runs == 2
+        assert not rerun.cache_hit
+
+
+class TestBudgets:
+    def test_budget_hit_returns_inconclusive_with_statistics_and_telemetry(self):
+        (job,) = run_service(
+            [JobRequest(cell=CELL, budgets=JobBudgets(max_states=10))],
+            workers=1,
+        )
+        assert job.status == DONE
+        result = job.result
+        assert result.outcome() == "inconclusive"
+        assert not result.complete
+        assert result.verified  # no violation seen — but that proves nothing
+        assert result.outcome_label() == "Inconclusive (budget hit)"
+        assert result.statistics.states_visited == 10
+        assert result.telemetry is not None
+        assert "metrics" in result.telemetry or result.telemetry
+        finished = job.events.last("job-finished")
+        assert finished.payload["outcome"] == "inconclusive"
+        assert finished.payload["complete"] is False
+
+    def test_budgets_map_onto_the_plan_search_knobs(self):
+        request = JobRequest(
+            cell=CELL,
+            budgets=JobBudgets(max_states=10, max_seconds=5.0, max_depth=3),
+        )
+        plan = request.effective_plan()
+        assert plan.max_states == 10
+        assert plan.max_seconds == 5.0
+        assert plan.max_depth == 3
+        # The base plan is untouched — budgets layer, they do not mutate.
+        assert request.plan.max_states is None
+
+    def test_budgetless_job_runs_to_completion(self):
+        (job,) = run_service([JobRequest(cell=CELL)], workers=1)
+        assert job.outcome() == "verified"
+        assert job.result.complete
+
+
+class TestStreamIsolation:
+    def test_concurrent_jobs_do_not_interleave_their_streams(self):
+        requests = [
+            JobRequest(cell=CELL, budgets=JobBudgets(max_states=10 + i))
+            for i in range(4)
+        ]
+        jobs = run_service(requests, workers=2)
+        for job in jobs:
+            kinds = job.events.kinds()
+            # Exactly one engine run's bracket per job log: any cross-job
+            # leakage would duplicate the brackets.
+            assert kinds.count("search-started") == 1
+            assert kinds.count("search-finished") == 1
+            # Every job-lifecycle event in this log names this job only.
+            for event in job.events.events:
+                if event.kind.startswith("job-"):
+                    assert event.payload["job"] == job.id
+
+    def test_lifecycle_event_order(self):
+        (job,) = run_service([JobRequest(cell=CELL)], workers=1)
+        kinds = job.events.kinds()
+        assert kinds[0] == "job-submitted"
+        assert kinds[1] == "job-started"
+        assert kinds[-1] == "job-finished"
+        assert kinds.index("job-started") < kinds.index("search-started")
+
+
+class TestFailuresAndOverload:
+    def test_unknown_cell_fails_the_job_not_the_service(self):
+        bad = JobRequest(cell="no-such-cell")
+        good = JobRequest(cell=CELL)
+        bad_job, good_job = run_service([bad, good], workers=1)
+        assert bad_job.status == FAILED
+        assert "no-such-cell" in bad_job.error
+        assert bad_job.events.last("job-failed") is not None
+        assert good_job.status == DONE
+
+    def test_unsupported_plan_fails_with_the_structured_message(self):
+        from repro.engine.plan import CheckPlan
+
+        request = JobRequest(cell=CELL, plan=CheckPlan(shape="bfs", reduction="spor"))
+        (job,) = run_service([request], workers=1)
+        assert job.status == FAILED
+        assert "nearest supported alternative" in job.error
+
+    def test_bounded_queue_refuses_overload(self):
+        async def scenario():
+            async with CheckService(workers=1, queue_limit=1) as service:
+                # Occupy the single queue slot without letting the worker
+                # drain it: submissions beyond the bound must be refused.
+                first = await service.submit(JobRequest(cell=CELL))
+                second = None
+                error = None
+                try:
+                    # The worker may have grabbed the first job already, so
+                    # fill the queue until it refuses.
+                    for _ in range(3):
+                        second = await service.submit(JobRequest(cell=CELL))
+                except ServiceOverloadedError as exc:
+                    error = exc
+                jobs = [first] + ([second] if second else [])
+                for job in jobs:
+                    await service.wait(job.id)
+                return error
+
+        error = asyncio.run(scenario())
+        assert error is not None
+        assert error.queue_limit == 1
+
+    def test_unknown_job_lookup(self):
+        async def scenario():
+            async with CheckService(workers=1) as service:
+                with pytest.raises(UnknownJobError):
+                    service.job("job-999")
+
+        asyncio.run(scenario())
+
+    def test_submit_before_start_is_refused(self):
+        async def scenario():
+            service = CheckService(workers=1)
+            with pytest.raises(ServiceError):
+                await service.submit(JobRequest(cell=CELL))
+
+        asyncio.run(scenario())
+
+
+class TestHealth:
+    def test_stalled_worker_probe_fires_with_injected_clock(self):
+        clock = FakeClock(100.0)
+        service = CheckService(workers=1, stall_seconds=5.0, clock=clock)
+        job = Job(id="job-x", request=JobRequest(cell=CELL))
+        service._running[0] = job
+        service._heartbeats[0] = 100.0
+        assert service.health()["status"] == "ok"
+
+        clock.now = 106.0  # heartbeat silent past the threshold
+        health = service.health()
+        assert health["status"] == "degraded"
+        (stalled,) = health["stalled"]
+        assert stalled["worker"] == 0
+        assert stalled["job"] == "job-x"
+        assert stalled["idle_seconds"] == pytest.approx(6.0)
+        assert health["stall_episodes"] == 1
+
+        # A repeated probe of the same silence is one episode, not two.
+        assert service.health()["stall_episodes"] == 1
+
+        # Resumed heartbeat: healthy again, and the detector re-arms.
+        service._heartbeats[0] = 106.5
+        clock.now = 107.0
+        assert service.health()["status"] == "ok"
+        clock.now = 120.0
+        assert service.health()["stall_episodes"] == 2
+
+    def test_idle_slots_are_not_stalls(self):
+        clock = FakeClock(100.0)
+        service = CheckService(workers=2, stall_seconds=5.0, clock=clock)
+        clock.now = 1000.0
+        assert service.health()["status"] == "ok"
+
+    def test_health_counts_jobs_and_cache(self):
+        cache = ResultCache()
+
+        async def scenario():
+            async with CheckService(workers=1, cache=cache) as service:
+                await service.check(JobRequest(cell=CELL))
+                await service.check(JobRequest(cell=CELL))
+                return service.health()
+
+        health = asyncio.run(scenario())
+        assert health["jobs"][DONE] == 2
+        assert health["engine_runs"] == 1
+        assert health["cache"]["hits"] == 1
+        assert health["queued"] == 0
+
+
+class TestRunJobsConvenience:
+    def test_returns_jobs_in_request_order(self):
+        requests = [
+            JobRequest(cell=CELL),
+            JobRequest(cell=CELL, budgets=JobBudgets(max_states=10)),
+        ]
+        jobs = run_service(requests, workers=2)
+        assert [job.request for job in jobs] == requests
+        assert jobs[0].outcome() == "verified"
+        assert jobs[1].outcome() == "inconclusive"
