@@ -1,0 +1,164 @@
+"""Benchmark — swarm sampling throughput and time-to-first-violation.
+
+Measures the seeded random-walk backend on the lossy Echo Multicast cells
+(the interleaving-explosion workload the sampler exists for) and emits a
+machine-readable ``BENCH_swarm_*.json`` payload into
+``benchmarks/results/``:
+
+* **walks/sec** — full-budget throughput on the clean lossy cell, at one
+  worker and at four (the walker pool's scaling signal);
+* **time-to-first-violation** — wall clock until the wrong-agreement
+  lossy cell yields its counterexample, at one worker and at four.
+
+Honesty rules: the violating cell must produce the *same* counterexample
+trace at every worker count (the pool's lowest-violating-index bound makes
+parallel runs trace-identical to serial), and the clean cell must come
+back inconclusive — never verified — at every worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.aggregate import bench_payload, write_bench_file
+from repro.engine.plan import CheckPlan
+from repro.protocols.catalog import multicast_entry
+from repro.swarm.search import parallel_swarm_search, swarm_search
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the swarm walker pool requires the fork start method",
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Worker counts measured (1 = the serial walker, no pool).
+WORKER_COUNTS = (1, 4)
+
+ROOT_SEED = 7
+
+
+def _budgets(scale: str):
+    """(throughput walks, violation-hunt walks) at the harness scale."""
+    if scale == "paper":
+        return 20_000, 200_000
+    return 4_000, 50_000
+
+
+def _search_config():
+    return CheckPlan(backend="swarm", walk_seed=ROOT_SEED).search_config()
+
+
+def _run(entry, walks, workers):
+    protocol = entry.quorum_model()
+    started = time.perf_counter()
+    if workers <= 1:
+        outcome = swarm_search(
+            protocol, entry.invariant, _search_config(),
+            walks=walks, walk_seed=ROOT_SEED,
+        )
+    else:
+        outcome = parallel_swarm_search(
+            protocol, entry.invariant, _search_config(),
+            walks=walks, walk_seed=ROOT_SEED, workers=workers,
+        )
+    return outcome, time.perf_counter() - started
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_swarm_throughput_and_time_to_violation(benchmark, bench_scale):
+    """Walks/sec on the clean lossy cell, detection latency on the bad one."""
+    throughput_walks, hunt_walks = _budgets(bench_scale)
+    clean = multicast_entry(2, 1, 0, 1, message_loss=True)
+    violating = multicast_entry(2, 1, 2, 1, message_loss=True)
+
+    records = []
+    walks_per_second = {}
+    time_to_first_violation = {}
+    traces = {}
+
+    for workers in WORKER_COUNTS:
+        # Throughput: the clean cell runs its full budget and must stay
+        # honestly inconclusive.
+        outcome, wall = _run(clean, throughput_walks, workers)
+        assert outcome.verified and not outcome.complete
+        walks_per_second[workers] = throughput_walks / wall if wall > 0 else 0.0
+        records.append({
+            "cell": clean.key,
+            "model": "quorum",
+            "strategy": "swarm",
+            "workers": workers,
+            "walks": throughput_walks,
+            "walk_seed": ROOT_SEED,
+            "verified": outcome.verified,
+            "complete": outcome.complete,
+            "states_visited": outcome.statistics.states_visited,
+            "transitions_executed": outcome.statistics.transitions_executed,
+            "elapsed_seconds": wall,
+            "walks_per_second": walks_per_second[workers],
+            "measure": "throughput",
+        })
+
+        # Detection latency: the violating cell stops at its first
+        # counterexample.  The serial hunt is the pytest-benchmark row.
+        if workers == 1:
+            outcome, wall = benchmark.pedantic(
+                lambda: _run(violating, hunt_walks, 1), rounds=1, iterations=1
+            )
+        else:
+            outcome, wall = _run(violating, hunt_walks, workers)
+        assert outcome.counterexample is not None
+        time_to_first_violation[workers] = wall
+        traces[workers] = outcome.counterexample.transition_names()
+        records.append({
+            "cell": violating.key,
+            "model": "quorum",
+            "strategy": "swarm",
+            "workers": workers,
+            "walks": hunt_walks,
+            "walk_seed": ROOT_SEED,
+            "verified": outcome.verified,
+            "complete": outcome.complete,
+            "states_visited": outcome.statistics.states_visited,
+            "transitions_executed": outcome.statistics.transitions_executed,
+            "elapsed_seconds": wall,
+            "counterexample_steps": len(outcome.counterexample.steps),
+            "measure": "time_to_first_violation",
+        })
+
+    # The pool reports exactly the violation the serial walker found.
+    for workers in WORKER_COUNTS[1:]:
+        assert traces[workers] == traces[WORKER_COUNTS[0]]
+
+    benchmark.extra_info["walks_per_second"] = {
+        str(k): round(v, 1) for k, v in walks_per_second.items()
+    }
+    benchmark.extra_info["time_to_first_violation_seconds"] = {
+        str(k): round(v, 4) for k, v in time_to_first_violation.items()
+    }
+
+    payload = bench_payload(
+        "swarm",
+        records,
+        scale=bench_scale,
+        root_seed=ROOT_SEED,
+        usable_cores=_usable_cores(),
+        walks_per_second={str(k): v for k, v in walks_per_second.items()},
+        time_to_first_violation_seconds={
+            str(k): v for k, v in time_to_first_violation.items()
+        },
+    )
+    path = write_bench_file(RESULTS_DIR, "swarm", payload, label=bench_scale)
+    assert json.loads(path.read_text())["kind"] == "swarm"

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Swarm checking: seeded random walks where exhaustion is out of reach.
+
+Exhaustive search proves invariants but its state count explodes with the
+protocol setting; beyond a certain size no store fits the frontier.  The
+swarm backend trades completeness for reach: it fires a budget of seeded
+random walks through the state graph, checks the invariant along each, and
+reports with three-valued honesty —
+
+* a violated walk is **conclusive**: the exec-index path is replayed into
+  a first-class, lasso-free counterexample, as real as any DFS trace;
+* an exhausted walk budget is **inconclusive**: sampling that found
+  nothing proves nothing, and the result never renders as "Verified".
+
+Every walk's choices come from a splitmix64 stream seeded by
+``(root_seed, walk_index)``, so any violation is bit-reproducible from two
+integers — independent of scheduling, worker count, or filter state.
+
+Three runs on the Echo Multicast family:
+
+1. The "wrong agreement" setting (2,1,2,1) — Byzantine receivers beyond
+   the assumed threshold: a seeded swarm finds the violation and replays
+   the counterexample.
+2. The same budget on the clean (2,1,0,1) setting: honest inconclusive.
+3. The lossy-channel variant (message_loss=True) — droppable INIT/COMMIT
+   deliveries multiply the interleavings, exactly the workload sampling
+   is for: the violation survives loss and is still found.
+
+Run with::
+
+    python examples/swarm_quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CheckPlan,
+    MulticastConfig,
+    agreement_invariant,
+    build_multicast_quorum,
+    run_plan,
+)
+
+
+def swarm_plan(walks: int, seed: int) -> CheckPlan:
+    return CheckPlan(
+        shape="dfs", reduction="none", backend="swarm", stateful=False,
+        walks=walks, walk_seed=seed,
+    )
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Swarm checking: seeded random walks, three-valued verdicts")
+    print("=" * 72)
+
+    # 1. A violating setting: 2 Byzantine receivers against an assumed
+    #    threshold of 1. Walks stop at the first violated invariant and
+    #    the winning walk's path is replayed into a real counterexample.
+    wrong = build_multicast_quorum(MulticastConfig(2, 1, 2, 1))
+    result = run_plan(wrong, agreement_invariant(), swarm_plan(50_000, seed=7))
+    print(f"\n[1] wrong agreement (2,1,2,1), 50k walks, seed 7: "
+          f"{result.outcome_label()}")
+    ce = result.counterexample
+    print(f"    counterexample: {len(ce.steps)} steps, "
+          f"lasso-free={ce.cycle_start is None}")
+    ce.replay(wrong)  # raises if the trace does not re-execute exactly
+    print("    replay: every step re-executed, final state violates agreement")
+
+    # Reproducibility: the same (root seed, budget) finds the same trace.
+    again = run_plan(wrong, agreement_invariant(), swarm_plan(50_000, seed=7))
+    identical = (again.counterexample.transition_names()
+                 == ce.transition_names())
+    print(f"    re-run with the same seed -> identical trace: {identical}")
+
+    # 2. The clean setting under the same budget: nothing found, and the
+    #    sampler says so instead of claiming a proof.
+    clean = build_multicast_quorum(MulticastConfig(2, 1, 0, 1))
+    result = run_plan(clean, agreement_invariant(), swarm_plan(2_000, seed=7))
+    print(f"\n[2] clean setting (2,1,0,1), 2k walks: {result.outcome_label()}")
+    print(f"    complete={result.complete}, conclusive={result.conclusive} "
+          "(sampling never proves an invariant)")
+
+    # 3. Message loss: droppable INIT/COMMIT deliveries blow up the
+    #    interleaving count without adding new behaviours — the sampling
+    #    workload. The violation is still found, loss or no loss.
+    lossy = build_multicast_quorum(
+        MulticastConfig(2, 1, 2, 1, message_loss=True)
+    )
+    result = run_plan(lossy, agreement_invariant(), swarm_plan(50_000, seed=7))
+    print(f"\n[3] lossy wrong agreement, 50k walks: {result.outcome_label()}")
+    stats = result.statistics
+    print(f"    {stats.transitions_executed} walk steps, "
+          f"~{stats.states_visited} distinct states sampled")
+
+
+if __name__ == "__main__":
+    main()

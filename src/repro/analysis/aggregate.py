@@ -127,6 +127,9 @@ TELEMETRY_BLOCK_METRICS = (
     "fastpath_memo_evictions",
     "worksteal_steals",
     "worksteal_publishes",
+    "swarm_walks_completed",
+    "swarm_walks_per_second",
+    "swarm_unique_fingerprints",
 )
 
 

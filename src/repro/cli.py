@@ -98,9 +98,13 @@ DFS_SHAPED = ("unreduced", "dfs", "spor", "stubborn", "spor-net")
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-states", type=int, default=None,
-                        help="abort a cell after this many stored states")
+                        help="abort a cell after this many stored states "
+                             "(swarm: total walk steps)")
     parser.add_argument("--max-seconds", type=float, default=None,
                         help="abort a cell after this wall-clock budget")
+    parser.add_argument("--max-depth", type=int, default=None,
+                        help="depth budget; for --backend swarm the "
+                             "per-walk step bound (default 256)")
     parser.add_argument("--store", choices=[k for k in STORE_KINDS if k != "none"],
                         default="full", help="visited-state store kind")
     parser.add_argument("--scale", choices=("small", "paper"), default="small",
@@ -215,6 +219,12 @@ def _command_check(args, stream) -> int:
         # nested DFS without reduction — instead of the invariant default
         # (spor), which no liveness engine could run.
         shape, reduction = "dfs", "none"
+    if args.backend == "swarm" and args.strategy is None and shape is None and reduction is None:
+        # Swarm walks are unreduced by construction (POR assumes the
+        # surviving interleavings are explored exhaustively), so the
+        # sampling backend defaults to dfs/none rather than the invariant
+        # default (spor), which it could never run.
+        shape, reduction = "dfs", "none"
     spec = CellSpec(
         key=args.cell,
         model=args.model,
@@ -229,6 +239,9 @@ def _command_check(args, stream) -> int:
         backend=args.backend,
         successors=args.successors,
         goal=args.goal,
+        walks=args.walks,
+        walk_seed=args.seed,
+        max_depth=args.max_depth,
     )
     observers = []
     if args.progress:
@@ -257,6 +270,12 @@ def _command_check(args, stream) -> int:
         payload = bench_payload("check", [record], workers=args.workers)
         Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         stream.write(f"wrote {args.json}\n")
+    if args.backend == "swarm":
+        # Sampling runs exit by verdict, like `submit`: a violation is the
+        # sought-for positive signal (1), an exhausted budget is honest
+        # inconclusiveness (3) — the catalog's expectation flag cannot make
+        # a non-exhaustive run "agree" with anything.
+        return SUBMIT_EXIT_CODES[record["outcome"]]
     return 0 if record["ok"] else 1
 
 
@@ -274,6 +293,9 @@ def _command_sweep(args, stream) -> int:
         backend=args.backend,
         successors=args.successors,
         goal=args.goal,
+        walks=args.walks,
+        walk_seed=args.seed,
+        max_depth=args.max_depth,
     )
     workers = 1 if args.serial else args.workers
     started = time.perf_counter()
@@ -532,6 +554,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="check the cell's invariant (default) or its "
                             "liveness property (nested DFS; defaults to "
                             "--shape dfs --reduction none)")
+    check.add_argument("--walks", type=int, default=None,
+                       help="walk budget for --backend swarm (default 1000)")
+    check.add_argument("--seed", type=int, default=None, dest="seed",
+                       help="root seed for --backend swarm; every walk and "
+                            "the whole run replay bit-identically from it "
+                            "(default 0)")
     check.add_argument("--progress", action="store_true",
                        help="stream the engine's event feed while it runs")
     check.add_argument("--trace-out", default=None, metavar="PATH",
@@ -561,6 +589,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cell-workers", type=int, default=1,
                        help="inner worker count of every cell's own search "
                             "(cells run one at a time when > 1)")
+    sweep.add_argument("--walks", type=int, default=None,
+                       help="walk budget per cell for --backend swarm")
+    sweep.add_argument("--seed", type=int, default=None, dest="seed",
+                       help="root seed for --backend swarm cells")
     sweep.add_argument("--serial", action="store_true",
                        help="force the serial loop regardless of --workers")
     sweep.add_argument("--output", default=".", help="directory for BENCH_*.json")

@@ -79,6 +79,11 @@ class Capabilities:
             an engine whose axes match but whose requirements are unmet
             produces a structured error with a runnable serial
             alternative, never a silent downgrade.
+        auto_backend: Whether ``backend="auto"`` may concretise to this
+            engine.  The incomplete sampling engines declare ``False``:
+            swapping an exhaustive search for random walks changes what a
+            verdict *means*, so it must be an explicit opt-in
+            (``backend="swarm"``), never an automatic choice.
         notes: Optional per-axis explanation of *why* a constraint exists;
             surfaced verbatim in the :class:`UnsupportedPlanError` message.
     """
@@ -93,6 +98,7 @@ class Capabilities:
     min_workers: int = 1
     max_workers: Optional[int] = None
     requirements: Tuple[str, ...] = ()
+    auto_backend: bool = True
     notes: Dict[str, str] = field(default_factory=dict)
 
     def missing_requirements(
@@ -113,8 +119,11 @@ class Capabilities:
             return plan.reduction in self.reductions
         if axis == "backend":
             # "auto" is a wildcard: resolution concretises it to the chosen
-            # engine's backend, so it matches every engine.
-            return plan.backend == "auto" or plan.backend in self.backends
+            # engine's backend — except for engines that demand an explicit
+            # opt-in (the incomplete sampling family).
+            if plan.backend == "auto":
+                return self.auto_backend
+            return plan.backend in self.backends
         if axis == "store":
             return plan.store in self.stores
         if axis == "stateful":
@@ -138,12 +147,22 @@ class Capabilities:
         return [axis for axis in PLAN_AXES if not self._axis_supported(axis, plan)]
 
     def match_score(self, plan: CheckPlan) -> int:
-        """Weighted count of matching axes (for "nearest engine" ranking)."""
-        return sum(
+        """Weighted count of matching axes (for "nearest engine" ranking).
+
+        An engine that refuses ``backend="auto"`` (explicit opt-in only) is
+        pushed behind every auto-eligible engine when ranking an auto plan:
+        suggesting "switch to sampling" to someone who asked for an
+        exhaustive search would be the semantic downgrade this layer
+        exists to prevent.
+        """
+        score = sum(
             _AXIS_WEIGHTS[axis]
             for axis in PLAN_AXES
             if self._axis_supported(axis, plan)
         )
+        if plan.backend == "auto" and not self.auto_backend:
+            score -= sum(_AXIS_WEIGHTS.values()) + 1
+        return score
 
     # ------------------------------------------------------------------ #
     # Diagnostics
@@ -186,6 +205,11 @@ class Capabilities:
                 changes["reduction"] = self.reductions[0]
             elif axis == "backend":
                 changes["backend"] = self.backends[0]
+                if plan.backend == "swarm" and changes["backend"] != "swarm":
+                    # The walk-budget axes only exist on the sampling
+                    # backend; an exhaustive plan would reject them.
+                    changes["walks"] = None
+                    changes["walk_seed"] = None
             elif axis == "store":
                 changes["store"] = self.stores[0]
                 if plan.stateful and changes["store"] == "none":

@@ -540,6 +540,98 @@ class FastSerialNdfsEngine(Engine):
         )
 
 
+#: Shared capability notes of the swarm sampling engines.
+_SWARM_NOTES = {
+    "reduction": "partial-order reduction prunes interleavings assuming the "
+    "survivors are explored exhaustively; under random sampling that "
+    "assumption fails, so reduced sampling could miss violations plain "
+    "sampling would find — swarm walks run unreduced",
+    "store": "swarm keeps no exact visited-state store (its probabilistic "
+    "filter is coverage telemetry, never a pruning structure), so plans are "
+    "stateless with store='none'",
+    "stateful": "walks revisit states freely by design; there is no "
+    "stateful swarm mode",
+    "shape": "a random walk is a depth-first probe; request shape='dfs'",
+    "goal": "sampling can witness an invariant violation but cannot close "
+    "an accepting cycle soundly; liveness goals need the nested-DFS engines",
+    "backend": "the swarm backend is never chosen by backend='auto': "
+    "sampling trades completeness for reach and must be an explicit opt-in",
+}
+
+
+class SwarmEngine(Engine):
+    """Serial seeded random-walk sampler (swarm checking)."""
+
+    name = "swarm"
+    description = ("seeded random-walk sampler; conclusive on violations, "
+                   "honestly inconclusive on exhausted walk budgets")
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("none",),
+        backends=("swarm",),
+        stores=("none",),
+        statefulness=(False,),
+        successor_modes=("object", "fast"),
+        min_workers=1,
+        max_workers=1,
+        auto_backend=False,
+        notes=dict(_SWARM_NOTES, workers="the serial walker runs "
+                   "in-process; workers > 1 runs the parallel walker pool"),
+    )
+
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
+        # Imported lazily: repro.swarm builds on the checker package.
+        from ..swarm.search import swarm_search
+
+        return swarm_search(
+            protocol,
+            invariant,
+            plan.search_config(),
+            walks=plan.walks,
+            walk_seed=plan.walk_seed,
+            observer=observer,
+            telemetry=telemetry,
+        )
+
+
+class ParallelSwarmEngine(Engine):
+    """Parallel walker pool: the same walks, partitioned by index across a
+    fork-based worker pool with a shared visited filter and early abort."""
+
+    name = "swarm-parallel"
+    description = ("parallel seeded walker pool; walk-index partition keeps "
+                   "results identical to the serial walker")
+    capabilities = Capabilities(
+        shapes=("dfs",),
+        reductions=("none",),
+        backends=("swarm",),
+        stores=("none",),
+        statefulness=(False,),
+        successor_modes=("object", "fast"),
+        min_workers=2,
+        max_workers=None,
+        requirements=("fork",),
+        auto_backend=False,
+        notes=dict(_SWARM_NOTES, workers="walks are embarrassingly "
+                   "parallel; per-walk seeding keeps the violating walk "
+                   "index independent of the worker count"),
+    )
+
+    def run(self, protocol, invariant, plan, observer=None, telemetry=None):
+        from ..swarm.search import parallel_swarm_search
+
+        return parallel_swarm_search(
+            protocol,
+            invariant,
+            plan.search_config(),
+            walks=plan.walks,
+            walk_seed=plan.walk_seed,
+            workers=plan.workers,
+            observer=observer,
+            telemetry=telemetry,
+        )
+
+
 def builtin_engines():
     """Fresh instances of every built-in engine, registration order.
 
@@ -559,4 +651,6 @@ def builtin_engines():
         FastFrontierBfsEngine(),
         FastWorkstealDfsEngine(),
         FastSerialNdfsEngine(),
+        SwarmEngine(),
+        ParallelSwarmEngine(),
     )

@@ -186,9 +186,18 @@ class ProgressPrinter(Observer):
                 f"on {payload.get('protocol', '?')}\n"
             )
         elif event.kind == "progress":
-            self.stream.write(
-                f"  ... {payload.get('states_visited', 0):,} states\n"
-            )
+            if "walks_completed" in payload:
+                # Swarm runs count walks, not stored states.
+                self.stream.write(
+                    f"  ... {payload.get('walks_completed', 0):,} walks, "
+                    f"{payload.get('violations', 0):,} violations, "
+                    f"{payload.get('unique_fingerprints', 0):,} unique "
+                    f"fingerprints\n"
+                )
+            else:
+                self.stream.write(
+                    f"  ... {payload.get('states_visited', 0):,} states\n"
+                )
         elif event.kind == "level-completed":
             self.stream.write(
                 f"  level {payload.get('depth', '?')}: "

@@ -37,7 +37,17 @@ STORES = ("full", "fingerprint", "sharded-fingerprint", "none")
 
 #: Execution backends; ``"auto"`` lets plan resolution pick one from the
 #: shape and worker count (serial for 1 worker, frontier/worksteal above).
-BACKENDS = ("auto", "serial", "frontier", "worksteal")
+#: ``"swarm"`` is the seeded random-walk sampler of :mod:`repro.swarm` —
+#: never chosen by ``"auto"`` (sampling must be an explicit opt-in).
+BACKENDS = ("auto", "serial", "frontier", "worksteal", "swarm")
+
+#: Default walk budget for swarm plans that do not name one.
+DEFAULT_WALKS = 1000
+
+#: Default per-walk step bound for swarm plans that do not name one.  A walk
+#: that has taken this many steps without violating is abandoned; unbounded
+#: walks would never terminate on cyclic state graphs.
+DEFAULT_WALK_DEPTH = 256
 
 #: Successor-engine preference: the object-graph engine of
 #: :mod:`repro.mp.semantics` or the packed fast path of
@@ -144,6 +154,14 @@ class CheckPlan:
             :func:`repro.engine.registry.run_plan` (mismatches raise a
             structured error rather than silently checking the wrong
             semantics).
+        walks: Walk budget for ``backend="swarm"`` — how many seeded random
+            walks to run before giving up (defaulted to
+            :data:`DEFAULT_WALKS` on swarm plans; rejected on every other
+            backend).
+        walk_seed: Root seed of a swarm run.  Every walk's private RNG
+            stream is derived from ``(walk_seed, walk_index)`` via the
+            splitmix64 mixer, so a run is bit-reproducible from this one
+            number (defaulted to 0 on swarm plans; rejected elsewhere).
     """
 
     shape: str = "dfs"
@@ -163,6 +181,8 @@ class CheckPlan:
     engine_cache_capacity: Optional[int] = None
     fastpath_memo_capacity: Optional[int] = None
     goal: str = "invariant"
+    walks: Optional[int] = None
+    walk_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.goal not in GOALS:
@@ -202,6 +222,48 @@ class CheckPlan:
                 "stateful=False for a genuinely storeless search)",
                 alternative=replace(self, store="full"),
             )
+        # Swarm normalisation.  Sampling keeps no exact visited-state store
+        # (its probabilistic filter is coverage telemetry, not a store), so
+        # swarm plans are stateless with store="none"; the walk budget and
+        # root seed default in, and the per-walk step bound defaults when no
+        # explicit max_depth was given.  Conversely, walk parameters on an
+        # exhaustive backend are a contradiction, not merely unsupported.
+        if self.backend == "swarm":
+            if self.stateful:
+                object.__setattr__(self, "stateful", False)
+            if self.store != "none":
+                object.__setattr__(self, "store", "none")
+            if self.walks is None:
+                object.__setattr__(self, "walks", DEFAULT_WALKS)
+            if self.walk_seed is None:
+                object.__setattr__(self, "walk_seed", 0)
+            if self.max_depth is None:
+                object.__setattr__(self, "max_depth", DEFAULT_WALK_DEPTH)
+            if not isinstance(self.walks, int) or self.walks < 1:
+                raise UnsupportedPlanError(
+                    "backend",
+                    "swarm",
+                    f"walks must be a positive integer, got {self.walks!r}; "
+                    f"nearest supported alternative: walks={DEFAULT_WALKS}",
+                    alternative=replace(self, walks=DEFAULT_WALKS),
+                )
+            if not isinstance(self.walk_seed, int):
+                raise UnsupportedPlanError(
+                    "backend",
+                    "swarm",
+                    f"walk_seed must be an integer, got {self.walk_seed!r}; "
+                    "nearest supported alternative: walk_seed=0",
+                    alternative=replace(self, walk_seed=0),
+                )
+        elif self.walks is not None or self.walk_seed is not None:
+            raise UnsupportedPlanError(
+                "backend",
+                self.backend,
+                f"walks/walk_seed only apply to backend='swarm', not "
+                f"backend={self.backend!r}; nearest supported alternative: "
+                "backend='swarm'",
+                alternative=replace(self, backend="swarm"),
+            )
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -228,9 +290,14 @@ class CheckPlan:
         suffix = f" x{self.workers}" if self.workers > 1 else ""
         fast = "+fast" if self.successors == "fast" else ""
         live = "+liveness" if self.goal == "liveness" else ""
+        swarm = (
+            f"+walks{self.walks}+seed{self.walk_seed}"
+            if self.backend == "swarm"
+            else ""
+        )
         return (
             f"{self.shape}/{self.reduction}/{self.store}/{self.backend}"
-            f"{fast}{live}{suffix}"
+            f"{fast}{live}{swarm}{suffix}"
         )
 
     def search_config(self):
@@ -265,6 +332,8 @@ def strategy_label(plan: CheckPlan) -> str:
     """
     if plan.goal == "liveness":
         return "ndfs"
+    if plan.backend == "swarm":
+        return "swarm"
     if plan.shape == "bfs":
         return "bfs"
     return "unreduced" if plan.reduction == "none" else plan.reduction

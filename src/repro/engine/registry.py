@@ -117,7 +117,12 @@ class EngineRegistry:
             # silent serial fallback the parallel searches used to produce.
             engine = supporting[0]
             missing = engine.capabilities.missing_requirements(available)
-            alternative = replace(plan, workers=1, backend="auto")
+            if plan.backend == "swarm":
+                # Dropping to one worker keeps the plan on the serial
+                # walker; "auto" would reject the walk-budget axes.
+                alternative = replace(plan, workers=1)
+            else:
+                alternative = replace(plan, workers=1, backend="auto")
             raise UnsupportedPlanError(
                 "backend",
                 plan.backend,

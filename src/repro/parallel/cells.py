@@ -61,6 +61,11 @@ class CellSpec:
         goal: ``"invariant"`` (default) checks the entry's invariant;
             ``"liveness"`` checks its :class:`Eventually` property with a
             nested-DFS plan (entries without one raise).
+        walks / walk_seed: Walk budget and root seed for
+            ``backend="swarm"`` cells (``None`` elsewhere; the plan layer
+            rejects walk parameters on exhaustive backends).
+        max_depth: Per-walk step bound for swarm cells; also honoured as a
+            depth budget by the exhaustive engines.
     """
 
     key: str
@@ -78,6 +83,9 @@ class CellSpec:
     backend: str = "auto"
     successors: str = "object"
     goal: str = "invariant"
+    walks: Optional[int] = None
+    walk_seed: Optional[int] = None
+    max_depth: Optional[int] = None
 
     def to_task(self) -> Dict:
         """The picklable task form handed to pool workers."""
@@ -108,23 +116,34 @@ class CellSpec:
                 plan = replace(plan, successors=self.successors)
             if self.goal != "invariant":
                 plan = replace(plan, goal=self.goal)
+            if self.backend == "swarm":
+                # replace() re-runs __post_init__, which normalises the
+                # swarm axes (stateless, store="none", defaulted budget).
+                plan = replace(plan, stateful=False, store="none",
+                               walks=self.walks, walk_seed=self.walk_seed)
+            if self.max_depth is not None:
+                plan = replace(plan, max_depth=self.max_depth)
             return plan
         # CheckPlan.__post_init__ owns the cross-axis normalisation (dpor is
         # stateless, stateless plans store nothing); pass the axes through.
+        swarm = self.backend == "swarm"
         return CheckPlan(
             shape=self.shape or "dfs",
             reduction=self.reduction or "none",
-            store=self.state_store if self.stateful else "none",
+            store="none" if swarm or not self.stateful else self.state_store,
             backend=self.backend,
             # Same workers<=1-means-serial spelling as the legacy branch
             # (which gets the clamp through plan_for_strategy).
             workers=max(1, self.workers),
-            stateful=self.stateful,
+            stateful=False if swarm else self.stateful,
             successors=self.successors,
             seed_heuristic=self.seed_heuristic,
+            max_depth=self.max_depth,
             max_states=self.max_states,
             max_seconds=self.max_seconds,
             goal=self.goal,
+            walks=self.walks,
+            walk_seed=self.walk_seed,
         )
 
 
@@ -168,6 +187,13 @@ def run_cell_task(task: Dict, observer: Optional[Observer] = None) -> Dict:
     # counterexample is conclusive evidence even when the search stopped at
     # it (stop-at-first-violation always reports complete=False).
     conclusive = result.complete or result.found_counterexample
+    extras: Dict = {}
+    if spec.backend == "swarm":
+        plan = result.plan
+        extras["walks"] = plan.walks if plan is not None else spec.walks
+        extras["walk_seed"] = (
+            plan.walk_seed if plan is not None else spec.walk_seed
+        )
     return result_record(
         result,
         cell=spec.key,
@@ -178,6 +204,7 @@ def run_cell_task(task: Dict, observer: Optional[Observer] = None) -> Dict:
         expect_violation=expect_violation,
         ok=conclusive and result.found_counterexample == expect_violation,
         wall_seconds=wall_seconds,
+        **extras,
     )
 
 
@@ -227,6 +254,9 @@ def specs_for_sweep(
     backend: str = "auto",
     successors: str = "object",
     goal: str = "invariant",
+    walks: Optional[int] = None,
+    walk_seed: Optional[int] = None,
+    max_depth: Optional[int] = None,
 ) -> List[CellSpec]:
     """Build the cell grid of a sweep: every requested key × model variant.
 
@@ -239,7 +269,9 @@ def specs_for_sweep(
     ``successors`` pins the successor-engine family the same way.
     Liveness cells always run the serial nested-DFS plan (``shape="dfs"``,
     ``reduction="none"``, one worker), which is the only supported liveness
-    configuration.
+    configuration.  ``backend="swarm"`` cells run the random-walk sampler
+    with the given ``walks``/``walk_seed``/``max_depth`` budget (unreduced
+    and stateless by construction — the ``strategy`` axis does not apply).
     """
     if keys is None:
         resolved = [
@@ -268,6 +300,26 @@ def specs_for_sweep(
                     successors=successors,
                     goal="liveness",
                 )
+            elif backend == "swarm":
+                # Sampling cells: unreduced by construction (the strategy
+                # axis does not apply), walk budget instead of state budget.
+                spec = CellSpec(
+                    key=key,
+                    model=model,
+                    scale=scale,
+                    stateful=False,
+                    state_store="none",
+                    max_states=max_states,
+                    max_seconds=max_seconds,
+                    workers=cell_workers,
+                    shape="dfs",
+                    reduction="none",
+                    backend="swarm",
+                    successors=successors,
+                    walks=walks,
+                    walk_seed=walk_seed,
+                    max_depth=max_depth,
+                )
             else:
                 spec = CellSpec(
                     key=key,
@@ -280,6 +332,7 @@ def specs_for_sweep(
                     workers=cell_workers,
                     backend=backend,
                     successors=successors,
+                    max_depth=max_depth,
                 )
             specs.append(spec)
     return specs

@@ -114,26 +114,36 @@ def multicast_entry(
     honest_initiators: int,
     byzantine_receivers: int,
     byzantine_initiators: int,
+    message_loss: bool = False,
 ) -> CatalogEntry:
     """Catalog entry for an Echo Multicast setting.
 
     The expected outcome follows the configuration itself: agreement is
     violated exactly when the Byzantine receivers exceed the assumed
-    threshold (the paper's "wrong agreement" settings).
+    threshold (the paper's "wrong agreement" settings).  ``message_loss``
+    adds the lossy-channel fault model (droppable INIT/COMMIT messages);
+    loss only removes deliveries, so the expectation formula is unchanged —
+    it just multiplies the interleavings, which is the sampling-backend
+    workload.
     """
     config = MulticastConfig(
         honest_receivers=honest_receivers,
         honest_initiators=honest_initiators,
         byzantine_receivers=byzantine_receivers,
         byzantine_initiators=byzantine_initiators,
+        message_loss=message_loss,
     )
     return CatalogEntry(
         key=(
             "multicast-"
             f"{honest_receivers}-{honest_initiators}-"
             f"{byzantine_receivers}-{byzantine_initiators}"
+            + ("-lossy" if message_loss else "")
         ),
-        description=f"Echo Multicast {config.setting_label}",
+        description=(
+            f"Echo Multicast {config.setting_label}"
+            + (" lossy" if message_loss else "")
+        ),
         quorum_model=lambda: build_multicast_quorum(config),
         single_model=lambda: build_multicast_single(config),
         invariant=agreement_invariant(),
@@ -184,6 +194,8 @@ def default_catalog(scale: str = "small") -> Tuple[CatalogEntry, ...]:
             multicast_entry(3, 0, 1, 1),
             multicast_entry(2, 1, 0, 1),
             multicast_entry(2, 1, 2, 1),
+            multicast_entry(2, 1, 0, 1, message_loss=True),
+            multicast_entry(2, 1, 2, 1, message_loss=True),
             storage_entry(3, 1),
             storage_entry(3, 2, wrong_specification=True),
             crash_recovery_entry(2, 1),
@@ -196,6 +208,8 @@ def default_catalog(scale: str = "small") -> Tuple[CatalogEntry, ...]:
             multicast_entry(3, 0, 1, 1),
             multicast_entry(2, 1, 0, 1),
             multicast_entry(2, 1, 2, 1),
+            multicast_entry(2, 1, 0, 1, message_loss=True),
+            multicast_entry(2, 1, 2, 1, message_loss=True),
             storage_entry(3, 1),
             storage_entry(3, 2, wrong_specification=True),
             crash_recovery_entry(2, 1),

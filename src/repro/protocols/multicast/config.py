@@ -35,12 +35,19 @@ class MulticastConfig:
         honest_initiators: Number of honest initiator processes.
         byzantine_receivers: Number of Byzantine receiver processes.
         byzantine_initiators: Number of Byzantine initiator processes.
+        message_loss: Model lossy channels toward the honest receivers:
+            every pending INIT/COMMIT can nondeterministically be *dropped*
+            (consumed without effect) instead of handled.  Loss only removes
+            deliveries, so it cannot create agreement violations a lossless
+            run lacks — but it multiplies the interleavings, which is what
+            makes the lossy cells a natural swarm-sampling workload.
     """
 
     honest_receivers: int = 3
     honest_initiators: int = 0
     byzantine_receivers: int = 1
     byzantine_initiators: int = 1
+    message_loss: bool = False
 
     def __post_init__(self) -> None:
         if self.honest_receivers < 1:

@@ -85,6 +85,36 @@ def _commit_action(local: HonestReceiverState, messages, _ctx: ActionContext):
     return local.update(delivered=local.delivered | {(initiator, message["value"])})
 
 
+def _drop_action(local: HonestReceiverState, _messages, _ctx: ActionContext):
+    """Lossy channel: consume the message without handling it."""
+    return local
+
+
+def add_receiver_loss_transitions(builder, honest_receivers, initiator_set) -> None:
+    """Message-loss fault model: per-receiver drop transitions.
+
+    For every honest receiver, every pending INIT or COMMIT gains a second
+    enabled execution that consumes the message without effect — the
+    channel dropped it.  Declared ``visible`` so the stubborn-set
+    reductions never prune a drop against its handling twin (loss is a
+    fault occurrence, conservatively treated like any other observable
+    event).
+    """
+    for pid in honest_receivers:
+        for message_type in ("INIT", "COMMIT"):
+            builder.add_transition(
+                name=f"DROP_{message_type}@{pid}",
+                process_id=pid,
+                message_type=message_type,
+                action=_drop_action,
+                annotation=LporAnnotation(
+                    possible_senders=initiator_set,
+                    visible=True,
+                    priority=2,
+                ),
+            )
+
+
 def build_multicast_quorum(config: MulticastConfig) -> Protocol:
     """Build the quorum-transition Echo Multicast model for a setting."""
     builder = ProtocolBuilder(f"echo multicast {config.setting_label} quorum")
@@ -211,6 +241,9 @@ def build_multicast_quorum(config: MulticastConfig) -> Protocol:
             ),
         )
 
+    if config.message_loss:
+        add_receiver_loss_transitions(builder, honest_receivers, initiator_set)
+
     builder.set_metadata(
         protocol="echo multicast",
         model="quorum",
@@ -218,8 +251,9 @@ def build_multicast_quorum(config: MulticastConfig) -> Protocol:
         echo_quorum=quorum,
         assumed_faults=config.assumed_faults,
         exceeds_threshold=config.exceeds_threshold,
+        message_loss=config.message_loss,
     )
     return builder.build()
 
 
-__all__ = ["build_multicast_quorum"]
+__all__ = ["add_receiver_loss_transitions", "build_multicast_quorum"]

@@ -24,7 +24,13 @@ from .config import (
     HonestReceiverState,
     MulticastConfig,
 )
-from .quorum import _commit_action, _init_action, _mcast_action, _mcast_guard
+from .quorum import (
+    _commit_action,
+    _init_action,
+    _mcast_action,
+    _mcast_guard,
+    add_receiver_loss_transitions,
+)
 
 
 def _echo_single_action(receiver_ids, quorum: int):
@@ -162,6 +168,9 @@ def build_multicast_single(config: MulticastConfig) -> Protocol:
             ),
         )
 
+    if config.message_loss:
+        add_receiver_loss_transitions(builder, honest_receivers, initiator_set)
+
     builder.set_metadata(
         protocol="echo multicast",
         model="single-message",
@@ -169,6 +178,7 @@ def build_multicast_single(config: MulticastConfig) -> Protocol:
         echo_quorum=quorum,
         assumed_faults=config.assumed_faults,
         exceeds_threshold=config.exceeds_threshold,
+        message_loss=config.message_loss,
     )
     return builder.build()
 

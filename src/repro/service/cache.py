@@ -15,6 +15,14 @@ budget may overturn — memoizing it would serve stale uncertainty forever.
 too and is likewise re-run; counterexamples are cheap to reconfirm and the
 rule stays one line.)  Invalidation is explicit: nothing here watches
 protocol definitions for drift.
+
+Swarm exception: ``backend="swarm"`` runs are *never* complete, but a swarm
+run that found a counterexample is a conclusive ``violated`` verdict — the
+trace replays deterministically from ``(walk_seed, walk_index)`` — so it is
+admitted.  The key's frozen plan carries ``walks`` and ``walk_seed``, so a
+cached swarm violation only ever answers the identical sampling
+configuration; a swarm run that merely exhausted its walk budget stays
+uncacheable like any other inconclusive result.
 """
 
 from __future__ import annotations
@@ -84,15 +92,29 @@ class ResultCache:
             self.hits += 1
             return result
 
+    @staticmethod
+    def _admissible(key: CacheKey, result: CheckResult) -> bool:
+        if result.complete:
+            return True
+        # Swarm runs never complete; a *violated* swarm verdict is still
+        # conclusive and replayable, and the key's plan pins the exact
+        # sampling configuration (walks + walk_seed) it answers for.
+        plan = key[2]
+        return (
+            getattr(plan, "backend", None) == "swarm"
+            and result.outcome() == "violated"
+        )
+
     def put(self, key: CacheKey, result: CheckResult) -> bool:
-        """Admit ``result`` under ``key``; refuse incomplete results.
+        """Admit ``result`` under ``key``; refuse inconclusive results.
 
         Returns:
-            True when the result was cached, False when it was refused
-            because ``result.complete`` is False (partial verdicts are
-            never memoized).
+            True when the result was cached, False when it was refused:
+            ``result.complete`` is False (partial verdicts are never
+            memoized) — except for a swarm run that found a violation,
+            which is conclusive despite never being complete.
         """
-        if not result.complete:
+        if not self._admissible(key, result):
             with self._lock:
                 self.rejected_incomplete += 1
             return False

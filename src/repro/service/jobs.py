@@ -113,6 +113,8 @@ PLAN_FIELDS = (
     "successors",
     "goal",
     "seed_heuristic",
+    "walks",
+    "walk_seed",
 )
 
 

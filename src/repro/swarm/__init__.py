@@ -1,0 +1,31 @@
+"""Swarm checking: seeded random-walk sampling of huge state spaces.
+
+Exhaustive search — even packed and reduced — caps out when a protocol x
+fault configuration's reachable graph stops fitting in memory or time.  The
+swarm backend trades completeness for reach: it fires a budget of
+independent random walks through the state graph, each walk picking one
+enabled execution uniformly at random per step.  A violation found on any
+walk is conclusive (the walk's exec-index path replays into a first-class
+:class:`~repro.checker.counterexample.Counterexample`); exhausting the
+budget without a violation is honestly *inconclusive* — sampling can never
+certify a state space it did not exhaust.
+
+Determinism is the load-bearing property: every walk's private RNG stream
+is derived from ``(root_seed, walk_index)`` via the splitmix64 mixer
+(:mod:`repro.swarm.seeds`), so a run — serial or parallel, any worker
+count — is bit-reproducible from one root seed, and a reported violation
+names the walk index that found it.
+"""
+
+from .filter import SwarmFilter
+from .search import SwarmOutcomeStats, parallel_swarm_search, swarm_search
+from .seeds import WalkRng, walk_stream_seed
+
+__all__ = [
+    "SwarmFilter",
+    "SwarmOutcomeStats",
+    "WalkRng",
+    "parallel_swarm_search",
+    "swarm_search",
+    "walk_stream_seed",
+]

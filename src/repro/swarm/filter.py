@@ -1,0 +1,85 @@
+"""A shared probabilistic visited filter for coverage estimation.
+
+Swarm walks keep no exact visited-state store — that is the point of
+sampling — but a run still wants to report *how much* of the state space
+its walks touched.  :class:`SwarmFilter` is a fixed-size one-hash Bloom
+filter over state fingerprints: ``add`` sets the fingerprint's bit and
+reports whether it was newly set, so the number of ``True`` returns is a
+(slightly under-counting, collision-bounded) estimate of distinct states
+seen.  It is telemetry, not a store: walks never consult it to prune, so
+its false positives cannot mask violations.
+
+The bit array lives either in a local ``bytearray`` (serial runs) or in a
+lock-free ``multiprocessing.Array`` of 64-bit words (parallel runs).  The
+parallel variant's read-modify-write on a word is racy by design: a lost
+update means two workers both count one fingerprint as new, nudging the
+estimate up by at most the number of simultaneous first-touches — noise
+well inside the filter's own collision error, and not worth a lock on the
+walk hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..checker.statestore import mix_fingerprint
+
+#: Default filter size: 2**22 bits = 512 KiB, good for ~10**6 distinct
+#: states at <12% collision under-count.
+DEFAULT_BITS_LOG2 = 22
+
+
+class SwarmFilter:
+    """One-hash Bloom filter over 64-bit state fingerprints."""
+
+    def __init__(self, bits_log2: int = DEFAULT_BITS_LOG2, shared_words=None) -> None:
+        if bits_log2 < 3 or bits_log2 > 34:
+            raise ValueError(f"bits_log2 out of range: {bits_log2}")
+        self.bits_log2 = bits_log2
+        self._mask = (1 << bits_log2) - 1
+        if shared_words is not None:
+            self._words = shared_words
+        else:
+            self._words = bytearray(1 << max(0, bits_log2 - 3))
+
+    @classmethod
+    def shared(cls, mp_context, bits_log2: int = DEFAULT_BITS_LOG2) -> "SwarmFilter":
+        """A filter whose bits live in fork-shared memory (lock-free)."""
+        words = mp_context.RawArray("Q", 1 << max(0, bits_log2 - 6))
+        return cls(bits_log2, shared_words=words)
+
+    def _is_shared(self) -> bool:
+        return not isinstance(self._words, bytearray)
+
+    def add(self, fingerprint: int) -> bool:
+        """Set the fingerprint's bit; ``True`` when it was newly set."""
+        bit = mix_fingerprint(fingerprint) & self._mask
+        if self._is_shared():
+            index, offset = bit >> 6, bit & 63
+            word = self._words[index]
+            if word & (1 << offset):
+                return False
+            self._words[index] = word | (1 << offset)
+            return True
+        index, offset = bit >> 3, bit & 7
+        byte = self._words[index]
+        if byte & (1 << offset):
+            return False
+        self._words[index] = byte | (1 << offset)
+        return True
+
+    def __contains__(self, fingerprint: int) -> bool:
+        bit = mix_fingerprint(fingerprint) & self._mask
+        if self._is_shared():
+            return bool(self._words[bit >> 6] & (1 << (bit & 63)))
+        return bool(self._words[bit >> 3] & (1 << (bit & 7)))
+
+    def population(self) -> int:
+        """Exact number of set bits (a scan — not for the hot path)."""
+        if self._is_shared():
+            return sum(bin(word).count("1") for word in self._words)
+        return sum(bin(byte).count("1") for byte in self._words)
+
+    def saturation(self) -> float:
+        """Fraction of bits set; near 1.0 the unique estimate is garbage."""
+        return self.population() / (1 << self.bits_log2)

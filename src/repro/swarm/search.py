@@ -1,0 +1,557 @@
+"""Seeded random-walk search: serial walker and parallel walker pool.
+
+Both entry points share one walk kernel: derive walk ``i``'s RNG from
+``(walk_seed, i)``, walk from the initial state picking a uniformly random
+enabled execution per step, stop at ``max_depth`` (or a dead end, or a
+violation), and record the exec-index path.  Because the per-walk streams
+are pure functions of the root seed, the parallel pool is just a walk-index
+partition — worker ``w`` of ``W`` runs walks ``w, w+W, w+2W, ...`` — and
+finds exactly the violations the serial walker would, on exactly the same
+walk indices.
+
+Violations rebuild a first-class :class:`Counterexample` by replaying the
+exec-index path through the object successor engine (the same rebuild
+currency the parallel exhaustive engines use), so a swarm counterexample is
+verified by construction: the replay recomputes every enabled set and fails
+loudly if the path does not reproduce.
+
+Honesty contract: a violation yields ``verified=False, complete=False``
+(conclusive "violated"); a clean exhausted budget yields ``verified=True,
+complete=False`` — which :func:`repro.checker.result.outcome_of` maps to
+*inconclusive*, never "Verified".  Sampling cannot certify what it did not
+exhaust.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..checker.counterexample import Counterexample, Step
+from ..checker.result import SearchStatistics
+from ..checker.search import SearchConfig, SearchOutcome, _maybe_span
+from ..engine.events import PROGRESS_INTERVAL, Observer, emit
+from ..mp.protocol import Protocol
+from ..mp.semantics import SuccessorEngine
+from ..checker.property import Invariant
+from .filter import SwarmFilter
+from .seeds import walk_rng
+
+#: Walks per ``walk-batch`` telemetry span in the serial walker.
+WALK_BATCH = 256
+
+#: Walks between two batched flushes of a parallel worker's shared
+#: walks-completed counter (coordinator progress ticks read it live).
+WALK_FLUSH_BATCH = 32
+
+
+@dataclass
+class SwarmOutcomeStats:
+    """Aggregate walk counters (merged across workers in parallel runs)."""
+
+    walks_completed: int = 0
+    steps: int = 0
+    unique_fingerprints: int = 0
+    deepest_walk: int = 0
+    dead_ends: int = 0
+    enabled_computations: int = 0
+    violations: int = 0
+
+    def merge(self, other: "SwarmOutcomeStats") -> None:
+        self.walks_completed += other.walks_completed
+        self.steps += other.steps
+        self.unique_fingerprints += other.unique_fingerprints
+        self.deepest_walk = max(self.deepest_walk, other.deepest_walk)
+        self.dead_ends += other.dead_ends
+        self.enabled_computations += other.enabled_computations
+        self.violations += other.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "walks_completed": self.walks_completed,
+            "steps": self.steps,
+            "unique_fingerprints": self.unique_fingerprints,
+            "deepest_walk": self.deepest_walk,
+            "dead_ends": self.dead_ends,
+            "enabled_computations": self.enabled_computations,
+            "violations": self.violations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SwarmOutcomeStats":
+        return cls(**payload)
+
+
+class _ObjectWalkGraph:
+    """Walk adapter over the interned-object successor engine."""
+
+    def __init__(self, protocol: Protocol, invariant: Invariant,
+                 config: SearchConfig) -> None:
+        # Walks revisit states along every interleaving, which is exactly
+        # the access pattern the engine's caches exist for.
+        self.engine = SuccessorEngine.for_search(
+            protocol, stateful=False,
+            max_cache_entries=config.engine_cache_capacity,
+        )
+        self.protocol = protocol
+        self.invariant = invariant
+        self.initial = self.engine.initial_state()
+
+    def enabled(self, state):
+        return self.engine.enabled(state)
+
+    def step(self, state, execution):
+        return self.engine.successor(state, execution)
+
+    def fingerprint(self, state) -> int:
+        return state.fingerprint()
+
+    def holds(self, state) -> bool:
+        return self.invariant.holds_in(state, self.protocol)
+
+    def record_fastpath(self, telemetry) -> None:
+        pass
+
+
+class _FastWalkGraph:
+    """Walk adapter over the packed fast path (fingerprint-native)."""
+
+    def __init__(self, protocol: Protocol, invariant: Invariant,
+                 config: SearchConfig, telemetry=None) -> None:
+        from ..fastpath.compiler import FastSuccessorEngine
+        from ..fastpath.search import make_invariant_checker
+
+        with _maybe_span(telemetry, "compile", protocol=protocol.name):
+            self.engine = FastSuccessorEngine(
+                protocol, memo_capacity=config.fastpath_memo_capacity
+            )
+        self._holds = make_invariant_checker(
+            self.engine, invariant, protocol,
+            capacity=config.fastpath_memo_capacity,
+        )
+        self.initial = self.engine.initial_packed()
+
+    def enabled(self, packed):
+        return self.engine.enabled_packed(packed)
+
+    def step(self, packed, execution):
+        return self.engine.successor_packed(packed, execution)
+
+    def fingerprint(self, packed) -> int:
+        return self.engine.fingerprint(packed)
+
+    def holds(self, packed) -> bool:
+        return self._holds(packed)
+
+    def record_fastpath(self, telemetry) -> None:
+        telemetry.record_fastpath(self.engine)
+
+
+def _make_graph(protocol: Protocol, invariant: Invariant,
+                config: SearchConfig, telemetry=None):
+    if config.successor_engine == "fast":
+        return _FastWalkGraph(protocol, invariant, config, telemetry)
+    return _ObjectWalkGraph(protocol, invariant, config)
+
+
+def _run_one_walk(
+    graph, walk_index: int, walk_seed: int, max_depth: int,
+    visited: SwarmFilter, stats: SwarmOutcomeStats,
+) -> Optional[Tuple[int, ...]]:
+    """Walk ``walk_index``; the violating exec-index path, or ``None``.
+
+    Pure given ``(walk_seed, walk_index)`` and the protocol: the RNG stream,
+    and therefore the path, never depends on scheduling or worker count.
+    """
+    rng = walk_rng(walk_seed, walk_index)
+    state = graph.initial
+    path: List[int] = []
+    while len(path) < max_depth:
+        enabled = graph.enabled(state)
+        stats.enabled_computations += 1
+        if not enabled:
+            stats.dead_ends += 1
+            break
+        choice = rng.choose(len(enabled))
+        state = graph.step(state, enabled[choice])
+        path.append(choice)
+        stats.steps += 1
+        if visited.add(graph.fingerprint(state)):
+            stats.unique_fingerprints += 1
+        if not graph.holds(state):
+            stats.deepest_walk = max(stats.deepest_walk, len(path))
+            stats.violations += 1
+            return tuple(path)
+    stats.deepest_walk = max(stats.deepest_walk, len(path))
+    return None
+
+
+def _replay_counterexample(
+    protocol: Protocol, invariant: Invariant, path: Tuple[int, ...]
+) -> Counterexample:
+    """Rebuild the counterexample from a walk's execution-index path.
+
+    Replayed through the object successor engine's deterministic enabled
+    order (index-interchangeable with the packed engine), so the result is
+    a first-class counterexample regardless of which walker found it.
+    """
+    engine = SuccessorEngine.for_search(protocol, stateful=True)
+    cursor = engine.initial_state()
+    initial = cursor
+    steps: List[Step] = []
+    for index in path:
+        execution = engine.enabled(cursor)[index]
+        cursor = engine.successor(cursor, execution)
+        steps.append(Step(execution=execution, state=cursor))
+    return Counterexample(
+        initial_state=initial, steps=tuple(steps), property_name=invariant.name
+    )
+
+
+def _statistics_of(stats: SwarmOutcomeStats, elapsed: float) -> SearchStatistics:
+    """Map walk counters onto the shared statistics record.
+
+    ``states_visited`` is the *distinct-state estimate* from the shared
+    filter (walks revisit freely, so raw step counts would be misleading);
+    the revisited remainder lands in ``revisits``.
+    """
+    return SearchStatistics(
+        states_visited=stats.unique_fingerprints,
+        transitions_executed=stats.steps,
+        revisits=max(0, stats.steps - stats.unique_fingerprints),
+        max_depth=stats.deepest_walk,
+        elapsed_seconds=elapsed,
+        enabled_set_computations=stats.enabled_computations,
+    )
+
+
+def _record_swarm_telemetry(telemetry, graph, stats: SwarmOutcomeStats,
+                            elapsed: float) -> None:
+    if telemetry is None:
+        return
+    metrics = telemetry.metrics
+    metrics.gauge(
+        "swarm_walks_completed", "Random walks completed this run"
+    ).set(stats.walks_completed)
+    metrics.gauge(
+        "swarm_walks_per_second", "Walk throughput", unit="walks/s"
+    ).set(stats.walks_completed / elapsed if elapsed > 0 else 0.0)
+    metrics.gauge(
+        "swarm_unique_fingerprints",
+        "Distinct-state estimate from the shared visited filter",
+    ).set(stats.unique_fingerprints)
+    graph.record_fastpath(telemetry)
+
+
+def _budget_exhausted(config: SearchConfig, stats: SwarmOutcomeStats,
+                      start_time: float) -> bool:
+    if config.max_states is not None and stats.steps >= config.max_states:
+        return True
+    if (config.max_seconds is not None
+            and time.perf_counter() - start_time >= config.max_seconds):
+        return True
+    return False
+
+
+def _emit_walk_progress(observer, stats: SwarmOutcomeStats) -> None:
+    emit(
+        observer, "progress",
+        walks_completed=stats.walks_completed,
+        violations=stats.violations,
+        unique_fingerprints=stats.unique_fingerprints,
+        states_visited=stats.unique_fingerprints,
+    )
+
+
+def _finish(
+    protocol, invariant, graph, stats, violation, observer, telemetry,
+    start_time,
+) -> SearchOutcome:
+    """Shared epilogue: replay, telemetry, honest outcome assembly."""
+    counterexample = None
+    if violation is not None:
+        walk_index, path = violation
+        if path:
+            with _maybe_span(telemetry, "ce-replay", path_length=len(path),
+                             walk_index=walk_index):
+                counterexample = _replay_counterexample(protocol, invariant, path)
+        else:
+            counterexample = Counterexample(
+                initial_state=(
+                    graph.initial if isinstance(graph, _ObjectWalkGraph)
+                    else graph.engine.decode(graph.initial)
+                ),
+                steps=(), property_name=invariant.name,
+            )
+    elapsed = time.perf_counter() - start_time
+    _record_swarm_telemetry(telemetry, graph, stats, elapsed)
+    # Never complete: sampling exhausted its budget, not the state space.
+    return SearchOutcome(
+        verified=counterexample is None,
+        complete=False,
+        counterexample=counterexample,
+        statistics=_statistics_of(stats, elapsed),
+    )
+
+
+def swarm_search(
+    protocol: Protocol,
+    invariant: Invariant,
+    config: Optional[SearchConfig] = None,
+    walks: int = 1000,
+    walk_seed: int = 0,
+    observer: Optional[Observer] = None,
+    telemetry=None,
+    visited_filter: Optional[SwarmFilter] = None,
+) -> SearchOutcome:
+    """Serial seeded random-walk search.
+
+    Stops at the first violation (a sampler has nothing conclusive to add
+    past one counterexample); otherwise runs the full walk budget, bounded
+    additionally by ``config.max_states`` (total steps) and
+    ``config.max_seconds``.
+    """
+    config = config or SearchConfig(stateful=False)
+    max_depth = config.max_depth or 256
+    start_time = time.perf_counter()
+    stats = SwarmOutcomeStats()
+    graph = _make_graph(protocol, invariant, config, telemetry)
+    visited = visited_filter or SwarmFilter()
+
+    if visited.add(graph.fingerprint(graph.initial)):
+        stats.unique_fingerprints += 1
+    if not graph.holds(graph.initial):
+        stats.violations += 1
+        emit(observer, "violation-found", states_visited=1, depth=0,
+             walk_index=0)
+        return _finish(protocol, invariant, graph, stats, (0, ()),
+                       observer, telemetry, start_time)
+
+    next_progress = PROGRESS_INTERVAL
+    walk_index = 0
+    while walk_index < walks:
+        batch_end = min(walk_index + WALK_BATCH, walks)
+        with _maybe_span(telemetry, "walk-batch", batch_start=walk_index,
+                         batch_size=batch_end - walk_index):
+            while walk_index < batch_end:
+                path = _run_one_walk(
+                    graph, walk_index, walk_seed, max_depth, visited, stats
+                )
+                stats.walks_completed += 1
+                if path is not None:
+                    emit(observer, "violation-found",
+                         states_visited=stats.unique_fingerprints,
+                         depth=len(path), walk_index=walk_index)
+                    return _finish(protocol, invariant, graph, stats,
+                                   (walk_index, path), observer, telemetry,
+                                   start_time)
+                walk_index += 1
+                if stats.walks_completed >= next_progress:
+                    next_progress += PROGRESS_INTERVAL
+                    _emit_walk_progress(observer, stats)
+                if _budget_exhausted(config, stats, start_time):
+                    return _finish(protocol, invariant, graph, stats, None,
+                                   observer, telemetry, start_time)
+    return _finish(protocol, invariant, graph, stats, None, observer,
+                   telemetry, start_time)
+
+
+# --------------------------------------------------------------------- #
+# Parallel walker pool
+# --------------------------------------------------------------------- #
+
+def _swarm_worker(
+    worker_id: int,
+    workers: int,
+    protocol: Protocol,
+    invariant: Invariant,
+    config: SearchConfig,
+    walks: int,
+    walk_seed: int,
+    visited: SwarmFilter,
+    stop_event,
+    best_violation,
+    walks_counter,
+    result_queue,
+) -> None:
+    """One pool worker: walks ``worker_id, worker_id+workers, ...``.
+
+    The walk-index partition carries the determinism: which worker runs a
+    walk never changes what the walk does, so the set of violating walk
+    indices is identical to the serial run's.  A first violation does not
+    hard-stop the pool — it lowers the shared ``best_violation`` bound, and
+    workers keep walking only the indices *below* it.  Every walk below the
+    final bound therefore completes, which makes the reported violation the
+    globally minimal violating walk index — the same one the serial
+    schedule reports — independent of worker count and timing.
+    """
+    try:
+        stats = SwarmOutcomeStats()
+        graph = _make_graph(protocol, invariant, config)
+        max_depth = config.max_depth or 256
+        start_time = time.perf_counter()
+        violations: List[Tuple[int, Tuple[int, ...]]] = []
+        truncated = False
+        unflushed = 0
+
+        walk_index = worker_id
+        while walk_index < walks:
+            if stop_event.is_set():
+                truncated = True
+                break
+            if walk_index >= best_violation.value:
+                # Someone already violated at a lower index than any walk
+                # left in this worker's residue class.
+                break
+            if _budget_exhausted(config, stats, start_time):
+                truncated = True
+                break
+            path = _run_one_walk(
+                graph, walk_index, walk_seed, max_depth, visited, stats
+            )
+            stats.walks_completed += 1
+            unflushed += 1
+            if unflushed >= WALK_FLUSH_BATCH:
+                with walks_counter.get_lock():
+                    walks_counter.value += unflushed
+                unflushed = 0
+            if path is not None:
+                violations.append((walk_index, path))
+                with best_violation.get_lock():
+                    best_violation.value = min(
+                        best_violation.value, walk_index
+                    )
+                # This worker's remaining indices all exceed walk_index.
+                break
+            walk_index += workers
+        if unflushed:
+            with walks_counter.get_lock():
+                walks_counter.value += unflushed
+        result_queue.put(
+            ("report", worker_id, stats.as_dict(), violations, truncated)
+        )
+    except Exception:  # pragma: no cover - ships the traceback home
+        import traceback
+
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+def parallel_swarm_search(
+    protocol: Protocol,
+    invariant: Invariant,
+    config: Optional[SearchConfig] = None,
+    walks: int = 1000,
+    walk_seed: int = 0,
+    workers: int = 2,
+    observer: Optional[Observer] = None,
+    telemetry=None,
+    mp_context=None,
+    worker_timeout: Optional[float] = None,
+) -> SearchOutcome:
+    """Parallel walker pool over the fork substrate.
+
+    Walks are embarrassingly parallel: no frontier, no claim table — just a
+    walk-index partition, a fork-shared visited filter, a batched shared
+    walks-completed counter for live progress, and a shared best-violation
+    bound for early abort.  A violation at walk ``v`` cancels only walks
+    ``> v``; walks below the bound always complete, so the reported
+    violation is the globally minimal violating walk index — identical to
+    the serial walker's, at any worker count.
+    """
+    from ..parallel.bfs import default_mp_context
+    from ..parallel.worker import collect_replies
+
+    config = config or SearchConfig(stateful=False)
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    context = mp_context or default_mp_context()
+    if context is None:
+        raise RuntimeError(
+            "parallel swarm search requires the 'fork' start method"
+        )
+    start_time = time.perf_counter()
+    stats = SwarmOutcomeStats()
+    graph = _make_graph(protocol, invariant, config, telemetry)
+    visited = SwarmFilter.shared(context)
+
+    if visited.add(graph.fingerprint(graph.initial)):
+        stats.unique_fingerprints += 1
+    if not graph.holds(graph.initial):
+        stats.violations += 1
+        emit(observer, "violation-found", states_visited=1, depth=0,
+             walk_index=0)
+        return _finish(protocol, invariant, graph, stats, (0, ()),
+                       observer, telemetry, start_time)
+
+    stop_event = context.Event()
+    best_violation = context.Value("l", walks)  # sentinel: no violation yet
+    walks_counter = context.Value("l", 0)
+    result_queue = context.Queue()
+    processes = []
+    violation: Optional[Tuple[int, Tuple[int, ...]]] = None
+    try:
+        with _maybe_span(telemetry, "walk-batch", batch_start=0,
+                         batch_size=walks, workers=workers):
+            for worker_id in range(workers):
+                process = context.Process(
+                    target=_swarm_worker,
+                    args=(worker_id, workers, protocol, invariant, config,
+                          walks, walk_seed, visited, stop_event,
+                          best_violation, walks_counter, result_queue),
+                )
+                process.daemon = True
+                process.start()
+                processes.append(process)
+
+            next_progress = PROGRESS_INTERVAL
+            while any(process.is_alive() for process in processes):
+                time.sleep(0.05)
+                completed = walks_counter.value
+                if completed >= next_progress:
+                    next_progress = (
+                        completed - completed % PROGRESS_INTERVAL
+                        + PROGRESS_INTERVAL
+                    )
+                    emit(observer, "progress", walks_completed=completed,
+                         violations=0, unique_fingerprints=0,
+                         states_visited=0)
+
+            replies = collect_replies(
+                result_queue, workers, "report", worker_timeout, processes
+            )
+        all_violations: List[Tuple[int, Tuple[int, ...]]] = []
+        for reply in replies:
+            worker_id, worker_stats, worker_violations, _truncated = reply
+            merged = SwarmOutcomeStats.from_dict(worker_stats)
+            stats.merge(merged)
+            all_violations.extend(
+                (index, tuple(path)) for index, path in worker_violations
+            )
+            emit(observer, "worker-report", worker=worker_id,
+                 claimed=merged.walks_completed,
+                 transitions=merged.steps,
+                 revisits=max(0, merged.steps - merged.unique_fingerprints))
+            if telemetry is not None:
+                telemetry.record_worker(worker_id, {
+                    "claimed": merged.walks_completed,
+                    "transitions_executed": merged.steps,
+                    "revisits": max(
+                        0, merged.steps - merged.unique_fingerprints
+                    ),
+                })
+        if all_violations:
+            violation = min(all_violations, key=lambda entry: entry[0])
+            emit(observer, "violation-found",
+                 states_visited=stats.unique_fingerprints,
+                 depth=len(violation[1]), walk_index=violation[0])
+    finally:
+        stop_event.set()
+        for process in processes:
+            process.join(timeout=5.0)
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+
+    return _finish(protocol, invariant, graph, stats, violation, observer,
+                   telemetry, start_time)

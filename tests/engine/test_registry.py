@@ -24,6 +24,7 @@ class TestRegistryBasics:
             "serial-ndfs",
             "serial-dfs-fast", "serial-bfs-fast", "frontier-bfs-fast",
             "worksteal-dfs-fast", "serial-ndfs-fast",
+            "swarm", "swarm-parallel",
         ]
 
     def test_default_registry_is_shared(self):
@@ -222,7 +223,9 @@ class TestPlatformRequirements:
 
     def test_parallel_engines_declare_the_fork_requirement(self):
         for engine in builtin_engines():
-            if {"frontier", "worksteal"} & set(engine.capabilities.backends):
+            # Multi-process engines are exactly those that cannot run with a
+            # single worker (the parallel backends and the walker pool).
+            if engine.capabilities.min_workers > 1:
                 assert "fork" in engine.capabilities.requirements, engine.name
             else:
                 assert "fork" not in engine.capabilities.requirements, engine.name

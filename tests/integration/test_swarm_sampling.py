@@ -1,0 +1,99 @@
+"""Integration: swarm sampling against the exhaustive ground truth.
+
+Swarm walks are incomplete by construction, so the cross-strategy contract
+is one-sided: a swarm *violation* must be a real counterexample (replayable,
+end state falsifies the invariant, agreeing with the exhaustive verdict),
+and a swarm *budget exhaustion* must stay inconclusive — it may never
+contradict an exhaustive "verified" with anything stronger.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.engine.plan import CheckPlan
+from repro.engine.registry import run_plan
+from repro.protocols.catalog import entry_by_key
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: The paper's "wrong agreement" Echo Multicast setting: Byzantine receivers
+#: above the assumed threshold, violated in the exhaustive search.
+VIOLATING_KEY = "multicast-2-1-2-1"
+CLEAN_KEY = "multicast-2-1-0-1"
+ROOT_SEED = 7
+
+
+def swarm_check(key, walks=50_000, workers=1, **overrides):
+    entry = entry_by_key(key, "small")
+    protocol = entry.quorum_model()
+    plan = CheckPlan(
+        shape="dfs", reduction="none", backend="swarm", stateful=False,
+        walks=walks, walk_seed=ROOT_SEED, workers=workers, **overrides,
+    )
+    return run_plan(protocol, entry.invariant, plan), protocol, entry
+
+
+def exhaustive_check(key):
+    entry = entry_by_key(key, "small")
+    return run_plan(entry.quorum_model(), entry.invariant, CheckPlan())
+
+
+class TestSwarmFindsTheKnownViolation:
+    def test_seeded_run_finds_the_multicast_violation(self):
+        result, protocol, entry = swarm_check(VIOLATING_KEY)
+        assert result.outcome() == "violated"
+        assert exhaustive_check(VIOLATING_KEY).outcome() == "violated"
+
+        ce = result.counterexample
+        assert ce.cycle_start is None  # lasso-free: a finite safety trace
+        states = ce.replay(protocol)   # raises on any divergence
+        # The walk genuinely ends in a bad state, not merely a deep one.
+        assert not entry.invariant.holds_in(states[-1], protocol)
+        for state in states[:-1]:
+            assert entry.invariant.holds_in(state, protocol)
+
+    def test_violating_trace_is_seed_reproducible(self):
+        first, _, _ = swarm_check(VIOLATING_KEY)
+        second, _, _ = swarm_check(VIOLATING_KEY)
+        assert (first.counterexample.transition_names()
+                == second.counterexample.transition_names())
+        assert first.statistics.transitions_executed \
+            == second.statistics.transitions_executed
+
+    def test_fast_walker_agrees_with_the_object_walker(self):
+        object_result, _, _ = swarm_check(VIOLATING_KEY)
+        fast_result, _, _ = swarm_check(VIOLATING_KEY, successors="fast")
+        assert (object_result.counterexample.transition_names()
+                == fast_result.counterexample.transition_names())
+
+    @pytest.mark.skipif(not HAS_FORK, reason="walker pool requires fork")
+    def test_walker_pool_agrees_with_the_serial_walker(self):
+        serial, _, _ = swarm_check(VIOLATING_KEY)
+        pooled, protocol, _ = swarm_check(VIOLATING_KEY, workers=4)
+        assert pooled.outcome() == "violated"
+        assert (pooled.counterexample.transition_names()
+                == serial.counterexample.transition_names())
+        pooled.counterexample.replay(protocol)
+
+
+class TestSwarmNeverContradictsExhaustiveVerification:
+    def test_clean_cell_budget_exhaustion_stays_inconclusive(self):
+        exhaustive = exhaustive_check(CLEAN_KEY)
+        assert exhaustive.outcome() == "verified"
+        sampled, _, _ = swarm_check(CLEAN_KEY, walks=500)
+        assert sampled.outcome() == "inconclusive"
+        assert not sampled.complete
+        assert sampled.counterexample is None
+
+    def test_lossy_catalog_cells_keep_the_expectation_formula(self):
+        # Message loss only removes deliveries: the lossy clean cell stays
+        # clean under sampling, the lossy wrong-agreement cell still yields
+        # a replayable counterexample.
+        clean, _, _ = swarm_check(CLEAN_KEY + "-lossy", walks=500)
+        assert clean.outcome() == "inconclusive"
+        violated, protocol, _ = swarm_check(VIOLATING_KEY + "-lossy")
+        assert violated.outcome() == "violated"
+        violated.counterexample.replay(protocol)

@@ -95,6 +95,56 @@ class TestBehaviour:
         assert len(final.local("byz_initiator1").committed) <= 1
 
 
+class TestMessageLoss:
+    """The lossy-channel fault model behind ``message_loss=True``."""
+
+    def drop_transitions(self, protocol):
+        return [
+            spec.name for spec in protocol.transitions
+            if spec.name.startswith("DROP_")
+        ]
+
+    def test_lossy_models_gain_drop_transitions_per_honest_receiver(self):
+        config = MulticastConfig(2, 1, 0, 1, message_loss=True)
+        for builder in (build_multicast_quorum, build_multicast_single):
+            names = self.drop_transitions(builder(config))
+            assert "DROP_INIT@receiver1" in names
+            assert "DROP_COMMIT@receiver1" in names
+            assert "DROP_INIT@receiver2" in names
+            assert "DROP_COMMIT@receiver2" in names
+
+    def test_default_models_have_no_drop_transitions(self):
+        protocol = build_multicast_quorum(MulticastConfig(2, 1, 0, 1))
+        assert self.drop_transitions(protocol) == []
+
+    def test_metadata_records_the_fault_model(self):
+        lossy = build_multicast_quorum(MulticastConfig(2, 1, 0, 1, message_loss=True))
+        plain = build_multicast_quorum(MulticastConfig(2, 1, 0, 1))
+        assert lossy.metadata["message_loss"] is True
+        assert plain.metadata["message_loss"] is False
+
+    def test_drop_transitions_stay_visible_to_reduction(self):
+        # Dropping a message changes what can ever be delivered; marking
+        # the transitions visible keeps stubborn-set reduction conservative.
+        protocol = build_multicast_quorum(MulticastConfig(2, 1, 0, 1, message_loss=True))
+        annotation = protocol.transition("DROP_INIT@receiver1").annotation
+        assert annotation.visible
+
+    def test_loss_only_removes_deliveries_agreement_still_holds(self):
+        config = MulticastConfig(2, 1, 0, 1, message_loss=True)
+        result = ModelChecker(
+            build_multicast_quorum(config), agreement_invariant()
+        ).run(Strategy.SPOR_NET)
+        assert result.verified
+
+    def test_loss_keeps_the_wrong_agreement_violation(self):
+        config = MulticastConfig(2, 1, 2, 1, message_loss=True)
+        result = ModelChecker(
+            build_multicast_quorum(config), agreement_invariant()
+        ).run(Strategy.UNREDUCED)
+        assert not result.verified
+
+
 class TestVerification:
     @pytest.mark.parametrize(
         "setting",

@@ -65,6 +65,55 @@ class TestAdmission:
         assert cache.get(budgeted) is None
 
 
+def swarm_key(walks=2000, walk_seed=7):
+    return (
+        "fp", "inv",
+        CheckPlan(
+            shape="dfs", reduction="none", backend="swarm", stateful=False,
+            walks=walks, walk_seed=walk_seed,
+        ),
+    )
+
+
+class TestSwarmAdmission:
+    """Satellite of the swarm PR: sampling runs never complete, so admission
+    is by verdict — a violated swarm result is conclusive and cacheable, an
+    inconclusive one proves nothing and must be recomputed every time."""
+
+    def test_swarm_violation_is_cached(self):
+        cache = ResultCache()
+        key = swarm_key()
+        assert cache.put(key, make_result(complete=False, verified=False))
+        assert cache.get(key) is not None
+
+    def test_swarm_inconclusive_is_never_cached(self):
+        cache = ResultCache()
+        key = swarm_key()
+        assert not cache.put(key, make_result(complete=False, verified=True))
+        assert cache.get(key) is None
+        assert cache.stats()["rejected_incomplete"] == 1
+
+    def test_sampling_budget_is_part_of_the_question(self):
+        # A violation found under one (walks, seed) configuration answers
+        # only that configuration: more walks or another seed is a
+        # different experiment.
+        cache = ResultCache()
+        cache.put(swarm_key(walks=2000, walk_seed=7),
+                  make_result(complete=False, verified=False))
+        assert cache.get(swarm_key(walks=4000, walk_seed=7)) is None
+        assert cache.get(swarm_key(walks=2000, walk_seed=8)) is None
+        assert cache.get(swarm_key(walks=2000, walk_seed=7)) is not None
+
+    def test_swarm_exception_does_not_leak_to_exhaustive_plans(self):
+        # The by-verdict admission is keyed on the plan's backend:
+        # incomplete results from exhaustive plans stay inadmissible even
+        # when they carry a violation.
+        cache = ResultCache()
+        key = ("fp", "inv", CheckPlan())
+        assert not cache.put(key, make_result(complete=False, verified=False))
+        assert cache.stats()["rejected_incomplete"] == 1
+
+
 class TestEvictionAndInvalidation:
     def test_lru_eviction_respects_capacity(self):
         cache = ResultCache(capacity=2)

@@ -118,6 +118,41 @@ class TestBudgets:
         assert job.result.complete
 
 
+class TestSwarmJobs:
+    """Swarm plans flow through the service like any other, with the
+    sampling-specific admission rule: violations cache, samples do not."""
+
+    def swarm_request(self, cell, walks):
+        from repro.engine.plan import CheckPlan
+
+        return JobRequest(
+            cell=cell,
+            plan=CheckPlan(
+                shape="dfs", reduction="none", backend="swarm",
+                stateful=False, walks=walks, walk_seed=7,
+            ),
+        )
+
+    def test_swarm_violation_is_conclusive_and_cached(self):
+        cache = ResultCache()
+        request = self.swarm_request("multicast-2-1-2-1", walks=20_000)
+        first, second = run_service([request, request], workers=1, cache=cache)
+        assert first.outcome() == "violated"
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.result is first.result
+
+    def test_swarm_budget_exhaustion_is_never_cached(self):
+        cache = ResultCache()
+        request = self.swarm_request(CELL, walks=200)
+        first, second = run_service([request, request], workers=1, cache=cache)
+        assert first.outcome() == "inconclusive"
+        assert second.outcome() == "inconclusive"
+        assert not first.cache_hit and not second.cache_hit
+        assert len(cache) == 0
+        assert cache.stats()["rejected_incomplete"] == 2
+
+
 class TestStreamIsolation:
     def test_concurrent_jobs_do_not_interleave_their_streams(self):
         requests = [

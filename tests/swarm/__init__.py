@@ -1,0 +1,1 @@
+"""Package marker so repo-root pytest collection resolves relative imports."""

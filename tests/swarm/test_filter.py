@@ -1,0 +1,75 @@
+"""The probabilistic visited filter: counting, sharing, saturation."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.swarm.filter import SwarmFilter
+
+
+class TestLocalFilter:
+    def test_add_reports_first_touch_only(self):
+        swarm_filter = SwarmFilter(bits_log2=16)
+        assert swarm_filter.add(12345)
+        assert not swarm_filter.add(12345)
+
+    def test_contains(self):
+        swarm_filter = SwarmFilter(bits_log2=16)
+        assert 777 not in swarm_filter
+        swarm_filter.add(777)
+        assert 777 in swarm_filter
+
+    def test_population_counts_distinct_bits(self):
+        swarm_filter = SwarmFilter(bits_log2=20)
+        new = sum(1 for fp in range(1000) if swarm_filter.add(fp))
+        assert swarm_filter.population() == new
+        # At 2**20 bits and 1000 inserts, collisions are rare.
+        assert new > 990
+
+    def test_saturation_fraction(self):
+        swarm_filter = SwarmFilter(bits_log2=8)
+        assert swarm_filter.saturation() == 0.0
+        for fp in range(200):
+            swarm_filter.add(fp)
+        assert 0.0 < swarm_filter.saturation() <= 1.0
+
+    def test_size_bounds_validated(self):
+        with pytest.raises(ValueError):
+            SwarmFilter(bits_log2=2)
+        with pytest.raises(ValueError):
+            SwarmFilter(bits_log2=40)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shared filter requires the fork start method",
+)
+class TestSharedFilter:
+    def test_shared_bits_visible_across_fork(self):
+        context = multiprocessing.get_context("fork")
+        swarm_filter = SwarmFilter.shared(context, bits_log2=16)
+        swarm_filter.add(42)
+
+        def child(queue):
+            queue.put((42 in swarm_filter, swarm_filter.add(43)))
+
+        queue = context.Queue()
+        process = context.Process(target=child, args=(queue,))
+        process.start()
+        parent_sees, child_added = queue.get(timeout=10)
+        process.join(timeout=10)
+        assert parent_sees
+        assert child_added
+        assert 43 in swarm_filter  # written by the child, read by the parent
+
+    def test_shared_semantics_match_local(self):
+        context = multiprocessing.get_context("fork")
+        shared = SwarmFilter.shared(context, bits_log2=14)
+        local = SwarmFilter(bits_log2=14)
+        fingerprints = [hash(("fp", i)) & (2**64 - 1) for i in range(500)]
+        assert [shared.add(fp) for fp in fingerprints] == [
+            local.add(fp) for fp in fingerprints
+        ]
+        assert shared.population() == local.population()

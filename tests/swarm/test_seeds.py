@@ -1,0 +1,62 @@
+"""Seed derivation: pure, well-separated, uniform walk streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.swarm.seeds import WalkRng, walk_rng, walk_stream_seed
+
+
+class TestWalkStreamSeed:
+    def test_pure_function_of_root_and_index(self):
+        assert walk_stream_seed(7, 42) == walk_stream_seed(7, 42)
+
+    def test_distinct_indices_distinct_seeds(self):
+        seeds = {walk_stream_seed(7, index) for index in range(10_000)}
+        assert len(seeds) == 10_000
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert walk_stream_seed(1, 0) != walk_stream_seed(2, 0)
+
+    def test_seed_is_64_bit(self):
+        for index in (0, 1, 2**40):
+            assert 0 <= walk_stream_seed(2**63, index) < 2**64
+
+
+class TestWalkRng:
+    def test_same_seed_same_stream(self):
+        first = WalkRng(123)
+        second = WalkRng(123)
+        assert [first.next_word() for _ in range(32)] == [
+            second.next_word() for _ in range(32)
+        ]
+
+    def test_choose_covers_full_range(self):
+        rng = WalkRng(9)
+        seen = {rng.choose(5) for _ in range(500)}
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_choose_one_is_free(self):
+        rng = WalkRng(9)
+        before = rng._state
+        assert rng.choose(1) == 0
+        assert rng._state == before  # no stream word consumed
+
+    def test_choose_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WalkRng(1).choose(0)
+
+    def test_choose_roughly_uniform(self):
+        rng = WalkRng(1234)
+        counts = [0, 0, 0]
+        for _ in range(30_000):
+            counts[rng.choose(3)] += 1
+        for count in counts:
+            assert 9_000 < count < 11_000
+
+    def test_walk_rng_equivalent_to_manual_seeding(self):
+        manual = WalkRng(walk_stream_seed(5, 17))
+        derived = walk_rng(5, 17)
+        assert [manual.choose(7) for _ in range(16)] == [
+            derived.choose(7) for _ in range(16)
+        ]
