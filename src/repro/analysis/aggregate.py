@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..checker.result import OUTCOME_LABELS, CheckResult, outcome_of
+from ..checker.result import (
+    OUTCOME_LABELS,
+    CheckResult,
+    outcome_label_for,
+    outcome_of,
+)
 
 #: Filename prefix of every machine-readable benchmark artifact.
 BENCH_PREFIX = "BENCH_"
@@ -56,17 +61,21 @@ def record_outcome(record: Dict) -> str:
     to deriving it from the ``verified``/``complete`` flags, so payloads
     written before the three-valued outcome existed still render honestly
     (a truncated clean run shows as inconclusive, never ``Verified``).
+    A recorded ``incomplete_reason`` (worker crash, cancelled) renders in
+    place of the default budget spelling.
     """
+    reason = record.get("incomplete_reason")
     outcome = record.get("outcome")
     if outcome in OUTCOME_LABELS:
-        return OUTCOME_LABELS[outcome]
-    return OUTCOME_LABELS[
+        return outcome_label_for(outcome, reason)
+    return outcome_label_for(
         outcome_of(
             bool(record.get("verified")),
             bool(record.get("complete", True)),
             record.get("counterexample_steps") is not None,
-        )
-    ]
+        ),
+        reason,
+    )
 
 
 def result_record(result: CheckResult, **extra) -> Dict:
@@ -98,6 +107,8 @@ def result_record(result: CheckResult, **extra) -> Dict:
         "elapsed_seconds": statistics.elapsed_seconds,
         "enabled_set_computations": statistics.enabled_set_computations,
     }
+    if result.incomplete_reason is not None:
+        record["incomplete_reason"] = result.incomplete_reason
     if result.plan is not None:
         record.update(
             shape=result.plan.shape,

@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the checking runtime itself.
+
+The paper's protocols are verified *under* fault models; this package
+applies the same medicine to the checker: a seeded, replayable
+:class:`FaultPlan` injects worker crashes, stalls and slow replies into
+the parallel worker loops so every recovery path (supervision, restart,
+checkpoint/resume, honest partial verdicts) is testable on demand — and
+completely absent from production runs unless explicitly opted in via the
+``REPRO_CHAOS`` environment variable or the plan's ``chaos`` knob.
+"""
+
+from .faults import (
+    CHAOS_ENV,
+    ChaosHook,
+    FaultInjection,
+    FaultPlan,
+    FaultPlanError,
+    chaos_hook_for_worker,
+)
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosHook",
+    "FaultInjection",
+    "FaultPlan",
+    "FaultPlanError",
+    "chaos_hook_for_worker",
+]

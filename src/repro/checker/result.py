@@ -28,6 +28,20 @@ OUTCOME_LABELS = {
 }
 
 
+def outcome_label_for(outcome: str, incomplete_reason: Optional[str] = None) -> str:
+    """Rendered label for an outcome, honouring a specific truncation reason.
+
+    ``inconclusive`` defaults to the budget spelling (the overwhelmingly
+    common cause), but a run that was cut short for another reason — a
+    crashed worker the supervisor could not recover, a cancelled service
+    job — renders that reason instead: ``Inconclusive (worker crash)``,
+    ``Inconclusive (cancelled)``.  Conclusive outcomes ignore the reason.
+    """
+    if outcome == "inconclusive" and incomplete_reason:
+        return f"Inconclusive ({incomplete_reason})"
+    return OUTCOME_LABELS[outcome]
+
+
 def outcome_of(verified: bool, complete: bool, found_counterexample: bool) -> str:
     """Derive the three-valued outcome from the raw verdict flags.
 
@@ -112,6 +126,10 @@ class CheckResult:
         telemetry: JSON-able run report (metric snapshot, finished phase
             spans, peak RSS) produced by the observability layer; None for
             results built outside the plan layer.
+        incomplete_reason: Why the run is incomplete, when the cause is not
+            the ordinary budget: ``"worker crash"`` (unrecovered worker
+            death), ``"cancelled"`` (service preemption).  ``None`` for
+            complete runs and plain budget truncations.
     """
 
     protocol_name: str
@@ -125,6 +143,7 @@ class CheckResult:
     plan: Optional["CheckPlan"] = None
     engine: Optional[str] = None
     telemetry: Optional[dict] = None
+    incomplete_reason: Optional[str] = None
 
     @property
     def found_counterexample(self) -> bool:
@@ -150,9 +169,11 @@ class CheckResult:
 
         Matches the paper's tables for conclusive runs; a budget-truncated
         clean run is labelled honestly instead of masquerading as
-        ``Verified``.
+        ``Verified``.  Runs truncated by a worker crash or a cancellation
+        render their specific reason (``Inconclusive (worker crash)`` /
+        ``Inconclusive (cancelled)``).
         """
-        return OUTCOME_LABELS[self.outcome()]
+        return outcome_label_for(self.outcome(), self.incomplete_reason)
 
     def summary(self) -> str:
         """Return a one-line human-readable summary."""

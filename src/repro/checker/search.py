@@ -69,6 +69,21 @@ class SearchConfig:
             which is fine for the bundled protocols' small local-state
             spaces; bound it when checking protocols whose local-state
             spaces grow with the exploration.
+        chaos: Optional fault-plan spec (see :mod:`repro.chaos`) injected
+            into parallel/swarm worker loops; ``None`` (production default)
+            injects nothing.  Serial searches ignore it — there is no
+            worker process to kill.
+        supervise: Restart crashed workers and deterministically re-execute
+            their lost work (parallel/swarm searches).  When False a worker
+            death aborts the search with a structured
+            :class:`~repro.parallel.worker.WorkerCrashError` instead.
+        checkpoint_dir: Directory receiving level-barrier checkpoints
+            (breadth-first searches only; depth-first engines reject it —
+            a DFS has no durable barrier to serialise).
+        checkpoint_every: Write a checkpoint every N completed levels;
+            defaults to every level when ``checkpoint_dir`` is set.
+        resume_from: Path of a checkpoint file (or checkpoint directory,
+            resolving to its deepest checkpoint) to resume from.
     """
 
     stateful: bool = True
@@ -82,6 +97,11 @@ class SearchConfig:
     engine_cache_capacity: Optional[int] = None
     successor_engine: str = "object"
     fastpath_memo_capacity: Optional[int] = None
+    chaos: Optional[str] = None
+    supervise: bool = True
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    resume_from: Optional[str] = None
 
 
 @dataclass
@@ -114,13 +134,20 @@ Reducer = Callable[[ReductionContext], Tuple[Execution, ...]]
 
 @dataclass
 class SearchOutcome:
-    """Raw outcome of a search, converted to a CheckResult by the facade."""
+    """Raw outcome of a search, converted to a CheckResult by the facade.
+
+    ``incomplete_reason`` distinguishes *why* an incomplete search stopped
+    when the cause is not an ordinary budget: ``"worker crash"`` for an
+    unrecovered worker death (partial statistics are still reported),
+    ``"cancelled"`` for a preempted service job.  ``None`` otherwise.
+    """
 
     verified: bool
     complete: bool
     counterexample: Optional[Counterexample]
     statistics: SearchStatistics
     deadlock_states: int = 0
+    incomplete_reason: Optional[str] = None
 
 
 @dataclass
@@ -187,6 +214,17 @@ def _fastpath_requested(
     return True
 
 
+def _reject_checkpoint_knobs(config: SearchConfig, engine_name: str) -> None:
+    """Depth-first engines have no level barrier to serialise; reject the
+    checkpoint knobs loudly instead of silently not checkpointing."""
+    if config.checkpoint_dir is not None or config.resume_from is not None:
+        raise ValueError(
+            f"{engine_name} does not support checkpoint/resume: only "
+            "breadth-first searches have the level barrier the checkpoint "
+            "format captures (use shape='bfs' or 'frontier')"
+        )
+
+
 def _maybe_span(telemetry, name: str, **attrs):
     """Phase span when telemetry is attached, else a no-op context.
 
@@ -228,6 +266,7 @@ def dfs_search(
         A :class:`SearchOutcome` with verdict, counterexample and statistics.
     """
     config = config or SearchConfig()
+    _reject_checkpoint_knobs(config, "dfs_search")
     if _fastpath_requested(config, engine, "fast_dfs_search"):
         # Imported lazily: repro.fastpath builds on this module.
         from ..fastpath.search import fast_dfs_search
@@ -381,6 +420,11 @@ def bfs_search(
     """
     config = config or SearchConfig()
     if _fastpath_requested(config, engine, "fast_bfs_search"):
+        if config.checkpoint_dir is not None or config.resume_from is not None:
+            raise ValueError(
+                "checkpoint/resume is not supported by the packed fast "
+                "path; run with successors='object'"
+            )
         # Imported lazily: repro.fastpath builds on this module.
         from ..fastpath.search import fast_bfs_search
 
@@ -394,14 +438,78 @@ def bfs_search(
     engine = engine or SuccessorEngine.for_search(protocol, stateful=True)
     initial = engine.initial_state()
     store = make_state_store(config.state_store, shards=config.state_store_shards)
-    store.add(initial)
-    statistics.states_visited = 1
 
-    parents = {initial: None}
+    # Parent edges: state -> None (initial) or (predecessor, execution,
+    # exec_index).  The execution slot is None for edges restored from a
+    # checkpoint; ``rebuild`` recomputes it from the index on demand
+    # (enabled order is deterministic), so executions never need pickling.
+    if config.resume_from is not None:
+        from .checkpoint import CheckpointError, load_checkpoint
+
+        resumed = load_checkpoint(config.resume_from)
+        states = resumed.states
+        if not states or states[0] != initial:
+            raise CheckpointError(
+                f"cannot resume from {config.resume_from!r}: its initial "
+                "state does not match the protocol under check (was the "
+                "checkpoint written for a different model?)"
+            )
+        for state in states:
+            store.add(state)
+        parents = {}
+        for index, edge in enumerate(resumed.edges):
+            if edge is None:
+                parents[states[index]] = None
+            else:
+                parent_index, exec_index = edge
+                parents[states[index]] = (states[parent_index], None, exec_index)
+        statistics = resumed.statistics
+        statistics.states_visited = len(store)
+        frontier = [states[index] for index in resumed.frontier]
+        depth = resumed.depth
+        # Shift the clock back so elapsed/budget accounting spans the
+        # whole run, not just the resumed leg.
+        start_time = time.perf_counter() - statistics.elapsed_seconds
+    else:
+        store.add(initial)
+        statistics.states_visited = 1
+        parents = {initial: None}
+        frontier = [initial]
+        depth = 0
+
     counterexample: Optional[Counterexample] = None
     verified = True
     complete = True
-    peak_frontier = 1
+    peak_frontier = max(1, len(frontier))
+    checkpoint_interval = max(1, config.checkpoint_every or 1)
+
+    def write_level_checkpoint() -> None:
+        from .checkpoint import Checkpoint, write_checkpoint
+
+        states = list(parents.keys())
+        index_of = {state: index for index, state in enumerate(states)}
+        edges = []
+        for state in states:
+            edge = parents[state]
+            if edge is None:
+                edges.append(None)
+            else:
+                predecessor, _execution, exec_index = edge
+                edges.append((index_of[predecessor], exec_index))
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        path = write_checkpoint(
+            Checkpoint(
+                depth=depth,
+                statistics=statistics,
+                states=states,
+                edges=edges,
+                frontier=[index_of[state] for state in frontier],
+                meta={"property": invariant.name, "engine": "bfs"},
+            ),
+            config.checkpoint_dir,
+        )
+        emit(observer, "checkpoint-written", depth=depth,
+             states_visited=statistics.states_visited, path=path)
 
     def record_telemetry() -> None:
         if telemetry is None:
@@ -415,21 +523,21 @@ def bfs_search(
         steps = []
         cursor = state
         while parents[cursor] is not None:
-            predecessor, execution = parents[cursor]
+            predecessor, execution, exec_index = parents[cursor]
+            if execution is None:  # edge restored from a checkpoint
+                execution = engine.enabled(predecessor)[exec_index]
             steps.append(Step(execution=execution, state=cursor))
             cursor = predecessor
         steps.reverse()
         return Counterexample(initial_state=initial, steps=tuple(steps),
                               property_name=invariant.name)
 
-    if not invariant.holds_in(initial, protocol):
+    if config.resume_from is None and not invariant.holds_in(initial, protocol):
         emit(observer, "violation-found", states_visited=1, depth=0)
         statistics.elapsed_seconds = time.perf_counter() - start_time
         record_telemetry()
         return SearchOutcome(False, False, rebuild(initial), statistics)
 
-    frontier = [initial]
-    depth = 0
     while frontier:
         if config.max_seconds is not None:
             if time.perf_counter() - start_time > config.max_seconds:
@@ -443,14 +551,14 @@ def bfs_search(
             enabled = engine.enabled(state)
             statistics.enabled_set_computations += 1
             statistics.full_expansions += 1
-            for execution in enabled:
+            for exec_index, execution in enumerate(enabled):
                 successor = engine.successor(state, execution)
                 statistics.transitions_executed += 1
                 if not store.add(successor):
                     statistics.revisits += 1
                     continue
                 statistics.states_visited = len(store)
-                parents[successor] = (state, execution)
+                parents[successor] = (state, execution, exec_index)
                 if not invariant.holds_in(successor, protocol):
                     verified = False
                     counterexample = rebuild(successor)
@@ -480,6 +588,8 @@ def bfs_search(
             emit(observer, "level-completed", depth=depth,
                  new_states=len(frontier),
                  states_visited=statistics.states_visited)
+            if config.checkpoint_dir is not None and depth % checkpoint_interval == 0:
+                write_level_checkpoint()
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
     record_telemetry()
@@ -529,6 +639,7 @@ def ndfs_search(
     ``stop_at_first_violation=False`` does not change that).
     """
     config = config or SearchConfig()
+    _reject_checkpoint_knobs(config, "ndfs_search")
     if reducer is not None:
         raise ValueError(
             "nested DFS does not support partial-order reduction: the "

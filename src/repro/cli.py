@@ -36,7 +36,9 @@ Subcommands:
 ``submit``
     Thin client of ``serve``: submit one cell/plan/budget job, wait for
     the verdict, exit 0 (verified) / 1 (violated) / 2 (error) /
-    3 (inconclusive — the budget ran out before the verdict).
+    3 (inconclusive — the budget ran out before the verdict).  With
+    ``--cancel JOB`` it cancels a job instead: the job ends as
+    ``Inconclusive (cancelled)`` (exit 3) and its worker slot is reused.
 ``trace``
     Convert a ``--trace-out`` JSONL event capture into Chrome trace-event
     JSON, loadable in Perfetto (https://ui.perfetto.dev) or
@@ -242,6 +244,11 @@ def _command_check(args, stream) -> int:
         walks=args.walks,
         walk_seed=args.seed,
         max_depth=args.max_depth,
+        chaos=args.chaos,
+        supervise=args.supervise,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
     )
     observers = []
     if args.progress:
@@ -411,10 +418,17 @@ def _command_serve(args, stream) -> int:
         cache=ResultCache(capacity=args.cache_capacity),
     )
     try:
+        # handle_signals: SIGTERM/SIGINT run the same graceful path as the
+        # 'shutdown' op — active jobs are cancelled (finishing as honest
+        # 'Inconclusive (cancelled)' records), slots drained, sinks closed.
         asyncio.run(
-            serve(host=args.host, port=args.port, service=service, announce=announce)
+            serve(host=args.host, port=args.port, service=service,
+                  announce=announce, handle_signals=True)
         )
+        stream.write("service stopped\n")
     except KeyboardInterrupt:
+        # Platforms where loop signal handlers are unavailable fall back
+        # to the interrupt propagating here.
         stream.write("service interrupted\n")
     return 0
 
@@ -429,6 +443,11 @@ def _command_submit(args, stream) -> int:
     """Submit one job to a running service and render its verdict."""
     from .service.client import ServiceClient, ServiceClientError
 
+    if args.cancel is not None:
+        return _cancel_job(args, stream)
+    if args.cell is None:
+        stream.write("error: a catalog cell is required unless --cancel JOB is given\n")
+        return 2
     plan = {
         "shape": args.shape,
         "reduction": args.reduction,
@@ -443,6 +462,7 @@ def _command_submit(args, stream) -> int:
             ("max_states", args.max_states),
             ("max_seconds", args.max_seconds),
             ("max_depth", args.max_depth),
+            ("max_wall_seconds", args.max_wall_seconds),
         )
         if value is not None
     }
@@ -478,6 +498,41 @@ def _command_submit(args, stream) -> int:
     _print_records([record], stream)
     stream.write(f"job {record['job']}: {record['outcome']}{cached}\n")
     return SUBMIT_EXIT_CODES[record["outcome"]]
+
+
+def _cancel_job(args, stream) -> int:
+    """``repro submit --cancel JOB``: cancel a job on a running service.
+
+    Exit code follows the verdict discipline: a job that was actually
+    cancelled (queued or preempted mid-run) is inconclusive by
+    construction, so the command exits 3; cancelling an already-finished
+    job reports that job's real verdict instead.
+    """
+    from .service.client import ServiceClient, ServiceClientError
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            record = client.cancel(args.cancel, wait=True)
+            if args.shutdown:
+                client.shutdown()
+    except ServiceClientError as error:
+        stream.write(f"error: {error}\n")
+        return 2
+    except OSError as error:
+        stream.write(
+            f"error: cannot reach service at {args.host}:{args.port} ({error}); "
+            "start one with 'python -m repro serve'\n"
+        )
+        return 2
+    if args.json:
+        Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+    status = record["status"]
+    if status == "failed":
+        stream.write(f"job {record['job']}: failed: {record.get('error')}\n")
+        return 2
+    outcome = record.get("outcome", "inconclusive")
+    stream.write(f"job {record['job']}: {status} ({outcome})\n")
+    return SUBMIT_EXIT_CODES[outcome]
 
 
 def _command_trace(args, stream) -> int:
@@ -560,6 +615,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="root seed for --backend swarm; every walk and "
                             "the whole run replay bit-identically from it "
                             "(default 0)")
+    check.add_argument("--chaos", default=None, metavar="PLAN",
+                       help="fault-injection plan for the search workers, "
+                            "e.g. 'crash:1@3' or 'seed:42:crash=1' "
+                            "(see repro.chaos; testing only)")
+    check.add_argument("--supervise", action="store_true", default=True,
+                       help="restart crashed search workers and re-execute "
+                            "their lost work (default)")
+    check.add_argument("--no-supervise", action="store_false", dest="supervise",
+                       help="fail fast on a crashed worker with an honest "
+                            "'Inconclusive (worker crash)' verdict")
+    check.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="write a resumable checkpoint at level barriers "
+                            "of BFS-shaped searches")
+    check.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N", help="checkpoint every N levels "
+                                         "(default: every level)")
+    check.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume from a checkpoint file, or from the "
+                            "latest checkpoint in a directory")
     check.add_argument("--progress", action="store_true",
                        help="stream the engine's event feed while it runs")
     check.add_argument("--trace-out", default=None, metavar="PATH",
@@ -636,7 +710,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit = subparsers.add_parser(
         "submit", help="submit one job to a running service"
     )
-    submit.add_argument("cell", help="catalog key, e.g. paxos-2-2-1")
+    submit.add_argument("cell", nargs="?", default=None,
+                        help="catalog key, e.g. paxos-2-2-1 "
+                             "(not needed with --cancel)")
+    submit.add_argument("--cancel", default=None, metavar="JOB",
+                        help="cancel a job instead of submitting one: a "
+                             "queued job never runs, a running one is "
+                             "preempted into 'Inconclusive (cancelled)' "
+                             "(exit code 3) and its slot is reused")
     submit.add_argument("--model", choices=MODELS, default="quorum")
     submit.add_argument("--scale", choices=("small", "paper"), default="small")
     submit.add_argument("--host", default="127.0.0.1")
@@ -652,6 +733,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "'inconclusive' (exit code 3), never 'Verified'")
     submit.add_argument("--max-seconds", type=float, default=None)
     submit.add_argument("--max-depth", type=int, default=None)
+    submit.add_argument("--max-wall-seconds", type=float, default=None,
+                        help="service-side preemption deadline: past it the "
+                             "job is cancelled into 'Inconclusive "
+                             "(cancelled)' even if the engine ignores "
+                             "--max-seconds")
     submit.add_argument("--json", default=None,
                         help="write the job record payload here")
     submit.add_argument("--shutdown", action="store_true",

@@ -42,6 +42,15 @@ Event kinds (``EngineEvent.kind``):
 ``worker-stalled``
     A parallel worker's heartbeat went silent for longer than the stall
     threshold; payload names the worker and the silent interval.
+``worker-crashed``
+    A parallel worker died without sending its barrier reply; payload
+    names the worker and the phase it owed.
+``worker-restarted``
+    The supervisor restarted a crashed worker and re-seeded its lost
+    work; payload names the worker and the restart attempt number.
+``checkpoint-written``
+    A level-barrier checkpoint was written; payload carries the depth,
+    the visited count and the file path.
 
 Parallel engines emit coordinator-side events only: observers are plain
 Python objects and do not cross process boundaries.
@@ -71,6 +80,9 @@ EVENT_KINDS = (
     "worker-report",
     "worker-telemetry",
     "worker-stalled",
+    "worker-crashed",
+    "worker-restarted",
+    "checkpoint-written",
     "span-started",
     "span-finished",
     "violation-found",
@@ -213,6 +225,22 @@ class ProgressPrinter(Observer):
                 f"  !! worker {payload.get('worker', '?')} stalled "
                 f"({payload.get('idle_seconds', 0.0):.1f}s without heartbeat)\n"
             )
+        elif event.kind == "worker-crashed":
+            self.stream.write(
+                f"  !! worker {payload.get('worker', '?')} crashed "
+                f"(no {payload.get('phase', '?')} reply)\n"
+            )
+        elif event.kind == "worker-restarted":
+            self.stream.write(
+                f"  worker {payload.get('worker', '?')} restarted "
+                f"(attempt {payload.get('attempt', '?')})\n"
+            )
+        elif event.kind == "checkpoint-written":
+            self.stream.write(
+                f"  checkpoint @ level {payload.get('depth', '?')}: "
+                f"{payload.get('states_visited', 0):,} states -> "
+                f"{payload.get('path', '?')}\n"
+            )
         elif event.kind in ("span-started", "span-finished", "worker-telemetry"):
             # High-frequency telemetry kinds stay silent on the human
             # printer; JSONL sinks and trace export consume them.
@@ -225,7 +253,8 @@ class ProgressPrinter(Observer):
             elif payload.get("complete", True):
                 verdict = "Verified"
             else:
-                verdict = "Inconclusive (budget hit)"
+                reason = payload.get("incomplete_reason") or "budget hit"
+                verdict = f"Inconclusive ({reason})"
             self.stream.write(
                 f"[{payload.get('engine', '?')}] {verdict} — "
                 f"{payload.get('states_visited', 0):,} states, "

@@ -162,6 +162,21 @@ class CheckPlan:
             stream is derived from ``(walk_seed, walk_index)`` via the
             splitmix64 mixer, so a run is bit-reproducible from this one
             number (defaulted to 0 on swarm plans; rejected elsewhere).
+        chaos: Optional fault-plan spec (:mod:`repro.chaos`) injected into
+            the parallel/swarm worker loops — deterministic worker
+            crashes/stalls/slowdowns for exercising the recovery paths.
+            ``None`` (the default) injects nothing; like the budgets this
+            is a run knob, not a capability axis.
+        supervise: Restart crashed parallel/swarm workers and re-execute
+            their lost work deterministically.  ``False`` turns a worker
+            death into a structured ``WorkerCrashError`` → honest
+            ``Inconclusive (worker crash)`` instead.
+        checkpoint_dir: Directory receiving level-barrier checkpoints
+            (breadth-first shapes only).
+        checkpoint_every: Checkpoint every N completed levels (defaults to
+            every level when ``checkpoint_dir`` is set).
+        resume_from: Checkpoint file (or directory → deepest checkpoint)
+            to resume a breadth-first run from.
     """
 
     shape: str = "dfs"
@@ -183,6 +198,11 @@ class CheckPlan:
     goal: str = "invariant"
     walks: Optional[int] = None
     walk_seed: Optional[int] = None
+    chaos: Optional[str] = None
+    supervise: bool = True
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    resume_from: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.goal not in GOALS:
@@ -318,6 +338,11 @@ class CheckPlan:
             check_deadlocks=self.check_deadlocks,
             engine_cache_capacity=self.engine_cache_capacity,
             fastpath_memo_capacity=self.fastpath_memo_capacity,
+            chaos=self.chaos,
+            supervise=self.supervise,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_every=self.checkpoint_every,
+            resume_from=self.resume_from,
         )
 
 

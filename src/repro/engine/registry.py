@@ -278,6 +278,7 @@ def run_plan(
         complete=outcome.complete,
         states_visited=outcome.statistics.states_visited,
         elapsed_seconds=outcome.statistics.elapsed_seconds,
+        incomplete_reason=getattr(outcome, "incomplete_reason", None),
     )
     return CheckResult(
         protocol_name=protocol.name,
@@ -291,4 +292,5 @@ def run_plan(
         plan=resolved,
         engine=engine.name,
         telemetry=telemetry.snapshot(),
+        incomplete_reason=getattr(outcome, "incomplete_reason", None),
     )

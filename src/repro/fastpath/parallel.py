@@ -47,7 +47,7 @@ from ..checker.statestore import ShardedFingerprintStore, shard_of
 from ..engine.events import PROGRESS_INTERVAL, Observer, emit
 from ..mp.protocol import Protocol
 from ..parallel.bfs import default_mp_context
-from ..parallel.worker import collect_replies
+from ..parallel.worker import collect_replies, shutdown_processes
 from ..parallel.worksteal import (
     HEARTBEAT_EVERY,
     BatchedCounter,
@@ -519,11 +519,8 @@ def fast_parallel_dfs_search(
     finally:
         if deques is not None:
             deques.stop.set()
-        for process in processes:
-            process.join(timeout=5.0)
-        for process in processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
+        shutdown_processes(processes, queues=[result_queue],
+                           telemetry=telemetry)
         manager.shutdown()
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
@@ -817,11 +814,8 @@ def fast_parallel_bfs_search(
                 queue.put(("stop", None))
             except Exception:  # pragma: no cover - queue already broken
                 pass
-        for process in processes:
-            process.join(timeout=5.0)
-        for process in processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
+        shutdown_processes(processes, queues=[result_queue] + task_queues,
+                           telemetry=telemetry)
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
     if telemetry is not None:

@@ -17,6 +17,28 @@ Guarantees relative to serial BFS:
   level barriers, so a run stopped mid-search may count the remainder of
   the level the serial search would have abandoned mid-way through.
 
+Fault tolerance: the coordinator supervises its pool.  A worker that dies
+without replying (SIGKILL, the OOM killer, an injected :mod:`repro.chaos`
+crash) is detected by the liveness poll inside
+:func:`~repro.parallel.worker.collect_replies`; under supervision (the
+default) the coordinator restarts it on a fresh queue, replays exactly the
+states the dead worker owned (every absorb reply carries them, so the
+level barrier doubles as the recovery log), re-issues the lost barrier
+command, and resumes the collection with the surviving workers' replies
+intact — visited and transition counts are provably identical to an
+uncrashed run because re-absorbing from the pre-barrier shard is the same
+deterministic computation.  With supervision off (or the restart budget
+exhausted) the crash surfaces as a structured
+:class:`~repro.parallel.worker.WorkerCrashError` and the search returns an
+honest incomplete outcome with partial statistics, never a hang or a bare
+traceback.
+
+Checkpointing rides the same barrier: with ``config.checkpoint_dir`` set
+(and parent tracking on), the coordinator serialises the visited set,
+parent edges and frontier every ``config.checkpoint_every`` levels; a
+killed run resumes via ``config.resume_from`` with verdict and visited
+count identical to an uninterrupted run.
+
 The workers inherit the protocol via the ``fork`` start method (transition
 guards and actions are closures and never pickle); only global states and
 fingerprints cross process boundaries, using the compact pickling of
@@ -35,11 +57,21 @@ from ..checker.counterexample import Counterexample, Step
 from ..checker.property import Invariant
 from ..checker.result import SearchStatistics
 from ..checker.search import SearchConfig, SearchOutcome, bfs_search
+from ..checker.statestore import shard_of
 from ..engine.events import Observer, emit
 from ..mp.protocol import Protocol
 from ..mp.semantics import enabled_executions
 from ..mp.state import GlobalState
-from .worker import collect_replies, frontier_worker
+from .worker import (
+    WorkerCrashError,
+    collect_replies,
+    frontier_worker,
+    shutdown_processes,
+)
+
+#: Total worker restarts the supervisor attempts before giving up and
+#: surfacing the crash; bounds flapping when the fault is not transient.
+MAX_WORKER_RESTARTS = 3
 
 
 def default_mp_context():
@@ -72,7 +104,10 @@ def parallel_bfs_search(
         protocol: The protocol instance to explore.
         invariant: The invariant to check in every reachable state.
         config: Search configuration; ``state_store == "full"`` dedups
-            shards by exact states, every other kind by fingerprints.
+            shards by exact states, every other kind by fingerprints.  The
+            ``chaos`` / ``supervise`` / ``checkpoint_dir`` /
+            ``checkpoint_every`` / ``resume_from`` knobs drive the fault
+            tolerance documented in the module docstring.
         workers: Worker process count (= shard count).  ``workers <= 1``
             delegates to the serial :func:`bfs_search`.
         mp_context: Multiprocessing context; defaults to ``fork``.  Without
@@ -81,7 +116,8 @@ def parallel_bfs_search(
             violation can be rebuilt into a counterexample.  Disabling this
             drops the coordinator-side state table — the memory profile then
             matches the sharded fingerprint store — at the price of
-            ``counterexample=None`` on violations.
+            ``counterexample=None`` on violations (and no checkpointing,
+            which needs that table).
         worker_timeout: Optional hard cap per level barrier.  By default the
             coordinator waits for as long as every worker process is alive
             (an arbitrarily long level is progress, not a hang; crashed
@@ -92,11 +128,13 @@ def parallel_bfs_search(
             ``level-completed`` event per level barrier (including the
             exchanged delta count), one ``worker-telemetry`` event per
             worker per expand barrier (cumulative expansions/transitions,
-            riding the existing replies — no extra IPC) plus
-            ``violation-found`` events.
+            riding the existing replies — no extra IPC),
+            ``violation-found`` events, and the fault-tolerance kinds
+            ``worker-crashed`` / ``worker-restarted`` /
+            ``checkpoint-written``.
         telemetry: Optional :class:`~repro.obs.telemetry.RunTelemetry`;
             receives frontier-peak and per-worker transition counters at
-            the end of the run.
+            the end of the run, plus crash/restart counters.
 
     Returns:
         A :class:`SearchOutcome`, shaped exactly like the serial one.
@@ -115,25 +153,54 @@ def parallel_bfs_search(
         )
         return bfs_search(protocol, invariant, config, observer=observer,
                           telemetry=telemetry)
+    if config.checkpoint_dir is not None and not track_parents:
+        raise ValueError(
+            "checkpointing the frontier search requires track_parents=True: "
+            "the checkpoint serialises the coordinator's state table"
+        )
 
     statistics = SearchStatistics()
     start_time = time.perf_counter()
+    supervise = config.supervise
 
     initial = protocol.initial_state()
-    statistics.states_visited = 1
-    if not invariant.holds_in(initial, protocol):
-        emit(observer, "violation-found", states_visited=1, depth=0)
-        statistics.elapsed_seconds = time.perf_counter() - start_time
-        counterexample = Counterexample(
-            initial_state=initial, steps=(), property_name=invariant.name
-        )
-        return SearchOutcome(False, False, counterexample, statistics)
+
+    resumed = None
+    if config.resume_from is not None:
+        from ..checker.checkpoint import CheckpointError, load_checkpoint
+
+        if not track_parents:
+            raise ValueError(
+                "resuming the frontier search requires track_parents=True"
+            )
+        resumed = load_checkpoint(config.resume_from)
+        if not resumed.states or resumed.states[0] != initial:
+            raise CheckpointError(
+                f"cannot resume from {config.resume_from!r}: its initial "
+                "state does not match the protocol under check (was the "
+                "checkpoint written for a different model?)"
+            )
+
+    if resumed is None:
+        statistics.states_visited = 1
+        if not invariant.holds_in(initial, protocol):
+            emit(observer, "violation-found", states_visited=1, depth=0)
+            statistics.elapsed_seconds = time.perf_counter() - start_time
+            counterexample = Counterexample(
+                initial_state=initial, steps=(), property_name=invariant.name
+            )
+            return SearchOutcome(False, False, counterexample, statistics)
 
     exact = config.state_store == "full"
+    # Workers ship accepted-state records back whenever the coordinator
+    # needs them: for counterexamples (track_parents) or as the recovery
+    # log supervision replays into a restarted worker.
+    worker_records = track_parents or supervise
     task_queues = [context.Queue() for _ in range(workers)]
     result_queue = context.Queue()
-    processes = [
-        context.Process(
+
+    def spawn_worker(worker_id: int, chaos: Optional[str]):
+        process = context.Process(
             target=frontier_worker,
             args=(
                 worker_id,
@@ -141,17 +208,52 @@ def parallel_bfs_search(
                 protocol,
                 invariant,
                 exact,
-                track_parents,
+                worker_records,
                 task_queues[worker_id],
                 result_queue,
+                chaos,
             ),
             daemon=True,
         )
-        for worker_id in range(workers)
-    ]
+        process.start()
+        return process
 
-    parents = {initial.fingerprint(): None} if track_parents else None
-    states_by_fp = {initial.fingerprint(): initial} if track_parents else None
+    parents = {} if track_parents else None
+    states_by_fp = {} if track_parents else None
+    # Per-worker recovery log: every state the worker's shard accepted, and
+    # its current local frontier.  Only the references are duplicated.
+    owned_states: List[List[GlobalState]] = [[] for _ in range(workers)]
+    worker_frontier: List[List[GlobalState]] = [[] for _ in range(workers)]
+
+    if resumed is not None:
+        states = resumed.states
+        fingerprints = [state.fingerprint() for state in states]
+        for index, edge in enumerate(resumed.edges):
+            if edge is None:
+                parents[fingerprints[index]] = None
+            else:
+                parent_index, exec_index = edge
+                parents[fingerprints[index]] = (fingerprints[parent_index], exec_index)
+            states_by_fp[fingerprints[index]] = states[index]
+        for index, state in enumerate(states):
+            owned_states[shard_of(fingerprints[index], workers)].append(state)
+        frontier_states = [states[index] for index in resumed.frontier]
+        for state in frontier_states:
+            worker_frontier[shard_of(state.fingerprint(), workers)].append(state)
+        statistics = resumed.statistics
+        statistics.states_visited = len(states)
+        depth = resumed.depth
+        frontier_total = len(frontier_states)
+        start_time = time.perf_counter() - statistics.elapsed_seconds
+    else:
+        if track_parents:
+            parents[initial.fingerprint()] = None
+            states_by_fp[initial.fingerprint()] = initial
+        owner = shard_of(initial.fingerprint(), workers)
+        owned_states[owner].append(initial)
+        worker_frontier[owner].append(initial)
+        depth = 0
+        frontier_total = 1
 
     def rebuild(violating_fp: int) -> Counterexample:
         """Walk the parent chain back to the initial state.
@@ -173,19 +275,110 @@ def parallel_bfs_search(
             initial_state=initial, steps=tuple(steps), property_name=invariant.name
         )
 
+    checkpoint_interval = max(1, config.checkpoint_every or 1)
+
+    def write_level_checkpoint(level_frontier: List[GlobalState]) -> None:
+        from ..checker.checkpoint import Checkpoint, write_checkpoint
+
+        fps = list(states_by_fp.keys())
+        index_of = {fp: index for index, fp in enumerate(fps)}
+        edges = []
+        for fp in fps:
+            edge = parents[fp]
+            edges.append(None if edge is None else (index_of[edge[0]], edge[1]))
+        statistics.elapsed_seconds = time.perf_counter() - start_time
+        path = write_checkpoint(
+            Checkpoint(
+                depth=depth + 1,
+                statistics=statistics,
+                states=[states_by_fp[fp] for fp in fps],
+                edges=edges,
+                frontier=[index_of[state.fingerprint()] for state in level_frontier],
+                meta={"property": invariant.name, "engine": "frontier-bfs",
+                      "workers": workers},
+            ),
+            config.checkpoint_dir,
+        )
+        emit(observer, "checkpoint-written", depth=depth + 1,
+             states_visited=statistics.states_visited, path=path)
+
+    restarts_used = 0
+    crash_counter = restart_counter = None
+    if telemetry is not None:
+        crash_counter = telemetry.metrics.counter(
+            "worker_crashes", "worker processes that died without replying"
+        )
+        restart_counter = telemetry.metrics.counter(
+            "worker_restarts", "crashed workers restarted by the supervisor"
+        )
+
+    processes = [spawn_worker(worker_id, config.chaos) for worker_id in range(workers)]
+
+    def supervised_collect(phase: str, resend):
+        """Collect a barrier, restarting crashed workers under supervision.
+
+        ``resend(worker_id)`` re-enqueues the lost barrier command after the
+        restore; surviving workers' replies carry over between attempts via
+        the partial-reply list on the crash error.
+        """
+        nonlocal restarts_used
+        replies = None
+        while True:
+            try:
+                return collect_replies(
+                    result_queue, workers, phase, worker_timeout, processes,
+                    replies,
+                )
+            except WorkerCrashError as crash:
+                for worker_id in crash.workers:
+                    emit(observer, "worker-crashed", worker=worker_id,
+                         phase=phase)
+                    if crash_counter is not None:
+                        crash_counter.inc()
+                if (
+                    not supervise
+                    or restarts_used + len(crash.workers) > MAX_WORKER_RESTARTS
+                ):
+                    crash.attempts = restarts_used
+                    raise
+                replies = crash.replies
+                for worker_id in crash.workers:
+                    restarts_used += 1
+                    processes[worker_id].join(timeout=0.1)  # reap the corpse
+                    # Fresh queue: the dead worker may have consumed — or
+                    # left behind — commands on the old one.
+                    task_queues[worker_id] = context.Queue()
+                    # The replacement runs without the fault plan: the plan
+                    # describes faults of the original incarnation, and
+                    # re-arming it would crash every replacement too.
+                    processes[worker_id] = spawn_worker(worker_id, None)
+                    task_queues[worker_id].put(
+                        ("restore",
+                         (owned_states[worker_id], worker_frontier[worker_id]))
+                    )
+                    resend(worker_id)
+                    emit(observer, "worker-restarted", worker=worker_id,
+                         attempt=restarts_used)
+                    if restart_counter is not None:
+                        restart_counter.inc()
+
     verified = True
     complete = True
+    incomplete_reason: Optional[str] = None
     counterexample: Optional[Counterexample] = None
-    peak_frontier = 1
+    peak_frontier = max(1, frontier_total)
     worker_totals = [[0, 0] for _ in range(workers)]  # expansions, transitions
     try:
-        for process in processes:
-            process.start()
-        for queue in task_queues:
-            queue.put(("seed", initial))
+        if resumed is None:
+            for queue in task_queues:
+                queue.put(("seed", initial))
+        else:
+            for worker_id, queue in enumerate(task_queues):
+                queue.put(
+                    ("restore",
+                     (owned_states[worker_id], worker_frontier[worker_id]))
+                )
 
-        frontier_total = 1
-        depth = 0
         while frontier_total:
             if config.max_seconds is not None:
                 if time.perf_counter() - start_time > config.max_seconds:
@@ -198,8 +391,8 @@ def parallel_bfs_search(
             # Expand: every worker walks its local frontier.
             for queue in task_queues:
                 queue.put(("expand", None))
-            expanded = collect_replies(
-                result_queue, workers, "expanded", worker_timeout, processes
+            expanded = supervised_collect(
+                "expanded", lambda worker_id: task_queues[worker_id].put(("expand", None))
             )
             for reply_worker, outgoing, expansions, transitions in expanded:
                 statistics.enabled_set_computations += expansions
@@ -213,28 +406,42 @@ def parallel_bfs_search(
                          expansions=totals[0], transitions_executed=totals[1])
 
             # Exchange deltas: candidates routed to each owner shard, in
-            # worker-id order so the absorb order is deterministic.
+            # worker-id order so the absorb order is deterministic.  The
+            # routed lists are retained for the level so a worker that
+            # crashes mid-absorb can be re-fed its exact candidates.
             level_deltas = 0
+            routed: List[list] = []
             for destination in range(workers):
                 candidates = []
                 for _worker_id, outgoing, _expansions, _transitions in expanded:
                     candidates.extend(outgoing[destination])
                 level_deltas += len(candidates)
+                routed.append(candidates)
                 task_queues[destination].put(("absorb", candidates))
-            absorbed = collect_replies(
-                result_queue, workers, "absorbed", worker_timeout, processes
+            absorbed = supervised_collect(
+                "absorbed",
+                lambda worker_id: task_queues[worker_id].put(("absorb", routed[worker_id])),
             )
 
             level_new = 0
+            level_frontier: List[GlobalState] = []
             level_violations: List[int] = []
-            for _worker_id, new_count, revisits, violations, new_records in absorbed:
+            for reply_worker, new_count, revisits, violations, new_records in absorbed:
                 level_new += new_count
                 statistics.revisits += revisits
                 level_violations.extend(violations)
-                if track_parents and new_records:
-                    for fingerprint, successor, parent_fp, exec_index in new_records:
-                        parents[fingerprint] = (parent_fp, exec_index)
-                        states_by_fp[fingerprint] = successor
+                if new_records:
+                    accepted = [record[1] for record in new_records]
+                    if worker_records:
+                        owned_states[reply_worker].extend(accepted)
+                        worker_frontier[reply_worker] = accepted
+                        level_frontier.extend(accepted)
+                    if track_parents:
+                        for fingerprint, successor, parent_fp, exec_index in new_records:
+                            parents[fingerprint] = (parent_fp, exec_index)
+                            states_by_fp[fingerprint] = successor
+                elif worker_records:
+                    worker_frontier[reply_worker] = []
             statistics.states_visited += level_new
 
             if level_violations:
@@ -264,6 +471,11 @@ def parallel_bfs_search(
                 emit(observer, "level-completed", depth=depth + 1,
                      new_states=level_new, deltas=level_deltas,
                      states_visited=statistics.states_visited)
+                if (
+                    config.checkpoint_dir is not None
+                    and (depth + 1) % checkpoint_interval == 0
+                ):
+                    write_level_checkpoint(level_frontier)
             frontier_total = level_new
             peak_frontier = max(peak_frontier, frontier_total)
             depth += 1
@@ -271,17 +483,20 @@ def parallel_bfs_search(
             # the deepest *discovered* state, not the final empty level.
             if frontier_total:
                 statistics.max_depth = max(statistics.max_depth, depth)
+    except WorkerCrashError:
+        # Unrecovered worker death: an honest partial verdict, never a hang
+        # or a bare traceback.  Partial statistics (everything up to the
+        # last completed barrier) stay attached.
+        complete = False
+        incomplete_reason = "worker crash"
     finally:
         for queue in task_queues:
             try:
                 queue.put(("stop", None))
             except Exception:  # pragma: no cover - queue already broken
                 pass
-        for process in processes:
-            process.join(timeout=5.0)
-        for process in processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
+        shutdown_processes(processes, queues=[result_queue] + task_queues,
+                           telemetry=telemetry)
 
     statistics.elapsed_seconds = time.perf_counter() - start_time
     if telemetry is not None:
@@ -298,4 +513,5 @@ def parallel_bfs_search(
         complete=complete,
         counterexample=counterexample,
         statistics=statistics,
+        incomplete_reason=incomplete_reason,
     )

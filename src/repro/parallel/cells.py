@@ -66,6 +66,15 @@ class CellSpec:
             rejects walk parameters on exhaustive backends).
         max_depth: Per-walk step bound for swarm cells; also honoured as a
             depth budget by the exhaustive engines.
+        chaos: Optional fault-plan spec injected into the cell's search
+            workers (see :mod:`repro.chaos`); ``None`` injects nothing.
+        supervise: Restart crashed search workers and re-execute their
+            lost work (the default); ``False`` fails fast with an honest
+            ``Inconclusive (worker crash)`` verdict.
+        checkpoint_dir / checkpoint_every: Level-barrier checkpointing for
+            BFS-shaped cells (see :mod:`repro.checker.checkpoint`).
+        resume_from: Checkpoint file (or directory holding checkpoints) to
+            resume the cell's search from.
     """
 
     key: str
@@ -86,6 +95,11 @@ class CellSpec:
     walks: Optional[int] = None
     walk_seed: Optional[int] = None
     max_depth: Optional[int] = None
+    chaos: Optional[str] = None
+    supervise: bool = True
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    resume_from: Optional[str] = None
 
     def to_task(self) -> Dict:
         """The picklable task form handed to pool workers."""
@@ -123,11 +137,11 @@ class CellSpec:
                                walks=self.walks, walk_seed=self.walk_seed)
             if self.max_depth is not None:
                 plan = replace(plan, max_depth=self.max_depth)
-            return plan
+            return self._apply_fault_knobs(plan)
         # CheckPlan.__post_init__ owns the cross-axis normalisation (dpor is
         # stateless, stateless plans store nothing); pass the axes through.
         swarm = self.backend == "swarm"
-        return CheckPlan(
+        return self._apply_fault_knobs(CheckPlan(
             shape=self.shape or "dfs",
             reduction=self.reduction or "none",
             store="none" if swarm or not self.stateful else self.state_store,
@@ -144,7 +158,27 @@ class CellSpec:
             goal=self.goal,
             walks=self.walks,
             walk_seed=self.walk_seed,
-        )
+        ))
+
+    def _apply_fault_knobs(self, plan: CheckPlan) -> CheckPlan:
+        """Layer the fault-tolerance knobs onto ``plan``.
+
+        Applied identically to both plan-construction branches so a legacy
+        ``strategy`` cell and an explicit-axes cell get the same chaos /
+        supervision / checkpoint behaviour.
+        """
+        changes = {}
+        if self.chaos is not None:
+            changes["chaos"] = self.chaos
+        if not self.supervise:
+            changes["supervise"] = False
+        if self.checkpoint_dir is not None:
+            changes["checkpoint_dir"] = self.checkpoint_dir
+        if self.checkpoint_every is not None:
+            changes["checkpoint_every"] = self.checkpoint_every
+        if self.resume_from is not None:
+            changes["resume_from"] = self.resume_from
+        return replace(plan, **changes) if changes else plan
 
 
 def _resolve_entry(key: str, scale: str) -> CatalogEntry:

@@ -82,7 +82,7 @@ from ..mp.protocol import Protocol
 from ..mp.semantics import SuccessorEngine
 from ..mp.state import GlobalState
 from .bfs import default_mp_context
-from .worker import collect_replies
+from .worker import collect_replies, shutdown_processes
 from .worksteal import (
     HEARTBEAT_EVERY,
     BatchedCounter,
@@ -589,11 +589,8 @@ def parallel_dfs_search(
     finally:
         if deques is not None:
             deques.stop.set()
-        for process in processes:
-            process.join(timeout=5.0)
-        for process in processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
+        shutdown_processes(processes, queues=[result_queue],
+                           telemetry=telemetry)
         manager.shutdown()
 
     statistics.elapsed_seconds = time.perf_counter() - start_time

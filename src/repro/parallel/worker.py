@@ -22,12 +22,22 @@ queue per worker, one shared result queue):
     Deduplicate the candidates routed to this worker's shard against the
     owned fingerprint set; the newly added states become the next local
     frontier.  Replies with the new/revisit counts and any violations.
+``("restore", (owned_states, frontier_states))``
+    Recovery/resume seeding: rebuild the shard set from ``owned_states``
+    and adopt ``frontier_states`` as the local frontier.  Sent to a
+    freshly restarted worker by the supervisor (replaying exactly the
+    states the dead worker had accepted) and to every worker when a run
+    resumes from a checkpoint.  No reply — commands are processed in
+    queue order, so the next barrier command acknowledges it.
 ``("stop", None)``
     Terminate the worker loop.
 
 All replies carry the worker id so the coordinator can collect one reply
 per worker per phase.  Any exception is reported as an ``("error", ...)``
-reply instead of silently killing the process.
+reply instead of silently killing the process.  A *hard* death — SIGKILL,
+the OOM killer, or an injected ``os._exit`` from :mod:`repro.chaos` —
+never reaches the error path; the coordinator detects it via liveness
+polling and gets a structured :class:`WorkerCrashError`.
 """
 
 from __future__ import annotations
@@ -47,6 +57,41 @@ from ..mp.state import GlobalState
 Candidate = Tuple[GlobalState, bool, int, int]
 
 
+class WorkerCrashError(RuntimeError):
+    """A worker process died without sending its barrier reply.
+
+    Subclasses :class:`RuntimeError` so pre-supervision call sites keep
+    working, but carries structure the supervisor needs to recover instead
+    of aborting:
+
+    Attributes:
+        phase: The reply phase the collector was waiting for.
+        workers: Ids of the dead workers whose replies are outstanding.
+        replies: The partial reply list (one slot per worker, ``None``
+            where outstanding) so surviving workers' barrier replies are
+            not lost across a restart.
+        attempts: Restart attempts already spent when a supervisor
+            re-raises after giving up (0 when unsupervised).
+    """
+
+    def __init__(
+        self,
+        phase: str,
+        workers: Sequence[int] = (),
+        replies: Optional[list] = None,
+        attempts: int = 0,
+    ) -> None:
+        names = ", ".join(str(worker) for worker in workers) or "?"
+        super().__init__(
+            f"parallel search: worker(s) {names} died without sending "
+            f"{phase!r} reply"
+        )
+        self.phase = phase
+        self.workers = tuple(workers)
+        self.replies = replies
+        self.attempts = attempts
+
+
 def frontier_worker(
     worker_id: int,
     num_workers: int,
@@ -56,6 +101,7 @@ def frontier_worker(
     track_parents: bool,
     task_queue,
     result_queue,
+    chaos: Optional[str] = None,
 ) -> None:
     """Run the worker command loop (the ``multiprocessing.Process`` target).
 
@@ -71,13 +117,21 @@ def frontier_worker(
             the absorb reply so the coordinator can rebuild counterexamples.
         task_queue: This worker's command queue.
         result_queue: The shared reply queue.
+        chaos: Optional :class:`repro.chaos.FaultPlan` spec; falls back to
+            the ``REPRO_CHAOS`` environment variable.  ``None`` (the
+            production default) injects nothing and costs nothing.
     """
     try:
+        from ..chaos import chaos_hook_for_worker
+
+        hook = chaos_hook_for_worker(chaos, worker_id, num_workers)
         engine = SuccessorEngine.for_search(protocol, stateful=True)
         shard = set()
         local_frontier: List[GlobalState] = []
         while True:
             command, payload = task_queue.get()
+            if hook is not None:
+                hook.on_command(command)
             if command == "stop":
                 return
             if command == "seed":
@@ -87,6 +141,13 @@ def frontier_worker(
                     local_frontier = [state]
                 else:
                     local_frontier = []
+            elif command == "restore":
+                owned_states, frontier_states = payload
+                shard = set(
+                    state if exact else state.fingerprint()
+                    for state in owned_states
+                )
+                local_frontier = list(frontier_states)
             elif command == "expand":
                 outgoing: List[List[Candidate]] = [[] for _ in range(num_workers)]
                 expansions = 0
@@ -140,6 +201,7 @@ def collect_replies(
     phase: str,
     timeout: Optional[float],
     processes: Sequence = (),
+    replies: Optional[list] = None,
 ):
     """Collect exactly one ``phase`` reply per worker, in worker-id order.
 
@@ -155,37 +217,47 @@ def collect_replies(
     Args:
         processes: Worker processes, indexed by worker id (so liveness can
             be checked only for workers whose reply is still outstanding).
+        replies: Optional partially-filled reply list from a previous,
+            crash-interrupted collection (the supervisor passes the
+            ``replies`` attribute of the :class:`WorkerCrashError` back in
+            after restarting the dead workers, so surviving workers'
+            replies are never re-awaited).
 
     Raises:
-        RuntimeError: If a worker reported an error, died without replying,
-            an unexpected phase arrived, or the hard timeout elapsed.
+        WorkerCrashError: A worker died without replying; carries the dead
+            worker ids and the partial replies so a supervisor can restart
+            and resume the collection.
+        RuntimeError: A worker reported an error, an unexpected phase
+            arrived, or the hard timeout elapsed.
     """
     import queue as queue_module
 
     deadline = None if timeout is None else time.monotonic() + timeout
-    replies = [None] * num_workers
-    collected = 0
+    if replies is None:
+        replies = [None] * num_workers
+    collected = sum(1 for reply in replies if reply is not None)
 
-    def outstanding_worker_died() -> bool:
-        return any(
-            replies[index] is None and not process.is_alive()
+    def dead_outstanding() -> List[int]:
+        return [
+            index
             for index, process in enumerate(processes)
             if index < num_workers
-        )
+            and replies[index] is None
+            and not process.is_alive()
+        ]
 
     while collected < num_workers:
         try:
             reply = result_queue.get(timeout=_LIVENESS_POLL_SECONDS)
         except queue_module.Empty:
-            if outstanding_worker_died():
+            if dead_outstanding():
                 # One last drain: the dying worker's reply may still be in
                 # the queue's feeder pipe.
                 try:
                     reply = result_queue.get(timeout=_LIVENESS_POLL_SECONDS)
                 except queue_module.Empty:
-                    raise RuntimeError(
-                        f"parallel search: a worker died without sending its "
-                        f"{phase!r} reply"
+                    raise WorkerCrashError(
+                        phase, dead_outstanding(), replies
                     ) from None
             elif deadline is not None and time.monotonic() > deadline:
                 raise RuntimeError(
@@ -201,6 +273,56 @@ def collect_replies(
             raise RuntimeError(
                 f"parallel search: expected {phase!r} reply, got {reply[0]!r}"
             )
+        if replies[reply[1]] is None:
+            collected += 1
         replies[reply[1]] = reply[1:]
-        collected += 1
     return replies
+
+
+#: Grace given to a worker at each escalation rung of the shutdown ladder.
+_SHUTDOWN_GRACE_SECONDS = 5.0
+
+
+def shutdown_processes(processes: Sequence, queues: Sequence = (),
+                       telemetry=None) -> int:
+    """Tear a worker pool down without ever leaking a process.
+
+    The ladder: ``join`` with a grace period, then ``terminate`` (SIGTERM)
+    the stragglers and join again, then ``kill`` (SIGKILL) whatever
+    survived — a worker wedged in uninterruptible state must not outlive
+    the search and hold its queues' feeder threads (and their memory)
+    forever.  Queues are closed afterwards so their feeder threads exit.
+
+    Returns the number of processes that needed escalation past the plain
+    join; when ``telemetry`` is given the count also lands on the
+    ``worker_shutdown_escalations`` counter so leaked-process pressure is
+    visible in run reports.
+    """
+    for process in processes:
+        process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+    escalated = 0
+    for process in processes:
+        if process.is_alive():
+            escalated += 1
+            process.terminate()
+    if escalated:
+        for process in processes:
+            if process.is_alive():
+                process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - SIGTERM-proof worker
+                kill = getattr(process, "kill", process.terminate)
+                kill()
+                process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+    for queue in queues:
+        try:
+            queue.close()
+            queue.join_thread()
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+    if telemetry is not None and escalated:
+        telemetry.metrics.counter(
+            "worker_shutdown_escalations",
+            "worker processes that survived join() and had to be signalled",
+        ).inc(escalated)
+    return escalated

@@ -19,6 +19,7 @@ The service layer turns the plan-layer entry point
 from .cache import CacheKey, ResultCache, protocol_fingerprint
 from .client import ServiceClient, ServiceClientError
 from .jobs import (
+    CANCELLED,
     DONE,
     FAILED,
     JOB_EVENT_KINDS,
@@ -34,6 +35,7 @@ from .jobs import (
 from .server import WIRE_VERSION, CheckServer, serve
 from .service import (
     CheckService,
+    JobCancelled,
     ServiceError,
     ServiceOverloadedError,
     UnknownJobError,
@@ -41,6 +43,7 @@ from .service import (
 )
 
 __all__ = [
+    "CANCELLED",
     "CacheKey",
     "CheckServer",
     "CheckService",
@@ -50,6 +53,7 @@ __all__ = [
     "JOB_STATES",
     "Job",
     "JobBudgets",
+    "JobCancelled",
     "JobEventLog",
     "JobRequest",
     "QUEUED",

@@ -5,13 +5,33 @@ The wire protocol is JSON lines over TCP (see
 socket, write one line, read one line.  ``repro submit`` and the CI smoke
 test drive the server through this class; anything asyncio stays on the
 server side.
+
+Connection establishment retries with exponential backoff plus
+deterministic jitter (a freshly forked ``repro serve`` needs a beat to
+bind), and *idempotent* requests are retried once over a fresh connection
+when the server drops mid-exchange.  ``submit`` is never replayed — a
+retried submission would double-run (and double-count) the job.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Dict, List, Optional
+
+#: Ops that are safe to replay over a fresh connection after a drop.
+#: ``submit`` is deliberately absent (replay = duplicate job); ``cancel``
+#: and ``invalidate`` are idempotent by construction (cancelling a
+#: finished job / invalidating an absent entry are no-ops).
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "status", "result", "events", "health", "cancel", "invalidate"}
+)
+
+#: Connection-retry defaults: ~0.1s, 0.2s, 0.4s ... before giving up.
+CONNECT_ATTEMPTS = 5
+CONNECT_BACKOFF_SECONDS = 0.1
 
 
 class ServiceClientError(RuntimeError):
@@ -26,22 +46,98 @@ class ServiceClientError(RuntimeError):
 
 
 class ServiceClient:
-    """One connection to a running checking server."""
+    """One connection to a running checking server.
+
+    Args:
+        host / port: Server address.
+        timeout: Per-request socket timeout — how long to wait for a
+            *response* (a ``result`` wait may legitimately take a while).
+        connect_timeout: Timeout of one connection *attempt*; defaults to
+            5 seconds, deliberately much shorter than ``timeout`` — an
+            unreachable server should fail fast, not after a full request
+            timeout.
+        connect_attempts / connect_backoff: Retry schedule for the initial
+            connection: each failed attempt sleeps
+            ``backoff * 2**attempt`` plus up to 25% jitter (so a herd of
+            clients restarted together does not reconnect in lockstep).
+        sleep / rng: Injectable for tests — the retry schedule unit-tests
+            without real waiting, and the jitter deterministically.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        connect_timeout: Optional[float] = 5.0,
+        connect_attempts: int = CONNECT_ATTEMPTS,
+        connect_backoff: float = CONNECT_BACKOFF_SECONDS,
+        sleep=time.sleep,
+        rng: Optional[random.Random] = None,
     ) -> None:
+        if connect_attempts < 1:
+            raise ValueError(
+                f"connect_attempts must be >= 1, got {connect_attempts}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.connect_timeout = connect_timeout if connect_timeout else timeout
+        self.connect_attempts = connect_attempts
+        self.connect_backoff = connect_backoff
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        """(Re)establish the connection, retrying with backoff + jitter."""
+        self._teardown()
+        last_error: Optional[OSError] = None
+        for attempt in range(self.connect_attempts):
+            if attempt:
+                delay = self.connect_backoff * (2 ** (attempt - 1))
+                self._sleep(delay * (1.0 + 0.25 * self._rng.random()))
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                last_error = exc
+                continue
+            self._sock.settimeout(self.timeout)
+            self._file = self._sock.makefile("rwb")
+            return
+        raise ServiceClientError(
+            {
+                "error": (
+                    f"could not connect to {self.host}:{self.port} "
+                    f"after {self.connect_attempts} attempt(s): {last_error}"
+                ),
+                "kind": "ConnectionError",
+            }
+        )
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -52,17 +148,36 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # Wire
     # ------------------------------------------------------------------ #
-    def request(self, op: str, **fields) -> Dict:
-        """Send one op, return the decoded response; raise on ``ok: false``."""
-        payload = {"op": op, **fields}
+    def _exchange(self, payload: Dict) -> Dict:
         self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
         self._file.flush()
         line = self._file.readline()
         if not line:
-            raise ServiceClientError(
-                {"error": "server closed the connection", "kind": "ConnectionError"}
-            )
-        response = json.loads(line)
+            raise ConnectionResetError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, op: str, **fields) -> Dict:
+        """Send one op, return the decoded response; raise on ``ok: false``.
+
+        A dropped connection is retried once over a fresh socket for
+        idempotent ops (see :data:`IDEMPOTENT_OPS`); everything else
+        surfaces the drop as a :class:`ServiceClientError`.
+        """
+        payload = {"op": op, **fields}
+        try:
+            response = self._exchange(payload)
+        except (ConnectionError, BrokenPipeError, socket.timeout, OSError) as exc:
+            if op not in IDEMPOTENT_OPS:
+                raise ServiceClientError(
+                    {"error": str(exc), "kind": "ConnectionError"}
+                ) from exc
+            self._connect()
+            try:
+                response = self._exchange(payload)
+            except (ConnectionError, BrokenPipeError, socket.timeout, OSError) as retry_exc:
+                raise ServiceClientError(
+                    {"error": str(retry_exc), "kind": "ConnectionError"}
+                ) from retry_exc
         if not response.get("ok"):
             raise ServiceClientError(response)
         return response
@@ -104,6 +219,12 @@ class ServiceClient:
 
     def health(self) -> Dict:
         return self.request("health")
+
+    def cancel(
+        self, job: str, wait: bool = False, timeout: Optional[float] = None
+    ) -> Dict:
+        """Cancel a job; with ``wait``, block until it has fully stopped."""
+        return self.request("cancel", job=job, wait=wait, timeout=timeout)
 
     def invalidate(self, fingerprint: Optional[str] = None) -> int:
         return self.request("invalidate", fingerprint=fingerprint)["removed"]

@@ -24,6 +24,11 @@ Job-lifecycle event kinds (registered with the engine event vocabulary):
     The job reached a verdict; payload carries the three-valued outcome.
 ``job-failed``
     The job raised (unknown cell, unsupported plan, engine error).
+``job-cancelled``
+    The job was cancelled — by an explicit ``cancel`` request or by its
+    wall-clock limit — before reaching a verdict; payload carries the
+    cancellation reason.  A cancelled job that was already running ends
+    with an honest ``Inconclusive (cancelled)`` result, never a hang.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ JOB_EVENT_KINDS = (
     "job-cache-hit",
     "job-finished",
     "job-failed",
+    "job-cancelled",
 )
 
 for _kind in JOB_EVENT_KINDS:
@@ -57,7 +63,8 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
-JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+CANCELLED = "cancelled"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
 
 
 @dataclass(frozen=True)
@@ -66,11 +73,20 @@ class JobBudgets:
 
     ``None`` leaves the corresponding plan knob untouched, so a budgetless
     job runs whatever bounds the plan itself carries.
+
+    ``max_wall_seconds`` is different in kind: it is *not* a search budget
+    but a service-side preemption deadline.  A search budget
+    (``max_seconds``) is checked by the engine at its own cadence and
+    yields ``Inconclusive (budget hit)``; the wall-clock limit is enforced
+    by the service's cancellation gate and preempts the job into
+    ``Inconclusive (cancelled)`` — the knob of last resort for a plan whose
+    engine does not honour time budgets tightly enough.
     """
 
     max_states: Optional[int] = None
     max_seconds: Optional[float] = None
     max_depth: Optional[int] = None
+    max_wall_seconds: Optional[float] = None
 
     def apply(self, plan: CheckPlan) -> CheckPlan:
         """``plan`` with every set budget written into its search knobs."""
@@ -90,6 +106,7 @@ class JobBudgets:
             "max_states": self.max_states,
             "max_seconds": self.max_seconds,
             "max_depth": self.max_depth,
+            "max_wall_seconds": self.max_wall_seconds,
         }
 
     @classmethod
@@ -99,6 +116,7 @@ class JobBudgets:
             max_states=raw.get("max_states"),
             max_seconds=raw.get("max_seconds"),
             max_depth=raw.get("max_depth"),
+            max_wall_seconds=raw.get("max_wall_seconds"),
         )
 
 

@@ -21,10 +21,16 @@ Operations:
     The job's private event stream (kind + payload per event).
 ``health``
     The service health snapshot (queue depth, stalled slots, cache).
+``cancel``
+    Cancel a job by id: queued jobs never run, running jobs are preempted
+    into ``Inconclusive (cancelled)`` and their slot is reused.
 ``invalidate``
     Explicit cache invalidation: everything, or one protocol fingerprint.
 ``shutdown``
-    Stop accepting connections and let ``serve`` return.
+    Stop accepting connections and let ``serve`` return.  The same path
+    runs on SIGTERM/SIGINT of ``repro serve``: active jobs are cancelled
+    (so they finish as honest ``Inconclusive (cancelled)`` records, not
+    killed mid-write) before the service stops.
 """
 
 from __future__ import annotations
@@ -81,11 +87,28 @@ class CheckServer:
             self._server = None
         await self.service.stop()
 
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop; safe to call from a signal handler.
+
+        Only sets an :class:`asyncio.Event`, so it is valid from
+        ``loop.add_signal_handler`` callbacks; the actual drain/stop runs
+        on the event loop in :meth:`serve_until_shutdown`.
+        """
+        self._shutdown.set()
+
     async def serve_until_shutdown(self) -> None:
-        """Serve until a ``shutdown`` op arrives, then stop cleanly."""
+        """Serve until a ``shutdown`` op (or signal) arrives, then stop.
+
+        The stop is graceful: the listening socket closes first (no new
+        work), active jobs are cancelled so running searches preempt at
+        their next engine event, and the service's ``stop`` then drains
+        the slots — every touched job ends with an honest record instead
+        of vanishing mid-run.
+        """
         if self._server is None:
             await self.start()
         await self._shutdown.wait()
+        self.service.cancel_active()
         await self.stop()
 
     # ------------------------------------------------------------------ #
@@ -162,6 +185,13 @@ class CheckServer:
             }
         if op == "health":
             return {"ok": True, **self.service.health()}
+        if op == "cancel":
+            job = self.service.cancel(request["job"])
+            if request.get("wait"):
+                job = await self.service.wait(
+                    job.id, timeout=request.get("timeout")
+                )
+            return {"ok": True, **job.record()}
         if op == "invalidate":
             fingerprint = request.get("fingerprint")
             if fingerprint:
@@ -174,7 +204,7 @@ class CheckServer:
             return {"ok": True, "stopping": True}
         raise ServiceError(
             f"unknown op {op!r} (expected ping/submit/status/result/"
-            "events/health/invalidate/shutdown)"
+            "events/health/cancel/invalidate/shutdown)"
         )
 
 
@@ -184,6 +214,7 @@ async def serve(
     service: Optional[CheckService] = None,
     ready: Optional[asyncio.Event] = None,
     announce=None,
+    handle_signals: bool = False,
     **service_kwargs,
 ) -> None:
     """Run a checking server until shutdown (the ``repro serve`` command).
@@ -193,14 +224,36 @@ async def serve(
         service: An existing service to expose; a fresh one otherwise.
         ready: Optional event set once the socket is bound (tests).
         announce: Optional callable receiving the bound ``(host, port)``.
+        handle_signals: Install SIGTERM/SIGINT handlers that trigger the
+            same graceful shutdown as the ``shutdown`` op (active jobs
+            cancelled, slots drained) instead of dying mid-run.  The CLI
+            sets this; embedded/test servers keep the default and stay
+            out of the host process's signal disposition.
         service_kwargs: Forwarded to :class:`CheckService` when building one.
     """
     server = CheckServer(
         service or CheckService(**service_kwargs), host=host, port=port
     )
-    await server.start()
-    if announce is not None:
-        announce(server.host, server.port)
-    if ready is not None:
-        ready.set()
-    await server.serve_until_shutdown()
+    handled: list = []
+    if handle_signals:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                # Platform without loop signal support (or a non-main
+                # thread): fall back to dying on the signal as before.
+                break
+            handled.append((loop, signum))
+    try:
+        await server.start()
+        if announce is not None:
+            announce(server.host, server.port)
+        if ready is not None:
+            ready.set()
+        await server.serve_until_shutdown()
+    finally:
+        for loop, signum in handled:
+            loop.remove_signal_handler(signum)

@@ -15,6 +15,14 @@ searches instead of killing jobs, so a budget-hit job finishes ``done``
 with an honest ``inconclusive`` outcome carrying full statistics and
 telemetry.
 
+Jobs are preemptible: :meth:`CheckService.cancel` cancels a queued job
+immediately and preempts a running one cooperatively through a
+:class:`_CancelGate` observer that raises from the engine's own event
+stream, so the search unwinds through its normal teardown and the slot is
+reused.  A per-job wall-clock limit (``JobBudgets.max_wall_seconds``)
+rides the same gate.  Either way the job ends with an honest
+``Inconclusive (cancelled)`` verdict, which the cache refuses to memoize.
+
 Health is derived from the same heartbeat discipline the work-stealing
 coordinator uses (PR 7): every event a job emits refreshes its slot's
 heartbeat, and :meth:`CheckService.health` runs a
@@ -25,18 +33,20 @@ injectable clock, so stall handling unit-tests without real waiting.
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional
 
+from ..checker.result import CheckResult
 from ..engine.events import EngineEvent, MultiObserver, Observer, emit
-from ..engine.plan import UnsupportedPlanError
+from ..engine.plan import UnsupportedPlanError, strategy_label
 from ..engine.registry import EngineRegistry, resolve, run_plan
 from ..obs.telemetry import MetricsRegistry
 from ..parallel.worksteal import WORKER_STALL_SECONDS, StallDetector
 from .cache import ResultCache
-from .jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobRequest
+from .jobs import CANCELLED, DONE, FAILED, QUEUED, RUNNING, Job, JobRequest
 
 
 class ServiceError(RuntimeError):
@@ -75,6 +85,52 @@ class _SlotHeartbeat(Observer):
 
     def on_event(self, event: EngineEvent) -> None:
         self._service._beat(self._slot)
+
+
+class JobCancelled(ServiceError):
+    """Raised inside the search thread to preempt a cancelled job.
+
+    Carries the cancellation reason so the job record can distinguish an
+    explicit ``cancel`` request from a tripped wall-clock limit; both end
+    as ``Inconclusive (cancelled)``.
+    """
+
+    def __init__(self, job_id: str, reason: str) -> None:
+        super().__init__(f"job {job_id} cancelled ({reason})")
+        self.job_id = job_id
+        self.reason = reason
+
+
+class _CancelGate(Observer):
+    """Preempts a running engine from inside its own event stream.
+
+    Engines emit events synchronously on the search thread, so raising
+    from :meth:`on_event` unwinds the search cooperatively — no signals,
+    no thread killing, and the engine's ``finally`` blocks (worker
+    teardown, queue closing) still run.  The gate trips on an explicit
+    cancellation flag or on the job's wall-clock deadline, whichever
+    comes first.  Cancellation latency is therefore one event interval;
+    every engine emits at least per level / per walk batch, which keeps
+    it well under a second in practice.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        flag: threading.Event,
+        deadline: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self._job_id = job_id
+        self._flag = flag
+        self._deadline = deadline
+        self._clock = clock
+
+    def on_event(self, event: EngineEvent) -> None:
+        if self._flag.is_set():
+            raise JobCancelled(self._job_id, "cancel requested")
+        if self._deadline is not None and self._clock() >= self._deadline:
+            raise JobCancelled(self._job_id, "wall-clock limit")
 
 
 class CheckService:
@@ -116,6 +172,7 @@ class CheckService:
         )
         self._jobs: Dict[str, Job] = {}
         self._done_events: Dict[str, asyncio.Event] = {}
+        self._cancel_flags: Dict[str, threading.Event] = {}
         self._running: List[Optional[Job]] = [None] * workers
         self._heartbeats: List[float] = [0.0] * workers
         self._detector = StallDetector(workers, stall_seconds, clock)
@@ -201,6 +258,7 @@ class CheckService:
             raise ServiceOverloadedError(self.queue_limit) from None
         self._jobs[job.id] = job
         self._done_events[job.id] = asyncio.Event()
+        self._cancel_flags[job.id] = threading.Event()
         self.metrics.counter("service.jobs_submitted").inc()
         return job
 
@@ -230,6 +288,48 @@ class CheckService:
         job = await self.submit(request)
         return await self.wait(job.id)
 
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; returns it immediately (without waiting).
+
+        A *queued* job is cancelled on the spot: its status flips to
+        ``cancelled``, waiters are released, and the worker loop discards
+        it when it eventually drains off the queue — the slot is never
+        occupied.  A *running* job is preempted cooperatively: the cancel
+        flag trips the job's :class:`_CancelGate` at its next engine
+        event, the search unwinds through its normal teardown, and the
+        job finishes as ``Inconclusive (cancelled)`` with the slot freed
+        for the next job.  Finished jobs (done / failed / already
+        cancelled) are left untouched.
+
+        Raises:
+            UnknownJobError: No job with this id.
+        """
+        job = self.job(job_id)
+        if job.status == QUEUED:
+            job.status = CANCELLED
+            job.error = "cancelled while queued"
+            job.finished_ts = self._clock()
+            emit(job.events, "job-cancelled", job=job.id, reason="cancel requested")
+            self.metrics.counter("service.jobs_cancelled").inc()
+            self._done_events[job.id].set()
+        elif job.status == RUNNING:
+            self._cancel_flags[job.id].set()
+        return job
+
+    def cancel_active(self) -> int:
+        """Cancel every queued and running job; returns how many.
+
+        The graceful-shutdown path: after this, :meth:`stop` returns as
+        soon as the running searches hit their next engine event and
+        unwind, instead of waiting out arbitrarily long explorations.
+        """
+        cancelled = 0
+        for job in list(self._jobs.values()):
+            if job.status in (QUEUED, RUNNING):
+                self.cancel(job.id)
+                cancelled += 1
+        return cancelled
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -239,6 +339,10 @@ class CheckService:
             job = await self._queue.get()
             if job is None:
                 break
+            if job.status == CANCELLED:
+                # Cancelled while queued: already finalised by cancel();
+                # discard without occupying the slot.
+                continue
             self._running[slot] = job
             self._beat(slot)
             try:
@@ -249,7 +353,7 @@ class CheckService:
                 # _execute fails the job for every expected error; anything
                 # escaping it is a service bug — record it on the job rather
                 # than letting the slot die with the queue still full.
-                if job.status not in (DONE, FAILED):
+                if job.status not in (DONE, FAILED, CANCELLED):
                     job.status = FAILED
                     job.error = traceback.format_exc().strip()
                     self.metrics.counter("service.jobs_failed").inc()
@@ -263,9 +367,16 @@ class CheckService:
         job.status = RUNNING
         job.worker = slot
         job.started_ts = self._clock()
-        observer = MultiObserver([job.events, _SlotHeartbeat(self, slot)])
-        emit(observer, "job-started", job=job.id, worker=slot)
+        wall_limit = job.request.budgets.max_wall_seconds
+        deadline = None if wall_limit is None else job.started_ts + wall_limit
+        gate = _CancelGate(
+            job.id, self._cancel_flags[job.id], deadline, self._clock
+        )
+        # The gate sits *after* the job log in the chain so the event that
+        # trips it is still recorded before the search unwinds.
+        observer = MultiObserver([job.events, _SlotHeartbeat(self, slot), gate])
         try:
+            emit(observer, "job-started", job=job.id, worker=slot)
             protocol, prop = job.request.resolve_workload()
             plan = job.request.effective_plan()
             key = self.cache.key_for(protocol, prop.name, plan)
@@ -303,10 +414,39 @@ class CheckService:
                 cache_hit=job.cache_hit,
                 states_visited=result.statistics.states_visited,
             )
+        except JobCancelled as exc:
+            self._cancelled(job, exc)
         except (UnsupportedPlanError, KeyError, ValueError) as exc:
             self._fail(observer, job, exc)
         except Exception as exc:  # engine crash: fail the job, keep the slot
             self._fail(observer, job, exc, include_traceback=True)
+
+    def _cancelled(self, job: Job, exc: JobCancelled) -> None:
+        """Finalise a preempted job with an honest partial verdict.
+
+        The search unwound mid-flight, so no statistics survive; the job
+        gets an explicitly incomplete, unverified :class:`CheckResult`
+        whose ``incomplete_reason`` renders as ``Inconclusive
+        (cancelled)``.  Never cached (the cache refuses incomplete
+        results), so a resubmission runs the check for real.
+        """
+        plan = job.request.effective_plan()
+        job.result = CheckResult(
+            protocol_name=job.request.cell,
+            property_name=plan.goal,
+            strategy=strategy_label(plan),
+            verified=True,
+            complete=False,
+            plan=plan,
+            incomplete_reason="cancelled",
+        )
+        job.status = CANCELLED
+        job.error = str(exc)
+        job.finished_ts = self._clock()
+        self.metrics.counter("service.jobs_cancelled").inc()
+        # Straight to the job log: the gate would re-raise from inside
+        # this very emit if it stayed in the chain.
+        emit(job.events, "job-cancelled", job=job.id, reason=exc.reason)
 
     def _fail(
         self,
@@ -366,7 +506,7 @@ class CheckService:
                         "idle_seconds": now - beat,
                     }
                 )
-        states = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED)}
+        states = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED, CANCELLED)}
         for job in self._jobs.values():
             states[job.status] += 1
         return {

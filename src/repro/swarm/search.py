@@ -266,7 +266,7 @@ def _emit_walk_progress(observer, stats: SwarmOutcomeStats) -> None:
 
 def _finish(
     protocol, invariant, graph, stats, violation, observer, telemetry,
-    start_time,
+    start_time, incomplete_reason: Optional[str] = None,
 ) -> SearchOutcome:
     """Shared epilogue: replay, telemetry, honest outcome assembly."""
     counterexample = None
@@ -292,6 +292,7 @@ def _finish(
         complete=False,
         counterexample=counterexample,
         statistics=_statistics_of(stats, elapsed),
+        incomplete_reason=incomplete_reason,
     )
 
 
@@ -374,6 +375,7 @@ def _swarm_worker(
     best_violation,
     walks_counter,
     result_queue,
+    chaos: Optional[str] = None,
 ) -> None:
     """One pool worker: walks ``worker_id, worker_id+workers, ...``.
 
@@ -385,8 +387,16 @@ def _swarm_worker(
     final bound therefore completes, which makes the reported violation the
     globally minimal violating walk index — the same one the serial
     schedule reports — independent of worker count and timing.
+
+    ``chaos`` optionally injects planned faults (one "command" per walk);
+    because walks are pure in ``(walk_seed, walk_index)``, a crashed
+    worker's residue class can be re-run from scratch by a replacement with
+    an identical set of violating walk indices.
     """
     try:
+        from ..chaos import chaos_hook_for_worker
+
+        hook = chaos_hook_for_worker(chaos, worker_id, workers)
         stats = SwarmOutcomeStats()
         graph = _make_graph(protocol, invariant, config)
         max_depth = config.max_depth or 256
@@ -407,6 +417,8 @@ def _swarm_worker(
             if _budget_exhausted(config, stats, start_time):
                 truncated = True
                 break
+            if hook is not None:
+                hook.on_command("walk")
             path = _run_one_walk(
                 graph, walk_index, walk_seed, max_depth, visited, stats
             )
@@ -458,9 +470,23 @@ def parallel_swarm_search(
     ``> v``; walks below the bound always complete, so the reported
     violation is the globally minimal violating walk index — identical to
     the serial walker's, at any worker count.
+
+    Fault tolerance: under ``config.supervise`` (the default) a worker
+    that dies without reporting is replaced by a fresh process re-running
+    its entire residue class — walks are pure in ``(walk_seed,
+    walk_index)``, so the verdict is identical to an uncrashed run (the
+    shared visited filter keeps the dead worker's additions, so the
+    distinct-state *estimate* may dip; the verdict never does).  With
+    supervision off or the restart budget exhausted, the run returns an
+    honest partial outcome (``incomplete_reason="worker crash"``) built
+    from the reports that did arrive.
     """
-    from ..parallel.bfs import default_mp_context
-    from ..parallel.worker import collect_replies
+    from ..parallel.bfs import MAX_WORKER_RESTARTS, default_mp_context
+    from ..parallel.worker import (
+        WorkerCrashError,
+        collect_replies,
+        shutdown_processes,
+    )
 
     config = config or SearchConfig(stateful=False)
     if workers < 1:
@@ -490,36 +516,81 @@ def parallel_swarm_search(
     result_queue = context.Queue()
     processes = []
     violation: Optional[Tuple[int, Tuple[int, ...]]] = None
+    incomplete_reason: Optional[str] = None
+
+    def spawn(worker_id: int, chaos: Optional[str]):
+        process = context.Process(
+            target=_swarm_worker,
+            args=(worker_id, workers, protocol, invariant, config,
+                  walks, walk_seed, visited, stop_event,
+                  best_violation, walks_counter, result_queue, chaos),
+        )
+        process.daemon = True
+        process.start()
+        return process
+
     try:
         with _maybe_span(telemetry, "walk-batch", batch_start=0,
                          batch_size=walks, workers=workers):
             for worker_id in range(workers):
-                process = context.Process(
-                    target=_swarm_worker,
-                    args=(worker_id, workers, protocol, invariant, config,
-                          walks, walk_seed, visited, stop_event,
-                          best_violation, walks_counter, result_queue),
-                )
-                process.daemon = True
-                process.start()
-                processes.append(process)
+                processes.append(spawn(worker_id, config.chaos))
 
             next_progress = PROGRESS_INTERVAL
-            while any(process.is_alive() for process in processes):
-                time.sleep(0.05)
-                completed = walks_counter.value
-                if completed >= next_progress:
-                    next_progress = (
-                        completed - completed % PROGRESS_INTERVAL
-                        + PROGRESS_INTERVAL
+            replies = None
+            restarts_used = 0
+            while True:
+                while any(process.is_alive() for process in processes):
+                    time.sleep(0.05)
+                    completed = walks_counter.value
+                    if completed >= next_progress:
+                        next_progress = (
+                            completed - completed % PROGRESS_INTERVAL
+                            + PROGRESS_INTERVAL
+                        )
+                        emit(observer, "progress", walks_completed=completed,
+                             violations=0, unique_fingerprints=0,
+                             states_visited=0)
+                try:
+                    replies = collect_replies(
+                        result_queue, workers, "report", worker_timeout,
+                        processes, replies,
                     )
-                    emit(observer, "progress", walks_completed=completed,
-                         violations=0, unique_fingerprints=0,
-                         states_visited=0)
-
-            replies = collect_replies(
-                result_queue, workers, "report", worker_timeout, processes
-            )
+                    break
+                except WorkerCrashError as crash:
+                    for worker_id in crash.workers:
+                        emit(observer, "worker-crashed", worker=worker_id,
+                             phase="report")
+                        if telemetry is not None:
+                            telemetry.metrics.counter(
+                                "worker_crashes",
+                                "worker processes that died without replying",
+                            ).inc()
+                    if (
+                        not config.supervise
+                        or restarts_used + len(crash.workers) > MAX_WORKER_RESTARTS
+                    ):
+                        # Honest partial outcome from the reports that did
+                        # arrive; never a hang or a bare traceback.
+                        replies = [
+                            reply for reply in (crash.replies or [])
+                            if reply is not None
+                        ]
+                        incomplete_reason = "worker crash"
+                        break
+                    replies = crash.replies
+                    for worker_id in crash.workers:
+                        restarts_used += 1
+                        processes[worker_id].join(timeout=0.1)
+                        # Replacements re-run the whole residue class from
+                        # scratch (walks are pure), without the fault plan.
+                        processes[worker_id] = spawn(worker_id, None)
+                        emit(observer, "worker-restarted", worker=worker_id,
+                             attempt=restarts_used)
+                        if telemetry is not None:
+                            telemetry.metrics.counter(
+                                "worker_restarts",
+                                "crashed workers restarted by the supervisor",
+                            ).inc()
         all_violations: List[Tuple[int, Tuple[int, ...]]] = []
         for reply in replies:
             worker_id, worker_stats, worker_violations, _truncated = reply
@@ -547,11 +618,8 @@ def parallel_swarm_search(
                  depth=len(violation[1]), walk_index=violation[0])
     finally:
         stop_event.set()
-        for process in processes:
-            process.join(timeout=5.0)
-        for process in processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
+        shutdown_processes(processes, queues=[result_queue],
+                           telemetry=telemetry)
 
     return _finish(protocol, invariant, graph, stats, violation, observer,
-                   telemetry, start_time)
+                   telemetry, start_time, incomplete_reason=incomplete_reason)

@@ -1,0 +1,236 @@
+"""Checkpoint/resume of the breadth-first searches.
+
+A checkpoint written at a level barrier must restore into exactly the run
+that wrote it: resuming completes with the same verdict and the same
+visited/transition counts as the uninterrupted run — including resuming a
+parallel checkpoint at a *different* worker count, since states (not
+fingerprints) are serialised and the shard partition is recomputed at
+load time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.checker.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    checkpoint_path,
+    latest_checkpoint,
+    load_checkpoint,
+)
+from repro.checker.search import SearchConfig, bfs_search, dfs_search, ndfs_search
+from repro.engine.events import CollectingObserver
+from repro.parallel import parallel_bfs_search
+from repro.protocols.catalog import storage_entry
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel checkpoint tests require the fork start method",
+)
+
+
+@pytest.fixture()
+def cell():
+    entry = storage_entry(3, 1)
+    return entry.single_model(), entry.invariant
+
+
+class TestCheckpointFiles:
+    def test_serial_run_writes_checkpoints(self, cell, tmp_path):
+        protocol, invariant = cell
+        observer = CollectingObserver()
+        outcome = bfs_search(
+            protocol, invariant,
+            SearchConfig(checkpoint_dir=str(tmp_path)),
+            observer=observer,
+        )
+        assert outcome.complete
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert names
+        assert all(name.startswith("checkpoint-") for name in names)
+        written = [
+            event for event in observer.events
+            if event.kind == "checkpoint-written"
+        ]
+        assert len(written) == len(names)
+        assert written[0].payload["path"] == str(
+            checkpoint_path(str(tmp_path), written[0].payload["depth"])
+        )
+
+    def test_checkpoint_every_thins_the_series(self, cell, tmp_path):
+        protocol, invariant = cell
+        every = tmp_path / "every"
+        sparse = tmp_path / "sparse"
+        bfs_search(protocol, invariant, SearchConfig(checkpoint_dir=str(every)))
+        bfs_search(
+            protocol, invariant,
+            SearchConfig(checkpoint_dir=str(sparse), checkpoint_every=3),
+        )
+        assert 0 < len(list(sparse.iterdir())) < len(list(every.iterdir()))
+
+    def test_latest_checkpoint_picks_deepest(self, cell, tmp_path):
+        protocol, invariant = cell
+        bfs_search(protocol, invariant, SearchConfig(checkpoint_dir=str(tmp_path)))
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert latest_checkpoint(str(tmp_path)).endswith(names[-1])
+
+    def test_load_rejects_missing_and_garbage(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "absent.ckpt"))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path))  # empty directory
+        garbage = tmp_path / "garbage.ckpt"
+        garbage.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(garbage))
+
+    def test_load_validates_version(self, cell, tmp_path):
+        import pickle
+
+        protocol, invariant = cell
+        bfs_search(protocol, invariant, SearchConfig(checkpoint_dir=str(tmp_path)))
+        path = latest_checkpoint(str(tmp_path))
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["version"] == CHECKPOINT_VERSION
+        payload["version"] = CHECKPOINT_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_describe_mentions_depth_and_states(self, cell, tmp_path):
+        protocol, invariant = cell
+        bfs_search(protocol, invariant, SearchConfig(checkpoint_dir=str(tmp_path)))
+        checkpoint = load_checkpoint(str(tmp_path))
+        description = checkpoint.describe()
+        assert str(checkpoint.depth) in description
+        assert str(len(checkpoint.states)) in description
+
+
+class TestSerialResume:
+    def test_resume_from_every_checkpoint_matches(self, cell, tmp_path):
+        protocol, invariant = cell
+        base = bfs_search(
+            protocol, invariant, SearchConfig(checkpoint_dir=str(tmp_path))
+        )
+        for path in sorted(tmp_path.iterdir()):
+            resumed = bfs_search(
+                protocol, invariant, SearchConfig(resume_from=str(path))
+            )
+            assert resumed.verified == base.verified
+            assert resumed.complete
+            assert (
+                resumed.statistics.states_visited
+                == base.statistics.states_visited
+            )
+            assert (
+                resumed.statistics.transitions_executed
+                == base.statistics.transitions_executed
+            )
+
+    def test_resume_from_directory_uses_latest(self, cell, tmp_path):
+        protocol, invariant = cell
+        base = bfs_search(
+            protocol, invariant, SearchConfig(checkpoint_dir=str(tmp_path))
+        )
+        resumed = bfs_search(
+            protocol, invariant, SearchConfig(resume_from=str(tmp_path))
+        )
+        assert resumed.statistics.states_visited == base.statistics.states_visited
+
+    def test_resume_rejects_wrong_protocol(self, cell, tmp_path):
+        protocol, invariant = cell
+        bfs_search(protocol, invariant, SearchConfig(checkpoint_dir=str(tmp_path)))
+        other = storage_entry(3, 2).single_model()
+        with pytest.raises(CheckpointError):
+            bfs_search(
+                other, invariant, SearchConfig(resume_from=str(tmp_path))
+            )
+
+    def test_truncated_run_resumes_to_completion(self, cell, tmp_path):
+        # The kill→resume story in miniature: a budget-truncated run
+        # stands in for a killed process (same on-disk state), and the
+        # resumed run must land on the uninterrupted totals.
+        protocol, invariant = cell
+        base = bfs_search(protocol, invariant)
+        truncated = bfs_search(
+            protocol, invariant,
+            SearchConfig(checkpoint_dir=str(tmp_path), max_states=500),
+        )
+        assert truncated.complete is False
+        resumed = bfs_search(
+            protocol, invariant, SearchConfig(resume_from=str(tmp_path))
+        )
+        assert resumed.complete
+        assert resumed.statistics.states_visited == base.statistics.states_visited
+
+
+@needs_fork
+class TestParallelResume:
+    def test_parallel_checkpoint_resumes_at_any_worker_count(self, cell, tmp_path):
+        protocol, invariant = cell
+        base = bfs_search(protocol, invariant)
+        full = parallel_bfs_search(
+            protocol, invariant,
+            SearchConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2),
+            workers=4,
+        )
+        assert full.statistics.states_visited == base.statistics.states_visited
+        first = sorted(tmp_path.iterdir())[0]
+        for workers in (1, 2, 3):
+            resumed = parallel_bfs_search(
+                protocol, invariant,
+                SearchConfig(resume_from=str(first)), workers=workers,
+            )
+            assert resumed.verified == base.verified
+            assert resumed.complete
+            assert (
+                resumed.statistics.states_visited
+                == base.statistics.states_visited
+            )
+
+    def test_serial_checkpoint_resumes_in_parallel_and_back(self, cell, tmp_path):
+        protocol, invariant = cell
+        base = bfs_search(
+            protocol, invariant, SearchConfig(checkpoint_dir=str(tmp_path))
+        )
+        middle = sorted(tmp_path.iterdir())[len(list(tmp_path.iterdir())) // 2]
+        crossed = parallel_bfs_search(
+            protocol, invariant, SearchConfig(resume_from=str(middle)), workers=2
+        )
+        assert crossed.statistics.states_visited == base.statistics.states_visited
+
+    def test_checkpointing_requires_parent_tracking(self, cell, tmp_path):
+        protocol, invariant = cell
+        with pytest.raises(ValueError, match="track_parents"):
+            parallel_bfs_search(
+                protocol, invariant,
+                SearchConfig(checkpoint_dir=str(tmp_path)),
+                workers=2, track_parents=False,
+            )
+
+
+class TestCheckpointKnobRejection:
+    """Engines without level barriers refuse the knobs loudly."""
+
+    @pytest.mark.parametrize("knob", [
+        {"checkpoint_dir": "/tmp/nope"},
+        {"resume_from": "/tmp/nope"},
+    ])
+    def test_dfs_rejects(self, cell, knob):
+        protocol, invariant = cell
+        with pytest.raises(ValueError, match="checkpoint"):
+            dfs_search(protocol, invariant, SearchConfig(**knob))
+
+    def test_ndfs_rejects(self, cell):
+        protocol, invariant = cell
+        with pytest.raises(ValueError, match="checkpoint"):
+            ndfs_search(
+                protocol, invariant,
+                SearchConfig(checkpoint_dir="/tmp/nope"),
+            )

@@ -1,0 +1,269 @@
+"""Worker crash detection and supervised recovery.
+
+The contract under test, at both ends of the supervision switch:
+
+* ``supervise=False``: an injected hard worker death (``os._exit``, the
+  same shape as a SIGKILL or the OOM killer) surfaces promptly as a
+  structured :class:`WorkerCrashError` inside the engine and as an honest
+  ``Inconclusive (worker crash)`` outcome outside it — never a hang,
+  never a bare traceback.
+* ``supervise=True`` (the default): the dead worker is restarted, its
+  lost work re-executed deterministically, and the run's verdict *and
+  exact counts* equal the uninterrupted serial run's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.checker.search import SearchConfig, bfs_search
+from repro.engine.events import CollectingObserver
+from repro.obs.telemetry import RunTelemetry
+from repro.parallel import default_mp_context, parallel_bfs_search
+from repro.parallel.worker import (
+    WorkerCrashError,
+    collect_replies,
+    shutdown_processes,
+)
+from repro.protocols.catalog import multicast_entry, storage_entry
+from repro.swarm.search import parallel_swarm_search
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="chaos recovery tests require the fork start method",
+)
+
+
+def _reply_then_exit(result_queue, worker_id):
+    result_queue.put(("expanded", worker_id, [], 0, 0))
+
+
+def _die_silently():
+    os._exit(1)
+
+
+class TestCollectReplies:
+    """The collector itself, driven with real processes at 2 and 4 workers."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_crashed_worker_raises_structured_error(self, workers):
+        context = default_mp_context()
+        result_queue = context.Queue()
+        processes = []
+        # Worker 0 dies without replying; everyone else replies then exits.
+        for worker_id in range(workers):
+            if worker_id == 0:
+                process = context.Process(target=_die_silently)
+            else:
+                process = context.Process(
+                    target=_reply_then_exit, args=(result_queue, worker_id)
+                )
+            process.start()
+            processes.append(process)
+        try:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                collect_replies(
+                    result_queue, workers, "expanded",
+                    timeout=60.0, processes=processes,
+                )
+            crash = excinfo.value
+            assert crash.phase == "expanded"
+            assert crash.workers == (0,)
+            # Survivors' replies are preserved for the supervisor.
+            assert crash.replies is not None
+            assert crash.replies[0] is None
+            for worker_id in range(1, workers):
+                assert crash.replies[worker_id] is not None
+            assert "worker(s) 0" in str(crash)
+        finally:
+            shutdown_processes(processes, queues=[result_queue])
+
+    def test_prefilled_replies_are_not_reawaited(self):
+        context = default_mp_context()
+        result_queue = context.Queue()
+        process = context.Process(
+            target=_reply_then_exit, args=(result_queue, 1)
+        )
+        process.start()
+        # Worker 0's reply is pre-filled (as after a restart); only worker
+        # 1's reply is actually collected.
+        prefilled = [("expanded", 0, [], 0, 0)[1:], None]
+        try:
+            replies = collect_replies(
+                result_queue, 2, "expanded", timeout=60.0,
+                processes=[process, process], replies=prefilled,
+            )
+            assert replies[0] == (0, [], 0, 0)
+            assert replies[1] == (1, [], 0, 0)
+        finally:
+            shutdown_processes([process], queues=[result_queue])
+
+
+class TestShutdownLadder:
+    def test_exited_workers_need_no_escalation(self):
+        context = default_mp_context()
+        processes = [context.Process(target=_noop) for _ in range(3)]
+        for process in processes:
+            process.start()
+        assert shutdown_processes(processes) == 0
+        assert all(not process.is_alive() for process in processes)
+
+    def test_wedged_worker_is_terminated_and_counted(self):
+        context = default_mp_context()
+        process = context.Process(target=_sleep_forever)
+        process.start()
+        telemetry = RunTelemetry()
+        # Patch the grace down so the test doesn't wait the full ladder.
+        import repro.parallel.worker as worker_module
+
+        original = worker_module._SHUTDOWN_GRACE_SECONDS
+        worker_module._SHUTDOWN_GRACE_SECONDS = 0.2
+        try:
+            escalated = shutdown_processes([process], telemetry=telemetry)
+        finally:
+            worker_module._SHUTDOWN_GRACE_SECONDS = original
+        assert escalated == 1
+        assert not process.is_alive()
+        assert (
+            telemetry.metrics.counter("worker_shutdown_escalations").total() == 1
+        )
+
+
+def _noop():
+    pass
+
+
+def _sleep_forever():
+    import time
+
+    while True:
+        time.sleep(60)
+
+
+class TestFrontierRecovery:
+    """Chaos-injected crashes against the frontier-parallel BFS."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_supervised_run_matches_serial_exactly(self, workers):
+        entry = storage_entry(3, 1)
+        serial = bfs_search(entry.single_model(), entry.invariant)
+        observer = CollectingObserver()
+        telemetry = RunTelemetry()
+        recovered = parallel_bfs_search(
+            entry.single_model(), entry.invariant,
+            SearchConfig(chaos="crash:1@3"),
+            workers=workers, observer=observer, telemetry=telemetry,
+        )
+        assert recovered.verified == serial.verified
+        assert recovered.complete
+        assert recovered.incomplete_reason is None
+        assert (
+            recovered.statistics.states_visited
+            == serial.statistics.states_visited
+        )
+        assert (
+            recovered.statistics.transitions_executed
+            == serial.statistics.transitions_executed
+        )
+        counts = observer.counts()
+        assert counts.get("worker-crashed") == 1
+        assert counts.get("worker-restarted") == 1
+        assert telemetry.metrics.counter("worker_crashes").total() == 1
+        assert telemetry.metrics.counter("worker_restarts").total() == 1
+
+    def test_crash_at_expand_barrier_recovers(self):
+        # Command 2 is the first expand: the worker dies before sending
+        # any expanded reply, exercising the expand-phase resend path.
+        entry = storage_entry(3, 1)
+        serial = bfs_search(entry.single_model(), entry.invariant)
+        recovered = parallel_bfs_search(
+            entry.single_model(), entry.invariant,
+            SearchConfig(chaos="crash:0@2"), workers=4,
+        )
+        assert recovered.complete
+        assert (
+            recovered.statistics.states_visited
+            == serial.statistics.states_visited
+        )
+
+    def test_violating_cell_verdict_survives_crash(self):
+        entry = multicast_entry(2, 1, 2, 1)
+        baseline = parallel_bfs_search(
+            entry.quorum_model(), entry.invariant, workers=4
+        )
+        recovered = parallel_bfs_search(
+            entry.quorum_model(), entry.invariant,
+            SearchConfig(chaos="crash:1@3"), workers=4,
+        )
+        assert baseline.verified is False
+        assert recovered.verified is False
+        assert recovered.counterexample is not None
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_unsupervised_run_fails_honestly(self, workers):
+        entry = storage_entry(3, 1)
+        observer = CollectingObserver()
+        outcome = parallel_bfs_search(
+            entry.single_model(), entry.invariant,
+            SearchConfig(chaos="crash:1@3", supervise=False),
+            workers=workers, observer=observer,
+        )
+        assert outcome.complete is False
+        assert outcome.incomplete_reason == "worker crash"
+        assert outcome.verified is True  # no violation seen — inconclusive
+        assert observer.counts().get("worker-crashed") == 1
+        assert "worker-restarted" not in observer.counts()
+
+    def test_restart_budget_exhaustion_gives_up(self):
+        # More planned crashes than MAX_WORKER_RESTARTS allows: the
+        # supervisor must stop restarting and report honestly.  Each
+        # restarted worker gets chaos=None, so distinct workers must crash
+        # to spend the budget.
+        from repro.parallel.bfs import MAX_WORKER_RESTARTS
+
+        entry = storage_entry(3, 1)
+        spec = ",".join(
+            f"crash:{worker}@3" for worker in range(MAX_WORKER_RESTARTS + 1)
+        )
+        outcome = parallel_bfs_search(
+            entry.single_model(), entry.invariant,
+            SearchConfig(chaos=spec), workers=MAX_WORKER_RESTARTS + 1,
+        )
+        assert outcome.complete is False
+        assert outcome.incomplete_reason == "worker crash"
+
+
+class TestSwarmRecovery:
+    """Chaos-injected crashes against the swarm walker pool."""
+
+    def test_supervised_swarm_verdict_identical(self):
+        entry = storage_entry(3, 1)
+        config = SearchConfig(stateful=False)
+        baseline = parallel_swarm_search(
+            entry.single_model(), entry.invariant, config,
+            walks=200, walk_seed=7, workers=4,
+        )
+        observer = CollectingObserver()
+        recovered = parallel_swarm_search(
+            entry.single_model(), entry.invariant,
+            SearchConfig(stateful=False, chaos="crash:2@5"),
+            walks=200, walk_seed=7, workers=4, observer=observer,
+        )
+        assert recovered.verified == baseline.verified
+        assert recovered.incomplete_reason is None
+        counts = observer.counts()
+        assert counts.get("worker-crashed") == 1
+        assert counts.get("worker-restarted") == 1
+
+    def test_unsupervised_swarm_reports_crash(self):
+        entry = storage_entry(3, 1)
+        outcome = parallel_swarm_search(
+            entry.single_model(), entry.invariant,
+            SearchConfig(stateful=False, chaos="crash:2@5", supervise=False),
+            walks=200, walk_seed=7, workers=4,
+        )
+        assert outcome.incomplete_reason == "worker crash"
+        assert outcome.complete is False

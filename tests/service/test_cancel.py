@@ -1,0 +1,182 @@
+"""Job cancellation and wall-clock preemption of the checking service.
+
+Cancellation is cooperative: the gate raises from the engine's own event
+stream, so a cancelled run unwinds through its normal teardown and the
+worker slot is reused.  Either way — explicit cancel or wall-clock limit —
+the job ends as an honest ``Inconclusive (cancelled)``, which the verdict
+cache refuses to memoize.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine.events import EngineEvent
+from repro.service import (
+    CANCELLED,
+    CheckService,
+    JobBudgets,
+    JobRequest,
+    UnknownJobError,
+    plan_from_dict,
+)
+from repro.service.service import JobCancelled, _CancelGate
+
+import threading
+
+
+def _quick_request(**overrides):
+    fields = dict(cell="multicast-3-0-1-1", model="single")
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+class TestCancelGate:
+    def _event(self):
+        return EngineEvent(kind="search-started", payload={})
+
+    def test_passes_while_flag_clear(self):
+        gate = _CancelGate("job-1", threading.Event())
+        gate.on_event(self._event())  # no raise
+
+    def test_raises_once_flag_set(self):
+        flag = threading.Event()
+        gate = _CancelGate("job-1", flag)
+        flag.set()
+        with pytest.raises(JobCancelled) as excinfo:
+            gate.on_event(self._event())
+        assert excinfo.value.reason == "cancel requested"
+        assert "job-1" in str(excinfo.value)
+
+    def test_wall_clock_deadline_trips(self):
+        clock_now = [0.0]
+        gate = _CancelGate(
+            "job-2", threading.Event(), deadline=10.0,
+            clock=lambda: clock_now[0],
+        )
+        gate.on_event(self._event())
+        clock_now[0] = 10.0
+        with pytest.raises(JobCancelled) as excinfo:
+            gate.on_event(self._event())
+        assert excinfo.value.reason == "wall-clock limit"
+
+
+class TestServiceCancellation:
+    def test_cancel_queued_job_never_runs(self):
+        async def scenario():
+            async with CheckService(workers=1) as service:
+                blocker = await service.submit(_quick_request())
+                queued = await service.submit(_quick_request(model="quorum"))
+                cancelled = service.cancel(queued.id)
+                assert cancelled.status == CANCELLED
+                queued = await service.wait(queued.id)
+                blocker = await service.wait(blocker.id)
+                return queued, blocker, service.health()
+
+        queued, blocker, health = asyncio.run(scenario())
+        assert queued.status == CANCELLED
+        assert queued.result is None
+        assert "job-cancelled" in queued.events.kinds()
+        assert blocker.status == "done"
+        assert health["jobs"][CANCELLED] == 1
+
+    def test_wall_clock_limit_preempts_running_job(self):
+        async def scenario():
+            async with CheckService(workers=1) as service:
+                # Deadline in the past: the gate trips on the first event
+                # after the job starts — deterministic, no timing races.
+                job = await service.check(
+                    _quick_request(budgets=JobBudgets(max_wall_seconds=0.0))
+                )
+                follow_up = await service.check(_quick_request())
+                return job, follow_up
+
+        job, follow_up = asyncio.run(scenario())
+        assert job.status == CANCELLED
+        assert job.result is not None
+        assert job.result.outcome() == "inconclusive"
+        assert job.result.incomplete_reason == "cancelled"
+        assert job.result.outcome_label() == "Inconclusive (cancelled)"
+        assert "job-cancelled" in job.events.kinds()
+        # The slot survived and the cancelled verdict was not cached.
+        assert follow_up.status == "done"
+        assert follow_up.cache_hit is False
+
+    def test_cancelled_result_is_never_cached(self):
+        async def scenario():
+            async with CheckService(workers=1) as service:
+                cancelled = await service.check(
+                    _quick_request(budgets=JobBudgets(max_wall_seconds=0.0))
+                )
+                rerun = await service.check(_quick_request())
+                return cancelled, rerun, service.engine_runs
+
+        cancelled, rerun, engine_runs = asyncio.run(scenario())
+        assert cancelled.status == CANCELLED
+        assert rerun.status == "done"
+        assert rerun.result.complete
+        # The past-deadline gate trips on the job-started event, before the
+        # engine counter: the only engine run is the rerun's, and it was a
+        # genuine cache miss — the cancelled verdict was never memoized.
+        assert rerun.cache_hit is False
+        assert engine_runs == 1
+
+    def test_cancel_finished_job_is_a_no_op(self):
+        async def scenario():
+            async with CheckService(workers=1) as service:
+                job = await service.check(_quick_request())
+                return service.cancel(job.id)
+
+        job = asyncio.run(scenario())
+        assert job.status == "done"
+        assert "job-cancelled" not in job.events.kinds()
+
+    def test_cancel_unknown_job_raises(self):
+        async def scenario():
+            async with CheckService(workers=1) as service:
+                with pytest.raises(UnknownJobError):
+                    service.cancel("job-999")
+
+        asyncio.run(scenario())
+
+    def test_cancel_active_sweeps_queued_and_running(self):
+        async def scenario():
+            async with CheckService(workers=1) as service:
+                jobs = [
+                    await service.submit(_quick_request())
+                    for _ in range(3)
+                ]
+                count = service.cancel_active()
+                finished = [await service.wait(job.id) for job in jobs]
+                return count, finished
+
+        count, finished = asyncio.run(scenario())
+        assert count == 3
+        # Every job ended (no hangs); at least the still-queued ones are
+        # cancelled.  The first may have finished before the sweep landed.
+        assert all(job.status in ("done", CANCELLED) for job in finished)
+        assert sum(job.status == CANCELLED for job in finished) >= 2
+
+    def test_max_wall_seconds_travels_the_wire_format(self):
+        budgets = JobBudgets(max_wall_seconds=1.5)
+        assert JobBudgets.from_dict(budgets.to_dict()) == budgets
+        # And it is not a plan knob: the effective plan is untouched.
+        request = _quick_request(budgets=budgets)
+        assert request.effective_plan() == request.plan
+
+    def test_cancelled_record_renders_reason(self):
+        from repro.analysis.aggregate import record_outcome
+
+        async def scenario():
+            async with CheckService(workers=1) as service:
+                return await service.check(
+                    _quick_request(budgets=JobBudgets(max_wall_seconds=0.0))
+                )
+
+        job = asyncio.run(scenario())
+        record = job.record()
+        assert record["status"] == CANCELLED
+        assert record["incomplete_reason"] == "cancelled"
+        assert record_outcome(record) == "Inconclusive (cancelled)"
